@@ -1,0 +1,92 @@
+//! Extension benchmark — incremental decoding with a KV cache vs full
+//! recompute per emitted token.
+//!
+//! Not a paper artifact (the paper defers the decoder to future work); this
+//! quantifies why the KV cache matters for the serving scenario the paper
+//! targets: without it, emitting token `t` costs a full `t`-token forward,
+//! so an `n`-token generation is O(n³) attention instead of O(n²).
+
+use bt_bench::{banner, wall};
+use bt_core::config::BertConfig;
+use bt_core::decoder::TransformerDecoder;
+use bt_core::incremental::DecoderSession;
+use bt_device::Device;
+use bt_tensor::Tensor;
+use bt_varlen::BatchMask;
+
+fn main() {
+    banner(
+        "Extension: KV-cache incremental decoding vs full recompute",
+        "(not in paper — §V future work)",
+        "cached per-token FLOPs grow ~linearly with context, recompute ~quadratically; modeled time is launch-bound for both (why real decoders use CUDA graphs)",
+    );
+    let config = if bt_bench::fast_mode() {
+        BertConfig { heads: 2, head_size: 8, ffn_scale: 4, layers: 2, eps: 1e-6 }
+    } else {
+        BertConfig { heads: 12, head_size: 64, ffn_scale: 4, layers: 2, eps: 1e-6 }
+    };
+    let decoder = TransformerDecoder::new_random(config, config.layers, 7);
+    let hidden = config.hidden();
+    let mem_len = if bt_bench::fast_mode() { 8 } else { 128 };
+    let total = if bt_bench::fast_mode() { 8 } else { 128 };
+    let memory = Tensor::randn([mem_len, hidden], 1);
+    let memory_padded = memory.clone().reshape([1, mem_len, hidden]).unwrap();
+    let mem_mask = BatchMask::from_lens(vec![mem_len], mem_len).unwrap();
+    let tokens = Tensor::randn([total, hidden], 2);
+
+    println!(
+        "{} layers, hidden {}, memory {} tokens, generating {} tokens\n",
+        config.layers, hidden, mem_len, total
+    );
+    println!(
+        "{:>8} {:>16} {:>14} {:>18} {:>16} {:>11}",
+        "token#", "cached_µs/tok", "cached_MFLOP", "recompute_µs/tok", "recompute_MFLOP", "flops_ratio"
+    );
+
+    let dev_cache = Device::new();
+    let mut session = DecoderSession::new(&decoder, &dev_cache, &memory);
+    let checkpoints = [1usize, total / 4, total / 2, total];
+    let mut produced = 0;
+    for &cp in &checkpoints {
+        while produced < cp {
+            let x: Vec<f32> = tokens.row(produced).to_vec();
+            dev_cache.reset();
+            session.step(&dev_cache, &x);
+            produced += 1;
+        }
+        let cached = dev_cache.modeled_total();
+        let cached_flops = dev_cache.total_flops();
+
+        // Full recompute: run the whole prefix through the batch decoder.
+        let dev_full = Device::new();
+        let tgt_mask = BatchMask::from_lens(vec![produced], produced).unwrap();
+        let mut tgt = Tensor::zeros([1, produced, hidden]);
+        for s in 0..produced {
+            for h in 0..hidden {
+                tgt.set(&[0, s, h], tokens.at(&[s, h]).unwrap()).unwrap();
+            }
+        }
+        let (_, _w) = wall(|| {
+            decoder
+                .forward(&dev_full, &tgt, &tgt_mask, &memory_padded, &mem_mask)
+                .expect("validated shapes")
+        });
+        let recompute = dev_full.modeled_total();
+        let recompute_flops = dev_full.total_flops();
+        println!(
+            "{:>8} {:>16.2} {:>14.1} {:>18.2} {:>16.1} {:>10.1}x",
+            produced,
+            cached * 1e6,
+            cached_flops as f64 / 1e6,
+            recompute * 1e6,
+            recompute_flops as f64 / 1e6,
+            recompute_flops as f64 / cached_flops as f64,
+        );
+    }
+    println!(
+        "\nthe recompute column is the cost of re-running the whole prefix to emit one token;\n\
+         its FLOPs grow with the prefix while the cached step's stay ~flat. Modeled *time*\n\
+         is launch-bound for single-token steps at this scale -- the regime that motivates\n\
+         CUDA graphs and multi-stream decode in production servers"
+    );
+}

@@ -1,0 +1,10 @@
+//! Table I — qualitative feature matrix of state-of-the-art Transformers.
+
+fn main() {
+    bt_bench::banner(
+        "Table I: optimizations of state-of-the-art transformers",
+        "Table I",
+        "ByteTransformer is the only row with every capability",
+    );
+    print!("{}", bt_frameworks::calibration::render_feature_matrix());
+}

@@ -1,0 +1,159 @@
+//! cuBLAS-style batched-GEMM attention, optionally with the zero-padding
+//! softmax (the `cuBLAS` and `cuBLAS + zero padding` variants of
+//! Figs. 11–12).
+//!
+//! Three launches instead of nine: the scale folds into the GEMM's `alpha`
+//! (as cuBLAS allows), no layout copies, no separate mask pass. The batched
+//! GEMMs still run on padded shapes — "the zero padding algorithm … cannot
+//! directly benefit batched GEMM operations in MHA" (§III.E) — but the
+//! softmax between them can skip dead rows when `zeropad_softmax` is set.
+
+use super::padded_dims;
+use bt_device::Device;
+use bt_gemm::batched::{batched_sgemm, BatchedArgs};
+use bt_gemm::GemmSpec;
+use bt_kernels::softmax::{masked_softmax_padded, masked_softmax_zeropad};
+use bt_tensor::Tensor;
+
+/// Padded batched-GEMM attention.
+///
+/// With `zeropad_softmax`, the softmax touches only valid query rows using
+/// the known sequence lengths (paper: "by only accessing unpadded tokens
+/// according to the known indices"); the GEMMs stay padded either way.
+pub fn batched_attention(
+    device: &Device,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    seq_lens: &[usize],
+    scale: f32,
+    zeropad_softmax: bool,
+) -> Tensor {
+    let (batch, heads, seq, head) = padded_dims(q, k, v, seq_lens);
+    let planes = batch * heads;
+
+    // Batched GEMM 1: scores = (scale · Q) · Kᵀ — alpha folded, cuBLAS-style.
+    let mut scores = vec![0.0f32; planes * seq * seq];
+    device.launch(
+        bt_gemm::gemm_kernel_spec("attention.batched.scores", planes * seq, seq, head, 4),
+        || {
+            batched_sgemm(
+                GemmSpec::nt().alpha(scale),
+                BatchedArgs::dense(planes, seq, seq, head),
+                q.as_slice(),
+                k.as_slice(),
+                &mut scores,
+            )
+        },
+    );
+
+    // Softmax: padded or zero-padding variant.
+    if zeropad_softmax {
+        masked_softmax_zeropad(device, "attention.batched.softmax", &mut scores, batch, heads, seq, seq_lens);
+        // Dead query rows still hold raw logits; the downstream `P·V` GEMM
+        // would propagate them into dead context rows (which the re-pack
+        // drops), so no cleanup pass is spent on them — that is the point
+        // of the optimization.
+    } else {
+        masked_softmax_padded(device, "attention.batched.softmax", &mut scores, batch, heads, seq, seq_lens);
+    }
+
+    // Batched GEMM 2: context = P · V.
+    let mut ctx = vec![0.0f32; planes * seq * head];
+    device.launch(
+        bt_gemm::gemm_kernel_spec("attention.batched.ctx", planes * seq, head, seq, 4),
+        || {
+            batched_sgemm(
+                GemmSpec::nn(),
+                BatchedArgs {
+                    batch: planes,
+                    m: seq,
+                    n: head,
+                    k: seq,
+                    stride_a: seq * seq,
+                    stride_b: seq * head,
+                    stride_c: seq * head,
+                },
+                &scores,
+                v.as_slice(),
+                &mut ctx,
+            )
+        },
+    );
+    Tensor::from_vec(ctx, [batch, heads, seq, head]).expect("shape consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::fixture;
+    use super::super::reference_attention;
+    use super::*;
+    use bt_device::CostModel;
+
+    fn device() -> Device {
+        Device::with_model(CostModel::unit())
+    }
+
+    fn check_valid_rows(lens: &[usize], got: &Tensor, expect: &Tensor, heads: usize, head: usize) {
+        for (b, &len) in lens.iter().enumerate() {
+            for h in 0..heads {
+                for s in 0..len {
+                    for dd in 0..head {
+                        let g = got.at(&[b, h, s, dd]).unwrap();
+                        let e = expect.at(&[b, h, s, dd]).unwrap();
+                        assert!((g - e).abs() < 1e-4, "({b},{h},{s},{dd}): {g} vs {e}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padded_softmax_matches_reference() {
+        let lens = [5usize, 2, 8];
+        let fx = fixture(&lens, 8, 3, 8, 21);
+        let dev = device();
+        let got = batched_attention(&dev, &fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale, false);
+        let expect = reference_attention(&fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale);
+        check_valid_rows(&lens, &got, &expect, 3, 8);
+    }
+
+    #[test]
+    fn zeropad_softmax_matches_reference_on_valid_rows() {
+        let lens = [5usize, 2, 8];
+        let fx = fixture(&lens, 8, 3, 8, 22);
+        let dev = device();
+        let got = batched_attention(&dev, &fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale, true);
+        let expect = reference_attention(&fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale);
+        check_valid_rows(&lens, &got, &expect, 3, 8);
+    }
+
+    #[test]
+    fn three_launches_only() {
+        let lens = [4usize; 2];
+        let fx = fixture(&lens, 4, 2, 4, 3);
+        let dev = device();
+        batched_attention(&dev, &fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale, false);
+        assert_eq!(dev.launches(), 3);
+    }
+
+    #[test]
+    fn zeropad_softmax_reduces_traffic_but_not_gemm_flops() {
+        let lens = [2usize; 4];
+        let fx = fixture(&lens, 16, 2, 4, 9);
+        let dev_p = device();
+        batched_attention(&dev_p, &fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale, false);
+        let dev_z = device();
+        batched_attention(&dev_z, &fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale, true);
+        assert!(dev_z.total_bytes() < dev_p.total_bytes());
+        // GEMM flops identical: batched GEMM cannot skip padding.
+        let gemm_flops = |dev: &Device| {
+            dev.trace()
+                .iter()
+                .filter(|r| r.name.contains("scores") || r.name.contains("ctx"))
+                .map(|r| r.cost.flops)
+                .sum::<u64>()
+        };
+        assert_eq!(gemm_flops(&dev_p), gemm_flops(&dev_z));
+    }
+}

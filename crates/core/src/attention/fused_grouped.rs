@@ -1,0 +1,554 @@
+//! Grouped-GEMM based fused MHA for long sequences — paper §III.E.2,
+//! Figs. 6–8, Algorithm III.2.
+//!
+//! Pipeline (Fig. 6), one attention unit per `(batch, head)` at its true
+//! sequence length:
+//!
+//! 1. **Grouped GEMM 1** `P_i = Q_i · K_iᵀ` with the **softmax partial
+//!    reduction fused into the epilogue** (Fig. 8): while each output tile
+//!    is still in registers, per-row partial `max` and partial
+//!    `Σ exp(x − max)` are reduced and stored — one pair per
+//!    `(row, column-tile)`.
+//! 2. A **lightweight full-reduction kernel** merges the partials across
+//!    column tiles into per-row `max`/`sum` vectors (the only
+//!    cross-threadblock step; the paper measures it at ~2% of fused MHA).
+//! 3. **Grouped GEMM 2** `O_i = P_i · V_i` with the normalization
+//!    `exp(x − max)/sum` fused into the **mainloop** (Algorithm III.2): the
+//!    transform runs on each `A` fragment right after it is loaded, and the
+//!    `max`/`sum` vectors are k-invariant so they load once in the prologue.
+//!    The epilogue stores each context block *directly into the packed
+//!    `[valid, hidden]` tensor* (strided placement), so no merge pass runs.
+//!
+//! Both GEMMs go through the grouped scheduler with the paper's
+//! warp-prefetch optimization; scheduler visits are counted exactly and
+//! charged to the modeled time, which is what the A1 ablation measures.
+//!
+//! The engine is shape-generic over attention units — query and key/value
+//! ranges may differ per unit — which is what lets the decoder's
+//! cross-attention (`q_len = decoder length, kv_len = encoder length`) reuse
+//! it verbatim (see [`crate::decoder`]).
+
+use super::packed_dims;
+use bt_device::{Device, KernelSpec};
+use bt_gemm::grouped::{
+    grouped_sgemm, grouped_sgemm_strided, ALoadTransform, GroupedConfig, GroupedProblem,
+    NoTransform, Scheduler, StridedOutput, TileEpilogue, PREFETCH_WIDTH,
+};
+use bt_tensor::Tensor;
+use bt_varlen::PackingIndex;
+use parking_lot::Mutex;
+
+/// Modeled cost of one scheduler visit (seconds), charged along the
+/// critical path as `visits / num_ctas × cost`. The stock CUTLASS problem
+/// visitor advances with division/modulo chains and problem-metadata loads
+/// per tile (~hundreds of cycles ⇒ ~250 ns); at standard BERT grouped
+/// shapes (~100 tiles/CTA at ~2.9 µs/tile) this puts the per-tile scheduler
+/// ~9% behind — the paper's measured ~10% gap (§III.E.2) — while the
+/// warp-prefetch scheduler amortizes it 32×.
+pub const SCHEDULER_VISIT_COST: f64 = 250e-9;
+
+/// Exact scheduler-visit count for a given tile total, grid size and
+/// scheduler — each CTA walks `ceil`-distributed tiles and prefetches in
+/// batches of [`PREFETCH_WIDTH`].
+pub fn expected_scheduler_visits(total_tiles: u64, num_ctas: usize, scheduler: Scheduler) -> u64 {
+    match scheduler {
+        Scheduler::PerTile => total_tiles,
+        Scheduler::WarpPrefetch => {
+            let n = num_ctas as u64;
+            (0..n)
+                .map(|cta| {
+                    let tiles_cta = total_tiles / n + u64::from(cta < total_tiles % n);
+                    tiles_cta.div_ceil(PREFETCH_WIDTH as u64)
+                })
+                .sum()
+        }
+    }
+}
+
+/// One attention sub-problem of the grouped engine: head plane `h`, query
+/// rows `q_off .. q_off + q_len` of the packed Q tensor, key/value rows
+/// `kv_off .. kv_off + kv_len` of the packed K/V tensors. For self-attention
+/// the two ranges coincide; for cross-attention they do not.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AttnUnit {
+    pub h: usize,
+    pub q_off: usize,
+    pub q_len: usize,
+    pub kv_off: usize,
+    pub kv_len: usize,
+}
+
+/// Per-problem softmax partials produced by the GEMM-1 epilogue:
+/// `max[row, col_tile]` and `sum[row, col_tile] = Σ exp(x − max)` over that
+/// tile's columns.
+struct PartialBuffers {
+    n_tiles: usize,
+    data: Mutex<(Vec<f32>, Vec<f32>)>, // (max, sum), row-major [rows, n_tiles]
+}
+
+/// The Fig. 8 epilogue: intra-tile (thread + warp level on the GPU)
+/// reduction of row max and exp-sum, stored to global partials.
+struct SoftmaxPartialEpilogue {
+    partials: Vec<PartialBuffers>,
+    tile_n: usize,
+    /// Causal self-attention: mask logits where key position > query
+    /// position (tiles are aligned, so the condition is on tile-local
+    /// global coordinates). Fully-masked tiles reduce to `-inf`/0 partials,
+    /// which the streaming merge in the full reduction handles exactly.
+    causal: bool,
+}
+
+impl TileEpilogue for SoftmaxPartialEpilogue {
+    fn apply(&self, problem: usize, row0: usize, col0: usize, rows: usize, cols: usize, tile: &mut [f32]) {
+        let pb = &self.partials[problem];
+        let tcol = col0 / self.tile_n;
+        if self.causal {
+            for i in 0..rows {
+                let row = &mut tile[i * cols..(i + 1) * cols];
+                for (j, x) in row.iter_mut().enumerate() {
+                    if col0 + j > row0 + i {
+                        *x = f32::NEG_INFINITY;
+                    }
+                }
+            }
+        }
+        let mut maxes = vec![f32::NEG_INFINITY; rows];
+        let mut sums = vec![0.0f32; rows];
+        for i in 0..rows {
+            let row = &tile[i * cols..(i + 1) * cols];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if m == f32::NEG_INFINITY {
+                // Fully masked tile row: identity element of the merge.
+                continue;
+            }
+            let s: f32 = row.iter().map(|&x| (x - m).exp()).sum();
+            maxes[i] = m;
+            sums[i] = s;
+        }
+        let mut guard = pb.data.lock();
+        for i in 0..rows {
+            guard.0[(row0 + i) * pb.n_tiles + tcol] = maxes[i];
+            guard.1[(row0 + i) * pb.n_tiles + tcol] = sums[i];
+        }
+    }
+}
+
+/// Fully reduced per-row softmax statistics for one problem.
+struct RowNorms {
+    max: Vec<f32>,
+    inv_sum: Vec<f32>,
+}
+
+/// The Algorithm III.2 mainloop fusion: `A ← exp(A − max[row]) / sum[row]`
+/// applied to each loaded `A` fragment of GEMM 2.
+struct SoftmaxNormalize<'a> {
+    norms: &'a [RowNorms],
+}
+
+impl ALoadTransform for SoftmaxNormalize<'_> {
+    fn transform(&self, problem: usize, row: usize, _k0: usize, chunk: &mut [f32]) {
+        let n = &self.norms[problem];
+        let m = n.max[row];
+        let inv = n.inv_sum[row];
+        for x in chunk {
+            *x = (*x - m).exp() * inv;
+        }
+    }
+}
+
+/// The grouped softmax-attention engine shared by self- and cross-attention:
+/// runs the three-step pipeline over arbitrary attention units and writes a
+/// packed `[out_rows, heads·head]` context.
+///
+/// `q` is `[heads, q_valid, head]`; `k`/`v` are `[heads, kv_valid, head]`.
+/// `Q` is assumed pre-scaled. Each unit's output lands at rows
+/// `q_off .. q_off + q_len`, columns `h·head ..`, written directly by the
+/// second GEMM's strided store.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grouped_softmax_attention(
+    device: &Device,
+    name: &str,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    units: &[AttnUnit],
+    out_rows: usize,
+    scheduler: Scheduler,
+) -> Tensor {
+    grouped_softmax_attention_ex(device, name, q, k, v, units, out_rows, scheduler, false)
+}
+
+/// [`grouped_softmax_attention`] with an optional causal mask applied in the
+/// first GEMM's epilogue (decoder self-attention).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grouped_softmax_attention_ex(
+    device: &Device,
+    name: &str,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    units: &[AttnUnit],
+    out_rows: usize,
+    scheduler: Scheduler,
+    causal: bool,
+) -> Tensor {
+    let qd = q.dims();
+    let kd = k.dims();
+    assert_eq!(qd.len(), 3, "packed Q must be [heads, q_valid, head]");
+    assert_eq!(k.dims(), v.dims(), "K/V shape mismatch");
+    assert_eq!(qd[0], kd[0], "head count mismatch");
+    assert_eq!(qd[2], kd[2], "head size mismatch");
+    let (heads, q_valid, head) = (qd[0], qd[1], qd[2]);
+    let kv_valid = kd[1];
+    let hidden = heads * head;
+    let config = GroupedConfig {
+        scheduler,
+        ..Default::default()
+    };
+
+    let qs = q.as_slice();
+    let ks = k.as_slice();
+    let vs = v.as_slice();
+    let q_plane = q_valid * head;
+    let kv_plane = kv_valid * head;
+
+    // ---- Grouped GEMM 1: P = Q·Kᵀ with fused partial softmax ----------
+    let problems1: Vec<GroupedProblem<'_>> = units
+        .iter()
+        .map(|u| GroupedProblem {
+            m: u.q_len,
+            n: u.kv_len,
+            k: head,
+            transb: true,
+            alpha: 1.0,
+            a: &qs[u.h * q_plane + u.q_off * head..u.h * q_plane + (u.q_off + u.q_len) * head],
+            b: &ks[u.h * kv_plane + u.kv_off * head..u.h * kv_plane + (u.kv_off + u.kv_len) * head],
+        })
+        .collect();
+    let mut p_bufs: Vec<Vec<f32>> = units.iter().map(|u| vec![0.0f32; u.q_len * u.kv_len]).collect();
+    let epilogue = SoftmaxPartialEpilogue {
+        partials: units
+            .iter()
+            .map(|u| {
+                let n_tiles = u.kv_len.div_ceil(config.tile_n).max(1);
+                PartialBuffers {
+                    n_tiles,
+                    data: Mutex::new((
+                        vec![f32::NEG_INFINITY; u.q_len * n_tiles],
+                        vec![0.0f32; u.q_len * n_tiles],
+                    )),
+                }
+            })
+            .collect(),
+        tile_n: config.tile_n,
+        causal,
+    };
+
+    let sq_sum: u64 = units.iter().map(|u| (u.q_len * u.kv_len) as u64).sum();
+    let gemm_flops: u64 = units
+        .iter()
+        .map(|u| 2 * (u.q_len * u.kv_len * head) as u64)
+        .sum();
+    let tiles1: u64 = units
+        .iter()
+        .map(|u| (u.q_len.div_ceil(config.tile_m) * u.kv_len.div_ceil(config.tile_n)) as u64)
+        .sum();
+    let visits1 = expected_scheduler_visits(tiles1, config.num_ctas, scheduler);
+    let partial_elems: u64 = units
+        .iter()
+        .map(|u| (u.q_len * u.kv_len.div_ceil(config.tile_n).max(1)) as u64)
+        .sum();
+    let q_bytes = (q_valid * hidden * 4) as u64;
+    let kv_bytes = (kv_valid * hidden * 4) as u64;
+    let stats1 = device.launch(
+        KernelSpec::new(format!("{name}.qk"))
+            .flops(gemm_flops + 3 * sq_sum) // GEMM + epilogue max/exp/sum
+            .reads(q_bytes + kv_bytes)
+            .writes(sq_sum * 4 + partial_elems * 8)
+            .host_overhead(visits1 as f64 / config.num_ctas as f64 * SCHEDULER_VISIT_COST),
+        || {
+            grouped_sgemm(
+                &problems1,
+                p_bufs.iter_mut().map(|p| p.as_mut_slice()).collect(),
+                config,
+                &epilogue,
+                &NoTransform,
+            )
+        },
+    );
+    debug_assert_eq!(stats1.scheduler_visits, visits1, "visit model out of sync");
+    device.bump_metric("grouped.scheduler_visits", stats1.scheduler_visits);
+    device.bump_metric("grouped.tiles", stats1.tiles);
+
+    // ---- Full reduction: merge partials across column tiles ------------
+    // Streaming-softmax merge: M = max_t m_t, S = Σ_t s_t · exp(m_t − M).
+    let norms: Vec<RowNorms> = device.launch(
+        KernelSpec::new(format!("{name}.full_reduce"))
+            .flops(partial_elems * 3)
+            .reads(partial_elems * 8)
+            .writes(units.iter().map(|u| (u.q_len * 8) as u64).sum()),
+        || {
+            epilogue
+                .partials
+                .iter()
+                .zip(units)
+                .map(|(pb, u)| {
+                    let guard = pb.data.lock();
+                    let (maxes, sums) = &*guard;
+                    let mut max = vec![f32::NEG_INFINITY; u.q_len];
+                    let mut inv_sum = vec![0.0f32; u.q_len];
+                    for r in 0..u.q_len {
+                        let row_m = &maxes[r * pb.n_tiles..(r + 1) * pb.n_tiles];
+                        let row_s = &sums[r * pb.n_tiles..(r + 1) * pb.n_tiles];
+                        let big = row_m.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                        let total: f32 = row_m
+                            .iter()
+                            .zip(row_s)
+                            .map(|(&m, &s)| s * (m - big).exp())
+                            .sum();
+                        max[r] = big;
+                        inv_sum[r] = if total > 0.0 { 1.0 / total } else { 0.0 };
+                    }
+                    RowNorms { max, inv_sum }
+                })
+                .collect()
+        },
+    );
+
+    // ---- Grouped GEMM 2: O = softmax(P)·V, normalization in mainloop ---
+    let problems2: Vec<GroupedProblem<'_>> = units
+        .iter()
+        .zip(&p_bufs)
+        .map(|(u, p)| GroupedProblem {
+            m: u.q_len,
+            n: head,
+            k: u.kv_len,
+            transb: false,
+            alpha: 1.0,
+            a: p,
+            b: &vs[u.h * kv_plane + u.kv_off * head..u.h * kv_plane + (u.kv_off + u.kv_len) * head],
+        })
+        .collect();
+    let placements: Vec<StridedOutput> = units
+        .iter()
+        .map(|u| StridedOutput {
+            offset: u.q_off * hidden + u.h * head,
+            ld: hidden,
+        })
+        .collect();
+    let mut out = vec![0.0f32; out_rows * hidden];
+    let tiles2: u64 = units
+        .iter()
+        .map(|u| (u.q_len.div_ceil(config.tile_m) * head.div_ceil(config.tile_n)) as u64)
+        .sum();
+    let visits2 = expected_scheduler_visits(tiles2, config.num_ctas, scheduler);
+    let transform = SoftmaxNormalize { norms: &norms };
+    let norm_bytes: u64 = units.iter().map(|u| (u.q_len * 8) as u64).sum();
+    let stats2 = device.launch(
+        KernelSpec::new(format!("{name}.pv"))
+            .flops(gemm_flops + 2 * sq_sum) // GEMM + exp/mul transform
+            .reads(sq_sum * 4 + kv_bytes + norm_bytes)
+            .writes((out_rows * hidden * 4) as u64)
+            .host_overhead(visits2 as f64 / config.num_ctas as f64 * SCHEDULER_VISIT_COST),
+        || {
+            grouped_sgemm_strided(
+                &problems2,
+                &mut out,
+                &placements,
+                config,
+                &bt_gemm::grouped::NoEpilogue,
+                &transform,
+            )
+        },
+    );
+    debug_assert_eq!(stats2.scheduler_visits, visits2, "visit model out of sync");
+    device.bump_metric("grouped.scheduler_visits", stats2.scheduler_visits);
+    device.bump_metric("grouped.tiles", stats2.tiles);
+
+    Tensor::from_vec(out, [out_rows, hidden]).expect("shape consistent")
+}
+
+/// Grouped fused MHA over packed `[heads, valid, head]` Q/K/V (`Q`
+/// pre-scaled). Returns the packed `[valid, hidden]` context.
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn fused_grouped_attention(
+    device: &Device,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    idx: &PackingIndex,
+    scheduler: Scheduler,
+) -> Tensor {
+    let (heads, valid, _head) = packed_dims(q, k, v, idx);
+    // Problem list: batch-major, heads inner — batch_size × head_num
+    // attention units (Fig. 6); self-attention: q range == kv range.
+    let units: Vec<AttnUnit> = (0..idx.batch())
+        .flat_map(|b| (0..heads).map(move |h| (b, h)))
+        .map(|(b, h)| {
+            let off = idx.seq_offset(b);
+            let len = idx.seq_len(b);
+            AttnUnit {
+                h,
+                q_off: off,
+                q_len: len,
+                kv_off: off,
+                kv_len: len,
+            }
+        })
+        .collect();
+    grouped_softmax_attention(device, "attention.grouped", q, k, v, &units, valid, scheduler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{fixture, pack_context};
+    use super::super::reference_attention;
+    use super::*;
+    use bt_device::CostModel;
+    use bt_tensor::compare::assert_close;
+
+    fn device() -> Device {
+        Device::with_model(CostModel::unit())
+    }
+
+    fn check(lens: &[usize], max: usize, heads: usize, head: usize, seed: u64) {
+        let fx = fixture(lens, max, heads, head, seed);
+        let dev = device();
+        let got = fused_grouped_attention(
+            &dev,
+            &fx.q_packed,
+            &fx.k_packed,
+            &fx.v_packed,
+            &fx.idx,
+            Scheduler::WarpPrefetch,
+        );
+        let expect_pad = reference_attention(&fx.q_pad, &fx.k_pad, &fx.v_pad, lens, fx.scale);
+        let expect = pack_context(&expect_pad, &fx.idx);
+        assert_close(got.as_slice(), &expect, 3e-4);
+    }
+
+    #[test]
+    fn matches_reference_various_shapes() {
+        check(&[70, 130, 65], 130, 2, 8, 1); // spans multiple 64-wide tiles
+        check(&[5, 9], 16, 2, 4, 2); // single tile per unit
+        check(&[64, 64], 64, 1, 16, 3); // exact tile boundary
+        check(&[1], 8, 2, 4, 4); // single token
+    }
+
+    #[test]
+    fn handles_empty_sequences() {
+        check(&[0, 80, 0], 80, 2, 8, 5);
+    }
+
+    #[test]
+    fn per_tile_and_prefetch_agree_numerically() {
+        let fx = fixture(&[100, 40], 100, 2, 8, 6);
+        let dev = device();
+        let a = fused_grouped_attention(&dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, Scheduler::PerTile);
+        let b = fused_grouped_attention(&dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, Scheduler::WarpPrefetch);
+        assert_close(a.as_slice(), b.as_slice(), 1e-6);
+    }
+
+    #[test]
+    fn prefetch_models_less_scheduler_overhead() {
+        let fx = fixture(&[256; 8], 256, 4, 16, 7);
+        let run = |sched: Scheduler| {
+            let dev = device();
+            fused_grouped_attention(&dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, sched);
+            (dev.modeled_total(), dev.metric("grouped.scheduler_visits"))
+        };
+        let (t_per_tile, v_per_tile) = run(Scheduler::PerTile);
+        let (t_prefetch, v_prefetch) = run(Scheduler::WarpPrefetch);
+        // With 108 CTAs and few tiles per CTA the prefetch factor is
+        // bounded by one visit per CTA per GEMM, so assert a 2x+ cut (the
+        // full 32x shows up at scale, covered by the ablation bench).
+        assert!(v_prefetch * 2 < v_per_tile, "{v_prefetch} vs {v_per_tile}");
+        assert!(t_prefetch < t_per_tile);
+    }
+
+    #[test]
+    fn expected_visits_formula() {
+        assert_eq!(expected_scheduler_visits(100, 10, Scheduler::PerTile), 100);
+        // 10 CTAs × 10 tiles each -> ceil(10/32)=1 visit each.
+        assert_eq!(expected_scheduler_visits(100, 10, Scheduler::WarpPrefetch), 10);
+        // 1 CTA, 100 tiles -> ceil(100/32) = 4.
+        assert_eq!(expected_scheduler_visits(100, 1, Scheduler::WarpPrefetch), 4);
+        assert_eq!(expected_scheduler_visits(0, 8, Scheduler::WarpPrefetch), 0);
+    }
+
+    #[test]
+    fn full_reduce_kernel_is_tiny_fraction() {
+        // The paper measures the full-reduction kernel at ~2% of fused MHA.
+        let fx = fixture(&[160; 4], 160, 4, 16, 8);
+        let dev = device();
+        fused_grouped_attention(&dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, Scheduler::WarpPrefetch);
+        let trace = dev.trace();
+        let total: f64 = trace.iter().map(|r| r.modeled).sum();
+        let reduce: f64 = trace
+            .iter()
+            .filter(|r| r.name.contains("full_reduce"))
+            .map(|r| r.modeled)
+            .sum();
+        assert!(reduce / total < 0.1, "full reduce fraction {}", reduce / total);
+    }
+
+    #[test]
+    fn three_launches() {
+        let fx = fixture(&[32, 16], 32, 2, 8, 9);
+        let dev = device();
+        fused_grouped_attention(&dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, Scheduler::WarpPrefetch);
+        assert_eq!(dev.launches(), 3);
+    }
+
+    #[test]
+    fn cross_shaped_units_match_host_reference() {
+        // Rectangular attention: 7 query rows against 19 key/value rows in
+        // one head plane — the cross-attention shape.
+        let heads = 2;
+        let head = 8;
+        let q_valid = 7;
+        let kv_valid = 19;
+        let q = Tensor::randn([heads, q_valid, head], 1);
+        let k = Tensor::randn([heads, kv_valid, head], 2);
+        let v = Tensor::randn([heads, kv_valid, head], 3);
+        let units: Vec<AttnUnit> = (0..heads)
+            .map(|h| AttnUnit {
+                h,
+                q_off: 0,
+                q_len: q_valid,
+                kv_off: 0,
+                kv_len: kv_valid,
+            })
+            .collect();
+        let dev = device();
+        let got = grouped_softmax_attention(
+            &dev, "attention.grouped", &q, &k, &v, &units, q_valid, Scheduler::WarpPrefetch,
+        );
+        // Host reference.
+        let hidden = heads * head;
+        let mut expect = vec![0.0f32; q_valid * hidden];
+        for h in 0..heads {
+            for i in 0..q_valid {
+                let mut logits = vec![0.0f32; kv_valid];
+                for (j, l) in logits.iter_mut().enumerate() {
+                    let mut dot = 0.0;
+                    for d in 0..head {
+                        dot += q.at(&[h, i, d]).unwrap() * k.at(&[h, j, d]).unwrap();
+                    }
+                    *l = dot;
+                }
+                bt_kernels::softmax::softmax_row(&mut logits);
+                for d in 0..head {
+                    let mut acc = 0.0;
+                    for (j, &p) in logits.iter().enumerate() {
+                        acc += p * v.at(&[h, j, d]).unwrap();
+                    }
+                    expect[i * hidden + h * head + d] = acc;
+                }
+            }
+        }
+        assert_close(got.as_slice(), &expect, 3e-4);
+    }
+}

@@ -1,0 +1,272 @@
+//! Multi-head attention implementations (paper §III.E, Figs. 11–12).
+//!
+//! Two input conventions exist, mirroring the paper's pipeline:
+//!
+//! * **Padded**: `Q, K, V` as `[batch, heads, seq, head]` tensors plus the
+//!   per-sequence valid lengths. Used by the conventional baselines
+//!   ([`naive`], [`batched`], [`flash`]), whose batched GEMMs require
+//!   identical shapes.
+//! * **Packed**: `Q, K, V` as `[heads, valid_words, head]` tensors indexed
+//!   through a [`PackingIndex`] — per `(batch, head)` the rows
+//!   `seq_offset(b) .. seq_offset(b)+len` are that attention unit's
+//!   operand. Used by the fused paths ([`fused_short`], [`fused_grouped`]),
+//!   which never materialize a padded tensor. The `1/√d_k` scale is folded
+//!   into `Q` upstream (fused with the bias-add load, Algorithm III.1).
+//!
+//! [`fused_attention`] dispatches between the two fused kernels on the
+//! paper's sequence-length boundary.
+
+pub mod batched;
+pub mod causal;
+pub mod cross;
+pub mod flash;
+pub mod fused_grouped;
+pub mod fused_short;
+pub mod naive;
+
+pub use batched::batched_attention;
+pub use causal::{causal_fused_attention, causal_reference_attention};
+pub use cross::{cross_attention, cross_reference_attention};
+pub use flash::flash_attention;
+pub use fused_grouped::{fused_grouped_attention, SCHEDULER_VISIT_COST};
+pub use fused_short::{fused_short_attention, DEFAULT_SPLIT_SEQ_LEN, FUSED_SHORT_MAX_SEQ};
+pub use naive::naive_attention;
+
+use bt_device::Device;
+use bt_gemm::grouped::Scheduler;
+use bt_tensor::Tensor;
+use bt_varlen::PackingIndex;
+
+/// Validates a padded `[batch, heads, seq, head]` Q/K/V triple, returning
+/// `(batch, heads, seq, head)`.
+///
+/// # Panics
+/// Panics when shapes disagree — attention entry points are internal to the
+/// encoder, which has already validated user input.
+pub(crate) fn padded_dims(q: &Tensor, k: &Tensor, v: &Tensor, seq_lens: &[usize]) -> (usize, usize, usize, usize) {
+    let d = q.dims();
+    assert_eq!(d.len(), 4, "Q must be [batch, heads, seq, head]");
+    assert_eq!(q.dims(), k.dims(), "Q/K shape mismatch");
+    assert_eq!(q.dims(), v.dims(), "Q/V shape mismatch");
+    assert_eq!(seq_lens.len(), d[0], "seq_lens length mismatch");
+    (d[0], d[1], d[2], d[3])
+}
+
+/// Validates a packed `[heads, valid, head]` Q/K/V triple against its
+/// packing index, returning `(heads, valid, head)`.
+pub(crate) fn packed_dims(q: &Tensor, k: &Tensor, v: &Tensor, idx: &PackingIndex) -> (usize, usize, usize) {
+    let d = q.dims();
+    assert_eq!(d.len(), 3, "packed Q must be [heads, valid, head]");
+    assert_eq!(q.dims(), k.dims(), "Q/K shape mismatch");
+    assert_eq!(q.dims(), v.dims(), "Q/V shape mismatch");
+    assert_eq!(d[1], idx.valid_words(), "packed rows != valid words");
+    (d[0], d[1], d[2])
+}
+
+/// ByteTransformer's fused MHA dispatcher: the shared-memory kernel for
+/// short sequences, the grouped-GEMM kernel beyond
+/// [`FUSED_SHORT_MAX_SEQ`] (paper: "With the explicit design for both short
+/// and long sequences…"). Returns the packed `[valid, hidden]` context.
+pub fn fused_attention(
+    device: &Device,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    idx: &PackingIndex,
+) -> Tensor {
+    if idx.max_seq_len() <= FUSED_SHORT_MAX_SEQ {
+        fused_short_attention(device, q, k, v, idx, DEFAULT_SPLIT_SEQ_LEN)
+    } else {
+        fused_grouped_attention(device, q, k, v, idx, Scheduler::WarpPrefetch)
+    }
+}
+
+/// Straight-line host reference attention over padded inputs — the oracle
+/// every variant is tested against. `scale` is applied to the logits;
+/// padded key columns are masked; padded query rows produce zeros.
+#[allow(clippy::needless_range_loop)] // index loops are the oracle idiom here
+pub fn reference_attention(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    seq_lens: &[usize],
+    scale: f32,
+) -> Tensor {
+    let (batch, heads, seq, head) = padded_dims(q, k, v, seq_lens);
+    let mut out = Tensor::zeros([batch, heads, seq, head]);
+    let qs = q.as_slice();
+    let ks = k.as_slice();
+    let vs = v.as_slice();
+    let os = out.as_mut_slice();
+    for b in 0..batch {
+        let len = seq_lens[b];
+        for h in 0..heads {
+            let plane = ((b * heads) + h) * seq * head;
+            for i in 0..len {
+                // logits over valid keys
+                let mut logits = vec![0.0f32; len];
+                for (j, lj) in logits.iter_mut().enumerate() {
+                    let mut dot = 0.0f32;
+                    for dd in 0..head {
+                        dot += qs[plane + i * head + dd] * ks[plane + j * head + dd];
+                    }
+                    *lj = dot * scale;
+                }
+                bt_kernels::softmax::softmax_row(&mut logits);
+                for dd in 0..head {
+                    let mut acc = 0.0f32;
+                    for (j, &lj) in logits.iter().enumerate() {
+                        acc += lj * vs[plane + j * head + dd];
+                    }
+                    os[plane + i * head + dd] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // oracle-style index loops
+pub(crate) mod test_support {
+    use super::*;
+    use bt_varlen::BatchMask;
+
+    /// Builds padded and packed Q/K/V for the same random attention inputs,
+    /// so padded baselines and packed fused kernels can be cross-checked.
+    /// Packed Q is pre-scaled by `scale`; padded Q is returned unscaled.
+    #[allow(dead_code)] // some variants consume only a subset of fields
+    pub struct AttentionFixture {
+        pub idx: PackingIndex,
+        pub q_pad: Tensor,
+        pub k_pad: Tensor,
+        pub v_pad: Tensor,
+        pub q_packed: Tensor,
+        pub k_packed: Tensor,
+        pub v_packed: Tensor,
+        pub scale: f32,
+        pub heads: usize,
+        pub head: usize,
+    }
+
+    pub fn fixture(lens: &[usize], max_seq: usize, heads: usize, head: usize, seed: u64) -> AttentionFixture {
+        let mask = BatchMask::from_lens(lens.to_vec(), max_seq).unwrap();
+        let idx = PackingIndex::from_mask(&mask);
+        let batch = lens.len();
+        let scale = 1.0 / (head as f32).sqrt();
+        let valid = idx.valid_words();
+
+        let mut q_pad = Tensor::zeros([batch, heads, max_seq, head]);
+        let mut k_pad = Tensor::zeros([batch, heads, max_seq, head]);
+        let mut v_pad = Tensor::zeros([batch, heads, max_seq, head]);
+        let mut q_pk = Tensor::zeros([heads, valid, head]);
+        let mut k_pk = Tensor::zeros([heads, valid, head]);
+        let mut v_pk = Tensor::zeros([heads, valid, head]);
+
+        let mut rng = bt_tensor::rng::Xoshiro256StarStar::seed_from_u64(seed);
+        for b in 0..batch {
+            for s in 0..lens[b] {
+                let w = idx.seq_offset(b) + s;
+                for h in 0..heads {
+                    for dd in 0..head {
+                        let qv = rng.uniform(-1.0, 1.0);
+                        let kv = rng.uniform(-1.0, 1.0);
+                        let vv = rng.uniform(-1.0, 1.0);
+                        q_pad.set(&[b, h, s, dd], qv).unwrap();
+                        k_pad.set(&[b, h, s, dd], kv).unwrap();
+                        v_pad.set(&[b, h, s, dd], vv).unwrap();
+                        q_pk.set(&[h, w, dd], qv * scale).unwrap();
+                        k_pk.set(&[h, w, dd], kv).unwrap();
+                        v_pk.set(&[h, w, dd], vv).unwrap();
+                    }
+                }
+            }
+        }
+        AttentionFixture {
+            idx,
+            q_pad,
+            k_pad,
+            v_pad,
+            q_packed: q_pk,
+            k_packed: k_pk,
+            v_packed: v_pk,
+            scale,
+            heads,
+            head,
+        }
+    }
+
+    /// Extracts the valid rows of a padded `[b,h,s,d]` context into the
+    /// packed `[valid, hidden]` layout for comparison with fused outputs.
+    pub fn pack_context(ctx: &Tensor, idx: &PackingIndex) -> Vec<f32> {
+        let dims = ctx.dims();
+        let (heads, head) = (dims[1], dims[3]);
+        let hidden = heads * head;
+        let mut out = vec![0.0f32; idx.valid_words() * hidden];
+        for b in 0..idx.batch() {
+            for s in 0..idx.seq_len(b) {
+                let w = idx.seq_offset(b) + s;
+                for h in 0..heads {
+                    for dd in 0..head {
+                        out[w * hidden + h * head + dd] = ctx.at(&[b, h, s, dd]).unwrap();
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn reference_rows_are_convex_combinations() {
+        // With V = all-ones, every valid output row must be exactly 1.
+        let fx = fixture(&[3, 5], 5, 2, 4, 1);
+        let ones = Tensor::filled(fx.v_pad.shape().clone(), 1.0);
+        let out = reference_attention(&fx.q_pad, &fx.k_pad, &ones, &[3, 5], fx.scale);
+        for b in 0..2 {
+            let len = [3, 5][b];
+            for h in 0..2 {
+                for s in 0..len {
+                    for dd in 0..4 {
+                        let v = out.at(&[b, h, s, dd]).unwrap();
+                        assert!((v - 1.0).abs() < 1e-5, "({b},{h},{s},{dd}) = {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_zeroes_padded_rows() {
+        let fx = fixture(&[2], 6, 1, 4, 2);
+        let out = reference_attention(&fx.q_pad, &fx.k_pad, &fx.v_pad, &[2], fx.scale);
+        for s in 2..6 {
+            for dd in 0..4 {
+                assert_eq!(out.at(&[0, 0, s, dd]).unwrap(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fixture_padded_and_packed_agree() {
+        let fx = fixture(&[2, 4], 4, 2, 4, 3);
+        // Packed row for (b=1, s=1) is seq_offset(1) + 1 = 3.
+        let w = fx.idx.seq_offset(1) + 1;
+        for h in 0..2 {
+            for dd in 0..4 {
+                let padded = fx.q_pad.at(&[1, h, 1, dd]).unwrap();
+                let packed = fx.q_packed.at(&[h, w, dd]).unwrap();
+                assert!((packed - padded * fx.scale).abs() < 1e-7);
+                assert_eq!(
+                    fx.k_pad.at(&[1, h, 1, dd]).unwrap(),
+                    fx.k_packed.at(&[h, w, dd]).unwrap()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! "Standard PyTorch MHA"-style attention: the unfused, fully padded
+//! baseline of Figs. 11–12.
+//!
+//! `torch.nn.MultiheadAttention` executes attention as a chain of separate
+//! CUDA kernels, each taking a full round trip through global memory:
+//! layout copies for Q/K/V, the `QKᵀ` batched GEMM, a separate scale kernel,
+//! a separate additive-mask kernel, the softmax, the `P·V` batched GEMM, and
+//! an output layout copy — all on padded shapes, all paying per-kernel
+//! dispatch. The paper measures its fused MHA at 6.13× over this baseline;
+//! the gap comes from exactly the extra passes and dead tokens reproduced
+//! here.
+
+use super::padded_dims;
+use bt_device::{Device, KernelSpec};
+use bt_gemm::batched::{batched_sgemm, BatchedArgs};
+use bt_gemm::GemmSpec;
+use bt_kernels::softmax::masked_softmax_padded;
+use bt_tensor::Tensor;
+use rayon::prelude::*;
+
+/// Padded, unfused multi-head attention.
+///
+/// `dispatch_overhead` is the host-side per-kernel tax (seconds) added to
+/// each launch's modeled time — the framework property that makes the
+/// PyTorch baseline pay for its many small kernels. Pass `0.0` to measure
+/// the pure kernel pipeline.
+pub fn naive_attention(
+    device: &Device,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    seq_lens: &[usize],
+    scale: f32,
+    dispatch_overhead: f64,
+) -> Tensor {
+    let (batch, heads, seq, head) = padded_dims(q, k, v, seq_lens);
+    let planes = batch * heads;
+    let qkv_bytes = (planes * seq * head * 4) as u64;
+    let logits_elems = planes * seq * seq;
+    let logits_bytes = (logits_elems * 4) as u64;
+
+    // Kernel 1–3: contiguity copies of Q, K, V (PyTorch's
+    // `transpose(1, 2).contiguous()` reshapes around `baddbmm`).
+    let copy = |name: &str, t: &Tensor| -> Tensor {
+        device.launch(
+            KernelSpec::new(name)
+                .reads(qkv_bytes)
+                .writes(qkv_bytes)
+                .host_overhead(dispatch_overhead),
+            || t.clone(),
+        )
+    };
+    let q = copy("attention.naive.copy_q", q);
+    let k = copy("attention.naive.copy_k", k);
+    let v = copy("attention.naive.copy_v", v);
+
+    // Kernel 4: scores = Q · Kᵀ (batched GEMM over batch × heads planes).
+    let mut scores = vec![0.0f32; logits_elems];
+    device.launch(
+        bt_gemm::gemm_kernel_spec("attention.naive.scores", planes * seq, seq, head, 4)
+            .host_overhead(dispatch_overhead),
+        || {
+            batched_sgemm(
+                GemmSpec::nt(),
+                BatchedArgs::dense(planes, seq, seq, head),
+                q.as_slice(),
+                k.as_slice(),
+                &mut scores,
+            )
+        },
+    );
+
+    // Kernel 5: separate scale pass (PyTorch folds this into an extra
+    // element-wise kernel, not into the GEMM).
+    device.launch(
+        KernelSpec::new("attention.naive.scale")
+            .flops(logits_elems as u64)
+            .reads(logits_bytes)
+            .writes(logits_bytes)
+            .host_overhead(dispatch_overhead),
+        || {
+            scores.par_chunks_mut(seq).for_each(|row| {
+                for x in row {
+                    *x *= scale;
+                }
+            });
+        },
+    );
+
+    // Kernel 6: additive key-padding mask — another full pass.
+    device.launch(
+        KernelSpec::new("attention.naive.mask")
+            .flops(logits_elems as u64)
+            .reads(logits_bytes)
+            .writes(logits_bytes)
+            .host_overhead(dispatch_overhead),
+        || {
+            scores
+                .par_chunks_mut(seq)
+                .enumerate()
+                .for_each(|(row_idx, row)| {
+                    let b = row_idx / (heads * seq);
+                    for x in &mut row[seq_lens[b]..] {
+                        *x = f32::NEG_INFINITY;
+                    }
+                });
+        },
+    );
+
+    // Kernel 7: padded softmax over every row. The mask is already applied,
+    // but the padded kernel re-applies it idempotently (seq_lens given).
+    masked_softmax_padded(device, "attention.naive.softmax", &mut scores, batch, heads, seq, seq_lens);
+
+    // Kernel 8: context = P · V.
+    let mut ctx = vec![0.0f32; planes * seq * head];
+    device.launch(
+        bt_gemm::gemm_kernel_spec("attention.naive.ctx", planes * seq, head, seq, 4)
+            .host_overhead(dispatch_overhead),
+        || {
+            batched_sgemm(
+                GemmSpec::nn(),
+                BatchedArgs {
+                    batch: planes,
+                    m: seq,
+                    n: head,
+                    k: seq,
+                    stride_a: seq * seq,
+                    stride_b: seq * head,
+                    stride_c: seq * head,
+                },
+                &scores,
+                v.as_slice(),
+                &mut ctx,
+            )
+        },
+    );
+
+    // Kernel 9: output contiguity copy.
+    device.launch(
+        KernelSpec::new("attention.naive.copy_out")
+            .reads(qkv_bytes)
+            .writes(qkv_bytes)
+            .host_overhead(dispatch_overhead),
+        || (),
+    );
+
+    Tensor::from_vec(ctx, [batch, heads, seq, head]).expect("shape consistent")
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // oracle-style index loops
+mod tests {
+    use super::super::test_support::fixture;
+    use super::super::reference_attention;
+    use super::*;
+    use bt_device::CostModel;
+    use bt_tensor::compare::assert_close;
+
+    fn device() -> Device {
+        Device::with_model(CostModel::unit())
+    }
+
+    #[test]
+    fn matches_reference_on_valid_rows() {
+        let lens = [3usize, 7, 1];
+        let fx = fixture(&lens, 8, 2, 4, 11);
+        let dev = device();
+        let got = naive_attention(&dev, &fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale, 0.0);
+        let expect = reference_attention(&fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale);
+        for b in 0..3 {
+            for h in 0..2 {
+                for s in 0..lens[b] {
+                    for dd in 0..4 {
+                        let g = got.at(&[b, h, s, dd]).unwrap();
+                        let e = expect.at(&[b, h, s, dd]).unwrap();
+                        assert!((g - e).abs() < 1e-4, "({b},{h},{s},{dd}): {g} vs {e}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn launches_the_whole_unfused_chain() {
+        let lens = [4usize; 2];
+        let fx = fixture(&lens, 4, 2, 4, 3);
+        let dev = device();
+        naive_attention(&dev, &fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale, 0.0);
+        // copies(3) + scores + scale + mask + softmax + ctx + copy_out = 9.
+        assert_eq!(dev.launches(), 9);
+    }
+
+    #[test]
+    fn dispatch_overhead_inflates_modeled_time_only() {
+        let lens = [4usize; 2];
+        let fx = fixture(&lens, 4, 2, 4, 3);
+        let d0 = device();
+        let a = naive_attention(&d0, &fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale, 0.0);
+        let d1 = device();
+        let b = naive_attention(&d1, &fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale, 1.0);
+        assert_close(a.as_slice(), b.as_slice(), 0.0);
+        // 8 of the 9 kernels carry the tax (the softmax helper does not).
+        assert!(d1.modeled_total() >= d0.modeled_total() + 8.0);
+    }
+
+    #[test]
+    fn cost_is_padded_quadratic() {
+        // Halving valid lengths must NOT reduce declared flops: the padded
+        // pipeline pays for dead tokens.
+        let full = [8usize; 2];
+        let halfv = [4usize; 2];
+        let fx_full = fixture(&full, 8, 1, 4, 5);
+        let fx_half = fixture(&halfv, 8, 1, 4, 5);
+        let d_full = device();
+        naive_attention(&d_full, &fx_full.q_pad, &fx_full.k_pad, &fx_full.v_pad, &full, 0.5, 0.0);
+        let d_half = device();
+        naive_attention(&d_half, &fx_half.q_pad, &fx_half.k_pad, &fx_half.v_pad, &halfv, 0.5, 0.0);
+        assert_eq!(d_full.total_flops(), d_half.total_flops());
+    }
+}

@@ -1,0 +1,81 @@
+//! Model hyper-parameters.
+
+/// BERT encoder configuration.
+///
+/// The paper's "standard BERT Transformer configuration" (§III.B, §IV) is
+/// 12 heads × head size 64 (hidden 768), FFN scale 4, 12 layers —
+/// [`BertConfig::bert_base`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BertConfig {
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Dimensionality of each head (`d_k`).
+    pub head_size: usize,
+    /// FFN expansion factor (intermediate = `ffn_scale × hidden`).
+    pub ffn_scale: usize,
+    /// Number of stacked encoder layers.
+    pub layers: usize,
+    /// LayerNorm epsilon.
+    pub eps: f32,
+}
+
+impl BertConfig {
+    /// The paper's standard configuration: 12 heads, head size 64, FFN ×4,
+    /// 12 layers.
+    pub fn bert_base() -> Self {
+        Self {
+            heads: 12,
+            head_size: 64,
+            ffn_scale: 4,
+            layers: 12,
+            eps: 1e-6,
+        }
+    }
+
+    /// A small configuration for unit tests and doc examples (hidden 16).
+    pub fn tiny() -> Self {
+        Self {
+            heads: 2,
+            head_size: 8,
+            ffn_scale: 4,
+            layers: 2,
+            eps: 1e-6,
+        }
+    }
+
+    /// Hidden dimension, `heads × head_size`.
+    pub fn hidden(&self) -> usize {
+        self.heads * self.head_size
+    }
+
+    /// FFN intermediate dimension, `ffn_scale × hidden`.
+    pub fn intermediate(&self) -> usize {
+        self.ffn_scale * self.hidden()
+    }
+
+    /// The attention scale `1/√d_k`.
+    pub fn attention_scale(&self) -> f32 {
+        1.0 / (self.head_size as f32).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_dimensions() {
+        let c = BertConfig::bert_base();
+        assert_eq!(c.hidden(), 768);
+        assert_eq!(c.intermediate(), 3072);
+        assert_eq!(c.layers, 12);
+        assert!((c.attention_scale() - 0.125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn tiny_is_consistent() {
+        let c = BertConfig::tiny();
+        assert_eq!(c.hidden(), 16);
+        assert_eq!(c.intermediate(), 64);
+    }
+}

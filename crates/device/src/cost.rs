@@ -1,0 +1,234 @@
+//! Per-kernel cost declarations and the A100 roofline model.
+
+/// Raw cost counters for one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelCost {
+    /// Floating-point operations performed (multiply-adds count as 2).
+    pub flops: u64,
+    /// Bytes read from "global memory" (the big tensors a GPU kernel would
+    /// stream from HBM — tile-local scratch does not count, exactly as shared
+    /// memory does not count on the GPU).
+    pub bytes_read: u64,
+    /// Bytes written to global memory.
+    pub bytes_written: u64,
+}
+
+impl KernelCost {
+    /// Total bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Component-wise sum of two costs.
+    pub fn add(&self, other: &KernelCost) -> KernelCost {
+        KernelCost {
+            flops: self.flops + other.flops,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+}
+
+/// A kernel launch declaration: name, cost, and optional derates.
+///
+/// Built with a fluent API:
+/// ```
+/// use bt_device::KernelSpec;
+/// let spec = KernelSpec::new("encoder.layernorm0")
+///     .flops(100)
+///     .reads(4096)
+///     .writes(4096);
+/// assert_eq!(spec.cost.bytes(), 8192);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Kernel name; harnesses bucket names by prefix (e.g. `"encoder.gemm0"`).
+    pub name: String,
+    /// Declared cost counters.
+    pub cost: KernelCost,
+    /// Multiplier (≤ 1.0) on *achieved* memory bandwidth for this kernel.
+    /// Used by framework simulations to model less-tuned kernels (e.g. XLA
+    /// codegen vs. hand-tuned CUDA); our own kernels use 1.0.
+    pub bw_derate: f64,
+    /// Multiplier (≤ 1.0) on achieved FLOP throughput for this kernel.
+    pub flops_derate: f64,
+    /// Extra fixed host-side overhead in seconds added to the modeled time
+    /// (framework dispatch/launch tax on top of the raw driver launch).
+    pub host_overhead: f64,
+}
+
+impl KernelSpec {
+    /// Starts a spec with zero cost and no derates.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            cost: KernelCost::default(),
+            bw_derate: 1.0,
+            flops_derate: 1.0,
+            host_overhead: 0.0,
+        }
+    }
+
+    /// Sets the FLOP count.
+    pub fn flops(mut self, flops: u64) -> Self {
+        self.cost.flops = flops;
+        self
+    }
+
+    /// Sets the bytes read from global memory.
+    pub fn reads(mut self, bytes: u64) -> Self {
+        self.cost.bytes_read = bytes;
+        self
+    }
+
+    /// Sets the bytes written to global memory.
+    pub fn writes(mut self, bytes: u64) -> Self {
+        self.cost.bytes_written = bytes;
+        self
+    }
+
+    /// Derates achieved bandwidth for this kernel (0 < derate ≤ 1).
+    pub fn bw_derate(mut self, derate: f64) -> Self {
+        assert!(derate > 0.0 && derate <= 1.0, "bw_derate must be in (0, 1]");
+        self.bw_derate = derate;
+        self
+    }
+
+    /// Derates achieved FLOP throughput for this kernel (0 < derate ≤ 1).
+    pub fn flops_derate(mut self, derate: f64) -> Self {
+        assert!(
+            derate > 0.0 && derate <= 1.0,
+            "flops_derate must be in (0, 1]"
+        );
+        self.flops_derate = derate;
+        self
+    }
+
+    /// Adds fixed host-side dispatch overhead (seconds) to the modeled time.
+    pub fn host_overhead(mut self, seconds: f64) -> Self {
+        self.host_overhead = seconds;
+        self
+    }
+}
+
+/// A roofline model of a GPU: modeled kernel time is
+/// `max(flops / peak_flops, bytes / mem_bw) + launch_overhead (+ host)`.
+///
+/// Calibration constants are documented in DESIGN.md §6 and are deliberately
+/// few: an effective FLOP rate, an effective memory bandwidth, and a launch
+/// overhead. Everything else in the reproduction's performance story comes
+/// from *counted* flops/bytes/launches, not from tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Effective dense-math throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Effective memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Fixed per-launch overhead in seconds.
+    pub launch_overhead: f64,
+}
+
+impl CostModel {
+    /// NVIDIA A100 SXM roofline used throughout the reproduction:
+    /// FP16 tensor-core peak 312 TFLOP/s at a 0.55 achieved fraction
+    /// (typical cuBLAS efficiency at BERT shapes), HBM2e 1555 GB/s at a
+    /// 0.85 achieved fraction, 5 µs per kernel launch.
+    pub fn a100() -> Self {
+        Self {
+            peak_flops: 312e12 * 0.55,
+            mem_bw: 1555e9 * 0.85,
+            launch_overhead: 5e-6,
+        }
+    }
+
+    /// A unit-speed model (1 FLOP/s, 1 byte/s, zero launch cost) for tests
+    /// that want modeled time to equal raw counters.
+    pub fn unit() -> Self {
+        Self {
+            peak_flops: 1.0,
+            mem_bw: 1.0,
+            launch_overhead: 0.0,
+        }
+    }
+
+    /// Modeled execution time of one launch, in seconds.
+    pub fn kernel_time(&self, spec: &KernelSpec) -> f64 {
+        let compute = spec.cost.flops as f64 / (self.peak_flops * spec.flops_derate);
+        let memory = spec.cost.bytes() as f64 / (self.mem_bw * spec.bw_derate);
+        compute.max(memory) + self.launch_overhead + spec.host_overhead
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_takes_max_of_compute_and_memory() {
+        let m = CostModel {
+            peak_flops: 100.0,
+            mem_bw: 10.0,
+            launch_overhead: 1.0,
+        };
+        // Memory-bound: 40 bytes / 10 B/s = 4 s vs 100 flops / 100 = 1 s.
+        let spec = KernelSpec::new("k").flops(100).reads(30).writes(10);
+        assert_eq!(m.kernel_time(&spec), 4.0 + 1.0);
+        // Compute-bound case.
+        let spec = KernelSpec::new("k").flops(1000).reads(10);
+        assert_eq!(m.kernel_time(&spec), 10.0 + 1.0);
+    }
+
+    #[test]
+    fn derates_slow_the_kernel_down() {
+        let m = CostModel::unit();
+        let base = KernelSpec::new("k").reads(100);
+        let derated = KernelSpec::new("k").reads(100).bw_derate(0.5);
+        assert!(m.kernel_time(&derated) > m.kernel_time(&base));
+        assert_eq!(m.kernel_time(&derated), 200.0);
+    }
+
+    #[test]
+    fn host_overhead_is_additive() {
+        let m = CostModel::unit();
+        let spec = KernelSpec::new("k").reads(10).host_overhead(5.0);
+        assert_eq!(m.kernel_time(&spec), 15.0);
+    }
+
+    #[test]
+    fn cost_addition() {
+        let a = KernelCost {
+            flops: 1,
+            bytes_read: 2,
+            bytes_written: 3,
+        };
+        let b = KernelCost {
+            flops: 10,
+            bytes_read: 20,
+            bytes_written: 30,
+        };
+        let c = a.add(&b);
+        assert_eq!(c.flops, 11);
+        assert_eq!(c.bytes(), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "bw_derate")]
+    fn invalid_derate_panics() {
+        KernelSpec::new("k").bw_derate(0.0);
+    }
+
+    #[test]
+    fn a100_is_sane() {
+        let m = CostModel::a100();
+        // A 1 GB memory-bound kernel should take ~0.76 ms.
+        let spec = KernelSpec::new("k").reads(1 << 30);
+        let t = m.kernel_time(&spec);
+        assert!(t > 5e-4 && t < 2e-3, "modeled {t}");
+    }
+}

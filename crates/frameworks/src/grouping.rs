@@ -1,0 +1,195 @@
+//! TurboTransformer's sort-and-group batch scheduler.
+//!
+//! TurboTransformer handles variable-length inputs by "grouping sequences
+//! with similar lengths before launching batched kernels to minimize the
+//! padding overhead" (§I) — a run-time scheduler that sorts the batch and
+//! splits it into sub-batches whose internal padding waste is bounded.
+//! The paper's criticism, which the simulation reproduces: "this proactive
+//! grouping approach still introduces irremovable padding overhead", and
+//! per-group execution "launches excessive kernels at the run-time".
+
+/// One sub-batch: original batch indices plus the padded length the group
+/// runs at (the group's maximum sequence length).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Indices into the original batch, longest first.
+    pub members: Vec<usize>,
+    /// The group's padded length.
+    pub padded_len: usize,
+}
+
+/// Splits a batch into groups of similar lengths: sort descending, then
+/// greedily extend the current group while `len ≥ ratio × group_max`.
+/// Zero-length sequences are grouped together at padded length 1 (they
+/// produce no valid tokens either way).
+pub fn group_by_length(seq_lens: &[usize], ratio: f64) -> Vec<Group> {
+    assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
+    let mut order: Vec<usize> = (0..seq_lens.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(seq_lens[i]));
+    let mut groups: Vec<Group> = Vec::new();
+    for i in order {
+        let len = seq_lens[i];
+        match groups.last_mut() {
+            Some(g) if len as f64 >= ratio * g.padded_len as f64 => g.members.push(i),
+            _ => groups.push(Group {
+                members: vec![i],
+                padded_len: len.max(1),
+            }),
+        }
+    }
+    groups
+}
+
+/// Dynamic-programming optimal grouping: splits the *sorted* batch into
+/// contiguous groups minimizing total padded slots (TurboTransformer's
+/// run-time batch scheduler is DP-based; the greedy [`group_by_length`] is
+/// its cheap approximation). `max_group` bounds group size (batched-GEMM
+/// limits); the returned groups cover every sequence exactly once.
+///
+/// Complexity `O(n · max_group)` — n is a batch size, so this is trivial.
+pub fn group_optimal(seq_lens: &[usize], max_group: usize) -> Vec<Group> {
+    assert!(max_group > 0, "max_group must be positive");
+    let n = seq_lens.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(seq_lens[i]));
+    // In descending order, a group's padded length is its first member's.
+    // cost[i] = minimal padded slots to cover order[i..].
+    let mut cost = vec![u64::MAX; n + 1];
+    let mut cut = vec![0usize; n]; // group size chosen at i
+    cost[n] = 0;
+    for i in (0..n).rev() {
+        let lead = seq_lens[order[i]].max(1) as u64;
+        for g in 1..=max_group.min(n - i) {
+            let c = cost[i + g].saturating_add(lead * g as u64);
+            if c < cost[i] {
+                cost[i] = c;
+                cut[i] = g;
+            }
+        }
+    }
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let g = cut[i];
+        groups.push(Group {
+            members: order[i..i + g].to_vec(),
+            padded_len: seq_lens[order[i]].max(1),
+        });
+        i += g;
+    }
+    groups
+}
+
+/// Padding waste of a grouping: padded slots divided by valid tokens
+/// (1.0 = no waste). Returns 1.0 for an empty batch.
+pub fn padding_factor(seq_lens: &[usize], groups: &[Group]) -> f64 {
+    let valid: usize = seq_lens.iter().sum();
+    if valid == 0 {
+        return 1.0;
+    }
+    let padded: usize = groups.iter().map(|g| g.members.len() * g.padded_len).sum();
+    padded as f64 / valid as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_lengths_one_group() {
+        let groups = group_by_length(&[128; 8], 0.7);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].padded_len, 128);
+        assert_eq!(groups[0].members.len(), 8);
+    }
+
+    #[test]
+    fn disparate_lengths_split() {
+        // 100 and 30: 30 < 0.7*100, separate groups.
+        let groups = group_by_length(&[100, 30], 0.7);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].padded_len, 100);
+        assert_eq!(groups[1].padded_len, 30);
+    }
+
+    #[test]
+    fn groups_cover_every_sequence_once() {
+        let lens = [512, 300, 290, 210, 100, 95, 5, 512];
+        let groups = group_by_length(&lens, 0.7);
+        let mut seen: Vec<usize> = groups.iter().flat_map(|g| g.members.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..lens.len()).collect::<Vec<_>>());
+        // Every member fits its group's padded length.
+        for g in &groups {
+            for &i in &g.members {
+                assert!(lens[i] <= g.padded_len);
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_reduces_padding_vs_single_batch() {
+        let lens = [512, 500, 120, 110, 100, 90];
+        let groups = group_by_length(&lens, 0.7);
+        let grouped = padding_factor(&lens, &groups);
+        let single = (lens.len() * 512) as f64 / lens.iter().sum::<usize>() as f64;
+        assert!(grouped < single);
+        // But it cannot reach 1.0 (the "irremovable" overhead).
+        assert!(grouped > 1.0);
+    }
+
+    #[test]
+    fn optimal_never_wastes_more_than_greedy() {
+        use bt_tensor::rng::Xoshiro256StarStar;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        for trial in 0..50 {
+            let n = 1 + (trial % 16);
+            let lens: Vec<usize> = (0..n).map(|_| 1 + rng.below(512) as usize).collect();
+            let greedy = group_by_length(&lens, 0.7);
+            let optimal = group_optimal(&lens, lens.len());
+            let wg = padding_factor(&lens, &greedy);
+            let wo = padding_factor(&lens, &optimal);
+            assert!(wo <= wg + 1e-12, "trial {trial}: optimal {wo} > greedy {wg}");
+            // Coverage check.
+            let mut seen: Vec<usize> = optimal.iter().flat_map(|g| g.members.clone()).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..lens.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn optimal_respects_max_group() {
+        let lens = [100usize; 10];
+        let groups = group_optimal(&lens, 3);
+        assert!(groups.iter().all(|g| g.members.len() <= 3));
+        let total: usize = groups.iter().map(|g| g.members.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn optimal_splits_disparate_lengths() {
+        // One long + many short: DP isolates the long one.
+        let lens = [1000, 10, 10, 10, 10];
+        let groups = group_optimal(&lens, 5);
+        assert_eq!(groups[0].members.len(), 1);
+        assert_eq!(groups[0].padded_len, 1000);
+        assert!(padding_factor(&lens, &groups) < 1.01);
+    }
+
+    #[test]
+    fn zero_lengths_do_not_panic() {
+        let groups = group_by_length(&[0, 0, 4], 0.7);
+        assert!(groups.iter().all(|g| g.padded_len >= 1));
+        let total: usize = groups.iter().map(|g| g.members.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert!(group_by_length(&[], 0.7).is_empty());
+        assert_eq!(padding_factor(&[], &[]), 1.0);
+    }
+}

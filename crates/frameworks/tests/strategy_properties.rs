@@ -1,0 +1,53 @@
+//! Property test: every framework strategy computes the same function on
+//! random variable-length batches — they may differ only in cost.
+
+use bt_core::config::BertConfig;
+use bt_core::encoder::{BertModel, OptLevel};
+use bt_device::{CostModel, Device};
+use bt_frameworks::{FrameworkKind, SimFramework};
+use bt_tensor::Tensor;
+use bt_varlen::BatchMask;
+use proptest::prelude::*;
+
+fn zeroed(mask: &BatchMask, hidden: usize, seed: u64) -> Tensor {
+    let mut t = Tensor::randn([mask.batch(), mask.max_seq_len(), hidden], seed);
+    for (b, &len) in mask.seq_lens().iter().enumerate() {
+        for s in len..mask.max_seq_len() {
+            for h in 0..hidden {
+                t.set(&[b, s, h], 0.0).unwrap();
+            }
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn prop_frameworks_agree_on_random_masks(
+        lens in proptest::collection::vec(1usize..14, 1..5),
+        seed in 0u64..1000,
+    ) {
+        let config = BertConfig::tiny();
+        let model = BertModel::new_random(config, 1, 42);
+        let max = lens.iter().copied().max().unwrap();
+        let mask = BatchMask::from_lens(lens, max).unwrap();
+        let input = zeroed(&mask, config.hidden(), seed);
+        let dev = Device::with_model(CostModel::unit());
+        let reference = model.forward(&dev, &input, &mask, OptLevel::Baseline).unwrap();
+        for kind in FrameworkKind::all() {
+            let fw = SimFramework::new(kind, model.clone());
+            let out = fw.forward(&dev, &input, &mask).unwrap();
+            for (b, &len) in mask.seq_lens().iter().enumerate() {
+                for s in 0..len {
+                    for h in 0..config.hidden() {
+                        let a = reference.at(&[b, s, h]).unwrap();
+                        let c = out.at(&[b, s, h]).unwrap();
+                        prop_assert!((a - c).abs() < 5e-3, "{}: ({b},{s},{h})", kind.name());
+                    }
+                }
+            }
+        }
+    }
+}

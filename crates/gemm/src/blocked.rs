@@ -1,0 +1,303 @@
+//! Blocked, packed, rayon-parallel SGEMM with a fused-epilogue entry point.
+//!
+//! The layout mirrors a classic GotoBLAS/cuBLAS decomposition adapted to CPU
+//! threads standing in for threadblocks:
+//!
+//! * operands are canonicalized to row-major `A (m×k)` / `B (k×n)` panels
+//!   (a transposed operand is packed once, like a GPU kernel's staging pass);
+//! * `C` is split into row panels, one rayon task per panel (the
+//!   "threadblock" grid);
+//! * each panel accumulates in a thread-local buffer over `KC`-wide K blocks
+//!   (the "registers + shared memory" level), and the optional epilogue is
+//!   applied while the accumulator is still hot — which is precisely the
+//!   fusion point the paper uses to hide add-bias + GELU inside the GEMM
+//!   (§III.C.2).
+
+use rayon::prelude::*;
+use std::borrow::Cow;
+
+/// K-dimension block size (elements) for the accumulation loop.
+const KC: usize = 256;
+/// Rows of `C` per parallel task.
+const MR: usize = 32;
+
+/// GEMM configuration: operand transposes and scaling factors for
+/// `C = alpha * op(A)·op(B) + beta * C`.
+#[derive(Debug, Clone, Copy)]
+pub struct GemmSpec {
+    /// Consume `A` transposed (`A` stored `k×m`).
+    pub transa: bool,
+    /// Consume `B` transposed (`B` stored `n×k`).
+    pub transb: bool,
+    /// Scale on the product.
+    pub alpha: f32,
+    /// Scale on the existing `C` contents.
+    pub beta: f32,
+}
+
+impl GemmSpec {
+    /// No transposes, `alpha = 1`, `beta = 0`.
+    pub fn nn() -> Self {
+        Self {
+            transa: false,
+            transb: false,
+            alpha: 1.0,
+            beta: 0.0,
+        }
+    }
+
+    /// `B` transposed (the `Q·Kᵀ` shape), `alpha = 1`, `beta = 0`.
+    pub fn nt() -> Self {
+        Self {
+            transb: true,
+            ..Self::nn()
+        }
+    }
+
+    /// Sets `alpha`.
+    pub fn alpha(mut self, alpha: f32) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets `beta`.
+    pub fn beta(mut self, beta: f32) -> Self {
+        self.beta = beta;
+        self
+    }
+}
+
+/// Packs `src` (stored `cols×rows`, i.e. the transpose of the wanted matrix)
+/// into a `rows×cols` row-major buffer.
+fn pack_transposed(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    // src[(c, r)] = src[c * rows + r]  ->  out[r * cols + c]
+    for c in 0..cols {
+        let col = &src[c * rows..(c + 1) * rows];
+        for (r, &v) in col.iter().enumerate() {
+            out[r * cols + c] = v;
+        }
+    }
+    out
+}
+
+/// `C = alpha * op(A)·op(B) + beta * C`, row-major, parallel.
+///
+/// # Panics
+/// Panics if a slice is shorter than its declared shape.
+pub fn sgemm(spec: GemmSpec, m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    sgemm_inner(spec, m, n, k, a, b, c, None)
+}
+
+/// [`sgemm`] with a fused epilogue: each output element `x` at column `j`
+/// is stored as `epilogue(j, x)` while still in the accumulator — the
+/// register-level reuse of the paper's CUTLASS epilogue fusion.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_epilogue(
+    spec: GemmSpec,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epilogue: &(dyn Fn(usize, f32) -> f32 + Sync),
+) {
+    sgemm_inner(spec, m, n, k, a, b, c, Some(epilogue))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sgemm_inner(
+    spec: GemmSpec,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epilogue: Option<&(dyn Fn(usize, f32) -> f32 + Sync)>,
+) {
+    assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // Canonicalize to A: m×k, B: k×n row-major (pack transposed operands).
+    let a_pack: Cow<'_, [f32]> = if spec.transa {
+        Cow::Owned(pack_transposed(&a[..m * k], m, k))
+    } else {
+        Cow::Borrowed(&a[..m * k])
+    };
+    let b_pack: Cow<'_, [f32]> = if spec.transb {
+        Cow::Owned(pack_transposed(&b[..k * n], k, n))
+    } else {
+        Cow::Borrowed(&b[..k * n])
+    };
+    let a_pack = &*a_pack;
+    let b_pack = &*b_pack;
+    let (alpha, beta) = (spec.alpha, spec.beta);
+
+    c[..m * n]
+        .par_chunks_mut(MR * n)
+        .enumerate()
+        .for_each(|(chunk_idx, c_panel)| {
+            let row0 = chunk_idx * MR;
+            let rows = c_panel.len() / n;
+            // Thread-local accumulator panel (the "register tile").
+            let mut acc = vec![0.0f32; rows * n];
+            let mut kb = 0;
+            while kb < k {
+                let kc = KC.min(k - kb);
+                for i in 0..rows {
+                    let a_row = &a_pack[(row0 + i) * k + kb..(row0 + i) * k + kb + kc];
+                    let acc_row = &mut acc[i * n..(i + 1) * n];
+                    // No zero-skipping: padded tokens must cost what they
+                    // cost, or the padded-vs-packed comparison would lie.
+                    for (p, &aik) in a_row.iter().enumerate() {
+                        let b_row = &b_pack[(kb + p) * n..(kb + p) * n + n];
+                        for (cv, &bv) in acc_row.iter_mut().zip(b_row) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+                kb += kc;
+            }
+            // Store with alpha/beta blend and the optional fused epilogue.
+            for i in 0..rows {
+                let acc_row = &acc[i * n..(i + 1) * n];
+                let c_row = &mut c_panel[i * n..(i + 1) * n];
+                match epilogue {
+                    None => {
+                        if beta == 0.0 {
+                            for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                                *cv = alpha * av;
+                            }
+                        } else {
+                            for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                                *cv = alpha * av + beta * *cv;
+                            }
+                        }
+                    }
+                    Some(epi) => {
+                        for (j, (cv, &av)) in c_row.iter_mut().zip(acc_row).enumerate() {
+                            let x = alpha * av + beta * *cv;
+                            *cv = epi(j, x);
+                        }
+                    }
+                }
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::gemm_ref;
+    use bt_tensor::compare::assert_close;
+    use bt_tensor::rng::Xoshiro256StarStar;
+
+    fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+    }
+
+    fn check_against_ref(spec: GemmSpec, m: usize, n: usize, k: usize) {
+        let a = rand_vec(m * k, 1);
+        let b = rand_vec(k * n, 2);
+        let mut c1 = rand_vec(m * n, 3);
+        let mut c2 = c1.clone();
+        sgemm(spec, m, n, k, &a, &b, &mut c1);
+        gemm_ref(spec.transa, spec.transb, m, n, k, spec.alpha, &a, &b, spec.beta, &mut c2);
+        assert_close(&c1, &c2, 1e-4 * k as f32);
+    }
+
+    #[test]
+    fn matches_reference_various_shapes() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (32, 32, 32),
+            (33, 65, 127),
+            (64, 256, 64),
+            (100, 30, 300),
+        ] {
+            check_against_ref(GemmSpec::nn(), m, n, k);
+        }
+    }
+
+    #[test]
+    fn matches_reference_transposed() {
+        check_against_ref(GemmSpec::nt(), 33, 47, 65);
+        check_against_ref(
+            GemmSpec {
+                transa: true,
+                transb: false,
+                alpha: 1.0,
+                beta: 0.0,
+            },
+            17,
+            29,
+            31,
+        );
+        check_against_ref(
+            GemmSpec {
+                transa: true,
+                transb: true,
+                alpha: 0.5,
+                beta: 0.25,
+            },
+            19,
+            23,
+            40,
+        );
+    }
+
+    #[test]
+    fn alpha_beta_respected() {
+        check_against_ref(GemmSpec::nn().alpha(2.5).beta(-0.5), 40, 40, 40);
+    }
+
+    #[test]
+    fn k_zero_scales_c_by_beta() {
+        let mut c = vec![2.0f32; 4];
+        sgemm(GemmSpec::nn().beta(0.5), 2, 2, 0, &[], &[], &mut c);
+        assert_eq!(c, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn empty_output_is_noop() {
+        let mut c: Vec<f32> = vec![];
+        sgemm(GemmSpec::nn(), 0, 5, 3, &[0.0; 0], &[0.0; 15], &mut c);
+        sgemm(GemmSpec::nn(), 5, 0, 3, &[0.0; 15], &[], &mut c);
+    }
+
+    #[test]
+    fn epilogue_applied_per_column() {
+        let m = 7;
+        let n = 9;
+        let k = 11;
+        let a = rand_vec(m * k, 4);
+        let b = rand_vec(k * n, 5);
+        let bias: Vec<f32> = (0..n).map(|j| j as f32).collect();
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        sgemm_epilogue(GemmSpec::nn(), m, n, k, &a, &b, &mut c1, &|j, x| {
+            (x + bias[j]).max(0.0)
+        });
+        gemm_ref(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut c2);
+        for i in 0..m {
+            for j in 0..n {
+                let expect = (c2[i * n + j] + j as f32).max(0.0);
+                assert!((c1[i * n + j] - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn large_parallel_shape_matches() {
+        // Exercises multiple row panels and K blocks.
+        check_against_ref(GemmSpec::nn(), 200, 70, 600);
+    }
+}

@@ -1,0 +1,56 @@
+//! # bt-gemm — GEMM substrate (the cuBLAS/CUTLASS substitute)
+//!
+//! The paper leans on three vendor GEMM capabilities:
+//!
+//! 1. **Plain / batched GEMM** (cuBLAS) for the four projection/FFN GEMMs and
+//!    the baseline attention path ([`sgemm`], [`batched`]).
+//! 2. **Fused epilogues** (CUTLASS): element-wise transforms applied while
+//!    the result tile is still in registers — add-bias + GELU (§III.C.2) and
+//!    the softmax partial reduction of fused MHA (§III.E.2, Fig. 8).
+//!    [`sgemm_epilogue`] and the grouped-GEMM epilogue hooks reproduce these
+//!    fusion points: the transform runs on the output tile *before* it is
+//!    stored, so the unfused variant's extra global-memory round trip never
+//!    happens.
+//! 3. **Grouped GEMM** (CUTLASS 2.10, which ByteTransformer itself extended):
+//!    many sub-GEMMs of *arbitrary* shapes walked tile-by-tile by a built-in
+//!    scheduler. [`grouped`] implements the round-robin problem visitor, the
+//!    paper's **warp-prefetch scheduler optimization** (Fig. 7: one scheduler
+//!    interaction fetches 32 tile assignments), and the **mainloop fusion**
+//!    hook of Algorithm III.2 (an element-wise transform applied to A
+//!    fragments as they are loaded, used to fold softmax normalization into
+//!    the second attention GEMM).
+//!
+//! All operands are row-major `f32` slices. Matrix `B` may be consumed
+//! transposed (`transb`), which is how `Q·Kᵀ` is expressed. Parallelism maps
+//! CUDA threadblocks onto rayon tasks: plain GEMM parallelizes over row
+//! panels of `C`; grouped GEMM spawns a fixed number of virtual CTAs that
+//! pull tiles from the scheduler exactly as Fig. 5 describes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batched;
+mod blocked;
+pub mod grouped;
+mod reference;
+
+pub use blocked::{sgemm, sgemm_epilogue, GemmSpec};
+pub use reference::gemm_ref;
+
+use bt_device::KernelSpec;
+
+/// Builds the standard [`KernelSpec`] cost for an `m×n×k` GEMM with
+/// `elem_bytes`-wide storage: `2mnk` FLOPs, `(mk + kn)` elements read,
+/// `mn` elements written.
+pub fn gemm_kernel_spec(
+    name: impl Into<String>,
+    m: usize,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+) -> KernelSpec {
+    KernelSpec::new(name)
+        .flops(2 * (m as u64) * (n as u64) * (k as u64))
+        .reads(((m * k + k * n) * elem_bytes) as u64)
+        .writes((m * n * elem_bytes) as u64)
+}

@@ -1,0 +1,152 @@
+//! Property-based tests: every tuned GEMM path agrees with the naive
+//! reference on arbitrary shapes, transposes and scaling factors.
+
+use bt_gemm::batched::{batched_sgemm, BatchedArgs};
+use bt_gemm::grouped::{
+    grouped_sgemm, grouped_sgemm_strided, GroupedConfig, GroupedProblem, NoEpilogue, NoTransform,
+    Scheduler, StridedOutput,
+};
+use bt_gemm::{gemm_ref, sgemm, sgemm_epilogue, GemmSpec};
+use bt_tensor::compare::max_abs_diff;
+use bt_tensor::rng::Xoshiro256StarStar;
+use proptest::prelude::*;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_sgemm_matches_reference(
+        m in 1usize..48,
+        n in 1usize..48,
+        k in 1usize..96,
+        transa: bool,
+        transb: bool,
+        alpha in -2.0f32..2.0,
+        beta in -1.0f32..1.0,
+        seed in 0u64..1000,
+    ) {
+        let a = rand_vec(m * k, seed);
+        let b = rand_vec(k * n, seed + 1);
+        let mut c1 = rand_vec(m * n, seed + 2);
+        let mut c2 = c1.clone();
+        let spec = GemmSpec { transa, transb, alpha, beta };
+        sgemm(spec, m, n, k, &a, &b, &mut c1);
+        gemm_ref(transa, transb, m, n, k, alpha, &a, &b, beta, &mut c2);
+        prop_assert!(max_abs_diff(&c1, &c2) < 1e-3, "diff {}", max_abs_diff(&c1, &c2));
+    }
+
+    #[test]
+    fn prop_epilogue_composes_with_plain_gemm(
+        m in 1usize..24,
+        n in 1usize..24,
+        k in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let a = rand_vec(m * k, seed);
+        let b = rand_vec(k * n, seed + 1);
+        let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.1 - 0.5).collect();
+        let mut fused = vec![0.0f32; m * n];
+        sgemm_epilogue(GemmSpec::nn(), m, n, k, &a, &b, &mut fused, &|j, x| (x + bias[j]).tanh());
+        let mut plain = vec![0.0f32; m * n];
+        sgemm(GemmSpec::nn(), m, n, k, &a, &b, &mut plain);
+        for i in 0..m {
+            for j in 0..n {
+                let expect = (plain[i * n + j] + bias[j]).tanh();
+                prop_assert!((fused[i * n + j] - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_batched_matches_per_problem_gemm(
+        batch in 1usize..6,
+        m in 1usize..16,
+        n in 1usize..16,
+        k in 1usize..24,
+        transb: bool,
+        seed in 0u64..1000,
+    ) {
+        let args = BatchedArgs::dense(batch, m, n, k);
+        let a = rand_vec(batch * m * k, seed);
+        let b = rand_vec(batch * k * n, seed + 1);
+        let mut c = vec![0.0f32; batch * m * n];
+        let spec = GemmSpec { transa: false, transb, alpha: 1.0, beta: 0.0 };
+        batched_sgemm(spec, args, &a, &b, &mut c);
+        for i in 0..batch {
+            let mut expect = vec![0.0f32; m * n];
+            gemm_ref(false, transb, m, n, k, 1.0, &a[i * m * k..], &b[i * k * n..], 0.0, &mut expect);
+            prop_assert!(max_abs_diff(&c[i * m * n..(i + 1) * m * n], &expect) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn prop_grouped_matches_reference_any_shapes(
+        shapes in proptest::collection::vec((1usize..40, 1usize..40, 1usize..32), 1..8),
+        per_tile: bool,
+        seed in 0u64..1000,
+    ) {
+        let a_bufs: Vec<Vec<f32>> = shapes.iter().enumerate()
+            .map(|(i, &(m, _, k))| rand_vec(m * k, seed + i as u64 * 2)).collect();
+        let b_bufs: Vec<Vec<f32>> = shapes.iter().enumerate()
+            .map(|(i, &(_, n, k))| rand_vec(k * n, seed + i as u64 * 2 + 1)).collect();
+        let problems: Vec<GroupedProblem<'_>> = shapes.iter().enumerate()
+            .map(|(i, &(m, n, k))| GroupedProblem {
+                m, n, k, transb: false, alpha: 1.0, a: &a_bufs[i], b: &b_bufs[i],
+            }).collect();
+        let mut cs: Vec<Vec<f32>> = shapes.iter().map(|&(m, n, _)| vec![0.0; m * n]).collect();
+        let config = GroupedConfig {
+            scheduler: if per_tile { Scheduler::PerTile } else { Scheduler::WarpPrefetch },
+            num_ctas: 7, // deliberately odd to stress the round-robin walk
+            ..Default::default()
+        };
+        grouped_sgemm(
+            &problems,
+            cs.iter_mut().map(|c| c.as_mut_slice()).collect(),
+            config,
+            &NoEpilogue,
+            &NoTransform,
+        );
+        for (i, &(m, n, k)) in shapes.iter().enumerate() {
+            let mut expect = vec![0.0f32; m * n];
+            gemm_ref(false, false, m, n, k, 1.0, &a_bufs[i], &b_bufs[i], 0.0, &mut expect);
+            prop_assert!(max_abs_diff(&cs[i], &expect) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn prop_strided_grouped_matches_contiguous(
+        m in 1usize..64,
+        heads in 1usize..4,
+        head in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        // heads problems of shape m×head writing side by side into one
+        // [m, heads*head] buffer — the fused-MHA store pattern.
+        let hidden = heads * head;
+        let k = 8;
+        let a_bufs: Vec<Vec<f32>> = (0..heads).map(|h| rand_vec(m * k, seed + h as u64)).collect();
+        let b_bufs: Vec<Vec<f32>> = (0..heads).map(|h| rand_vec(k * head, seed + 100 + h as u64)).collect();
+        let problems: Vec<GroupedProblem<'_>> = (0..heads).map(|h| GroupedProblem {
+            m, n: head, k, transb: false, alpha: 1.0, a: &a_bufs[h], b: &b_bufs[h],
+        }).collect();
+        let placements: Vec<StridedOutput> = (0..heads).map(|h| StridedOutput {
+            offset: h * head, ld: hidden,
+        }).collect();
+        let mut out = vec![0.0f32; m * hidden];
+        grouped_sgemm_strided(&problems, &mut out, &placements, GroupedConfig::default(), &NoEpilogue, &NoTransform);
+        for h in 0..heads {
+            let mut expect = vec![0.0f32; m * head];
+            gemm_ref(false, false, m, head, k, 1.0, &a_bufs[h], &b_bufs[h], 0.0, &mut expect);
+            for i in 0..m {
+                for j in 0..head {
+                    prop_assert!((out[i * hidden + h * head + j] - expect[i * head + j]).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

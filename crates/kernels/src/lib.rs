@@ -1,0 +1,36 @@
+//! # bt-kernels — memory-bound Transformer kernels (paper §III.C)
+//!
+//! Profiling a single BERT layer (paper Fig. 3) shows that beyond the GEMMs,
+//! the remaining time goes to *memory-bound* operations: add-bias +
+//! layernorm, add-bias + GELU, softmax, and the layout shuffles around
+//! attention. The paper attacks each by **kernel fusion**: do the work while
+//! the data is in registers instead of taking another round trip through
+//! global memory.
+//!
+//! Every operation here therefore exists in two forms:
+//!
+//! * an **unfused** pipeline (separate launches, intermediate written to and
+//!   re-read from "global memory") — what PyTorch/TensorFlow do and what the
+//!   paper's baselines measure; and
+//! * a **fused** kernel (one launch, one pass) — the ByteTransformer
+//!   version. The fused form both *does* less memory traffic on the real CPU
+//!   and *declares* less traffic to the cost model, so the Fig. 9/10 shapes
+//!   emerge from structure, not tuning.
+//!
+//! Module map:
+//! * [`activation`] — GELU (tanh and erf-exact forms) and add-bias +
+//!   activation pipelines (Fig. 10).
+//! * [`layernorm`] — add-bias + residual + LayerNorm, fused vs unfused
+//!   (Fig. 9), plus the FP16 SIMD2 variant (§IV.A).
+//! * [`softmax`] — row softmax, padded-with-masking and zero-padding forms
+//!   (the `cuBLAS + zero padding` variant of Figs. 11–12).
+//! * [`layout`] — head split/merge transposes and the pack/unpack-fused
+//!   transposes the zero-padding algorithm needs around batched MHA.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod layernorm;
+pub mod layout;
+pub mod softmax;

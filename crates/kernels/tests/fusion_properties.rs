@@ -1,0 +1,164 @@
+//! Property-based tests: fused kernels are observationally identical to
+//! their unfused pipelines, and the normalization/softmax invariants hold on
+//! arbitrary shapes.
+
+use bt_device::{CostModel, Device};
+use bt_kernels::activation::{add_bias_gelu_fused, add_bias_gelu_unfused};
+use bt_kernels::layernorm::{
+    add_bias_residual_layernorm_fused, add_bias_residual_layernorm_unfused,
+};
+use bt_kernels::layout::{add_bias_split_qkv_packed, add_bias_unpack_split_qkv, merge_heads_pack};
+use bt_kernels::softmax::softmax_row;
+use bt_tensor::compare::max_abs_diff;
+use bt_tensor::rng::Xoshiro256StarStar;
+use bt_tensor::Tensor;
+use bt_varlen::{BatchMask, PackingIndex};
+use proptest::prelude::*;
+
+fn device() -> Device {
+    Device::with_model(CostModel::unit())
+}
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..n).map(|_| rng.uniform(-2.0, 2.0)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_layernorm_fused_equals_unfused(
+        rows in 1usize..32,
+        hidden in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let dev = device();
+        let x = rand_vec(rows * hidden, seed);
+        let residual = rand_vec(rows * hidden, seed + 1);
+        let bias = rand_vec(hidden, seed + 2);
+        let gamma = rand_vec(hidden, seed + 3);
+        let beta = rand_vec(hidden, seed + 4);
+        let mut a = x.clone();
+        add_bias_residual_layernorm_unfused(&dev, "ln", &mut a, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        let mut b = x;
+        add_bias_residual_layernorm_fused(&dev, "ln", &mut b, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        prop_assert!(max_abs_diff(&a, &b) < 1e-4);
+    }
+
+    #[test]
+    fn prop_layernorm_output_statistics(
+        rows in 1usize..16,
+        hidden in 4usize..96,
+        seed in 0u64..1000,
+    ) {
+        let dev = device();
+        let mut x = rand_vec(rows * hidden, seed);
+        let residual = vec![0.0f32; rows * hidden];
+        let bias = vec![0.0f32; hidden];
+        let gamma = vec![1.0f32; hidden];
+        let beta = vec![0.0f32; hidden];
+        add_bias_residual_layernorm_fused(&dev, "ln", &mut x, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        for row in x.chunks(hidden) {
+            let mean: f32 = row.iter().sum::<f32>() / hidden as f32;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / hidden as f32;
+            prop_assert!(mean.abs() < 1e-3, "mean {mean}");
+            // Degenerate constant rows normalize to ~0 variance; otherwise 1.
+            prop_assert!(var < 1.2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn prop_bias_gelu_fused_equals_unfused(
+        rows in 1usize..24,
+        cols in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let dev = device();
+        let base = rand_vec(rows * cols, seed);
+        let bias = rand_vec(cols, seed + 1);
+        let mut a = base.clone();
+        add_bias_gelu_unfused(&dev, "ba", &mut a, rows, cols, &bias);
+        let mut b = base;
+        add_bias_gelu_fused(&dev, "ba", &mut b, rows, cols, &bias);
+        prop_assert!(max_abs_diff(&a, &b) < 1e-5);
+    }
+
+    #[test]
+    fn prop_softmax_row_is_probability_vector(
+        row in proptest::collection::vec(-50.0f32..50.0, 1..128)
+    ) {
+        let mut r = row;
+        softmax_row(&mut r);
+        let sum: f32 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        prop_assert!(r.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+    }
+
+    #[test]
+    fn prop_softmax_preserves_order(
+        row in proptest::collection::vec(-10.0f32..10.0, 2..32)
+    ) {
+        let original = row.clone();
+        let mut r = row;
+        softmax_row(&mut r);
+        for i in 0..original.len() {
+            for j in 0..original.len() {
+                if original[i] < original[j] {
+                    prop_assert!(r[i] <= r[j] + 1e-7);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_unpack_split_then_merge_pack_is_identity(
+        lens in proptest::collection::vec(0usize..12, 1..6),
+        heads in 1usize..4,
+        head in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let dev = device();
+        let max = lens.iter().copied().max().unwrap_or(0).max(1);
+        let idx = PackingIndex::from_mask(&BatchMask::from_lens(lens, max).unwrap());
+        let hidden = heads * head;
+        let valid = idx.valid_words();
+        // A pure-Q QKV (K = V = 0): unpack+split then merge+pack must return Q.
+        let q = rand_vec(valid * hidden, seed);
+        let mut qkv = vec![0.0f32; valid * 3 * hidden];
+        for w in 0..valid {
+            qkv[w * 3 * hidden..w * 3 * hidden + hidden].copy_from_slice(&q[w * hidden..(w + 1) * hidden]);
+        }
+        let qkv = Tensor::from_vec(qkv, [valid, 3 * hidden]).unwrap();
+        let zero_bias = vec![0.0f32; 3 * hidden];
+        let (qp, _, _) = add_bias_unpack_split_qkv(&dev, &qkv, &zero_bias, &idx, heads);
+        let back = merge_heads_pack(&dev, &qp, &idx);
+        prop_assert!(max_abs_diff(back.as_slice(), &q) == 0.0);
+    }
+
+    #[test]
+    fn prop_packed_split_is_layout_only(
+        valid in 1usize..20,
+        heads in 1usize..4,
+        head in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // With zero bias and unit scale, every input value must appear at
+        // its head-plane position, unchanged.
+        let dev = device();
+        let hidden = heads * head;
+        let qkv = Tensor::from_vec(rand_vec(valid * 3 * hidden, seed), [valid, 3 * hidden]).unwrap();
+        let zero_bias = vec![0.0f32; 3 * hidden];
+        let (q, k, v) = add_bias_split_qkv_packed(&dev, &qkv, &zero_bias, heads, 1.0);
+        for w in 0..valid {
+            for h in 0..heads {
+                for d in 0..head {
+                    let c = h * head + d;
+                    prop_assert_eq!(q.at(&[h, w, d]).unwrap(), qkv.at(&[w, c]).unwrap());
+                    prop_assert_eq!(k.at(&[h, w, d]).unwrap(), qkv.at(&[w, hidden + c]).unwrap());
+                    prop_assert_eq!(v.at(&[h, w, d]).unwrap(), qkv.at(&[w, 2 * hidden + c]).unwrap());
+                }
+            }
+        }
+    }
+}

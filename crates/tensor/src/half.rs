@@ -1,0 +1,308 @@
+//! Software IEEE 754 binary16 (`f16`) and the paired `half2` type.
+//!
+//! The paper's kernels store activations in FP16 and use CUDA's `__half2`
+//! SIMD2 type to double per-thread throughput of memory-bound kernels
+//! (§IV.A: "We leverage FP16 SIMD2 to increase the computational throughput
+//! of layernorm"). This module provides bit-exact software equivalents:
+//!
+//! * [`struct@f16`] — 16-bit storage with round-to-nearest-even `f32 → f16`
+//!   conversion (the conversion CUDA's `__float2half_rn` performs) and exact
+//!   `f16 → f32` widening.
+//! * [`half2`] — a pair of `f16` lanes with lane-wise arithmetic, mirroring
+//!   `__half2` / `__hadd2`-style intrinsics.
+//!
+//! FP16 arithmetic in the real system happens in tensor cores with FP32
+//! accumulation; our kernels likewise convert to `f32`, accumulate in `f32`,
+//! and round once on store, which reproduces the numerics of the
+//! "convert–compute–round" pipeline.
+
+/// A software IEEE 754 binary16 value (1 sign, 5 exponent, 10 mantissa bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[allow(non_camel_case_types)]
+pub struct f16(pub u16);
+
+impl f16 {
+    /// Positive zero.
+    pub const ZERO: f16 = f16(0);
+    /// One.
+    pub const ONE: f16 = f16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: f16 = f16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: f16 = f16(0xFC00);
+    /// Largest finite value (65504).
+    pub const MAX: f16 = f16(0x7BFF);
+    /// Smallest positive normal value (2^-14).
+    pub const MIN_POSITIVE: f16 = f16(0x0400);
+
+    /// Converts from `f32` with round-to-nearest-even (ties to even),
+    /// matching hardware `cvt.rn.f16.f32` / `__float2half_rn`.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+            return if man != 0 {
+                f16(sign | 0x7E00)
+            } else {
+                f16(sign | 0x7C00)
+            };
+        }
+
+        // Unbiased exponent of the f32 value.
+        let unbiased = exp - 127;
+        if unbiased >= 16 {
+            // Too large for f16: overflow to infinity.
+            return f16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range for f16.
+            let half_exp = (unbiased + 15) as u32;
+            // 23 -> 10 mantissa bits: round the low 13 bits to nearest-even.
+            // A mantissa carry (rounded value = 0x400) propagates into the
+            // exponent by plain addition thanks to the IEEE bit layout.
+            let man_rounded = round_mantissa(man, 13);
+            let full = (half_exp << 10) + man_rounded;
+            if full >= 0x7C00 {
+                return f16(sign | 0x7C00);
+            }
+            return f16(sign | full as u16);
+        }
+        if unbiased >= -25 {
+            // Subnormal f16: shift the implicit-1 mantissa right.
+            let full_man = man | 0x0080_0000; // add implicit leading 1
+            let shift = (-14 - unbiased) as u32 + 13;
+            let rounded = round_mantissa_shift(full_man, shift);
+            return f16(sign | rounded as u16);
+        }
+        // Underflow to signed zero.
+        f16(sign)
+    }
+
+    /// Exact widening conversion to `f32`.
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let man = (self.0 & 0x3FF) as u32;
+        let bits = match (exp, man) {
+            (0, 0) => sign, // signed zero
+            (0, m) => {
+                // Subnormal: value = m * 2^-24. Normalize around the MSB.
+                let p = 31 - m.leading_zeros(); // MSB position, 0..=9
+                let e = 103 + p; // (p - 24) + 127
+                let m_norm = (m << (23 - p)) & 0x007F_FFFF; // drop implicit 1
+                sign | (e << 23) | m_norm
+            }
+            (0x1F, 0) => sign | 0x7F80_0000, // infinity
+            (0x1F, m) => sign | 0x7F80_0000 | (m << 13) | 0x0040_0000, // NaN (quiet)
+            (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> Self {
+        f16(bits)
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x3FF) != 0
+    }
+
+    /// True if the value is +/- infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+}
+
+/// Round a value's low `low_bits` away with round-to-nearest-even, returning
+/// the value shifted right by `low_bits`.
+fn round_mantissa(man: u32, low_bits: u32) -> u32 {
+    let half = 1u32 << (low_bits - 1);
+    let mask = (1u32 << low_bits) - 1;
+    let trunc = man >> low_bits;
+    let rem = man & mask;
+    if rem > half || (rem == half && trunc & 1 == 1) {
+        trunc + 1
+    } else {
+        trunc
+    }
+}
+
+/// Like [`round_mantissa`] but tolerates shifts that may exceed the mantissa
+/// width (used on the subnormal path).
+fn round_mantissa_shift(man: u32, shift: u32) -> u32 {
+    if shift >= 32 {
+        return 0;
+    }
+    round_mantissa(man, shift)
+}
+
+/// A pair of `f16` lanes, mirroring CUDA `__half2`.
+///
+/// The paper's memory-bound kernels process two FP16 lanes per thread step
+/// (`(__half2 *)s_query[offset] = fast_add(query, k_bias)` in Algorithm
+/// III.1). `half2` gives our kernels the same two-lane step structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[allow(non_camel_case_types)]
+pub struct half2 {
+    /// Low lane.
+    pub lo: f16,
+    /// High lane.
+    pub hi: f16,
+}
+
+impl half2 {
+    /// Builds a pair from two `f32` lanes (each rounded to nearest-even).
+    pub fn from_f32(lo: f32, hi: f32) -> Self {
+        Self {
+            lo: f16::from_f32(lo),
+            hi: f16::from_f32(hi),
+        }
+    }
+
+    /// Widens both lanes.
+    pub fn to_f32(self) -> (f32, f32) {
+        (self.lo.to_f32(), self.hi.to_f32())
+    }
+
+    /// Lane-wise addition (computed in f32, rounded on store — the
+    /// convert–compute–round pipeline of `__hadd2` with FP32 math).
+    #[allow(clippy::should_implement_trait)] // mirrors the CUDA intrinsic name
+    pub fn add(self, rhs: half2) -> half2 {
+        let (a0, a1) = self.to_f32();
+        let (b0, b1) = rhs.to_f32();
+        half2::from_f32(a0 + b0, a1 + b1)
+    }
+
+    /// Lane-wise multiplication.
+    #[allow(clippy::should_implement_trait)] // mirrors the CUDA intrinsic name
+    pub fn mul(self, rhs: half2) -> half2 {
+        let (a0, a1) = self.to_f32();
+        let (b0, b1) = rhs.to_f32();
+        half2::from_f32(a0 * b0, a1 * b1)
+    }
+}
+
+/// Converts an `f32` slice to packed `f16` bits.
+pub fn to_f16_vec(src: &[f32]) -> Vec<f16> {
+    src.iter().map(|&x| f16::from_f32(x)).collect()
+}
+
+/// Converts packed `f16` values back to `f32`.
+pub fn to_f32_vec(src: &[f16]) -> Vec<f32> {
+    src.iter().map(|h| h.to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[track_caller]
+    fn check(x: f32, bits: u16) {
+        assert_eq!(f16::from_f32(x).to_bits(), bits, "from_f32({x})");
+    }
+
+    #[test]
+    fn known_conversion_vectors() {
+        check(0.0, 0x0000);
+        check(-0.0, 0x8000);
+        check(1.0, 0x3C00);
+        check(-1.0, 0xBC00);
+        check(2.0, 0x4000);
+        check(0.5, 0x3800);
+        check(65504.0, 0x7BFF); // f16::MAX
+        check(65520.0, 0x7C00); // overflows to +inf (ties to even at max)
+        check(f32::INFINITY, 0x7C00);
+        check(f32::NEG_INFINITY, 0xFC00);
+        check(6.104e-5, 0x0400); // ~smallest normal 2^-14
+        check(5.96e-8, 0x0001); // smallest subnormal 2^-24
+        check(1e-10, 0x0000); // underflow to zero
+        #[allow(clippy::excessive_precision)] // exact f16 value, spelled in full
+        {
+            check(0.333251953125, 0x3555); // nearest f16 to 1/3
+        }
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(f16::from_f32(f32::NAN).is_nan());
+        assert!(f16::from_bits(0x7E00).to_f32().is_nan());
+    }
+
+    #[test]
+    fn roundtrip_exact_for_f16_values() {
+        // Every finite f16 bit pattern must roundtrip f16 -> f32 -> f16.
+        for bits in 0u16..=0xFFFF {
+            let h = f16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let rt = f16::from_f32(h.to_f32());
+            assert_eq!(rt.to_bits(), bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2^-11 lies exactly between 1.0 and the next f16 (1 + 2^-10);
+        // round-to-even picks 1.0 (even mantissa).
+        let tie = 1.0 + (2.0f32).powi(-11);
+        assert_eq!(f16::from_f32(tie).to_bits(), 0x3C00);
+        // 1 + 3*2^-11 ties between 1+2^-10 and 1+2^-9; even is 1+2^-9 (0x3C02).
+        let tie2 = 1.0 + 3.0 * (2.0f32).powi(-11);
+        assert_eq!(f16::from_f32(tie2).to_bits(), 0x3C02);
+    }
+
+    #[test]
+    fn conversion_error_bounded() {
+        // Relative error of a normal-range conversion is at most 2^-11.
+        let mut rng = crate::rng::Xoshiro256StarStar::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let x = rng.uniform(-1000.0, 1000.0);
+            let h = f16::from_f32(x).to_f32();
+            if x.abs() > 6.2e-5 {
+                let rel = ((h - x) / x).abs();
+                assert!(rel <= 4.9e-4, "x={x} h={h} rel={rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_on_positive_range() {
+        // Conversion must be monotone non-decreasing.
+        let mut prev = f16::from_f32(0.0).to_f32();
+        let mut x = 1e-6f32;
+        while x < 70000.0 {
+            let cur = f16::from_f32(x).to_f32();
+            assert!(cur >= prev, "x={x}");
+            prev = cur;
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn half2_lane_ops() {
+        let a = half2::from_f32(1.5, -2.0);
+        let b = half2::from_f32(0.25, 4.0);
+        assert_eq!(a.add(b).to_f32(), (1.75, 2.0));
+        assert_eq!(a.mul(b).to_f32(), (0.375, -8.0));
+    }
+
+    #[test]
+    fn vec_conversions() {
+        let xs = [0.0f32, 1.0, -2.5, 100.0];
+        let hs = to_f16_vec(&xs);
+        let back = to_f32_vec(&hs);
+        assert_eq!(back, vec![0.0, 1.0, -2.5, 100.0]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # bt-tensor — dense tensor substrate
+//!
+//! The ByteTransformer paper operates on dense row-major GPU tensors in
+//! FP16/FP32. This crate provides the equivalent host-side substrate used by
+//! every other crate in the workspace:
+//!
+//! * [`Tensor`] — an owned, contiguous, row-major `f32` tensor with a dynamic
+//!   [`Shape`]. All activations, weights and intermediate buffers in the
+//!   pipeline are `Tensor`s.
+//! * [`half::f16`] — a software IEEE 754 binary16 implementation with
+//!   round-to-nearest-even conversions plus the paired [`half::half2`]
+//!   operations mirroring CUDA's `__half2` SIMD2 type used by the paper's
+//!   FP16 kernels (§IV.A).
+//! * [`rng`] — small deterministic PRNGs (SplitMix64 / xoshiro256**) so every
+//!   experiment in the repository is reproducible bit-for-bit without
+//!   depending on external RNG version churn.
+//! * [`compare`] — numeric comparison helpers (max absolute/relative error)
+//!   used pervasively by the equivalence tests between fused and unfused
+//!   kernels.
+//!
+//! Design notes
+//! ------------
+//! The tensor is deliberately minimal: contiguous storage, no strided views,
+//! no autograd. The paper's system is an *inference* runtime; all layout
+//! transformation kernels (transpose, pack/unpack) are explicit kernels in
+//! `bt-kernels`, exactly as they are explicit CUDA kernels in the original
+//! system. Keeping layout changes explicit is what lets the cost layer in
+//! `bt-device` account for every byte of traffic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod half;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use shape::{Shape, TensorError};
+pub use tensor::Tensor;

@@ -1,0 +1,192 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every experiment in the repository must be reproducible bit-for-bit, so we
+//! ship tiny, well-known PRNGs rather than depending on the versioned stream
+//! behaviour of an external crate: [`SplitMix64`] for seeding and
+//! [`Xoshiro256StarStar`] as the workhorse generator (the same pairing used
+//! by the reference xoshiro implementation).
+
+/// SplitMix64: a tiny 64-bit generator, primarily used to expand a single
+/// `u64` seed into the 256-bit state of [`Xoshiro256StarStar`].
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** — a fast, high-quality 64-bit PRNG.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator whose 256-bit state is expanded from `seed` with
+    /// SplitMix64, per the xoshiro authors' recommendation.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for v in &mut s {
+            *v = sm.next_u64();
+        }
+        // An all-zero state is invalid for xoshiro; SplitMix64 cannot emit
+        // four consecutive zeros, but guard anyway for belt and braces.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Returns the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f32` in `[0, 1)` using the top 24 bits.
+    pub fn next_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire-style rejection-free mapping
+    /// (bias is negligible for the small `n` used in workload generation,
+    /// and acceptable because these are test workloads, not cryptography).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Standard normal sample via the Box–Muller transform.
+    pub fn normal(&mut self) -> f32 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = (self.next_f64()).max(1e-12);
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        (r * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(42);
+        let mut b = Xoshiro256StarStar::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(1);
+        let mut b = Xoshiro256StarStar::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f32();
+            assert!((0.0..1.0).contains(&x), "{x} outside [0,1)");
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range_and_hits_everything() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = r.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn range_inclusive_covers_endpoints() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(9);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2_000 {
+            let v = r.range_inclusive(5, 8);
+            assert!((5..=8).contains(&v));
+            lo_seen |= v == 5;
+            hi_seen |= v == 8;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn normal_mean_and_var_sane() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(11);
+        let n = 50_000;
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        for _ in 0..n {
+            let x = r.normal() as f64;
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        Xoshiro256StarStar::seed_from_u64(0).below(0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Tensor shapes and the crate-level error type.
+
+use std::fmt;
+
+/// A dynamically sized tensor shape (row-major).
+///
+/// The last dimension is contiguous in memory. Shapes in this workspace are
+/// small (at most 4 dimensions in practice: `[batch, heads, seq, head_size]`),
+/// so a plain `Vec<usize>` is used — shape construction never sits on a hot
+/// path.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its dimension sizes.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Self { dims: dims.into() }
+    }
+
+    /// The dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total element count (product of all dimensions; 1 for rank 0).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear (row-major) offset of a multidimensional index.
+    ///
+    /// Returns `None` when the index rank mismatches or any coordinate is out
+    /// of range.
+    pub fn offset_of(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.dims).zip(&strides) {
+            if i >= d {
+                return None;
+            }
+            off += i * s;
+        }
+        Some(off)
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+/// Errors produced by tensor construction and reshaping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the shape's element count.
+    LengthMismatch {
+        /// Element count implied by the shape.
+        expected: usize,
+        /// Length of the provided buffer.
+        got: usize,
+    },
+    /// A reshape changed the total element count.
+    ReshapeNumel {
+        /// Element count of the original shape.
+        from: usize,
+        /// Element count of the requested shape.
+        to: usize,
+    },
+    /// An index was out of range or had the wrong rank.
+    BadIndex {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The shape that rejected it.
+        shape: Vec<usize>,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "buffer of length {got} does not fill shape of {expected} elements")
+            }
+            TensorError::ReshapeNumel { from, to } => {
+                write!(f, "reshape changes element count from {from} to {to}")
+            }
+            TensorError::BadIndex { index, shape } => {
+                write!(f, "index {index:?} invalid for shape {shape:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn offset_of_checks_bounds() {
+        let s = Shape::from([2, 3]);
+        assert_eq!(s.offset_of(&[1, 2]), Some(5));
+        assert_eq!(s.offset_of(&[0, 0]), Some(0));
+        assert_eq!(s.offset_of(&[2, 0]), None);
+        assert_eq!(s.offset_of(&[0, 3]), None);
+        assert_eq!(s.offset_of(&[0]), None);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(Vec::new());
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset_of(&[]), Some(0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2x3]");
+        assert_eq!(format!("{:?}", Shape::from([2, 3])), "Shape[2, 3]");
+    }
+}

@@ -1,0 +1,248 @@
+//! The owned, contiguous, row-major `f32` tensor.
+
+use crate::rng::Xoshiro256StarStar;
+use crate::shape::{Shape, TensorError};
+use std::fmt;
+
+/// An owned, contiguous, row-major `f32` tensor.
+///
+/// This is the single activation/weight container used across the workspace.
+/// It intentionally has no strided views: layout changes are explicit kernels
+/// (as they are on the GPU), which keeps memory-traffic accounting exact.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Self {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn filled(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Self {
+            data: vec![value; shape.numel()],
+            shape,
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if data.len() != shape.numel() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                got: data.len(),
+            });
+        }
+        Ok(Self { data, shape })
+    }
+
+    /// Standard-normal random tensor with a deterministic seed.
+    pub fn randn(shape: impl Into<Shape>, seed: u64) -> Self {
+        let shape = shape.into();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let data = (0..shape.numel()).map(|_| rng.normal()).collect();
+        Self { data, shape }
+    }
+
+    /// Uniform random tensor on `[lo, hi)` with a deterministic seed.
+    pub fn rand_uniform(shape: impl Into<Shape>, lo: f32, hi: f32, seed: u64) -> Self {
+        let shape = shape.into();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let data = (0..shape.numel()).map(|_| rng.uniform(lo, hi)).collect();
+        Self { data, shape }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multidimensional index.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BadIndex`] on rank mismatch or out-of-range
+    /// coordinates. Intended for tests and debugging, not hot paths.
+    pub fn at(&self, index: &[usize]) -> Result<f32, TensorError> {
+        self.shape
+            .offset_of(index)
+            .map(|o| self.data[o])
+            .ok_or_else(|| TensorError::BadIndex {
+                index: index.to_vec(),
+                shape: self.shape.dims().to_vec(),
+            })
+    }
+
+    /// Sets the element at a multidimensional index.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::BadIndex`] on rank mismatch or out-of-range
+    /// coordinates.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        match self.shape.offset_of(index) {
+            Some(o) => {
+                self.data[o] = value;
+                Ok(())
+            }
+            None => Err(TensorError::BadIndex {
+                index: index.to_vec(),
+                shape: self.shape.dims().to_vec(),
+            }),
+        }
+    }
+
+    /// Reinterprets the tensor with a new shape of identical element count.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::ReshapeNumel`] if the element counts differ.
+    pub fn reshape(self, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::ReshapeNumel {
+                from: self.data.len(),
+                to: shape.numel(),
+            });
+        }
+        Ok(Self {
+            data: self.data,
+            shape,
+        })
+    }
+
+    /// For a rank-2 tensor `[rows, cols]`, returns row `r` as a slice.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank-2 or `r` is out of range (this is a
+    /// programmer-error accessor used inside kernels that have already
+    /// validated shapes).
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert_eq!(self.shape.rank(), 2, "row() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        &self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// Mutable variant of [`Tensor::row`].
+    ///
+    /// # Panics
+    /// Panics if the tensor is not rank-2 or `r` is out of range.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert_eq!(self.shape.rank(), 2, "row_mut() requires a rank-2 tensor");
+        let cols = self.shape.dim(1);
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+
+    /// In-place element-wise scale.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({:?}, {} elems", self.shape, self.data.len())?;
+        if self.data.len() <= 8 {
+            write!(f, ", {:?}", self.data)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_filled() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Tensor::filled([4], 2.5);
+        assert!(f.as_slice().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], [2, 2]).is_err());
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        assert_eq!(t.at(&[1, 0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn randn_deterministic() {
+        let a = Tensor::randn([16], 5);
+        let b = Tensor::randn([16], 5);
+        let c = Tensor::randn([16], 6);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), [2, 3]).unwrap();
+        let r = t.clone().reshape([3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn row_access() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), [2, 3]).unwrap();
+        assert_eq!(t.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn set_and_at_bounds() {
+        let mut t = Tensor::zeros([2, 2]);
+        t.set(&[0, 1], 7.0).unwrap();
+        assert_eq!(t.at(&[0, 1]).unwrap(), 7.0);
+        assert!(t.at(&[2, 0]).is_err());
+        assert!(t.set(&[0, 2], 1.0).is_err());
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut t = Tensor::filled([3], 2.0);
+        t.scale(1.5);
+        assert_eq!(t.as_slice(), &[3.0, 3.0, 3.0]);
+    }
+}

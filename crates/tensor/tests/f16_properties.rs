@@ -1,0 +1,98 @@
+//! Property-based tests of the software binary16 implementation — these
+//! invariants are what make the FP16 SIMD2 kernels trustworthy.
+
+use bt_tensor::half::{f16, half2, to_f16_vec, to_f32_vec};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn prop_roundtrip_through_f32_is_identity(bits in 0u16..=0xFFFF) {
+        let h = f16::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits);
+    }
+
+    #[test]
+    fn prop_conversion_relative_error_bounded(x in -60000.0f32..60000.0) {
+        let h = f16::from_f32(x).to_f32();
+        if x.abs() >= 6.2e-5 {
+            // Normal range: rel error ≤ 2^-11 (half of the mantissa ulp).
+            let rel = ((h - x) / x).abs();
+            prop_assert!(rel <= 4.9e-4, "x={x} h={h} rel={rel}");
+        } else {
+            // Subnormal range: absolute error ≤ half the subnormal step.
+            prop_assert!((h - x).abs() <= 3.0e-8, "x={x} h={h}");
+        }
+    }
+
+    #[test]
+    fn prop_conversion_is_monotone(a in -65000.0f32..65000.0, b in -65000.0f32..65000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16::from_f32(lo).to_f32() <= f16::from_f32(hi).to_f32());
+    }
+
+    #[test]
+    fn prop_sign_symmetry(x in -60000.0f32..60000.0) {
+        let pos = f16::from_f32(x).to_f32();
+        let neg = f16::from_f32(-x).to_f32();
+        prop_assert_eq!(pos, -neg);
+    }
+
+    #[test]
+    fn prop_overflow_saturates_to_infinity(x in 65520.0f32..1e30) {
+        prop_assert!(f16::from_f32(x).is_infinite());
+        prop_assert!(f16::from_f32(-x).is_infinite());
+    }
+
+    #[test]
+    fn prop_rounding_picks_nearest(x in -1000.0f32..1000.0) {
+        // The chosen f16 must be at least as close to x as its neighbours.
+        let h = f16::from_f32(x);
+        prop_assume!(!h.is_nan() && !h.is_infinite());
+        let err = (h.to_f32() - x).abs();
+        for delta in [-1i32, 1] {
+            let nb_bits = neighbour(h, delta);
+            let nb = f16::from_bits(nb_bits);
+            if nb.is_nan() || nb.is_infinite() {
+                continue;
+            }
+            let nb_err = (nb.to_f32() - x).abs();
+            prop_assert!(err <= nb_err + 1e-12, "x={x}: chose {} over closer {}", h.to_f32(), nb.to_f32());
+        }
+    }
+
+    #[test]
+    fn prop_half2_lanes_independent(a in -100.0f32..100.0, b in -100.0f32..100.0,
+                                    c in -100.0f32..100.0, d in -100.0f32..100.0) {
+        let p = half2::from_f32(a, b);
+        let q = half2::from_f32(c, d);
+        let sum = p.add(q).to_f32();
+        prop_assert_eq!(sum.0, f16::from_f32(f16::from_f32(a).to_f32() + f16::from_f32(c).to_f32()).to_f32());
+        prop_assert_eq!(sum.1, f16::from_f32(f16::from_f32(b).to_f32() + f16::from_f32(d).to_f32()).to_f32());
+    }
+
+    #[test]
+    fn prop_vec_conversion_roundtrip(xs in proptest::collection::vec(-1000.0f32..1000.0, 0..64)) {
+        let once = to_f32_vec(&to_f16_vec(&xs));
+        let twice = to_f32_vec(&to_f16_vec(&once));
+        // Conversion is idempotent after the first rounding.
+        prop_assert_eq!(once, twice);
+    }
+}
+
+/// Next representable f16 in the direction of `delta`, in bit ordering over
+/// same-sign values (a simple ulp walk sufficient for the nearest test).
+fn neighbour(h: f16, delta: i32) -> u16 {
+    let bits = h.to_bits();
+    let sign = bits & 0x8000;
+    let mag = bits & 0x7FFF;
+    let new_mag = if (delta > 0) == (sign == 0) {
+        mag.saturating_add(1)
+    } else if mag == 0 {
+        // Crossing zero: the smallest value of the opposite sign.
+        return (sign ^ 0x8000) | 1;
+    } else {
+        mag - 1
+    };
+    sign | new_mag.min(0x7C00)
+}

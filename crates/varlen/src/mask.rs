@@ -1,0 +1,222 @@
+//! Batch masks for variable-length inputs.
+
+use std::fmt;
+
+/// Errors produced when constructing variable-length batch descriptors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarlenError {
+    /// A sequence length exceeds the declared maximum.
+    LengthExceedsMax {
+        /// Batch index of the offending sequence.
+        batch: usize,
+        /// Its declared length.
+        len: usize,
+        /// The batch-wide maximum.
+        max_seq_len: usize,
+    },
+    /// A mask row is not of prefix form (a 0 appears before a 1).
+    ///
+    /// The paper's input convention (Fig. 4) is left-aligned sentences:
+    /// `valid tokens ... padding`. Scattered masks would need a gather
+    /// rather than a pack and are rejected explicitly.
+    NonPrefixMask {
+        /// Batch index of the offending row.
+        batch: usize,
+    },
+    /// The mask buffer does not match `batch × max_seq_len`.
+    MaskShape {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// A tensor passed to pack/unpack had an unexpected shape.
+    ShapeMismatch {
+        /// Human-readable expectation.
+        expected: String,
+        /// What was received.
+        got: String,
+    },
+}
+
+impl fmt::Display for VarlenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarlenError::LengthExceedsMax {
+                batch,
+                len,
+                max_seq_len,
+            } => write!(f, "sequence {batch} has length {len} > max_seq_len {max_seq_len}"),
+            VarlenError::NonPrefixMask { batch } => {
+                write!(f, "mask row {batch} is not left-aligned (0 before 1)")
+            }
+            VarlenError::MaskShape { expected, got } => {
+                write!(f, "mask has {got} elements, expected {expected}")
+            }
+            VarlenError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VarlenError {}
+
+/// A variable-length batch descriptor: per-sequence valid-token counts under
+/// a common `max_seq_len`, equivalent to the paper's 0/1 input mask matrix
+/// with left-aligned sentences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchMask {
+    seq_lens: Vec<usize>,
+    max_seq_len: usize,
+}
+
+impl BatchMask {
+    /// Builds a mask from explicit sequence lengths.
+    ///
+    /// # Errors
+    /// Returns [`VarlenError::LengthExceedsMax`] if any length exceeds
+    /// `max_seq_len`.
+    pub fn from_lens(seq_lens: Vec<usize>, max_seq_len: usize) -> Result<Self, VarlenError> {
+        for (batch, &len) in seq_lens.iter().enumerate() {
+            if len > max_seq_len {
+                return Err(VarlenError::LengthExceedsMax {
+                    batch,
+                    len,
+                    max_seq_len,
+                });
+            }
+        }
+        Ok(Self {
+            seq_lens,
+            max_seq_len,
+        })
+    }
+
+    /// Builds a mask from a `batch × max_seq_len` 0/1 matrix (the paper's
+    /// input-mask tensor).
+    ///
+    /// # Errors
+    /// Returns [`VarlenError::MaskShape`] on a size mismatch and
+    /// [`VarlenError::NonPrefixMask`] if a row has a gap (a zero before a
+    /// one), which would make packing a gather instead of a shift.
+    pub fn from_mask_matrix(mask: &[u8], batch: usize, max_seq_len: usize) -> Result<Self, VarlenError> {
+        if mask.len() != batch * max_seq_len {
+            return Err(VarlenError::MaskShape {
+                expected: batch * max_seq_len,
+                got: mask.len(),
+            });
+        }
+        let mut seq_lens = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let row = &mask[b * max_seq_len..(b + 1) * max_seq_len];
+            let len = row.iter().take_while(|&&m| m != 0).count();
+            if row[len..].iter().any(|&m| m != 0) {
+                return Err(VarlenError::NonPrefixMask { batch: b });
+            }
+            seq_lens.push(len);
+        }
+        Ok(Self {
+            seq_lens,
+            max_seq_len,
+        })
+    }
+
+    /// Per-sequence valid lengths.
+    pub fn seq_lens(&self) -> &[usize] {
+        &self.seq_lens
+    }
+
+    /// Number of sequences in the batch.
+    pub fn batch(&self) -> usize {
+        self.seq_lens.len()
+    }
+
+    /// The padded sequence length.
+    pub fn max_seq_len(&self) -> usize {
+        self.max_seq_len
+    }
+
+    /// Total valid tokens across the batch (the packed row count).
+    pub fn valid_words(&self) -> usize {
+        self.seq_lens.iter().sum()
+    }
+
+    /// Total padded slots, `batch × max_seq_len`.
+    pub fn padded_words(&self) -> usize {
+        self.batch() * self.max_seq_len
+    }
+
+    /// The paper's α: average length / maximum length (0 for empty batches).
+    pub fn alpha(&self) -> f64 {
+        if self.padded_words() == 0 {
+            return 0.0;
+        }
+        self.valid_words() as f64 / self.padded_words() as f64
+    }
+
+    /// Renders the 0/1 mask matrix (mostly for tests and diagnostics).
+    pub fn to_mask_matrix(&self) -> Vec<u8> {
+        let mut m = vec![0u8; self.padded_words()];
+        for (b, &len) in self.seq_lens.iter().enumerate() {
+            m[b * self.max_seq_len..b * self.max_seq_len + len].fill(1);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_lens_validates() {
+        assert!(BatchMask::from_lens(vec![2, 5, 4], 5).is_ok());
+        let err = BatchMask::from_lens(vec![2, 6], 5).unwrap_err();
+        assert!(matches!(err, VarlenError::LengthExceedsMax { batch: 1, len: 6, .. }));
+    }
+
+    #[test]
+    fn paper_figure4_example() {
+        // Fig. 4: 3 sentences of lengths 5, 2, 4 under max 5.
+        let m = BatchMask::from_lens(vec![5, 2, 4], 5).unwrap();
+        assert_eq!(m.valid_words(), 11);
+        assert_eq!(m.padded_words(), 15);
+        assert!((m.alpha() - 11.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_matrix_roundtrip() {
+        let m = BatchMask::from_lens(vec![3, 0, 2], 4).unwrap();
+        let mat = m.to_mask_matrix();
+        assert_eq!(mat, vec![1, 1, 1, 0, 0, 0, 0, 0, 1, 1, 0, 0]);
+        let back = BatchMask::from_mask_matrix(&mat, 3, 4).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn non_prefix_mask_rejected() {
+        let mat = vec![1, 0, 1, 0];
+        let err = BatchMask::from_mask_matrix(&mat, 1, 4).unwrap_err();
+        assert!(matches!(err, VarlenError::NonPrefixMask { batch: 0 }));
+    }
+
+    #[test]
+    fn mask_shape_checked() {
+        let err = BatchMask::from_mask_matrix(&[1, 1], 2, 2).unwrap_err();
+        assert!(matches!(err, VarlenError::MaskShape { expected: 4, got: 2 }));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let m = BatchMask::from_lens(vec![], 8).unwrap();
+        assert_eq!(m.valid_words(), 0);
+        assert_eq!(m.alpha(), 0.0);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = BatchMask::from_lens(vec![9], 5).unwrap_err();
+        assert!(e.to_string().contains("length 9"));
+    }
+}

@@ -1,0 +1,329 @@
+//! The packing index: prefix-sum-derived position offsets, and the
+//! pack/unpack kernels (paper Fig. 4 and Fig. 2c).
+
+use crate::mask::{BatchMask, VarlenError};
+use crate::scan::warp_style_scan;
+use bt_device::{Device, KernelSpec};
+use bt_tensor::Tensor;
+use rayon::prelude::*;
+
+/// Positioning information produced by the zero-padding algorithm: for every
+/// valid token, where it lives in the packed tensor, and for every sequence,
+/// where it starts.
+///
+/// This is the "position offset vector for all Transformer operations to
+/// index" from the paper's contribution list. Kernels that fuse
+/// pack/unpack with bias-add or transpose consume it directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackingIndex {
+    mask: BatchMask,
+    /// Exclusive prefix sum of sequence lengths: sequence `b` occupies packed
+    /// rows `seq_offsets[b] .. seq_offsets[b + 1]`. Length `batch + 1`.
+    seq_offsets: Vec<u32>,
+    /// For each packed row, its padded slot `b * max_seq_len + s`.
+    positions: Vec<u32>,
+}
+
+impl PackingIndex {
+    /// Computes the index from a batch mask (pure host version).
+    pub fn from_mask(mask: &BatchMask) -> Self {
+        let batch = mask.batch();
+        let max_seq = mask.max_seq_len();
+        // The prefix sum over the 0/1 mask gives, at each valid slot, its
+        // packed row. We run the warp-style kernel on the real mask matrix
+        // to mirror the GPU implementation, then derive both vectors.
+        let mask_matrix: Vec<u32> = mask.to_mask_matrix().iter().map(|&m| m as u32).collect();
+        let prefix = warp_style_scan(&mask_matrix, batch, max_seq);
+
+        let mut seq_offsets = Vec::with_capacity(batch + 1);
+        seq_offsets.push(0u32);
+        let mut positions = vec![0u32; mask.valid_words()];
+        for b in 0..batch {
+            let len = mask.seq_lens()[b];
+            for s in 0..len {
+                let slot = b * max_seq + s;
+                positions[prefix[slot] as usize] = slot as u32;
+            }
+            let last = seq_offsets[b];
+            seq_offsets.push(last + len as u32);
+        }
+        Self {
+            mask: mask.clone(),
+            seq_offsets,
+            positions,
+        }
+    }
+
+    /// Computes the index as a launched kernel with traffic accounting —
+    /// the `prefix sum & position offset` kernel of Fig. 2(c).
+    pub fn from_mask_on(device: &Device, mask: &BatchMask) -> Self {
+        let padded = mask.padded_words() as u64;
+        let valid = mask.valid_words() as u64;
+        device.launch(
+            KernelSpec::new("varlen.prefix_sum")
+                .flops(padded)
+                .reads(padded * 4)
+                .writes(valid * 4 + (mask.batch() as u64 + 1) * 4),
+            || Self::from_mask(mask),
+        )
+    }
+
+    /// The batch mask this index was derived from.
+    pub fn mask(&self) -> &BatchMask {
+        &self.mask
+    }
+
+    /// Number of sequences.
+    pub fn batch(&self) -> usize {
+        self.mask.batch()
+    }
+
+    /// Padded sequence length.
+    pub fn max_seq_len(&self) -> usize {
+        self.mask.max_seq_len()
+    }
+
+    /// Total valid tokens (packed row count).
+    pub fn valid_words(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Valid length of sequence `b`.
+    pub fn seq_len(&self, b: usize) -> usize {
+        self.mask.seq_lens()[b]
+    }
+
+    /// First packed row of sequence `b` (the paper's batch offset).
+    pub fn seq_offset(&self, b: usize) -> usize {
+        self.seq_offsets[b] as usize
+    }
+
+    /// Exclusive prefix of sequence lengths (length `batch + 1`).
+    pub fn seq_offsets(&self) -> &[u32] {
+        &self.seq_offsets
+    }
+
+    /// Padded slot (`b * max_seq_len + s`) of each packed row.
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Packs a padded `[batch, max_seq_len, hidden]` tensor into
+    /// `[valid_words, hidden]` (launched kernel).
+    ///
+    /// # Errors
+    /// Returns [`VarlenError::ShapeMismatch`] if the input is not
+    /// `[batch, max_seq_len, hidden]`.
+    pub fn pack(&self, device: &Device, padded: &Tensor) -> Result<Tensor, VarlenError> {
+        let dims = padded.dims();
+        if dims.len() != 3 || dims[0] != self.batch() || dims[1] != self.max_seq_len() {
+            return Err(VarlenError::ShapeMismatch {
+                expected: format!("[{}, {}, hidden]", self.batch(), self.max_seq_len()),
+                got: format!("{:?}", dims),
+            });
+        }
+        let hidden = dims[2];
+        let valid = self.valid_words();
+        let bytes = (valid * hidden * 4) as u64;
+        let out = device.launch(
+            KernelSpec::new("varlen.pack")
+                .reads(bytes + valid as u64 * 4)
+                .writes(bytes),
+            || {
+                let src = padded.as_slice();
+                let mut data = vec![0.0f32; valid * hidden];
+                data.par_chunks_mut(hidden.max(1))
+                    .zip(self.positions.par_iter())
+                    .for_each(|(dst, &slot)| {
+                        let s = slot as usize * hidden;
+                        dst.copy_from_slice(&src[s..s + hidden]);
+                    });
+                data
+            },
+        );
+        Ok(Tensor::from_vec(out, [valid, hidden]).expect("packed shape consistent"))
+    }
+
+    /// Unpacks a `[valid_words, hidden]` tensor back to a zero-padded
+    /// `[batch, max_seq_len, hidden]` tensor (launched kernel).
+    ///
+    /// # Errors
+    /// Returns [`VarlenError::ShapeMismatch`] if the input is not
+    /// `[valid_words, hidden]`.
+    pub fn unpack(&self, device: &Device, packed: &Tensor) -> Result<Tensor, VarlenError> {
+        let dims = packed.dims();
+        if dims.len() != 2 || dims[0] != self.valid_words() {
+            return Err(VarlenError::ShapeMismatch {
+                expected: format!("[{}, hidden]", self.valid_words()),
+                got: format!("{:?}", dims),
+            });
+        }
+        let hidden = dims[1];
+        let valid = self.valid_words();
+        let padded_words = self.mask.padded_words();
+        let out = device.launch(
+            KernelSpec::new("varlen.unpack")
+                .reads((valid * hidden * 4) as u64 + valid as u64 * 4)
+                .writes((padded_words * hidden * 4) as u64),
+            || {
+                let src = packed.as_slice();
+                let mut data = vec![0.0f32; padded_words * hidden];
+                // Parallelize over sequences; each writes its own rows.
+                let max_seq = self.max_seq_len();
+                data.par_chunks_mut(max_seq.max(1) * hidden)
+                    .enumerate()
+                    .for_each(|(b, dst)| {
+                        let off = self.seq_offset(b);
+                        let len = self.seq_len(b);
+                        dst[..len * hidden]
+                            .copy_from_slice(&src[off * hidden..(off + len) * hidden]);
+                    });
+                data
+            },
+        );
+        Ok(Tensor::from_vec(out, [self.batch(), self.max_seq_len(), hidden])
+            .expect("padded shape consistent"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        Device::with_model(bt_device::CostModel::unit())
+    }
+
+    fn index(lens: &[usize], max: usize) -> PackingIndex {
+        PackingIndex::from_mask(&BatchMask::from_lens(lens.to_vec(), max).unwrap())
+    }
+
+    #[test]
+    fn paper_figure4_offsets() {
+        // Sentences of lengths 5, 2, 4; packed rows 0..5, 5..7, 7..11.
+        let idx = index(&[5, 2, 4], 5);
+        assert_eq!(idx.seq_offsets(), &[0, 5, 7, 11]);
+        assert_eq!(idx.valid_words(), 11);
+        // Packed row 5 is sentence 1, token 0 -> padded slot 1*5+0 = 5.
+        assert_eq!(idx.positions()[5], 5);
+        // Packed row 7 is sentence 2, token 0 -> slot 10.
+        assert_eq!(idx.positions()[7], 10);
+    }
+
+    #[test]
+    fn pack_extracts_valid_rows() {
+        let idx = index(&[2, 1], 3);
+        let hidden = 4;
+        // Padded tensor: row value = padded slot index.
+        let mut t = Tensor::zeros([2, 3, hidden]);
+        for slot in 0..6 {
+            for h in 0..hidden {
+                t.as_mut_slice()[slot * hidden + h] = slot as f32;
+            }
+        }
+        let dev = device();
+        let packed = idx.pack(&dev, &t).unwrap();
+        assert_eq!(packed.dims(), &[3, 4]);
+        // Valid slots: 0, 1 (seq 0), 3 (seq 1).
+        assert_eq!(packed.row(0)[0], 0.0);
+        assert_eq!(packed.row(1)[0], 1.0);
+        assert_eq!(packed.row(2)[0], 3.0);
+    }
+
+    #[test]
+    fn unpack_zeroes_padding() {
+        let idx = index(&[1, 2], 3);
+        let packed = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3, 1]).unwrap();
+        let dev = device();
+        let padded = idx.unpack(&dev, &packed).unwrap();
+        assert_eq!(
+            padded.as_slice(),
+            &[1.0, 0.0, 0.0, 2.0, 3.0, 0.0] // [b=0: 1,pad,pad][b=1: 2,3,pad]
+        );
+    }
+
+    #[test]
+    fn shape_errors() {
+        let idx = index(&[1, 1], 2);
+        let dev = device();
+        let bad = Tensor::zeros([3, 2, 4]);
+        assert!(idx.pack(&dev, &bad).is_err());
+        let bad2 = Tensor::zeros([5, 4]);
+        assert!(idx.unpack(&dev, &bad2).is_err());
+    }
+
+    #[test]
+    fn launched_variant_records_kernels() {
+        let dev = device();
+        let mask = BatchMask::from_lens(vec![2, 3], 4).unwrap();
+        let idx = PackingIndex::from_mask_on(&dev, &mask);
+        assert_eq!(idx, PackingIndex::from_mask(&mask));
+        assert_eq!(dev.launches(), 1);
+        assert!(dev.trace()[0].name.contains("prefix_sum"));
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let idx = index(&[], 4);
+        let dev = device();
+        let packed = idx.pack(&dev, &Tensor::zeros([0, 4, 8])).unwrap();
+        assert_eq!(packed.dims(), &[0, 8]);
+        let padded = idx.unpack(&dev, &packed).unwrap();
+        assert_eq!(padded.numel(), 0);
+    }
+
+    #[test]
+    fn all_empty_sequences() {
+        let idx = index(&[0, 0, 0], 4);
+        assert_eq!(idx.valid_words(), 0);
+        let dev = device();
+        let packed = idx.pack(&dev, &Tensor::zeros([3, 4, 2])).unwrap();
+        assert_eq!(packed.dims(), &[0, 2]);
+        let padded = idx.unpack(&dev, &packed).unwrap();
+        assert!(padded.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_unpack_roundtrip(
+            lens in proptest::collection::vec(0usize..17, 1..12),
+            hidden in 1usize..9
+        ) {
+            let max = lens.iter().copied().max().unwrap_or(0).max(1);
+            let idx = index(&lens, max);
+            let dev = device();
+            let batch = lens.len();
+            let padded = Tensor::randn([batch, max, hidden], 7);
+            let packed = idx.pack(&dev, &padded).unwrap();
+            let back = idx.unpack(&dev, &packed).unwrap();
+            // Valid positions survive the roundtrip; padding becomes zero.
+            for (b, &len) in lens.iter().enumerate() {
+                for s in 0..max {
+                    for h in 0..hidden {
+                        let v = back.at(&[b, s, h]).unwrap();
+                        if s < len {
+                            prop_assert_eq!(v, padded.at(&[b, s, h]).unwrap());
+                        } else {
+                            prop_assert_eq!(v, 0.0);
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_positions_strictly_increasing(
+            lens in proptest::collection::vec(0usize..9, 0..10)
+        ) {
+            let max = lens.iter().copied().max().unwrap_or(0).max(1);
+            let idx = index(&lens, max);
+            // Left-aligned sentences pack in slot order, so positions are
+            // strictly increasing.
+            for w in idx.positions().windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            prop_assert_eq!(idx.positions().len(), lens.iter().sum::<usize>());
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Prefix-sum kernels.
+//!
+//! The paper implements "an efficient CUDA kernel to calculate the prefix
+//! sum and the position offset. Each warp computes the prefix sum for tokens
+//! of a whole sentence" (§III.D). [`warp_style_scan`] mirrors that layout:
+//! one parallel task per sentence computes the within-sentence running sum,
+//! then a (tiny) cross-sentence pass adds the per-sentence bases.
+//!
+//! A general work-efficient Blelloch scan ([`blelloch_scan`]) is also
+//! provided as substrate: it handles arbitrary (non-prefix-form) masks and
+//! doubles as the reference for the property tests.
+
+use rayon::prelude::*;
+
+/// Serial exclusive prefix sum — the correctness oracle.
+pub fn exclusive_scan_serial(input: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut acc = 0u32;
+    for &x in input {
+        out.push(acc);
+        acc += x;
+    }
+    out
+}
+
+/// Warp-per-sentence exclusive scan over a `batch × max_seq_len` mask.
+///
+/// Task `b` scans its own sentence (the warp in Algorithm §III.D); sentence
+/// base offsets are then combined in a second pass, exactly like the
+/// block-level carry propagation of the CUDA kernel. Returns the exclusive
+/// prefix sum of the whole flattened mask.
+///
+/// # Panics
+/// Panics if `mask.len() != batch * max_seq_len`.
+pub fn warp_style_scan(mask: &[u32], batch: usize, max_seq_len: usize) -> Vec<u32> {
+    assert_eq!(mask.len(), batch * max_seq_len, "mask shape mismatch");
+    // Pass 1: per-sentence local exclusive scans + sentence totals.
+    let mut out = vec![0u32; mask.len()];
+    let totals: Vec<u32> = out
+        .par_chunks_mut(max_seq_len.max(1))
+        .zip(mask.par_chunks(max_seq_len.max(1)))
+        .map(|(out_row, mask_row)| {
+            let mut acc = 0u32;
+            for (o, &m) in out_row.iter_mut().zip(mask_row) {
+                *o = acc;
+                acc += m;
+            }
+            acc
+        })
+        .collect();
+    // Pass 2: carry per-sentence bases (batch is small; serial is exact and
+    // cheap, matching the single-block carry kernel on the GPU).
+    let bases = exclusive_scan_serial(&totals);
+    out.par_chunks_mut(max_seq_len.max(1))
+        .zip(bases.par_iter())
+        .for_each(|(row, &base)| {
+            for o in row {
+                *o += base;
+            }
+        });
+    out
+}
+
+/// Work-efficient (Blelloch) parallel exclusive scan over an arbitrary
+/// sequence. Splits into chunks, scans chunks in parallel, scans the chunk
+/// totals, then adds the bases back in parallel.
+pub fn blelloch_scan(input: &[u32]) -> Vec<u32> {
+    const CHUNK: usize = 4096;
+    if input.len() <= CHUNK {
+        return exclusive_scan_serial(input);
+    }
+    let mut out = vec![0u32; input.len()];
+    let totals: Vec<u32> = out
+        .par_chunks_mut(CHUNK)
+        .zip(input.par_chunks(CHUNK))
+        .map(|(out_chunk, in_chunk)| {
+            let mut acc = 0u32;
+            for (o, &x) in out_chunk.iter_mut().zip(in_chunk) {
+                *o = acc;
+                acc += x;
+            }
+            acc
+        })
+        .collect();
+    let bases = exclusive_scan_serial(&totals);
+    out.par_chunks_mut(CHUNK)
+        .zip(bases.par_iter())
+        .for_each(|(chunk, &base)| {
+            for o in chunk {
+                *o += base;
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_tensor::rng::Xoshiro256StarStar;
+    use proptest::prelude::*;
+
+    #[test]
+    fn serial_scan_basics() {
+        assert_eq!(exclusive_scan_serial(&[]), Vec::<u32>::new());
+        assert_eq!(exclusive_scan_serial(&[5]), vec![0]);
+        assert_eq!(exclusive_scan_serial(&[1, 2, 3]), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn warp_scan_matches_serial_on_mask() {
+        let mask = [1u32, 1, 1, 0, 0, 1, 1, 0, 0, 0, 1, 1, 1, 1, 0];
+        let got = warp_style_scan(&mask, 3, 5);
+        assert_eq!(got, exclusive_scan_serial(&mask));
+    }
+
+    #[test]
+    fn warp_scan_empty_batch() {
+        assert_eq!(warp_style_scan(&[], 0, 5), Vec::<u32>::new());
+        assert_eq!(warp_style_scan(&[], 5, 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn blelloch_matches_serial_large() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let input: Vec<u32> = (0..20_000).map(|_| rng.below(4) as u32).collect();
+        assert_eq!(blelloch_scan(&input), exclusive_scan_serial(&input));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask shape mismatch")]
+    fn warp_scan_shape_checked() {
+        warp_style_scan(&[1, 0], 2, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_warp_scan_equals_serial(
+            rows in proptest::collection::vec(proptest::collection::vec(0u32..2, 0..40), 0..20)
+        ) {
+            let max_seq = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+            let batch = rows.len();
+            let mut mask = vec![0u32; batch * max_seq];
+            for (b, row) in rows.iter().enumerate() {
+                mask[b * max_seq..b * max_seq + row.len()].copy_from_slice(row);
+            }
+            prop_assert_eq!(warp_style_scan(&mask, batch, max_seq), exclusive_scan_serial(&mask));
+        }
+
+        #[test]
+        fn prop_blelloch_equals_serial(input in proptest::collection::vec(0u32..100, 0..10_000)) {
+            prop_assert_eq!(blelloch_scan(&input), exclusive_scan_serial(&input));
+        }
+
+        #[test]
+        fn prop_scan_last_plus_tail_is_total(input in proptest::collection::vec(0u32..10, 1..500)) {
+            let scan = exclusive_scan_serial(&input);
+            let total: u32 = input.iter().sum();
+            prop_assert_eq!(scan[input.len() - 1] + input[input.len() - 1], total);
+        }
+    }
+}

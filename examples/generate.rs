@@ -1,0 +1,85 @@
+//! Autoregressive generation with the KV-cache decoder session: encode a
+//! variable-length source batch, then greedily decode each sequence token
+//! by token through a toy vocabulary head.
+//!
+//! ```text
+//! cargo run --release --example generate
+//! ```
+
+use bytetransformer::core::incremental::DecoderSession;
+use bytetransformer::prelude::*;
+use bytetransformer::tensor::rng::Xoshiro256StarStar;
+
+fn main() {
+    let config = BertConfig {
+        heads: 4,
+        head_size: 16,
+        ffn_scale: 4,
+        layers: 2,
+        eps: 1e-6,
+    };
+    let model = Seq2SeqTransformer::new_random(config, 2, 2, 42);
+    let hidden = config.hidden();
+    let vocab = 64usize;
+    // Toy vocabulary: an embedding table shared for input and output.
+    let embed = Tensor::randn([vocab, hidden], 9);
+
+    // Encode a batch of three variable-length "sentences".
+    let src_mask = BatchMask::from_lens(vec![12, 5, 9], 12).expect("lengths bounded");
+    let mut src = Tensor::zeros([3, 12, hidden]);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+    for (b, &len) in src_mask.seq_lens().iter().enumerate() {
+        for s in 0..len {
+            let tok = rng.below(vocab as u64) as usize;
+            for h in 0..hidden {
+                src.set(&[b, s, h], embed.at(&[tok, h]).unwrap()).unwrap();
+            }
+        }
+    }
+    let device = Device::new();
+    let memory = model
+        .encoder
+        .forward(&device, &src, &src_mask, OptLevel::FusedMha)
+        .expect("validated shapes");
+    println!(
+        "encoded {} source tokens in {:.3} ms modeled\n",
+        src_mask.valid_words(),
+        device.modeled_total() * 1e3
+    );
+
+    // Greedy decode each sequence with its own KV-cached session.
+    let max_new = 10;
+    for (b, &mem_len) in src_mask.seq_lens().iter().enumerate() {
+        // Pack this sequence's memory rows.
+        let mut mem = Tensor::zeros([mem_len, hidden]);
+        for s in 0..mem_len {
+            for h in 0..hidden {
+                mem.set(&[s, h], memory.at(&[b, s, h]).unwrap()).unwrap();
+            }
+        }
+        let dev = Device::new();
+        let mut session = DecoderSession::new(&model.decoder, &dev, &mem);
+        let mut token = 0usize; // BOS
+        let mut generated = Vec::new();
+        for _ in 0..max_new {
+            let x: Vec<f32> = embed.row(token).to_vec();
+            let h_out = session.step(&dev, &x);
+            // Toy output head: nearest embedding by dot product.
+            token = (0..vocab)
+                .max_by(|&a, &b| {
+                    let da: f32 = embed.row(a).iter().zip(&h_out).map(|(x, y)| x * y).sum();
+                    let db: f32 = embed.row(b).iter().zip(&h_out).map(|(x, y)| x * y).sum();
+                    da.partial_cmp(&db).expect("finite logits")
+                })
+                .expect("non-empty vocab");
+            generated.push(token);
+        }
+        println!(
+            "seq {b} (memory {mem_len:>2} tokens): generated {:?}  ({} kernel launches, {:.3} ms modeled)",
+            generated,
+            dev.launches(),
+            dev.modeled_total() * 1e3
+        );
+    }
+    println!("\neach step attends over the KV cache; cross-attention K/V were projected once per session");
+}

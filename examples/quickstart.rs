@@ -1,0 +1,75 @@
+//! Quickstart: run the fully optimized ByteTransformer pipeline on a
+//! variable-length batch and inspect the cost audit.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bytetransformer::prelude::*;
+
+fn main() {
+    // A mid-sized configuration (use BertConfig::bert_base() for the paper's
+    // 12×64 model; this one keeps the example snappy on any machine).
+    let config = BertConfig {
+        heads: 8,
+        head_size: 32,
+        ffn_scale: 4,
+        layers: 4,
+        eps: 1e-6,
+    };
+    let model = BertModel::new_random(config, config.layers, 42);
+
+    // A variable-length batch: average length = 0.6 × maximum, the paper's
+    // evaluation distribution.
+    let batch = 8;
+    let max_seq = 128;
+    let mask = paper_workload(batch, max_seq, 7);
+    println!(
+        "batch = {batch}, max_seq = {max_seq}, lengths = {:?}",
+        mask.seq_lens()
+    );
+    println!(
+        "valid tokens: {} of {} padded slots (α = {:.2})\n",
+        mask.valid_words(),
+        mask.padded_words(),
+        mask.alpha()
+    );
+
+    let input = Tensor::randn([batch, max_seq, config.hidden()], 3);
+
+    // Run the baseline (padded, unfused) and the full ByteTransformer
+    // pipeline; compare both the outputs and the modeled A100 cost.
+    let dev_base = Device::new();
+    let base = model
+        .forward(&dev_base, &input, &mask, OptLevel::Baseline)
+        .expect("shapes validated above");
+    let dev_bt = Device::new();
+    let fused = model
+        .forward(&dev_bt, &input, &mask, OptLevel::FusedMha)
+        .expect("shapes validated above");
+
+    // Outputs agree on every valid token.
+    let mut worst = 0.0f32;
+    for (b, &len) in mask.seq_lens().iter().enumerate() {
+        for s in 0..len {
+            for h in 0..config.hidden() {
+                let d = (base.at(&[b, s, h]).unwrap() - fused.at(&[b, s, h]).unwrap()).abs();
+                worst = worst.max(d);
+            }
+        }
+    }
+    println!("max |baseline - bytetransformer| on valid tokens: {worst:.2e}");
+
+    let t_base = dev_base.modeled_total() * 1e3;
+    let t_bt = dev_bt.modeled_total() * 1e3;
+    println!("\nmodeled A100 time  baseline: {t_base:.3} ms");
+    println!("modeled A100 time  fused:    {t_bt:.3} ms  ({:.0}% faster)", (t_base / t_bt - 1.0) * 100.0);
+    println!(
+        "kernel launches    baseline: {}, fused: {}",
+        dev_base.launches(),
+        dev_bt.launches()
+    );
+
+    println!("\nper-stage breakdown of the optimized pipeline:");
+    println!("{}", TraceReport::by_prefix(&dev_bt.trace()).render());
+}

@@ -1,0 +1,97 @@
+//! Online serving scenario: a Poisson stream of variable-length requests is
+//! batched and served by a simulated single-GPU server; compare frameworks
+//! and batching policies on end-to-end latency (queueing included).
+//!
+//! This is the workload the paper's introduction motivates (real-time
+//! inference behind TikTok/Douyin): requests with very different lengths
+//! must share batches, and a padded runtime burns its budget on dead tokens
+//! — which shows up as *queueing delay* for everyone behind them.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use bytetransformer::frameworks::serving::{latency_stats, poisson_arrivals, simulate_server};
+use bytetransformer::prelude::*;
+use bytetransformer::tensor::rng::Xoshiro256StarStar;
+
+fn main() {
+    let config = BertConfig {
+        heads: 8,
+        head_size: 32,
+        ffn_scale: 4,
+        layers: 2,
+        eps: 1e-6,
+    };
+    let model = BertModel::new_random(config, config.layers, 1);
+
+    // 48 requests, Zipf-ish lengths (mostly short, heavy tail), arriving as
+    // a Poisson process that keeps the server busy but not saturated.
+    let dist = LengthDistribution::Zipf { exponent: 1.2 };
+    let requests = poisson_arrivals(48, 150.0, dist, 256, 99);
+    let lens: Vec<usize> = requests.iter().map(|r| r.len).collect();
+    println!(
+        "{} requests over {:.2} s, lengths min/median/max = {}/{}/{}\n",
+        requests.len(),
+        requests.last().expect("non-empty").arrival,
+        lens.iter().min().expect("non-empty"),
+        {
+            let mut s = lens.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        },
+        lens.iter().max().expect("non-empty")
+    );
+
+    let max_batch = 8;
+    let window = 5e-3; // 5 ms batching window
+    println!("server: max_batch = {max_batch}, batching window = {:.0} ms\n", window * 1e3);
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "framework", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"
+    );
+    for kind in [
+        FrameworkKind::PyTorchJit,
+        FrameworkKind::TurboTransformer,
+        FrameworkKind::FasterTransformer,
+        FrameworkKind::ByteTransformer,
+    ] {
+        let fw = SimFramework::new(kind, model.clone());
+        let latencies = simulate_server(&requests, max_batch, window, |mask| {
+            let input = random_batch(mask, config.hidden());
+            let dev = fw.device(CostModel::a100());
+            fw.forward(&dev, &input, mask).expect("supported shapes");
+            dev.modeled_total()
+        });
+        let s = latency_stats(&latencies);
+        println!(
+            "{:<18} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            kind.name(),
+            s.mean * 1e3,
+            s.p50 * 1e3,
+            s.p95 * 1e3,
+            s.p99 * 1e3,
+            s.max * 1e3,
+        );
+    }
+    println!(
+        "\nthe padding-free pipeline shortens every batch, which compounds through the\n\
+         queue (median latency improves several-fold); the p95/p99 tail here is set\n\
+         by the {:.0} ms batching window itself — shrink it to trade throughput for tail",
+        window * 1e3
+    );
+}
+
+/// Builds a padded input whose valid rows are random and padded rows zero.
+fn random_batch(mask: &BatchMask, hidden: usize) -> Tensor {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+    let mut input = Tensor::zeros([mask.batch(), mask.max_seq_len(), hidden]);
+    for (b, &len) in mask.seq_lens().iter().enumerate() {
+        for s in 0..len {
+            for h in 0..hidden {
+                input.set(&[b, s, h], rng.normal()).expect("in range");
+            }
+        }
+    }
+    input
+}

@@ -1,0 +1,57 @@
+//! Step-wise optimization walkthrough: apply the paper's optimizations one
+//! at a time to a single encoder layer and watch the cost structure change —
+//! an interactive miniature of Fig. 13 with the full per-stage breakdown at
+//! each step.
+//!
+//! ```text
+//! cargo run --release --example stepwise_optimizations [max_seq] [batch]
+//! ```
+
+use bytetransformer::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut next = |default: usize| -> usize {
+        args.next()
+            .map(|a| a.parse().expect("numeric argument"))
+            .unwrap_or(default)
+    };
+    let max_seq = next(128);
+    let batch = next(8);
+
+    let config = BertConfig {
+        heads: 8,
+        head_size: 32,
+        ffn_scale: 4,
+        layers: 1,
+        eps: 1e-6,
+    };
+    let model = BertModel::new_random(config, 1, 17);
+    let mask = paper_workload(batch, max_seq, 23);
+    let input = Tensor::randn([batch, max_seq, config.hidden()], 5);
+    println!(
+        "single layer, batch {batch} × max_seq {max_seq}, α = {:.2}, hidden {}\n",
+        mask.alpha(),
+        config.hidden()
+    );
+
+    let mut prev: Option<f64> = None;
+    let mut baseline: Option<f64> = None;
+    for opt in OptLevel::all() {
+        let dev = Device::new();
+        model
+            .forward(&dev, &input, &mask, opt)
+            .expect("validated shapes");
+        let t = dev.modeled_total() * 1e3;
+        let step = prev.map(|p| format!("{:+.1}% vs prev", (p / t - 1.0) * 100.0)).unwrap_or_default();
+        let total = baseline
+            .map(|b| format!("{:+.1}% vs baseline", (b / t - 1.0) * 100.0))
+            .unwrap_or_default();
+        println!("=== {:<24} {t:8.3} ms   {step:<18} {total}", opt.label());
+        println!("{}", TraceReport::by_prefix(&dev.trace()).render());
+        if baseline.is_none() {
+            baseline = Some(t);
+        }
+        prev = Some(t);
+    }
+}

@@ -1,0 +1,260 @@
+//! `btx` — command-line explorer for the ByteTransformer reproduction.
+//!
+//! ```text
+//! btx features                         # Table I
+//! btx flops      [--batch 4] [--seq 256] [--alpha 0.6]
+//! btx breakdown  [--batch 4] [--seq 256] [--opt fused|baseline|...]
+//! btx compare    [--batch 4] [--seq 256]           # frameworks
+//! btx attention  [--batch 8] [--seq 256]           # MHA variants
+//! ```
+//!
+//! All subcommands use the standard BERT configuration (12 heads × 64) and
+//! print modeled A100 time from the execution trace; run with `--release`
+//! for sensible wall-clock. `--heads`, `--head-size` and `--layers` override
+//! the model shape.
+
+use bytetransformer::core::flops::{layer_flops, FlopVariant};
+use bytetransformer::frameworks::calibration::render_feature_matrix;
+use bytetransformer::prelude::*;
+
+#[derive(Debug)]
+struct Args {
+    batch: usize,
+    seq: usize,
+    alpha: f64,
+    opt: OptLevel,
+    heads: usize,
+    head_size: usize,
+    layers: usize,
+}
+
+fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
+    let cmd = raw.next().unwrap_or_else(|| "help".to_string());
+    let mut args = Args {
+        batch: 4,
+        seq: 256,
+        alpha: 0.6,
+        opt: OptLevel::FusedMha,
+        heads: 12,
+        head_size: 64,
+        layers: 1,
+    };
+    let rest: Vec<String> = raw.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        let value = rest.get(i + 1).cloned();
+        let take = |what: &str| -> String {
+            value.clone().unwrap_or_else(|| {
+                eprintln!("missing value for {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag {
+            "--batch" => args.batch = take("--batch").parse().expect("numeric --batch"),
+            "--seq" => args.seq = take("--seq").parse().expect("numeric --seq"),
+            "--alpha" => args.alpha = take("--alpha").parse().expect("numeric --alpha"),
+            "--heads" => args.heads = take("--heads").parse().expect("numeric --heads"),
+            "--head-size" => args.head_size = take("--head-size").parse().expect("numeric --head-size"),
+            "--layers" => args.layers = take("--layers").parse().expect("numeric --layers"),
+            "--opt" => {
+                args.opt = match take("--opt").as_str() {
+                    "baseline" => OptLevel::Baseline,
+                    "layernorm" => OptLevel::LayernormFusion,
+                    "gelu" => OptLevel::GeluFusion,
+                    "zeropad" | "rm-padding" => OptLevel::ZeroPadding,
+                    "fused" | "full" => OptLevel::FusedMha,
+                    other => {
+                        eprintln!("unknown --opt {other} (baseline|layernorm|gelu|zeropad|fused)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    (cmd, args)
+}
+
+fn config_of(a: &Args) -> BertConfig {
+    BertConfig {
+        heads: a.heads,
+        head_size: a.head_size,
+        ffn_scale: 4,
+        layers: a.layers,
+        eps: 1e-6,
+    }
+}
+
+fn workload_of(a: &Args) -> BatchMask {
+    LengthDistribution::PaperUniform { alpha: a.alpha }.sample_mask(a.batch, a.seq, 42)
+}
+
+fn masked_input(mask: &BatchMask, hidden: usize) -> Tensor {
+    let mut t = Tensor::randn([mask.batch(), mask.max_seq_len(), hidden], 7);
+    for (b, &len) in mask.seq_lens().iter().enumerate() {
+        for s in len..mask.max_seq_len() {
+            for h in 0..hidden {
+                t.set(&[b, s, h], 0.0).expect("in range");
+            }
+        }
+    }
+    t
+}
+
+fn main() {
+    let (cmd, args) = parse_args(std::env::args().skip(1));
+    match cmd.as_str() {
+        "features" => print!("{}", render_feature_matrix()),
+        "flops" => cmd_flops(&args),
+        "breakdown" => cmd_breakdown(&args),
+        "compare" => cmd_compare(&args),
+        "attention" => cmd_attention(&args),
+        _ => {
+            eprintln!(
+                "usage: btx <features|flops|breakdown|compare|attention> \
+                 [--batch N] [--seq N] [--alpha F] [--opt L] [--heads N] [--head-size N] [--layers N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_flops(a: &Args) {
+    let config = config_of(a);
+    let mask = workload_of(a);
+    println!(
+        "Table II — batch {} × seq {} (α = {:.3}), hidden {}\n",
+        a.batch,
+        a.seq,
+        mask.alpha(),
+        config.hidden()
+    );
+    println!("{:<8} {:>14} {:>14} {:>14}", "module", "baseline", "zero padding", "zp+fused MHA");
+    let b = layer_flops(&mask, config.hidden(), FlopVariant::Baseline);
+    let z = layer_flops(&mask, config.hidden(), FlopVariant::ZeroPadding);
+    let f = layer_flops(&mask, config.hidden(), FlopVariant::ZeroPaddingFusedMha);
+    let g = |x: u64| format!("{:.3} G", x as f64 / 1e9);
+    for (name, x, y, zz) in [
+        ("GEMM0", b.gemm0, z.gemm0, f.gemm0),
+        ("MHA", b.mha, z.mha, f.mha),
+        ("GEMM1", b.gemm1, z.gemm1, f.gemm1),
+        ("GEMM2", b.gemm2, z.gemm2, f.gemm2),
+        ("GEMM3", b.gemm3, z.gemm3, f.gemm3),
+        ("TOTAL", b.total(), z.total(), f.total()),
+    ] {
+        println!("{:<8} {:>14} {:>14} {:>14}", name, g(x), g(y), g(zz));
+    }
+}
+
+fn cmd_breakdown(a: &Args) {
+    let config = config_of(a);
+    let mask = workload_of(a);
+    let model = BertModel::new_random(config, a.layers, 1);
+    let input = masked_input(&mask, config.hidden());
+    let dev = Device::new();
+    model.forward(&dev, &input, &mask, a.opt).expect("validated shapes");
+    println!(
+        "{} layer(s), batch {} × seq {} (α = {:.3}), opt = {}\n",
+        a.layers,
+        a.batch,
+        a.seq,
+        mask.alpha(),
+        a.opt.label()
+    );
+    println!("{}", TraceReport::by_prefix(&dev.trace()).render());
+    println!(
+        "modeled A100 total: {:.3} ms over {} launches",
+        dev.modeled_total() * 1e3,
+        dev.launches()
+    );
+}
+
+fn cmd_compare(a: &Args) {
+    let config = config_of(a);
+    let mask = workload_of(a);
+    let model = BertModel::new_random(config, a.layers, 1);
+    let input = masked_input(&mask, config.hidden());
+    println!(
+        "{} layer(s), batch {} × seq {} (α = {:.3})\n",
+        a.layers, a.batch, a.seq, mask.alpha()
+    );
+    println!("{:<20} {:>12} {:>10} {:>12}", "framework", "modeled_ms", "launches", "vs_BT");
+    let mut bt = None;
+    let mut rows = Vec::new();
+    for kind in FrameworkKind::all() {
+        if !kind.supports(a.seq) {
+            rows.push((kind.name(), None, 0));
+            continue;
+        }
+        let fw = SimFramework::new(kind, model.clone());
+        let dev = fw.device(CostModel::a100());
+        fw.forward(&dev, &input, &mask).expect("validated shapes");
+        let t = dev.modeled_total();
+        if kind == FrameworkKind::ByteTransformer {
+            bt = Some(t);
+        }
+        rows.push((kind.name(), Some(t), dev.launches()));
+    }
+    let bt = bt.expect("ByteTransformer always runs");
+    for (name, t, launches) in rows {
+        match t {
+            Some(t) => println!(
+                "{:<20} {:>12.3} {:>10} {:>11}%",
+                name,
+                t * 1e3,
+                launches,
+                format!("{:+.0}", (t / bt - 1.0) * 100.0)
+            ),
+            None => println!("{:<20} {:>12}", name, "n/a (>512)"),
+        }
+    }
+}
+
+fn cmd_attention(a: &Args) {
+    use bytetransformer::kernels::layout::{add_bias_split_qkv_packed, add_bias_unpack_split_qkv};
+    let config = config_of(a);
+    let heads = config.heads;
+    let hidden = config.hidden();
+    let scale = config.attention_scale();
+    let mask = workload_of(a);
+    let idx = PackingIndex::from_mask(&mask);
+    let setup = Device::untraced(CostModel::a100());
+    let qkv = Tensor::randn([idx.valid_words(), 3 * hidden], 3);
+    let bias = vec![0.0f32; 3 * hidden];
+    let (qp, kp, vp) = add_bias_unpack_split_qkv(&setup, &qkv, &bias, &idx, heads);
+    let (qk, kk, vk) = add_bias_split_qkv_packed(&setup, &qkv, &bias, heads, scale);
+    println!(
+        "batch {} × seq {} (α = {:.3}), {} heads × {}\n",
+        a.batch, a.seq, mask.alpha(), heads, config.head_size
+    );
+    println!("{:<28} {:>12} {:>10} {:>10}", "variant", "modeled_µs", "GFLOP", "launches");
+    let report = |name: &str, dev: &Device| {
+        println!(
+            "{:<28} {:>12.1} {:>10.3} {:>10}",
+            name,
+            dev.modeled_total() * 1e6,
+            dev.total_flops() as f64 / 1e9,
+            dev.launches()
+        );
+    };
+    let dev = Device::new();
+    naive_attention(&dev, &qp, &kp, &vp, mask.seq_lens(), scale, 8e-6);
+    report("PyTorch-style (naive)", &dev);
+    let dev = Device::new();
+    batched_attention(&dev, &qp, &kp, &vp, mask.seq_lens(), scale, false);
+    report("cuBLAS batched", &dev);
+    let dev = Device::new();
+    batched_attention(&dev, &qp, &kp, &vp, mask.seq_lens(), scale, true);
+    report("cuBLAS + zero padding", &dev);
+    let dev = Device::new();
+    flash_attention(&dev, &qp, &kp, &vp, mask.seq_lens(), scale);
+    report("FlashAttention-style", &dev);
+    let dev = Device::new();
+    fused_attention(&dev, &qk, &kk, &vk, &idx);
+    report("fused MHA (ours)", &dev);
+}

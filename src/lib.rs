@@ -1,0 +1,68 @@
+//! # bytetransformer
+//!
+//! A from-scratch Rust reproduction of **"ByteTransformer: A High-Performance
+//! Transformer Boosted for Variable-Length Inputs"** (IPDPS 2023):
+//! a variable-length BERT inference pipeline built on a zero-padding
+//! algorithm, fused multi-head attention (shared-memory kernel for short
+//! sequences, grouped-GEMM kernel for long ones), and fused memory-bound
+//! kernels — running on a pure-Rust CPU substrate with an A100 roofline cost
+//! model standing in for the GPU (see `DESIGN.md` for the substitution map).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bytetransformer::prelude::*;
+//!
+//! // The paper's standard config is BertConfig::bert_base() (12×64, 12
+//! // layers); tiny() keeps the doc test fast.
+//! let config = BertConfig::tiny();
+//! let model = BertModel::new_random(config, 2, 42);
+//!
+//! // A variable-length batch with the paper's avg = 0.6·max distribution.
+//! let mask = paper_workload(4, 32, 7);
+//! let input = Tensor::randn([4, 32, config.hidden()], 3);
+//!
+//! // Run the fully optimized pipeline and inspect the cost audit.
+//! let device = Device::new(); // A100 roofline
+//! let out = model.forward(&device, &input, &mask, OptLevel::FusedMha).unwrap();
+//! assert_eq!(out.dims(), input.dims());
+//! println!("modeled GPU time: {:.3} ms", device.modeled_total() * 1e3);
+//! println!("{}", TraceReport::by_prefix(&device.trace()).render());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`tensor`] | dense tensors, software `f16`/`half2`, deterministic RNG |
+//! | [`device`] | kernel-launch substrate, execution trace, A100 roofline |
+//! | [`gemm`] | blocked SGEMM, batched GEMM, grouped GEMM + schedulers |
+//! | [`kernels`] | fused/unfused LayerNorm, GELU, softmax, layout kernels |
+//! | [`varlen`] | zero-padding algorithm: masks, prefix sums, packing |
+//! | [`core`] | fused MHA variants + the step-wise optimized BERT encoder |
+//! | [`frameworks`] | PyTorch/TF/Turbo/FasterTransformer strategy simulations |
+
+pub use bt_core as core;
+pub use bt_device as device;
+pub use bt_frameworks as frameworks;
+pub use bt_gemm as gemm;
+pub use bt_kernels as kernels;
+pub use bt_tensor as tensor;
+pub use bt_varlen as varlen;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use bt_core::attention::{
+        batched_attention, causal_fused_attention, cross_attention, flash_attention,
+        fused_attention, fused_grouped_attention, fused_short_attention, naive_attention,
+    };
+    pub use bt_core::config::BertConfig;
+    pub use bt_core::decoder::{Seq2SeqTransformer, TransformerDecoder};
+    pub use bt_core::encoder::{BertModel, OptLevel};
+    pub use bt_core::flops::{layer_flops, FlopVariant};
+    pub use bt_device::{CostModel, Device, KernelSpec, LaunchTax, TraceReport};
+    pub use bt_frameworks::{FrameworkKind, SimFramework};
+    pub use bt_tensor::Tensor;
+    pub use bt_varlen::workload::{paper_workload, LengthDistribution};
+    pub use bt_varlen::{BatchMask, PackingIndex};
+}

@@ -1,0 +1,125 @@
+//! Framework-simulation behaviour: structural properties the paper asserts
+//! about each competitor, verified from the launch traces.
+
+use bytetransformer::frameworks::calibration::FT_FUSED_MHA_MAX_SEQ;
+use bytetransformer::prelude::*;
+
+fn setup(lens: &[usize], max_seq: usize, layers: usize) -> (BertModel, Tensor, BatchMask) {
+    let config = BertConfig::tiny();
+    let model = BertModel::new_random(config, layers, 42);
+    let mask = BatchMask::from_lens(lens.to_vec(), max_seq).unwrap();
+    let mut input = Tensor::randn([mask.batch(), max_seq, config.hidden()], 7);
+    for (b, &len) in mask.seq_lens().iter().enumerate() {
+        for s in len..max_seq {
+            for h in 0..config.hidden() {
+                input.set(&[b, s, h], 0.0).unwrap();
+            }
+        }
+    }
+    (model, input, mask)
+}
+
+#[test]
+fn pytorch_runs_the_unfused_padded_chain() {
+    let (model, input, mask) = setup(&[6, 3], 8, 1);
+    let fw = SimFramework::new(FrameworkKind::PyTorchJit, model);
+    let dev = fw.device(CostModel::a100());
+    fw.forward(&dev, &input, &mask).unwrap();
+    let names: Vec<String> = dev.trace().iter().map(|r| r.name.clone()).collect();
+    assert!(names.iter().any(|n| n.contains("naive.scale")), "separate scale kernel");
+    assert!(names.iter().any(|n| n.contains("naive.mask")), "separate mask kernel");
+    assert!(names.iter().any(|n| n.contains("layernorm0.norm")), "unfused layernorm");
+    assert!(!names.iter().any(|n| n.starts_with("varlen")), "no packing");
+}
+
+#[test]
+fn faster_transformer_switches_mha_at_512() {
+    let (model, input, mask) = setup(&[100, 60], 100, 1);
+    let fw = SimFramework::new(FrameworkKind::FasterTransformer, model.clone());
+    let dev = fw.device(CostModel::a100());
+    fw.forward(&dev, &input, &mask).unwrap();
+    assert!(dev.trace().iter().any(|r| r.name.contains("flash")), "fused MHA below 512");
+
+    let (model2, input2, mask2) = setup(&[600, 200], 600, 1);
+    let fw = SimFramework::new(FrameworkKind::FasterTransformer, model2);
+    let dev = fw.device(CostModel::a100());
+    fw.forward(&dev, &input2, &mask2).unwrap();
+    assert!(
+        !dev.trace().iter().any(|r| r.name.contains("flash")),
+        "no fused MHA above {FT_FUSED_MHA_MAX_SEQ}"
+    );
+    assert!(dev.trace().iter().any(|r| r.name.contains("batched.scores")), "unfused fallback");
+    let _ = (model, input, mask);
+}
+
+#[test]
+fn turbo_regroups_and_pads_within_groups() {
+    let (model, input, mask) = setup(&[12, 12, 3, 3], 12, 1);
+    let fw = SimFramework::new(FrameworkKind::TurboTransformer, model);
+    let dev = fw.device(CostModel::a100());
+    fw.forward(&dev, &input, &mask).unwrap();
+    let regroups = dev.trace().iter().filter(|r| r.name == "turbo.regroup").count();
+    assert_eq!(regroups, 2, "two length clusters -> two groups");
+    // Group of 3-token sequences runs attention at padded length 3, not 12:
+    // its scores GEMM flops are tiny compared to the long group's.
+    let scores: Vec<u64> = dev
+        .trace()
+        .iter()
+        .filter(|r| r.name.contains("batched.scores"))
+        .map(|r| r.cost.flops)
+        .collect();
+    assert_eq!(scores.len(), 2);
+    let (small, large) = (scores.iter().min().unwrap(), scores.iter().max().unwrap());
+    assert!(small * 8 < *large, "short group should run at its own length");
+}
+
+#[test]
+fn bytetransformer_never_materializes_padded_attention() {
+    let (model, input, mask) = setup(&[6, 3], 8, 2);
+    let fw = SimFramework::new(FrameworkKind::ByteTransformer, model);
+    let dev = fw.device(CostModel::a100());
+    fw.forward(&dev, &input, &mask).unwrap();
+    let names: Vec<String> = dev.trace().iter().map(|r| r.name.clone()).collect();
+    assert!(names.iter().any(|n| n.contains("fused_short") || n.contains("grouped.qk")));
+    assert!(!names.iter().any(|n| n.contains("batched.scores")));
+    assert!(!names.iter().any(|n| n.contains("softmax")), "softmax fully fused away");
+}
+
+#[test]
+fn fig14_shape_framework_ordering_at_scale() {
+    // A larger α=0.6 batch on the A100 model: ByteTransformer < Faster-
+    // Transformer < {PyTorch, TensorFlow}; Turbo degrades with batch — the
+    // qualitative shape of Fig. 14.
+    let config = BertConfig {
+        heads: 4,
+        head_size: 16,
+        ffn_scale: 4,
+        layers: 1,
+        eps: 1e-6,
+    };
+    let model = BertModel::new_random(config, 2, 3);
+    let mask = bytetransformer::varlen::workload::paper_workload(16, 128, 9);
+    let mut input = Tensor::randn([16, 128, config.hidden()], 11);
+    for (b, &len) in mask.seq_lens().iter().enumerate() {
+        for s in len..128 {
+            for h in 0..config.hidden() {
+                input.set(&[b, s, h], 0.0).unwrap();
+            }
+        }
+    }
+    let time = |kind: FrameworkKind| -> f64 {
+        let fw = SimFramework::new(kind, model.clone());
+        let dev = fw.device(CostModel::a100());
+        fw.forward(&dev, &input, &mask).unwrap();
+        dev.modeled_total()
+    };
+    let bt = time(FrameworkKind::ByteTransformer);
+    let ft = time(FrameworkKind::FasterTransformer);
+    let pt = time(FrameworkKind::PyTorchJit);
+    let tf = time(FrameworkKind::TensorFlowXla);
+    let turbo = time(FrameworkKind::TurboTransformer);
+    assert!(bt < ft, "BT {bt} !< FT {ft}");
+    assert!(ft < pt, "FT {ft} !< PyTorch {pt}");
+    assert!(ft < tf, "FT {ft} !< TF {tf}");
+    assert!(bt < turbo, "BT {bt} !< Turbo {turbo}");
+}
