@@ -20,7 +20,10 @@ fn main() {
     let batch = bench_batch();
     let seq = if bt_bench::fast_mode() { 64 } else { 256 };
     let model = BertModel::new_random(config, 1, 3);
-    println!("single layer, batch {batch} × max_seq {seq}, hidden {}\n", config.hidden());
+    println!(
+        "single layer, batch {batch} × max_seq {seq}, hidden {}\n",
+        config.hidden()
+    );
     println!(
         "{:>7} {:>14} {:>14} {:>10} {:>14} {:>10}",
         "alpha", "baseline_µs", "zeropad_µs", "zp_gain", "fused_µs", "full_gain"

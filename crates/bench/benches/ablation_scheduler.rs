@@ -24,7 +24,11 @@ fn main() {
     let hidden = config.hidden();
     let scale = config.attention_scale();
     let batch = if bt_bench::fast_mode() { 2 } else { 8 };
-    let seqs: Vec<usize> = if bt_bench::fast_mode() { vec![96] } else { vec![512, 768, 1024] };
+    let seqs: Vec<usize> = if bt_bench::fast_mode() {
+        vec![96]
+    } else {
+        vec![512, 768, 1024]
+    };
     println!("batch {batch}, {heads} heads × {}, α = 0.6\n", config.head_size);
     println!(
         "{:>6} {:>14} {:>14} {:>12} {:>14} {:>14} {:>10}",

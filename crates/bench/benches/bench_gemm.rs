@@ -1,0 +1,205 @@
+//! GEMM throughput harness: GFLOP/s of the register-blocked microkernel
+//! paths (blocked + grouped) at paper shapes, against an in-binary
+//! reimplementation of the pre-microkernel scalar path as the baseline.
+//!
+//! Emits `BENCH_gemm.json` at the repo root so the speedup over the seed
+//! algorithm is recorded machine-locally: both variants run in this same
+//! process, same build flags, same run.
+//!
+//! Run with `cargo bench --bench bench_gemm` (`BT_BENCH_FAST=1` shrinks the
+//! shapes for smoke runs).
+
+use bt_bench::{banner, fast_mode, wall};
+use bt_gemm::grouped::{grouped_sgemm, GroupedConfig, GroupedProblem, NoEpilogue, NoTransform};
+use bt_gemm::{sgemm, GemmSpec};
+use bt_tensor::rng::Xoshiro256StarStar;
+use rayon::prelude::*;
+use std::fmt::Write as _;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+/// The seed's scalar GEMM, preserved as the baseline: row-parallel axpy
+/// loops over `KC`-blocked panels, no packing, no register tile — each `B`
+/// element is reused once per `C` row instead of `MR` times.
+fn seed_scalar_sgemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    const KC: usize = 64;
+    c[..m * n].par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        c_row.fill(0.0);
+        for p0 in (0..k).step_by(KC) {
+            let pc = KC.min(k - p0);
+            for p in p0..p0 + pc {
+                let aip = a[i * k + p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aip * bv;
+                }
+            }
+        }
+    });
+}
+
+/// Times `f` (1 warm-up + best of `reps`) and returns GFLOP/s for `flops`.
+fn gflops(flops: u64, reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let ((), secs) = wall(&mut f);
+        best = best.min(secs);
+    }
+    (flops as f64 / best / 1e9, best)
+}
+
+struct Row {
+    name: &'static str,
+    path: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    gflops: f64,
+    secs: f64,
+}
+
+fn main() {
+    banner(
+        "GEMM throughput: microkernel vs seed scalar path",
+        "substrate for Figs. 3/9/10/14 (all pipeline GEMMs route here)",
+        "microkernel >= 2x GFLOP/s over the scalar path at m=n=k=768",
+    );
+    let reps = if fast_mode() { 2 } else { 3 };
+    let scale = if fast_mode() { 4 } else { 1 };
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Dense shapes: the square probe plus the BERT-base encoder GEMMs at
+    // one batch of seq 192 (768 token rows).
+    let dense: &[(&'static str, usize, usize, usize)] = &[
+        ("square_768", 768 / scale, 768 / scale, 768 / scale),
+        ("ffn_up", 768 / scale, 3072 / scale, 768 / scale),
+        ("ffn_down", 768 / scale, 768 / scale, 3072 / scale),
+    ];
+    for &(name, m, n, k) in dense {
+        let a = rand_vec(m * k, 1);
+        let b = rand_vec(k * n, 2);
+        let mut c = vec![0.0f32; m * n];
+        let flops = 2 * (m * n * k) as u64;
+        let (gf, secs) = gflops(flops, reps, || sgemm(GemmSpec::nn(), m, n, k, &a, &b, &mut c));
+        rows.push(Row {
+            name,
+            path: "microkernel",
+            m,
+            n,
+            k,
+            gflops: gf,
+            secs,
+        });
+        let (gf, secs) = gflops(flops, reps, || seed_scalar_sgemm(m, n, k, &a, &b, &mut c));
+        rows.push(Row {
+            name,
+            path: "seed_scalar",
+            m,
+            n,
+            k,
+            gflops: gf,
+            secs,
+        });
+    }
+
+    // Grouped path: batch 4 x 12 heads of Q·Kᵀ at seq 256, head 64 — the
+    // fused-MHA GEMM-1 shape.
+    {
+        let (units, seq, head) = (48 / scale, 256 / scale, 64);
+        let a_bufs: Vec<Vec<f32>> = (0..units).map(|i| rand_vec(seq * head, i as u64)).collect();
+        let b_bufs: Vec<Vec<f32>> = (0..units).map(|i| rand_vec(seq * head, 100 + i as u64)).collect();
+        let problems: Vec<GroupedProblem<'_>> = (0..units)
+            .map(|i| GroupedProblem {
+                m: seq,
+                n: seq,
+                k: head,
+                transb: true,
+                alpha: 1.0,
+                a: &a_bufs[i],
+                b: &b_bufs[i],
+            })
+            .collect();
+        let mut c_bufs: Vec<Vec<f32>> = (0..units).map(|_| vec![0.0f32; seq * seq]).collect();
+        let flops = 2 * (units * seq * seq * head) as u64;
+        let (gf, secs) = gflops(flops, reps, || {
+            grouped_sgemm(
+                &problems,
+                c_bufs.iter_mut().map(|c| c.as_mut_slice()).collect(),
+                GroupedConfig::default(),
+                &NoEpilogue,
+                &NoTransform,
+            );
+        });
+        rows.push(Row {
+            name: "grouped_qk",
+            path: "microkernel",
+            m: seq,
+            n: seq,
+            k: head,
+            gflops: gf,
+            secs,
+        });
+    }
+
+    println!(
+        "\n{:<12} {:<12} {:>5} {:>5} {:>5} {:>10} {:>12}",
+        "shape", "path", "m", "n", "k", "GFLOP/s", "secs"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<12} {:>5} {:>5} {:>5} {:>10.2} {:>12.6}",
+            r.name, r.path, r.m, r.n, r.k, r.gflops, r.secs
+        );
+    }
+    let speedup = |name: &str| {
+        let micro = rows.iter().find(|r| r.name == name && r.path == "microkernel");
+        let seed = rows.iter().find(|r| r.name == name && r.path == "seed_scalar");
+        match (micro, seed) {
+            (Some(m), Some(s)) if s.gflops > 0.0 => Some(m.gflops / s.gflops),
+            _ => None,
+        }
+    };
+    for &(name, ..) in dense {
+        if let Some(x) = speedup(name) {
+            println!("{name}: microkernel {x:.2}x over seed scalar");
+        }
+    }
+
+    // BENCH_gemm.json at the repo root (hand-rolled — no serde in-tree).
+    let mut json = String::from("{\n  \"bench\": \"gemm\",\n  \"unit\": \"GFLOP/s\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"path\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"gflops\": {:.3}, \"secs\": {:.6}}}{}",
+            r.name,
+            r.path,
+            r.m,
+            r.n,
+            r.k,
+            r.gflops,
+            r.secs,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ],\n  \"speedup_vs_seed_scalar\": {\n");
+    let names: Vec<&str> = dense.iter().map(|&(n, ..)| n).collect();
+    for (i, name) in names.iter().enumerate() {
+        if let Some(x) = speedup(name) {
+            let _ = write!(
+                json,
+                "    \"{}\": {:.2}{}",
+                name,
+                x,
+                if i + 1 == names.len() { "" } else { "," }
+            );
+        }
+    }
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    std::fs::write(path, &json).expect("write BENCH_gemm.json");
+    println!("\nwrote {path}");
+}

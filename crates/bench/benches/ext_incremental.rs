@@ -21,9 +21,21 @@ fn main() {
         "cached per-token FLOPs grow ~linearly with context, recompute ~quadratically; modeled time is launch-bound for both (why real decoders use CUDA graphs)",
     );
     let config = if bt_bench::fast_mode() {
-        BertConfig { heads: 2, head_size: 8, ffn_scale: 4, layers: 2, eps: 1e-6 }
+        BertConfig {
+            heads: 2,
+            head_size: 8,
+            ffn_scale: 4,
+            layers: 2,
+            eps: 1e-6,
+        }
     } else {
-        BertConfig { heads: 12, head_size: 64, ffn_scale: 4, layers: 2, eps: 1e-6 }
+        BertConfig {
+            heads: 12,
+            head_size: 64,
+            ffn_scale: 4,
+            layers: 2,
+            eps: 1e-6,
+        }
     };
     let decoder = TransformerDecoder::new_random(config, config.layers, 7);
     let hidden = config.hidden();

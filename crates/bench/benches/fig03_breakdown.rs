@@ -21,7 +21,11 @@ fn main() {
     let config = bench_config();
     let batch = bench_batch();
     let model = BertModel::new_random(config, 1, 7);
-    let seqs = if bt_bench::fast_mode() { vec![64, 128] } else { vec![256, 1024] };
+    let seqs = if bt_bench::fast_mode() {
+        vec![64, 128]
+    } else {
+        vec![256, 1024]
+    };
 
     let mut attention_fraction = Vec::new();
     for &seq in &seqs {

@@ -8,8 +8,7 @@
 use bt_bench::{banner, bench_config, pct_faster, seq_sweep, wall};
 use bt_device::{CostModel, Device};
 use bt_kernels::layernorm::{
-    add_bias_residual_layernorm_fused, add_bias_residual_layernorm_fused_f16,
-    add_bias_residual_layernorm_unfused,
+    add_bias_residual_layernorm_fused, add_bias_residual_layernorm_fused_f16, add_bias_residual_layernorm_unfused,
 };
 use bt_tensor::half::to_f16_vec;
 use bt_tensor::Tensor;
@@ -41,7 +40,16 @@ fn main() {
         let mut x = base.clone();
         let (_, w_u) = wall(|| {
             add_bias_residual_layernorm_unfused(
-                &dev_u, "layernorm", &mut x, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden,
+                &dev_u,
+                "layernorm",
+                &mut x,
+                &residual,
+                &bias,
+                &gamma,
+                &beta,
+                1e-6,
+                rows,
+                hidden,
             )
         });
 
@@ -49,7 +57,16 @@ fn main() {
         let mut y = base.clone();
         let (_, w_f) = wall(|| {
             add_bias_residual_layernorm_fused(
-                &dev_f, "layernorm", &mut y, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden,
+                &dev_f,
+                "layernorm",
+                &mut y,
+                &residual,
+                &bias,
+                &gamma,
+                &beta,
+                1e-6,
+                rows,
+                hidden,
             )
         });
 
@@ -57,7 +74,16 @@ fn main() {
         let mut hx = to_f16_vec(&base);
         let hres = to_f16_vec(&residual);
         add_bias_residual_layernorm_fused_f16(
-            &dev_h, "layernorm", &mut hx, &hres, &bias, &gamma, &beta, 1e-6, rows, hidden,
+            &dev_h,
+            "layernorm",
+            &mut hx,
+            &hres,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
         );
 
         println!(

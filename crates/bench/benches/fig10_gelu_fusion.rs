@@ -40,15 +40,31 @@ fn main() {
         let mut out_u = vec![0.0f32; rows * inter];
         let (_, w_u) = wall(|| {
             dev_u.launch(gemm_kernel_spec("gemm2.ffn_up", rows, inter, hidden, 4), || {
-                sgemm(GemmSpec::nn(), rows, inter, hidden, &x, w.ffn_up_weight.as_slice(), &mut out_u)
+                sgemm(
+                    GemmSpec::nn(),
+                    rows,
+                    inter,
+                    hidden,
+                    &x,
+                    w.ffn_up_weight.as_slice(),
+                    &mut out_u,
+                )
             });
             add_bias_gelu_unfused(&dev_u, "bias_act", &mut out_u, rows, inter, &w.ffn_up_bias);
         });
         let report = TraceReport::by_prefix(&dev_u.trace());
         let gemm_part = report.bucket("gemm2").map(|b| b.modeled).unwrap_or(0.0);
         let stack = dev_u.trace();
-        let bias_part: f64 = stack.iter().filter(|r| r.name.contains("add_bias")).map(|r| r.modeled).sum();
-        let gelu_part: f64 = stack.iter().filter(|r| r.name.contains(".gelu")).map(|r| r.modeled).sum();
+        let bias_part: f64 = stack
+            .iter()
+            .filter(|r| r.name.contains("add_bias"))
+            .map(|r| r.modeled)
+            .sum();
+        let gelu_part: f64 = stack
+            .iter()
+            .filter(|r| r.name.contains(".gelu"))
+            .map(|r| r.modeled)
+            .sum();
 
         // Fused: one GEMM with the bias+GELU epilogue.
         let dev_f = Device::new();
@@ -58,7 +74,16 @@ fn main() {
             let mut spec = gemm_kernel_spec("gemm2.ffn_up_fused", rows, inter, hidden, 4);
             spec.cost.flops += (rows * inter * 9) as u64;
             dev_f.launch(spec, || {
-                sgemm_epilogue(GemmSpec::nn(), rows, inter, hidden, &x, w.ffn_up_weight.as_slice(), &mut out_f, &epi)
+                sgemm_epilogue(
+                    GemmSpec::nn(),
+                    rows,
+                    inter,
+                    hidden,
+                    &x,
+                    w.ffn_up_weight.as_slice(),
+                    &mut out_f,
+                    &epi,
+                )
             });
         });
 

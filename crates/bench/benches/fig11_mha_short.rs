@@ -23,7 +23,11 @@ fn main() {
     let hidden = config.hidden();
     let scale = config.attention_scale();
     let batch = if bt_bench::fast_mode() { 2 } else { 16 };
-    let seqs: Vec<usize> = if bt_bench::fast_mode() { vec![64] } else { vec![128, 256, 384] };
+    let seqs: Vec<usize> = if bt_bench::fast_mode() {
+        vec![64]
+    } else {
+        vec![128, 256, 384]
+    };
     println!("batch {batch}, {heads} heads × {head}, avg len = 0.6·max\n");
     println!(
         "{:>6} {:>12} {:>12} {:>13} {:>11} {:>12} {:>12} {:>12}",

@@ -30,7 +30,11 @@ fn main() {
     } else {
         8 // paper uses 16; 8 keeps a single-core run tractable (ratios hold)
     };
-    let seqs: Vec<usize> = if bt_bench::fast_mode() { vec![96] } else { vec![512, 768, 1024] };
+    let seqs: Vec<usize> = if bt_bench::fast_mode() {
+        vec![96]
+    } else {
+        vec![512, 768, 1024]
+    };
     println!("batch {batch}, {heads} heads × {head}, avg len = 0.6·max\n");
     println!(
         "{:>6} {:>12} {:>12} {:>13} {:>11} {:>12} {:>12} {:>12} {:>11}",

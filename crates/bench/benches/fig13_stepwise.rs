@@ -43,10 +43,7 @@ fn main() {
             print!(" {:>14.1}µs{delta:<7}", t * 1e6);
             times.push(t);
         }
-        println!(
-            " {:>9.0}%",
-            (times[0] / times[times.len() - 1] - 1.0) * 100.0
-        );
+        println!(" {:>9.0}%", (times[0] / times[times.len() - 1] - 1.0) * 100.0);
     }
     println!("\npaper: +3.2% (layernorm) +3.8% (GELU) +24% (rm padding) +20% (fused MHA) ⇒ ~+60% total");
 }

@@ -30,8 +30,16 @@ fn main() {
     let scale_layers = config.layers / layers;
     let model = BertModel::new_random(config, layers, 11);
 
-    let batches: Vec<usize> = if bt_bench::fast_mode() { vec![1, 2] } else { vec![1, 8, 16] };
-    let seqs: Vec<usize> = if bt_bench::fast_mode() { vec![64, 128] } else { vec![128, 256, 512, 1024] };
+    let batches: Vec<usize> = if bt_bench::fast_mode() {
+        vec![1, 2]
+    } else {
+        vec![1, 8, 16]
+    };
+    let seqs: Vec<usize> = if bt_bench::fast_mode() {
+        vec![64, 128]
+    } else {
+        vec![128, 256, 512, 1024]
+    };
     println!(
         "modeled A100 ms for {} layers (1 layer executed, modeled ×{}), α = 0.6\n",
         config.layers, scale_layers

@@ -43,7 +43,9 @@ fn bench_layernorm(c: &mut Criterion) {
     group.bench_function("unfused", |bench| {
         bench.iter(|| {
             let mut x = base.clone();
-            add_bias_residual_layernorm_unfused(&dev, "ln", &mut x, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden);
+            add_bias_residual_layernorm_unfused(
+                &dev, "ln", &mut x, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden,
+            );
             black_box(&x);
         })
     });
@@ -100,7 +102,10 @@ fn bench_fused_mha(c: &mut Criterion) {
     let qkv_l = Tensor::randn([idx_l.valid_words(), 3 * hidden], 2);
     let (q_l, k_l, v_l) = add_bias_split_qkv_packed(&dev, &qkv_l, &bias, heads, 0.125);
     let mut group = c.benchmark_group("fused_mha_grouped_b2_s512");
-    for (name, sched) in [("per_tile", Scheduler::PerTile), ("warp_prefetch", Scheduler::WarpPrefetch)] {
+    for (name, sched) in [
+        ("per_tile", Scheduler::PerTile),
+        ("warp_prefetch", Scheduler::WarpPrefetch),
+    ] {
         group.bench_function(name, |bench| {
             bench.iter(|| black_box(fused_grouped_attention(&dev, &q_l, &k_l, &v_l, &idx_l, sched)))
         });

@@ -49,13 +49,29 @@ pub fn batched_attention(
 
     // Softmax: padded or zero-padding variant.
     if zeropad_softmax {
-        masked_softmax_zeropad(device, "attention.batched.softmax", &mut scores, batch, heads, seq, seq_lens);
+        masked_softmax_zeropad(
+            device,
+            "attention.batched.softmax",
+            &mut scores,
+            batch,
+            heads,
+            seq,
+            seq_lens,
+        );
         // Dead query rows still hold raw logits; the downstream `P·V` GEMM
         // would propagate them into dead context rows (which the re-pack
         // drops), so no cleanup pass is spent on them — that is the point
         // of the optimization.
     } else {
-        masked_softmax_padded(device, "attention.batched.softmax", &mut scores, batch, heads, seq, seq_lens);
+        masked_softmax_padded(
+            device,
+            "attention.batched.softmax",
+            &mut scores,
+            batch,
+            heads,
+            seq,
+            seq_lens,
+        );
     }
 
     // Batched GEMM 2: context = P · V.
@@ -85,8 +101,8 @@ pub fn batched_attention(
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::fixture;
     use super::super::reference_attention;
+    use super::super::test_support::fixture;
     use super::*;
     use bt_device::CostModel;
 

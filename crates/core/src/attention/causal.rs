@@ -27,13 +27,7 @@ use rayon::prelude::*;
 
 /// Causal fused MHA dispatcher over packed `[heads, valid, head]` Q/K/V
 /// (`Q` pre-scaled). Returns the packed `[valid, hidden]` context.
-pub fn causal_fused_attention(
-    device: &Device,
-    q: &Tensor,
-    k: &Tensor,
-    v: &Tensor,
-    idx: &PackingIndex,
-) -> Tensor {
+pub fn causal_fused_attention(device: &Device, q: &Tensor, k: &Tensor, v: &Tensor, idx: &PackingIndex) -> Tensor {
     if idx.max_seq_len() <= FUSED_SHORT_MAX_SEQ {
         causal_fused_short_attention(device, q, k, v, idx, super::fused_short::DEFAULT_SPLIT_SEQ_LEN)
     } else {
@@ -184,13 +178,7 @@ pub fn causal_grouped_attention(
 /// Host oracle: causal attention over padded `[batch, heads, seq, head]`
 /// inputs. Padded query rows produce zeros.
 #[allow(clippy::needless_range_loop)] // index loops are the oracle idiom here
-pub fn causal_reference_attention(
-    q: &Tensor,
-    k: &Tensor,
-    v: &Tensor,
-    seq_lens: &[usize],
-    scale: f32,
-) -> Tensor {
+pub fn causal_reference_attention(q: &Tensor, k: &Tensor, v: &Tensor, seq_lens: &[usize], scale: f32) -> Tensor {
     let dims = q.dims();
     let (batch, heads, seq, head) = (dims[0], dims[1], dims[2], dims[3]);
     let mut out = Tensor::zeros([batch, heads, seq, head]);
@@ -254,7 +242,12 @@ mod tests {
         let fx = fixture(&lens, 130, 2, 8, 5);
         let dev = device();
         let got = causal_grouped_attention(
-            &dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, Scheduler::WarpPrefetch,
+            &dev,
+            &fx.q_packed,
+            &fx.k_packed,
+            &fx.v_packed,
+            &fx.idx,
+            Scheduler::WarpPrefetch,
         );
         let expect_pad = causal_reference_attention(&fx.q_pad, &fx.k_pad, &fx.v_pad, &lens, fx.scale);
         let expect = pack_context(&expect_pad, &fx.idx);
@@ -268,7 +261,12 @@ mod tests {
         let dev = device();
         let a = causal_fused_short_attention(&dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, 16);
         let b = causal_grouped_attention(
-            &dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, Scheduler::PerTile,
+            &dev,
+            &fx.q_packed,
+            &fx.k_packed,
+            &fx.v_packed,
+            &fx.idx,
+            Scheduler::PerTile,
         );
         assert_close(a.as_slice(), b.as_slice(), 3e-4);
     }
@@ -303,11 +301,23 @@ mod tests {
     fn dispatcher_picks_both_paths() {
         let fx_short = fixture(&[30], 30, 1, 4, 9);
         let dev = device();
-        causal_fused_attention(&dev, &fx_short.q_packed, &fx_short.k_packed, &fx_short.v_packed, &fx_short.idx);
+        causal_fused_attention(
+            &dev,
+            &fx_short.q_packed,
+            &fx_short.k_packed,
+            &fx_short.v_packed,
+            &fx_short.idx,
+        );
         assert!(dev.trace().iter().any(|r| r.name.contains("causal_short")));
         let fx_long = fixture(&[400], 400, 1, 4, 10);
         let dev = device();
-        causal_fused_attention(&dev, &fx_long.q_packed, &fx_long.k_packed, &fx_long.v_packed, &fx_long.idx);
+        causal_fused_attention(
+            &dev,
+            &fx_long.q_packed,
+            &fx_long.k_packed,
+            &fx_long.v_packed,
+            &fx_long.idx,
+        );
         assert!(dev.trace().iter().any(|r| r.name.contains("causal_grouped")));
     }
 }

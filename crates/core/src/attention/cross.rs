@@ -29,11 +29,7 @@ pub fn cross_attention(
     mem_idx: &PackingIndex,
     scheduler: Scheduler,
 ) -> Tensor {
-    assert_eq!(
-        tgt_idx.batch(),
-        mem_idx.batch(),
-        "target and memory batches must align"
-    );
+    assert_eq!(tgt_idx.batch(), mem_idx.batch(), "target and memory batches must align");
     let heads = q.dims()[0];
     assert_eq!(q.dims()[1], tgt_idx.valid_words(), "Q rows != target valid words");
     assert_eq!(k.dims()[1], mem_idx.valid_words(), "K rows != memory valid words");
@@ -184,10 +180,15 @@ mod tests {
         let fx = fixture(tgt_lens, mem_lens, heads, head, seed);
         let dev = device();
         let got = cross_attention(
-            &dev, &fx.q_pk, &fx.k_pk, &fx.v_pk, &fx.tgt_idx, &fx.mem_idx, Scheduler::WarpPrefetch,
+            &dev,
+            &fx.q_pk,
+            &fx.k_pk,
+            &fx.v_pk,
+            &fx.tgt_idx,
+            &fx.mem_idx,
+            Scheduler::WarpPrefetch,
         );
-        let expect_pad =
-            cross_reference_attention(&fx.q_pad, &fx.k_pad, &fx.v_pad, tgt_lens, mem_lens, fx.scale);
+        let expect_pad = cross_reference_attention(&fx.q_pad, &fx.k_pad, &fx.v_pad, tgt_lens, mem_lens, fx.scale);
         let hidden = heads * head;
         let mut expect = vec![0.0f32; fx.tgt_idx.valid_words() * hidden];
         for b in 0..tgt_lens.len() {
@@ -218,7 +219,13 @@ mod tests {
         let fx = fixture(&[3, 2], &[4, 0], 2, 4, 5);
         let dev = device();
         let got = cross_attention(
-            &dev, &fx.q_pk, &fx.k_pk, &fx.v_pk, &fx.tgt_idx, &fx.mem_idx, Scheduler::WarpPrefetch,
+            &dev,
+            &fx.q_pk,
+            &fx.k_pk,
+            &fx.v_pk,
+            &fx.tgt_idx,
+            &fx.mem_idx,
+            Scheduler::WarpPrefetch,
         );
         assert!(got.as_slice().iter().all(|v| v.is_finite()));
         // Sequence 1 (empty memory) rows are zero.
@@ -235,7 +242,15 @@ mod tests {
         let fx_big = fixture(&[8; 4], &[64; 4], 2, 8, 6);
         let run = |fx: &CrossFixture| {
             let dev = device();
-            cross_attention(&dev, &fx.q_pk, &fx.k_pk, &fx.v_pk, &fx.tgt_idx, &fx.mem_idx, Scheduler::WarpPrefetch);
+            cross_attention(
+                &dev,
+                &fx.q_pk,
+                &fx.k_pk,
+                &fx.v_pk,
+                &fx.tgt_idx,
+                &fx.mem_idx,
+                Scheduler::WarpPrefetch,
+            );
             dev.total_flops()
         };
         let small = run(&fx_small);
@@ -250,7 +265,13 @@ mod tests {
         let fx_b = fixture(&[3, 3], &[4, 4], 1, 4, 8);
         let dev = device();
         cross_attention(
-            &dev, &fx_a.q_pk, &fx_b.k_pk, &fx_b.v_pk, &fx_a.tgt_idx, &fx_b.mem_idx, Scheduler::WarpPrefetch,
+            &dev,
+            &fx_a.q_pk,
+            &fx_b.k_pk,
+            &fx_b.v_pk,
+            &fx_a.tgt_idx,
+            &fx_b.mem_idx,
+            Scheduler::WarpPrefetch,
         );
     }
 }

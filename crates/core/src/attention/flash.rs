@@ -25,14 +25,7 @@ const TILE: usize = 64;
 /// logits; padded keys are masked with `-inf`; padded query rows produce
 /// zeros. Cost is the full `seq²` regardless of valid lengths — that is the
 /// design point being measured.
-pub fn flash_attention(
-    device: &Device,
-    q: &Tensor,
-    k: &Tensor,
-    v: &Tensor,
-    seq_lens: &[usize],
-    scale: f32,
-) -> Tensor {
+pub fn flash_attention(device: &Device, q: &Tensor, k: &Tensor, v: &Tensor, seq_lens: &[usize], scale: f32) -> Tensor {
     let (batch, heads, seq, head) = padded_dims(q, k, v, seq_lens);
     let planes = batch * heads;
     let qkv_bytes = (planes * seq * head * 4) as u64;
@@ -86,8 +79,7 @@ pub fn flash_attention(
                                     *s = if kj < len { dot * scale } else { f32::NEG_INFINITY };
                                 }
                                 // Online-softmax update for this row.
-                                let block_max =
-                                    block.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                                let block_max = block.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                                 let new_max = run_max[i].max(block_max);
                                 if new_max == f32::NEG_INFINITY {
                                     continue; // fully masked so far
@@ -108,9 +100,7 @@ pub fn flash_attention(
                                     let p = (s - new_max).exp();
                                     run_sum[i] += p;
                                     let v_row = &v_plane[(kt + j) * head..(kt + j + 1) * head];
-                                    for (a, &vv) in
-                                        acc[i * head..(i + 1) * head].iter_mut().zip(v_row)
-                                    {
+                                    for (a, &vv) in acc[i * head..(i + 1) * head].iter_mut().zip(v_row) {
                                         *a += p * vv;
                                     }
                                 }
@@ -140,11 +130,11 @@ pub fn flash_attention(
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::fixture;
     use super::super::reference_attention;
+    use super::super::test_support::fixture;
     use super::*;
     use bt_device::CostModel;
-    
+
     fn device() -> Device {
         Device::with_model(CostModel::unit())
     }

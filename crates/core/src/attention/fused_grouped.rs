@@ -31,12 +31,12 @@
 use super::packed_dims;
 use bt_device::{Device, KernelSpec};
 use bt_gemm::grouped::{
-    grouped_sgemm, grouped_sgemm_strided, ALoadTransform, GroupedConfig, GroupedProblem,
-    NoTransform, Scheduler, StridedOutput, TileEpilogue, PREFETCH_WIDTH,
+    grouped_sgemm, grouped_sgemm_strided, ALoadTransform, GroupedConfig, GroupedProblem, NoTransform, Scheduler,
+    StridedOutput, TileEpilogue, PREFETCH_WIDTH,
 };
+use bt_gemm::DisjointWriter;
 use bt_tensor::Tensor;
 use bt_varlen::PackingIndex;
-use parking_lot::Mutex;
 
 /// Modeled cost of one scheduler visit (seconds), charged along the
 /// critical path as `visits / num_ctas × cost`. The stock CUTLASS problem
@@ -78,18 +78,23 @@ pub(crate) struct AttnUnit {
     pub kv_len: usize,
 }
 
-/// Per-problem softmax partials produced by the GEMM-1 epilogue:
+/// Per-problem softmax-partial stores fed by the GEMM-1 epilogue:
 /// `max[row, col_tile]` and `sum[row, col_tile] = Σ exp(x − max)` over that
-/// tile's columns.
-struct PartialBuffers {
+/// tile's columns, row-major `[rows, n_tiles]`.
+///
+/// Tiles partition the `(row, col_tile)` grid, so CTAs write their partials
+/// lock-free through [`DisjointWriter`]s — exactly like the CUDA epilogue
+/// stores to global memory without synchronization.
+struct PartialStore<'a> {
     n_tiles: usize,
-    data: Mutex<(Vec<f32>, Vec<f32>)>, // (max, sum), row-major [rows, n_tiles]
+    max: DisjointWriter<'a>,
+    sum: DisjointWriter<'a>,
 }
 
 /// The Fig. 8 epilogue: intra-tile (thread + warp level on the GPU)
 /// reduction of row max and exp-sum, stored to global partials.
-struct SoftmaxPartialEpilogue {
-    partials: Vec<PartialBuffers>,
+struct SoftmaxPartialEpilogue<'a> {
+    partials: Vec<PartialStore<'a>>,
     tile_n: usize,
     /// Causal self-attention: mask logits where key position > query
     /// position (tiles are aligned, so the condition is on tile-local
@@ -98,37 +103,28 @@ struct SoftmaxPartialEpilogue {
     causal: bool,
 }
 
-impl TileEpilogue for SoftmaxPartialEpilogue {
+impl TileEpilogue for SoftmaxPartialEpilogue<'_> {
     fn apply(&self, problem: usize, row0: usize, col0: usize, rows: usize, cols: usize, tile: &mut [f32]) {
         let pb = &self.partials[problem];
         let tcol = col0 / self.tile_n;
-        if self.causal {
-            for i in 0..rows {
-                let row = &mut tile[i * cols..(i + 1) * cols];
+        for i in 0..rows {
+            let row = &mut tile[i * cols..(i + 1) * cols];
+            if self.causal {
                 for (j, x) in row.iter_mut().enumerate() {
                     if col0 + j > row0 + i {
                         *x = f32::NEG_INFINITY;
                     }
                 }
             }
-        }
-        let mut maxes = vec![f32::NEG_INFINITY; rows];
-        let mut sums = vec![0.0f32; rows];
-        for i in 0..rows {
-            let row = &tile[i * cols..(i + 1) * cols];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            if m == f32::NEG_INFINITY {
+            let (m_out, s_out) = if m == f32::NEG_INFINITY {
                 // Fully masked tile row: identity element of the merge.
-                continue;
-            }
-            let s: f32 = row.iter().map(|&x| (x - m).exp()).sum();
-            maxes[i] = m;
-            sums[i] = s;
-        }
-        let mut guard = pb.data.lock();
-        for i in 0..rows {
-            guard.0[(row0 + i) * pb.n_tiles + tcol] = maxes[i];
-            guard.1[(row0 + i) * pb.n_tiles + tcol] = sums[i];
+                (f32::NEG_INFINITY, 0.0)
+            } else {
+                (m, row.iter().map(|&x| (x - m).exp()).sum())
+            };
+            pb.max.write_at((row0 + i) * pb.n_tiles + tcol, m_out);
+            pb.sum.write_at((row0 + i) * pb.n_tiles + tcol, s_out);
         }
     }
 }
@@ -226,18 +222,28 @@ pub(crate) fn grouped_softmax_attention_ex(
         })
         .collect();
     let mut p_bufs: Vec<Vec<f32>> = units.iter().map(|u| vec![0.0f32; u.q_len * u.kv_len]).collect();
+    // Partial backing stores, initialized to the merge identity so rows of
+    // problems with no key tiles (kv_len = 0) reduce correctly.
+    let n_tiles_per: Vec<usize> = units.iter().map(|u| u.kv_len.div_ceil(config.tile_n).max(1)).collect();
+    let mut max_bufs: Vec<Vec<f32>> = units
+        .iter()
+        .zip(&n_tiles_per)
+        .map(|(u, &nt)| vec![f32::NEG_INFINITY; u.q_len * nt])
+        .collect();
+    let mut sum_bufs: Vec<Vec<f32>> = units
+        .iter()
+        .zip(&n_tiles_per)
+        .map(|(u, &nt)| vec![0.0f32; u.q_len * nt])
+        .collect();
     let epilogue = SoftmaxPartialEpilogue {
-        partials: units
-            .iter()
-            .map(|u| {
-                let n_tiles = u.kv_len.div_ceil(config.tile_n).max(1);
-                PartialBuffers {
-                    n_tiles,
-                    data: Mutex::new((
-                        vec![f32::NEG_INFINITY; u.q_len * n_tiles],
-                        vec![0.0f32; u.q_len * n_tiles],
-                    )),
-                }
+        partials: max_bufs
+            .iter_mut()
+            .zip(sum_bufs.iter_mut())
+            .zip(&n_tiles_per)
+            .map(|((m, s), &nt)| PartialStore {
+                n_tiles: nt,
+                max: DisjointWriter::new(m),
+                sum: DisjointWriter::new(s),
             })
             .collect(),
         tile_n: config.tile_n,
@@ -245,10 +251,7 @@ pub(crate) fn grouped_softmax_attention_ex(
     };
 
     let sq_sum: u64 = units.iter().map(|u| (u.q_len * u.kv_len) as u64).sum();
-    let gemm_flops: u64 = units
-        .iter()
-        .map(|u| 2 * (u.q_len * u.kv_len * head) as u64)
-        .sum();
+    let gemm_flops: u64 = units.iter().map(|u| 2 * (u.q_len * u.kv_len * head) as u64).sum();
     let tiles1: u64 = units
         .iter()
         .map(|u| (u.q_len.div_ceil(config.tile_m) * u.kv_len.div_ceil(config.tile_n)) as u64)
@@ -279,6 +282,7 @@ pub(crate) fn grouped_softmax_attention_ex(
     debug_assert_eq!(stats1.scheduler_visits, visits1, "visit model out of sync");
     device.bump_metric("grouped.scheduler_visits", stats1.scheduler_visits);
     device.bump_metric("grouped.tiles", stats1.tiles);
+    drop(epilogue); // release the partial borrows for the reduction below
 
     // ---- Full reduction: merge partials across column tiles ------------
     // Streaming-softmax merge: M = max_t m_t, S = Σ_t s_t · exp(m_t − M).
@@ -288,24 +292,19 @@ pub(crate) fn grouped_softmax_attention_ex(
             .reads(partial_elems * 8)
             .writes(units.iter().map(|u| (u.q_len * 8) as u64).sum()),
         || {
-            epilogue
-                .partials
+            max_bufs
                 .iter()
+                .zip(&sum_bufs)
                 .zip(units)
-                .map(|(pb, u)| {
-                    let guard = pb.data.lock();
-                    let (maxes, sums) = &*guard;
+                .zip(&n_tiles_per)
+                .map(|(((maxes, sums), u), &nt)| {
                     let mut max = vec![f32::NEG_INFINITY; u.q_len];
                     let mut inv_sum = vec![0.0f32; u.q_len];
                     for r in 0..u.q_len {
-                        let row_m = &maxes[r * pb.n_tiles..(r + 1) * pb.n_tiles];
-                        let row_s = &sums[r * pb.n_tiles..(r + 1) * pb.n_tiles];
+                        let row_m = &maxes[r * nt..(r + 1) * nt];
+                        let row_s = &sums[r * nt..(r + 1) * nt];
                         let big = row_m.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                        let total: f32 = row_m
-                            .iter()
-                            .zip(row_s)
-                            .map(|(&m, &s)| s * (m - big).exp())
-                            .sum();
+                        let total: f32 = row_m.iter().zip(row_s).map(|(&m, &s)| s * (m - big).exp()).sum();
                         max[r] = big;
                         inv_sum[r] = if total > 0.0 { 1.0 / total } else { 0.0 };
                     }
@@ -403,8 +402,8 @@ pub fn fused_grouped_attention(
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{fixture, pack_context};
     use super::super::reference_attention;
+    use super::super::test_support::{fixture, pack_context};
     use super::*;
     use bt_device::CostModel;
     use bt_tensor::compare::assert_close;
@@ -446,8 +445,22 @@ mod tests {
     fn per_tile_and_prefetch_agree_numerically() {
         let fx = fixture(&[100, 40], 100, 2, 8, 6);
         let dev = device();
-        let a = fused_grouped_attention(&dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, Scheduler::PerTile);
-        let b = fused_grouped_attention(&dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, Scheduler::WarpPrefetch);
+        let a = fused_grouped_attention(
+            &dev,
+            &fx.q_packed,
+            &fx.k_packed,
+            &fx.v_packed,
+            &fx.idx,
+            Scheduler::PerTile,
+        );
+        let b = fused_grouped_attention(
+            &dev,
+            &fx.q_packed,
+            &fx.k_packed,
+            &fx.v_packed,
+            &fx.idx,
+            Scheduler::WarpPrefetch,
+        );
         assert_close(a.as_slice(), b.as_slice(), 1e-6);
     }
 
@@ -483,7 +496,14 @@ mod tests {
         // The paper measures the full-reduction kernel at ~2% of fused MHA.
         let fx = fixture(&[160; 4], 160, 4, 16, 8);
         let dev = device();
-        fused_grouped_attention(&dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, Scheduler::WarpPrefetch);
+        fused_grouped_attention(
+            &dev,
+            &fx.q_packed,
+            &fx.k_packed,
+            &fx.v_packed,
+            &fx.idx,
+            Scheduler::WarpPrefetch,
+        );
         let trace = dev.trace();
         let total: f64 = trace.iter().map(|r| r.modeled).sum();
         let reduce: f64 = trace
@@ -498,7 +518,14 @@ mod tests {
     fn three_launches() {
         let fx = fixture(&[32, 16], 32, 2, 8, 9);
         let dev = device();
-        fused_grouped_attention(&dev, &fx.q_packed, &fx.k_packed, &fx.v_packed, &fx.idx, Scheduler::WarpPrefetch);
+        fused_grouped_attention(
+            &dev,
+            &fx.q_packed,
+            &fx.k_packed,
+            &fx.v_packed,
+            &fx.idx,
+            Scheduler::WarpPrefetch,
+        );
         assert_eq!(dev.launches(), 3);
     }
 
@@ -524,7 +551,14 @@ mod tests {
             .collect();
         let dev = device();
         let got = grouped_softmax_attention(
-            &dev, "attention.grouped", &q, &k, &v, &units, q_valid, Scheduler::WarpPrefetch,
+            &dev,
+            "attention.grouped",
+            &q,
+            &k,
+            &v,
+            &units,
+            q_valid,
+            Scheduler::WarpPrefetch,
         );
         // Host reference.
         let hidden = heads * head;

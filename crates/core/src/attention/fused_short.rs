@@ -97,47 +97,59 @@ pub fn fused_short_attention(
             let ks = k.as_slice();
             let vs = v.as_slice();
             let plane = valid * head;
+            // "s_logits": the per-tile intermediate, shared-memory sized.
+            // Thread-local so each worker allocates it once and reuses it
+            // across every tile it processes — like a threadblock's fixed
+            // shared-memory carve-out, and zero heap traffic per tile.
+            thread_local! {
+                static LOGITS: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+            }
             tasks.into_par_iter().for_each(|(b, t0, out_chunk)| {
                 let off = idx.seq_offset(b);
                 let len = idx.seq_len(b);
                 let rows = out_chunk.len() / hidden;
-                // "s_logits": the per-tile intermediate, shared-memory sized.
-                let mut logits = vec![0.0f32; rows * len];
-                for h in 0..heads {
-                    let qp = &qs[h * plane..(h + 1) * plane];
-                    let kp = &ks[h * plane..(h + 1) * plane];
-                    let vp = &vs[h * plane..(h + 1) * plane];
-                    let k_seq = &kp[off * head..(off + len) * head];
-                    let v_seq = &vp[off * head..(off + len) * head];
-                    // P = Q_tile · Kᵀ (Q already carries the 1/√d scale).
-                    for i in 0..rows {
-                        let q_row = &qp[(off + t0 + i) * head..(off + t0 + i + 1) * head];
-                        let l_row = &mut logits[i * len..(i + 1) * len];
-                        for (j, lv) in l_row.iter_mut().enumerate() {
-                            let k_row = &k_seq[j * head..(j + 1) * head];
-                            let mut dot = 0.0f32;
-                            for (&a, &bv) in q_row.iter().zip(k_row) {
-                                dot += a * bv;
-                            }
-                            *lv = dot;
-                        }
-                        // Softmax with the whole row in "registers".
-                        bt_kernels::softmax::softmax_row(l_row);
+                LOGITS.with(|cell| {
+                    let mut logits_buf = cell.borrow_mut();
+                    if logits_buf.len() < rows * len {
+                        logits_buf.resize(rows * len, 0.0);
                     }
-                    // O = P · V, streamed into the packed output columns of
-                    // this head.
-                    for i in 0..rows {
-                        let l_row = &logits[i * len..(i + 1) * len];
-                        let o_row = &mut out_chunk[i * hidden + h * head..i * hidden + (h + 1) * head];
-                        o_row.fill(0.0);
-                        for (j, &p) in l_row.iter().enumerate() {
-                            let v_row = &v_seq[j * head..(j + 1) * head];
-                            for (ov, &vv) in o_row.iter_mut().zip(v_row) {
-                                *ov += p * vv;
+                    let logits = &mut logits_buf[..rows * len];
+                    for h in 0..heads {
+                        let qp = &qs[h * plane..(h + 1) * plane];
+                        let kp = &ks[h * plane..(h + 1) * plane];
+                        let vp = &vs[h * plane..(h + 1) * plane];
+                        let k_seq = &kp[off * head..(off + len) * head];
+                        let v_seq = &vp[off * head..(off + len) * head];
+                        // P = Q_tile · Kᵀ (Q already carries the 1/√d scale).
+                        for i in 0..rows {
+                            let q_row = &qp[(off + t0 + i) * head..(off + t0 + i + 1) * head];
+                            let l_row = &mut logits[i * len..(i + 1) * len];
+                            for (j, lv) in l_row.iter_mut().enumerate() {
+                                let k_row = &k_seq[j * head..(j + 1) * head];
+                                let mut dot = 0.0f32;
+                                for (&a, &bv) in q_row.iter().zip(k_row) {
+                                    dot += a * bv;
+                                }
+                                *lv = dot;
+                            }
+                            // Softmax with the whole row in "registers".
+                            bt_kernels::softmax::softmax_row(l_row);
+                        }
+                        // O = P · V, streamed into the packed output columns of
+                        // this head.
+                        for i in 0..rows {
+                            let l_row = &logits[i * len..(i + 1) * len];
+                            let o_row = &mut out_chunk[i * hidden + h * head..i * hidden + (h + 1) * head];
+                            o_row.fill(0.0);
+                            for (j, &p) in l_row.iter().enumerate() {
+                                let v_row = &v_seq[j * head..(j + 1) * head];
+                                for (ov, &vv) in o_row.iter_mut().zip(v_row) {
+                                    *ov += p * vv;
+                                }
                             }
                         }
                     }
-                }
+                });
             });
             out
         },
@@ -147,8 +159,8 @@ pub fn fused_short_attention(
 
 #[cfg(test)]
 mod tests {
-    use super::super::test_support::{fixture, pack_context};
     use super::super::reference_attention;
+    use super::super::test_support::{fixture, pack_context};
     use super::*;
     use bt_device::CostModel;
     use bt_tensor::compare::assert_close;
@@ -197,9 +209,23 @@ mod tests {
         let fx_short = fixture(&[8, 8], 64, 2, 4, 7);
         let fx_full = fixture(&[64, 64], 64, 2, 4, 7);
         let d_short = device();
-        fused_short_attention(&d_short, &fx_short.q_packed, &fx_short.k_packed, &fx_short.v_packed, &fx_short.idx, 32);
+        fused_short_attention(
+            &d_short,
+            &fx_short.q_packed,
+            &fx_short.k_packed,
+            &fx_short.v_packed,
+            &fx_short.idx,
+            32,
+        );
         let d_full = device();
-        fused_short_attention(&d_full, &fx_full.q_packed, &fx_full.k_packed, &fx_full.v_packed, &fx_full.idx, 32);
+        fused_short_attention(
+            &d_full,
+            &fx_full.q_packed,
+            &fx_full.k_packed,
+            &fx_full.v_packed,
+            &fx_full.idx,
+            32,
+        );
         // 8 vs 64 tokens: ~64× fewer attention flops.
         assert!(d_short.total_flops() * 32 < d_full.total_flops());
     }

@@ -67,13 +67,7 @@ pub(crate) fn packed_dims(q: &Tensor, k: &Tensor, v: &Tensor, idx: &PackingIndex
 /// short sequences, the grouped-GEMM kernel beyond
 /// [`FUSED_SHORT_MAX_SEQ`] (paper: "With the explicit design for both short
 /// and long sequences…"). Returns the packed `[valid, hidden]` context.
-pub fn fused_attention(
-    device: &Device,
-    q: &Tensor,
-    k: &Tensor,
-    v: &Tensor,
-    idx: &PackingIndex,
-) -> Tensor {
+pub fn fused_attention(device: &Device, q: &Tensor, k: &Tensor, v: &Tensor, idx: &PackingIndex) -> Tensor {
     if idx.max_seq_len() <= FUSED_SHORT_MAX_SEQ {
         fused_short_attention(device, q, k, v, idx, DEFAULT_SPLIT_SEQ_LEN)
     } else {
@@ -85,13 +79,7 @@ pub fn fused_attention(
 /// every variant is tested against. `scale` is applied to the logits;
 /// padded key columns are masked; padded query rows produce zeros.
 #[allow(clippy::needless_range_loop)] // index loops are the oracle idiom here
-pub fn reference_attention(
-    q: &Tensor,
-    k: &Tensor,
-    v: &Tensor,
-    seq_lens: &[usize],
-    scale: f32,
-) -> Tensor {
+pub fn reference_attention(q: &Tensor, k: &Tensor, v: &Tensor, seq_lens: &[usize], scale: f32) -> Tensor {
     let (batch, heads, seq, head) = padded_dims(q, k, v, seq_lens);
     let mut out = Tensor::zeros([batch, heads, seq, head]);
     let qs = q.as_slice();

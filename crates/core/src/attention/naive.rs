@@ -95,27 +95,31 @@ pub fn naive_attention(
             .writes(logits_bytes)
             .host_overhead(dispatch_overhead),
         || {
-            scores
-                .par_chunks_mut(seq)
-                .enumerate()
-                .for_each(|(row_idx, row)| {
-                    let b = row_idx / (heads * seq);
-                    for x in &mut row[seq_lens[b]..] {
-                        *x = f32::NEG_INFINITY;
-                    }
-                });
+            scores.par_chunks_mut(seq).enumerate().for_each(|(row_idx, row)| {
+                let b = row_idx / (heads * seq);
+                for x in &mut row[seq_lens[b]..] {
+                    *x = f32::NEG_INFINITY;
+                }
+            });
         },
     );
 
     // Kernel 7: padded softmax over every row. The mask is already applied,
     // but the padded kernel re-applies it idempotently (seq_lens given).
-    masked_softmax_padded(device, "attention.naive.softmax", &mut scores, batch, heads, seq, seq_lens);
+    masked_softmax_padded(
+        device,
+        "attention.naive.softmax",
+        &mut scores,
+        batch,
+        heads,
+        seq,
+        seq_lens,
+    );
 
     // Kernel 8: context = P · V.
     let mut ctx = vec![0.0f32; planes * seq * head];
     device.launch(
-        bt_gemm::gemm_kernel_spec("attention.naive.ctx", planes * seq, head, seq, 4)
-            .host_overhead(dispatch_overhead),
+        bt_gemm::gemm_kernel_spec("attention.naive.ctx", planes * seq, head, seq, 4).host_overhead(dispatch_overhead),
         || {
             batched_sgemm(
                 GemmSpec::nn(),
@@ -150,8 +154,8 @@ pub fn naive_attention(
 #[cfg(test)]
 #[allow(clippy::needless_range_loop)] // oracle-style index loops
 mod tests {
-    use super::super::test_support::fixture;
     use super::super::reference_attention;
+    use super::super::test_support::fixture;
     use super::*;
     use bt_device::CostModel;
     use bt_tensor::compare::assert_close;
@@ -214,7 +218,15 @@ mod tests {
         let d_full = device();
         naive_attention(&d_full, &fx_full.q_pad, &fx_full.k_pad, &fx_full.v_pad, &full, 0.5, 0.0);
         let d_half = device();
-        naive_attention(&d_half, &fx_half.q_pad, &fx_half.k_pad, &fx_half.v_pad, &halfv, 0.5, 0.0);
+        naive_attention(
+            &d_half,
+            &fx_half.q_pad,
+            &fx_half.k_pad,
+            &fx_half.v_pad,
+            &halfv,
+            0.5,
+            0.0,
+        );
         assert_eq!(d_full.total_flops(), d_half.total_flops());
     }
 }

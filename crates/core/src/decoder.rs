@@ -29,9 +29,7 @@ use bt_gemm::grouped::Scheduler;
 use bt_gemm::{gemm_kernel_spec, sgemm, sgemm_epilogue, GemmSpec};
 use bt_kernels::activation::bias_gelu_epilogue;
 use bt_kernels::layernorm::add_bias_residual_layernorm_fused;
-use bt_kernels::layout::{
-    add_bias_split_heads_packed, add_bias_split_kv_packed, add_bias_split_qkv_packed,
-};
+use bt_kernels::layout::{add_bias_split_heads_packed, add_bias_split_kv_packed, add_bias_split_qkv_packed};
 use bt_tensor::Tensor;
 use bt_varlen::{BatchMask, PackingIndex, VarlenError};
 
@@ -118,35 +116,125 @@ impl TransformerDecoder {
         let mem_rows = mem_idx.valid_words();
 
         // --- causal self-attention -----------------------------------
-        let qkv = self.gemm(device, "dec_gemm0.self_qkv", x.as_slice(), rows, w.self_qkv_weight.as_slice(), hidden, 3 * hidden, None);
+        let qkv = self.gemm(
+            device,
+            "dec_gemm0.self_qkv",
+            x.as_slice(),
+            rows,
+            w.self_qkv_weight.as_slice(),
+            hidden,
+            3 * hidden,
+            None,
+        );
         let qkv = Tensor::from_vec(qkv, [rows, 3 * hidden]).expect("shape consistent");
         let (q, k, v) = add_bias_split_qkv_packed(device, &qkv, &w.self_qkv_bias, heads, scale);
         let sa = causal_fused_attention(device, &q, &k, &v, tgt_idx);
-        let mut attn = self.gemm(device, "dec_gemm1.self_proj", sa.as_slice(), rows, w.self_out_weight.as_slice(), hidden, hidden, None);
+        let mut attn = self.gemm(
+            device,
+            "dec_gemm1.self_proj",
+            sa.as_slice(),
+            rows,
+            w.self_out_weight.as_slice(),
+            hidden,
+            hidden,
+            None,
+        );
         add_bias_residual_layernorm_fused(
-            device, "dec_layernorm0", &mut attn, x.as_slice(), &w.self_out_bias, &w.ln0_gamma, &w.ln0_beta, eps, rows, hidden,
+            device,
+            "dec_layernorm0",
+            &mut attn,
+            x.as_slice(),
+            &w.self_out_bias,
+            &w.ln0_gamma,
+            &w.ln0_beta,
+            eps,
+            rows,
+            hidden,
         );
 
         // --- cross-attention over the packed encoder memory ----------
-        let cq = self.gemm(device, "dec_gemm2.cross_q", &attn, rows, w.cross_q_weight.as_slice(), hidden, hidden, None);
+        let cq = self.gemm(
+            device,
+            "dec_gemm2.cross_q",
+            &attn,
+            rows,
+            w.cross_q_weight.as_slice(),
+            hidden,
+            hidden,
+            None,
+        );
         let cq = Tensor::from_vec(cq, [rows, hidden]).expect("shape consistent");
         let cq = add_bias_split_heads_packed(device, "cross_q", &cq, &w.cross_q_bias, heads, scale);
-        let ckv = self.gemm(device, "dec_gemm3.cross_kv", memory.as_slice(), mem_rows, w.cross_kv_weight.as_slice(), hidden, 2 * hidden, None);
+        let ckv = self.gemm(
+            device,
+            "dec_gemm3.cross_kv",
+            memory.as_slice(),
+            mem_rows,
+            w.cross_kv_weight.as_slice(),
+            hidden,
+            2 * hidden,
+            None,
+        );
         let ckv = Tensor::from_vec(ckv, [mem_rows, 2 * hidden]).expect("shape consistent");
         let (ck, cv) = add_bias_split_kv_packed(device, "cross_kv", &ckv, &w.cross_kv_bias, heads);
         let ca = cross_attention(device, &cq, &ck, &cv, tgt_idx, mem_idx, Scheduler::WarpPrefetch);
-        let mut cattn = self.gemm(device, "dec_gemm4.cross_proj", ca.as_slice(), rows, w.cross_out_weight.as_slice(), hidden, hidden, None);
+        let mut cattn = self.gemm(
+            device,
+            "dec_gemm4.cross_proj",
+            ca.as_slice(),
+            rows,
+            w.cross_out_weight.as_slice(),
+            hidden,
+            hidden,
+            None,
+        );
         add_bias_residual_layernorm_fused(
-            device, "dec_layernorm1", &mut cattn, &attn, &w.cross_out_bias, &w.ln1_gamma, &w.ln1_beta, eps, rows, hidden,
+            device,
+            "dec_layernorm1",
+            &mut cattn,
+            &attn,
+            &w.cross_out_bias,
+            &w.ln1_gamma,
+            &w.ln1_beta,
+            eps,
+            rows,
+            hidden,
         );
 
         // --- FFN with fused bias + GELU epilogue ----------------------
         let inter = self.config.intermediate();
         let epi = bias_gelu_epilogue(&w.ffn_up_bias);
-        let ffn = self.gemm(device, "dec_gemm5.ffn_up", &cattn, rows, w.ffn_up_weight.as_slice(), hidden, inter, Some(&epi));
-        let mut out = self.gemm(device, "dec_gemm6.ffn_down", &ffn, rows, w.ffn_down_weight.as_slice(), inter, hidden, None);
+        let ffn = self.gemm(
+            device,
+            "dec_gemm5.ffn_up",
+            &cattn,
+            rows,
+            w.ffn_up_weight.as_slice(),
+            hidden,
+            inter,
+            Some(&epi),
+        );
+        let mut out = self.gemm(
+            device,
+            "dec_gemm6.ffn_down",
+            &ffn,
+            rows,
+            w.ffn_down_weight.as_slice(),
+            inter,
+            hidden,
+            None,
+        );
         add_bias_residual_layernorm_fused(
-            device, "dec_layernorm2", &mut out, &cattn, &w.ffn_down_bias, &w.ln2_gamma, &w.ln2_beta, eps, rows, hidden,
+            device,
+            "dec_layernorm2",
+            &mut out,
+            &cattn,
+            &w.ffn_down_bias,
+            &w.ln2_gamma,
+            &w.ln2_beta,
+            eps,
+            rows,
+            hidden,
         );
         Tensor::from_vec(out, [rows, hidden]).expect("shape consistent")
     }
@@ -401,7 +489,13 @@ mod tests {
         let mem_mask = BatchMask::from_lens(vec![4], 4).unwrap();
         let dev = device();
         let got = dec
-            .forward(&dev, &zeroed(&tgt_mask, 16, 1), &tgt_mask, &zeroed(&mem_mask, 16, 2), &mem_mask)
+            .forward(
+                &dev,
+                &zeroed(&tgt_mask, 16, 1),
+                &tgt_mask,
+                &zeroed(&mem_mask, 16, 2),
+                &mem_mask,
+            )
             .unwrap();
         for s in 2..5 {
             for h in 0..16 {

@@ -62,12 +62,7 @@ impl EmbeddingWeights {
 }
 
 /// Validates ids against the tables and mask.
-fn validate(
-    ids: &[u32],
-    segments: &[u32],
-    mask: &BatchMask,
-    w: &EmbeddingWeights,
-) -> Result<(), VarlenError> {
+fn validate(ids: &[u32], segments: &[u32], mask: &BatchMask, w: &EmbeddingWeights) -> Result<(), VarlenError> {
     let expect = mask.padded_words();
     if ids.len() != expect || segments.len() != expect {
         return Err(VarlenError::ShapeMismatch {
@@ -135,21 +130,19 @@ pub fn embed_padded(
             .writes(out_bytes),
         || {
             let mut data = vec![0.0f32; batch * seq * hidden];
-            data.par_chunks_mut(seq * hidden)
-                .enumerate()
-                .for_each(|(b, rows)| {
-                    let len = mask.seq_lens()[b];
-                    for s in 0..len {
-                        let i = b * seq + s;
-                        embed_row(
-                            &mut rows[s * hidden..(s + 1) * hidden],
-                            w,
-                            ids[i] as usize,
-                            s,
-                            segments[i] as usize,
-                        );
-                    }
-                });
+            data.par_chunks_mut(seq * hidden).enumerate().for_each(|(b, rows)| {
+                let len = mask.seq_lens()[b];
+                for s in 0..len {
+                    let i = b * seq + s;
+                    embed_row(
+                        &mut rows[s * hidden..(s + 1) * hidden],
+                        w,
+                        ids[i] as usize,
+                        s,
+                        segments[i] as usize,
+                    );
+                }
+            });
             data
         },
     );

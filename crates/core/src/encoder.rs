@@ -165,17 +165,33 @@ impl BertModel {
         let rows = batch * seq;
         // A trivial all-full index turns the fused unpack/split kernels into
         // plain padded bias+transpose kernels with identical traffic.
-        let full_idx = PackingIndex::from_mask(
-            &BatchMask::from_lens(vec![seq; batch], seq).expect("full lengths are valid"),
-        );
+        let full_idx =
+            PackingIndex::from_mask(&BatchMask::from_lens(vec![seq; batch], seq).expect("full lengths are valid"));
 
         // GEMM0: packed QKV position encoding.
-        let qkv = self.gemm(device, "gemm0.qkv", x.as_slice(), rows, w.qkv_weight.as_slice(), hidden, 3 * hidden, None);
+        let qkv = self.gemm(
+            device,
+            "gemm0.qkv",
+            x.as_slice(),
+            rows,
+            w.qkv_weight.as_slice(),
+            hidden,
+            3 * hidden,
+            None,
+        );
         let qkv = Tensor::from_vec(qkv, [rows, 3 * hidden]).expect("shape consistent");
         let (q, k, v) = add_bias_unpack_split_qkv(device, &qkv, &w.qkv_bias, &full_idx, self.config.heads);
 
         // Attention: batched GEMMs + padded softmax.
-        let ctx = batched_attention(device, &q, &k, &v, mask.seq_lens(), self.config.attention_scale(), false);
+        let ctx = batched_attention(
+            device,
+            &q,
+            &k,
+            &v,
+            mask.seq_lens(),
+            self.config.attention_scale(),
+            false,
+        );
         let ctx = merge_heads_pack(device, &ctx, &full_idx); // full index: plain merge
 
         self.post_attention(device, x.as_slice(), ctx.into_vec(), rows, w, opt)
@@ -196,7 +212,16 @@ impl BertModel {
         let hidden = self.config.hidden();
         let rows = idx.valid_words();
 
-        let qkv = self.gemm(device, "gemm0.qkv", x.as_slice(), rows, w.qkv_weight.as_slice(), hidden, 3 * hidden, None);
+        let qkv = self.gemm(
+            device,
+            "gemm0.qkv",
+            x.as_slice(),
+            rows,
+            w.qkv_weight.as_slice(),
+            hidden,
+            3 * hidden,
+            None,
+        );
         let qkv = Tensor::from_vec(qkv, [rows, 3 * hidden]).expect("shape consistent");
 
         let ctx = if opt.fused_mha() {
@@ -213,7 +238,15 @@ impl BertModel {
             // Unpack (fused with bias+transpose) for batched MHA, then
             // re-pack (fused with the output transpose) — Fig. 2(c).
             let (q, k, v) = add_bias_unpack_split_qkv(device, &qkv, &w.qkv_bias, idx, self.config.heads);
-            let ctx_pad = batched_attention(device, &q, &k, &v, idx.mask().seq_lens(), self.config.attention_scale(), true);
+            let ctx_pad = batched_attention(
+                device,
+                &q,
+                &k,
+                &v,
+                idx.mask().seq_lens(),
+                self.config.attention_scale(),
+                true,
+            );
             merge_heads_pack(device, &ctx_pad, idx)
         };
 
@@ -238,41 +271,113 @@ impl BertModel {
         let eps = self.config.eps;
 
         // GEMM1: attention output projection.
-        let mut attn = self.gemm(device, "gemm1.proj", &ctx, rows, w.attn_out_weight.as_slice(), hidden, hidden, None);
+        let mut attn = self.gemm(
+            device,
+            "gemm1.proj",
+            &ctx,
+            rows,
+            w.attn_out_weight.as_slice(),
+            hidden,
+            hidden,
+            None,
+        );
 
         // layernorm0: add bias + residual + LayerNorm (fused at level ≥ 2).
         if opt.layernorm_fused() {
             add_bias_residual_layernorm_fused(
-                device, "layernorm0", &mut attn, residual0, &w.attn_out_bias, &w.ln0_gamma, &w.ln0_beta, eps, rows, hidden,
+                device,
+                "layernorm0",
+                &mut attn,
+                residual0,
+                &w.attn_out_bias,
+                &w.ln0_gamma,
+                &w.ln0_beta,
+                eps,
+                rows,
+                hidden,
             );
         } else {
             add_bias_residual_layernorm_unfused(
-                device, "layernorm0", &mut attn, residual0, &w.attn_out_bias, &w.ln0_gamma, &w.ln0_beta, eps, rows, hidden,
+                device,
+                "layernorm0",
+                &mut attn,
+                residual0,
+                &w.attn_out_bias,
+                &w.ln0_gamma,
+                &w.ln0_beta,
+                eps,
+                rows,
+                hidden,
             );
         }
 
         // GEMM2: FFN up-projection (+ fused bias & GELU at level ≥ 3).
         let mut ffn = if opt.gelu_fused() {
             let epi = bias_gelu_epilogue(&w.ffn_up_bias);
-            self.gemm(device, "gemm2.ffn_up", &attn, rows, w.ffn_up_weight.as_slice(), hidden, inter, Some(&epi))
+            self.gemm(
+                device,
+                "gemm2.ffn_up",
+                &attn,
+                rows,
+                w.ffn_up_weight.as_slice(),
+                hidden,
+                inter,
+                Some(&epi),
+            )
         } else {
-            let mut ffn = self.gemm(device, "gemm2.ffn_up", &attn, rows, w.ffn_up_weight.as_slice(), hidden, inter, None);
+            let mut ffn = self.gemm(
+                device,
+                "gemm2.ffn_up",
+                &attn,
+                rows,
+                w.ffn_up_weight.as_slice(),
+                hidden,
+                inter,
+                None,
+            );
             add_bias_gelu_unfused(device, "bias_act", &mut ffn, rows, inter, &w.ffn_up_bias);
             ffn
         };
 
         // GEMM3: FFN down-projection.
-        let mut out = self.gemm(device, "gemm3.ffn_down", &ffn, rows, w.ffn_down_weight.as_slice(), inter, hidden, None);
+        let mut out = self.gemm(
+            device,
+            "gemm3.ffn_down",
+            &ffn,
+            rows,
+            w.ffn_down_weight.as_slice(),
+            inter,
+            hidden,
+            None,
+        );
         ffn.clear();
 
         // layernorm1.
         if opt.layernorm_fused() {
             add_bias_residual_layernorm_fused(
-                device, "layernorm1", &mut out, &attn, &w.ffn_down_bias, &w.ln1_gamma, &w.ln1_beta, eps, rows, hidden,
+                device,
+                "layernorm1",
+                &mut out,
+                &attn,
+                &w.ffn_down_bias,
+                &w.ln1_gamma,
+                &w.ln1_beta,
+                eps,
+                rows,
+                hidden,
             );
         } else {
             add_bias_residual_layernorm_unfused(
-                device, "layernorm1", &mut out, &attn, &w.ffn_down_bias, &w.ln1_gamma, &w.ln1_beta, eps, rows, hidden,
+                device,
+                "layernorm1",
+                &mut out,
+                &attn,
+                &w.ffn_down_bias,
+                &w.ln1_gamma,
+                &w.ln1_beta,
+                eps,
+                rows,
+                hidden,
             );
         }
         Tensor::from_vec(out, [rows, hidden]).expect("shape consistent")
@@ -437,7 +542,13 @@ mod tests {
             launch_overhead: 0.0,
             ..bt_device::CostModel::a100()
         };
-        let config = BertConfig { heads: 4, head_size: 16, ffn_scale: 4, layers: 1, eps: 1e-6 };
+        let config = BertConfig {
+            heads: 4,
+            head_size: 16,
+            ffn_scale: 4,
+            layers: 1,
+            eps: 1e-6,
+        };
         let model = BertModel::new_random(config, 1, 3);
         let mask = workload::paper_workload(8, 128, 5);
         let input = Tensor::randn([8, 128, config.hidden()], 11);

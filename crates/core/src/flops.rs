@@ -139,7 +139,7 @@ mod tests {
         let base = layer_flops(&m, k, FlopVariant::Baseline);
         let fused = layer_flops(&m, k, FlopVariant::ZeroPaddingFusedMha);
         assert_eq!(fused.mha * 4, base.mha); // α² = 1/4
-        // Equal lengths: exact sum equals the paper formula.
+                                             // Equal lengths: exact sum equals the paper formula.
         assert_eq!(fused.mha as f64, mha_fused_paper_formula(&m, k));
     }
 

@@ -143,13 +143,18 @@ impl<'a> DecoderSession<'a> {
 
         let mut h_state = x.to_vec();
         let layers: &[DecoderLayerWeights] = &self.decoder.weights.layers;
-        for (w, (cache, (ck, cv))) in layers
-            .iter()
-            .zip(self.cache.iter_mut().zip(self.cross_kv.iter()))
-        {
+        for (w, (cache, (ck, cv))) in layers.iter().zip(self.cache.iter_mut().zip(self.cross_kv.iter())) {
             // --- self-attention over the cache + this token -----------
             let mut qkv = vec![0.0f32; 3 * hidden];
-            gemv(device, "incremental.self_qkv", &h_state, w.self_qkv_weight.as_slice(), hidden, 3 * hidden, &mut qkv);
+            gemv(
+                device,
+                "incremental.self_qkv",
+                &h_state,
+                w.self_qkv_weight.as_slice(),
+                hidden,
+                3 * hidden,
+                &mut qkv,
+            );
             for (v, &b) in qkv.iter_mut().zip(&w.self_qkv_bias) {
                 *v += b;
             }
@@ -193,7 +198,15 @@ impl<'a> DecoderSession<'a> {
                 },
             );
             let mut attn = vec![0.0f32; hidden];
-            gemv(device, "incremental.self_proj", &sa, w.self_out_weight.as_slice(), hidden, hidden, &mut attn);
+            gemv(
+                device,
+                "incremental.self_proj",
+                &sa,
+                w.self_out_weight.as_slice(),
+                hidden,
+                hidden,
+                &mut attn,
+            );
             for ((v, &r), &b) in attn.iter_mut().zip(&h_state).zip(&w.self_out_bias) {
                 *v += r + b;
             }
@@ -201,7 +214,15 @@ impl<'a> DecoderSession<'a> {
 
             // --- cross-attention over the precomputed memory K/V -------
             let mut cq = vec![0.0f32; hidden];
-            gemv(device, "incremental.cross_q", &attn, w.cross_q_weight.as_slice(), hidden, hidden, &mut cq);
+            gemv(
+                device,
+                "incremental.cross_q",
+                &attn,
+                w.cross_q_weight.as_slice(),
+                hidden,
+                hidden,
+                &mut cq,
+            );
             for (v, &b) in cq.iter_mut().zip(&w.cross_q_bias) {
                 *v += b;
             }
@@ -235,7 +256,15 @@ impl<'a> DecoderSession<'a> {
                 },
             );
             let mut cattn = vec![0.0f32; hidden];
-            gemv(device, "incremental.cross_proj", &ca, w.cross_out_weight.as_slice(), hidden, hidden, &mut cattn);
+            gemv(
+                device,
+                "incremental.cross_proj",
+                &ca,
+                w.cross_out_weight.as_slice(),
+                hidden,
+                hidden,
+                &mut cattn,
+            );
             for ((v, &r), &b) in cattn.iter_mut().zip(&attn).zip(&w.cross_out_bias) {
                 *v += r + b;
             }
@@ -244,12 +273,28 @@ impl<'a> DecoderSession<'a> {
             // --- FFN ----------------------------------------------------
             let inter = config.intermediate();
             let mut up = vec![0.0f32; inter];
-            gemv(device, "incremental.ffn_up", &cattn, w.ffn_up_weight.as_slice(), hidden, inter, &mut up);
+            gemv(
+                device,
+                "incremental.ffn_up",
+                &cattn,
+                w.ffn_up_weight.as_slice(),
+                hidden,
+                inter,
+                &mut up,
+            );
             for (v, &b) in up.iter_mut().zip(&w.ffn_up_bias) {
                 *v = bt_kernels::activation::gelu_tanh(*v + b);
             }
             let mut out = vec![0.0f32; hidden];
-            gemv(device, "incremental.ffn_down", &up, w.ffn_down_weight.as_slice(), inter, hidden, &mut out);
+            gemv(
+                device,
+                "incremental.ffn_down",
+                &up,
+                w.ffn_down_weight.as_slice(),
+                inter,
+                hidden,
+                &mut out,
+            );
             for ((v, &r), &b) in out.iter_mut().zip(&cattn).zip(&w.ffn_down_bias) {
                 *v += r + b;
             }
@@ -303,11 +348,7 @@ mod tests {
             let out = session.step(&dev, &x);
             for h in 0..hidden {
                 let e = full.at(&[0, s, h]).unwrap();
-                assert!(
-                    (out[h] - e).abs() < 5e-3,
-                    "step {s}, dim {h}: {} vs {e}",
-                    out[h]
-                );
+                assert!((out[h] - e).abs() < 5e-3, "step {s}, dim {h}: {} vs {e}", out[h]);
             }
         }
         assert_eq!(session.steps(), tgt_len);
@@ -320,19 +361,11 @@ mod tests {
         let dev = device();
         let memory = Tensor::randn([5, config.hidden()], 3);
         let mut session = DecoderSession::new(&decoder, &dev, &memory);
-        let kv_launches_after_new = dev
-            .trace()
-            .iter()
-            .filter(|r| r.name.contains("cross_kv"))
-            .count();
+        let kv_launches_after_new = dev.trace().iter().filter(|r| r.name.contains("cross_kv")).count();
         assert_eq!(kv_launches_after_new, 3); // one per layer, at session open
         session.step(&dev, &vec![0.1; config.hidden()]);
         session.step(&dev, &vec![0.2; config.hidden()]);
-        let kv_launches_after_steps = dev
-            .trace()
-            .iter()
-            .filter(|r| r.name.contains("cross_kv"))
-            .count();
+        let kv_launches_after_steps = dev.trace().iter().filter(|r| r.name.contains("cross_kv")).count();
         assert_eq!(kv_launches_after_steps, 3, "steps must not re-project memory");
     }
 

@@ -51,9 +51,8 @@ impl LayerWeights {
             let data = (0..rows * cols).map(|_| rng.normal() * scale).collect();
             Tensor::from_vec(data, [rows, cols]).expect("generated size matches")
         };
-        let vec_small = |n: usize, rng: &mut Xoshiro256StarStar| -> Vec<f32> {
-            (0..n).map(|_| rng.normal() * 0.02).collect()
-        };
+        let vec_small =
+            |n: usize, rng: &mut Xoshiro256StarStar| -> Vec<f32> { (0..n).map(|_| rng.normal() * 0.02).collect() };
         let qkv_weight = mat(hidden, 3 * hidden, &mut rng);
         let qkv_bias = vec_small(3 * hidden, &mut rng);
         let attn_out_weight = mat(hidden, hidden, &mut rng);
@@ -62,9 +61,8 @@ impl LayerWeights {
         let ffn_up_bias = vec_small(inter, &mut rng);
         let ffn_down_weight = mat(inter, hidden, &mut rng);
         let ffn_down_bias = vec_small(hidden, &mut rng);
-        let gamma = |rng: &mut Xoshiro256StarStar| -> Vec<f32> {
-            (0..hidden).map(|_| 1.0 + rng.normal() * 0.02).collect()
-        };
+        let gamma =
+            |rng: &mut Xoshiro256StarStar| -> Vec<f32> { (0..hidden).map(|_| 1.0 + rng.normal() * 0.02).collect() };
         Self {
             qkv_weight,
             qkv_bias,
@@ -141,12 +139,10 @@ impl DecoderLayerWeights {
             let data = (0..rows * cols).map(|_| rng.normal() * scale).collect();
             Tensor::from_vec(data, [rows, cols]).expect("generated size matches")
         };
-        let vec_small = |n: usize, rng: &mut Xoshiro256StarStar| -> Vec<f32> {
-            (0..n).map(|_| rng.normal() * 0.02).collect()
-        };
-        let gamma = |rng: &mut Xoshiro256StarStar| -> Vec<f32> {
-            (0..hidden).map(|_| 1.0 + rng.normal() * 0.02).collect()
-        };
+        let vec_small =
+            |n: usize, rng: &mut Xoshiro256StarStar| -> Vec<f32> { (0..n).map(|_| rng.normal() * 0.02).collect() };
+        let gamma =
+            |rng: &mut Xoshiro256StarStar| -> Vec<f32> { (0..hidden).map(|_| 1.0 + rng.normal() * 0.02).collect() };
         Self {
             self_qkv_weight: mat(hidden, 3 * hidden, &mut rng),
             self_qkv_bias: vec_small(3 * hidden, &mut rng),
@@ -236,10 +232,7 @@ mod tests {
         let c = BertConfig::tiny();
         let m = ModelWeights::new_random(&c, 3, 9);
         assert_eq!(m.layers.len(), 3);
-        assert_ne!(
-            m.layers[0].qkv_weight.as_slice(),
-            m.layers[1].qkv_weight.as_slice()
-        );
+        assert_ne!(m.layers[0].qkv_weight.as_slice(), m.layers[1].qkv_weight.as_slice());
     }
 
     #[test]

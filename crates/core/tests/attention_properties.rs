@@ -2,10 +2,9 @@
 //! the straight-line reference, on random variable-length batches.
 #![allow(clippy::needless_range_loop)] // oracle-style index loops
 
-
 use bt_core::attention::{
-    batched_attention, causal_fused_attention, causal_reference_attention, flash_attention,
-    fused_attention, naive_attention, reference_attention,
+    batched_attention, causal_fused_attention, causal_reference_attention, flash_attention, fused_attention,
+    naive_attention, reference_attention,
 };
 use bt_device::{CostModel, Device};
 use bt_tensor::rng::Xoshiro256StarStar;
@@ -59,7 +58,16 @@ fn fixture(lens: &[usize], heads: usize, head: usize, seed: u64) -> Fixture {
             }
         }
     }
-    Fixture { idx, q_pad, k_pad, v_pad, q_pk, k_pk, v_pk, scale }
+    Fixture {
+        idx,
+        q_pad,
+        k_pad,
+        v_pad,
+        q_pk,
+        k_pk,
+        v_pk,
+        scale,
+    }
 }
 
 fn pack_ctx(ctx: &Tensor, idx: &PackingIndex) -> Vec<f32> {
@@ -88,9 +96,7 @@ fn max_diff_valid(a: &Tensor, reference: &Tensor, lens: &[usize]) -> f32 {
         for h in 0..heads {
             for s in 0..len {
                 for d in 0..head {
-                    worst = worst.max(
-                        (a.at(&[b, h, s, d]).unwrap() - reference.at(&[b, h, s, d]).unwrap()).abs(),
-                    );
+                    worst = worst.max((a.at(&[b, h, s, d]).unwrap() - reference.at(&[b, h, s, d]).unwrap()).abs());
                 }
             }
         }

@@ -96,10 +96,7 @@ impl KernelSpec {
 
     /// Derates achieved FLOP throughput for this kernel (0 < derate ≤ 1).
     pub fn flops_derate(mut self, derate: f64) -> Self {
-        assert!(
-            derate > 0.0 && derate <= 1.0,
-            "flops_derate must be in (0, 1]"
-        );
+        assert!(derate > 0.0 && derate <= 1.0, "flops_derate must be in (0, 1]");
         self.flops_derate = derate;
         self
     }

@@ -55,9 +55,7 @@ impl TraceReport {
     /// Builds a report bucketed by the kernel-name prefix before the first
     /// `'.'` (the workspace naming convention is `"stage.detail"`).
     pub fn by_prefix(trace: &[KernelRecord]) -> Self {
-        Self::new(trace, |r| {
-            Some(r.name.split('.').next().unwrap_or(&r.name).to_string())
-        })
+        Self::new(trace, |r| Some(r.name.split('.').next().unwrap_or(&r.name).to_string()))
     }
 
     /// The buckets, sorted by name.
@@ -81,9 +79,7 @@ impl TraceReport {
         if self.total.modeled == 0.0 {
             return 0.0;
         }
-        self.buckets
-            .get(bucket)
-            .map_or(0.0, |b| b.modeled / self.total.modeled)
+        self.buckets.get(bucket).map_or(0.0, |b| b.modeled / self.total.modeled)
     }
 
     /// Renders a fixed-width table of the report (modeled ms, wall ms, %,

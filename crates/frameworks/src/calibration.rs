@@ -175,7 +175,13 @@ mod tests {
     #[test]
     fn render_contains_all_frameworks() {
         let text = render_feature_matrix();
-        for name in ["TensorFlow XLA", "PyTorch JIT", "FasterTransformer", "TurboTransformer", "ByteTransformer"] {
+        for name in [
+            "TensorFlow XLA",
+            "PyTorch JIT",
+            "FasterTransformer",
+            "TurboTransformer",
+            "ByteTransformer",
+        ] {
             assert!(text.contains(name));
         }
     }
@@ -183,7 +189,13 @@ mod tests {
     #[test]
     #[allow(clippy::assertions_on_constants)] // deliberate invariant checks on calibration constants
     fn taxes_are_sane() {
-        for tax in [PYTORCH_TAX, TENSORFLOW_TAX, TURBO_TAX, FASTER_TRANSFORMER_TAX, BYTETRANSFORMER_TAX] {
+        for tax in [
+            PYTORCH_TAX,
+            TENSORFLOW_TAX,
+            TURBO_TAX,
+            FASTER_TRANSFORMER_TAX,
+            BYTETRANSFORMER_TAX,
+        ] {
             assert!(tax.dispatch >= 0.0 && tax.dispatch < 1e-4);
             assert!(tax.bw_derate > 0.0 && tax.bw_derate <= 1.0);
             assert!(tax.flops_derate > 0.0 && tax.flops_derate <= 1.0);

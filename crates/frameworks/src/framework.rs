@@ -171,16 +171,17 @@ impl SimFramework {
             let moved: u64 = (group_lens.iter().sum::<usize>() * hidden * 4) as u64;
             // Gather the group's sequences into a compact padded sub-batch.
             let mut gx = device.launch(
-                KernelSpec::new("turbo.regroup").reads(moved).writes((g * gmax * hidden * 4) as u64),
+                KernelSpec::new("turbo.regroup")
+                    .reads(moved)
+                    .writes((g * gmax * hidden * 4) as u64),
                 || {
                     let mut gx = Tensor::zeros([g, gmax, hidden]);
                     for (gi, &bi) in group.members.iter().enumerate() {
                         let len = mask.seq_lens()[bi];
                         let src = input.as_slice();
                         let dst = gx.as_mut_slice();
-                        dst[(gi * gmax) * hidden..(gi * gmax + len) * hidden].copy_from_slice(
-                            &src[(bi * seq) * hidden..(bi * seq + len) * hidden],
-                        );
+                        dst[(gi * gmax) * hidden..(gi * gmax + len) * hidden]
+                            .copy_from_slice(&src[(bi * seq) * hidden..(bi * seq + len) * hidden]);
                     }
                     gx
                 },
@@ -190,19 +191,15 @@ impl SimFramework {
                 gx = padded_layer(device, &self.model.config, w, &gx, &gmask, &strat);
             }
             // Scatter back into the caller's padded layout.
-            device.launch(
-                KernelSpec::new("turbo.scatter").reads(moved).writes(moved),
-                || {
-                    let src = gx.as_slice();
-                    let dst = out.as_mut_slice();
-                    for (gi, &bi) in group.members.iter().enumerate() {
-                        let len = mask.seq_lens()[bi];
-                        dst[(bi * seq) * hidden..(bi * seq + len) * hidden].copy_from_slice(
-                            &src[(gi * gmax) * hidden..(gi * gmax + len) * hidden],
-                        );
-                    }
-                },
-            );
+            device.launch(KernelSpec::new("turbo.scatter").reads(moved).writes(moved), || {
+                let src = gx.as_slice();
+                let dst = out.as_mut_slice();
+                for (gi, &bi) in group.members.iter().enumerate() {
+                    let len = mask.seq_lens()[bi];
+                    dst[(bi * seq) * hidden..(bi * seq + len) * hidden]
+                        .copy_from_slice(&src[(gi * gmax) * hidden..(gi * gmax + len) * hidden]);
+                }
+            });
         }
         Ok(out)
     }
@@ -297,7 +294,10 @@ mod tests {
         let dev2 = fw2.device(CostModel::unit());
         fw2.forward(&dev2, &input2, &mask2).unwrap();
         let single_launches = dev2.launches();
-        assert!(grouped_launches > single_launches + 10, "{grouped_launches} vs {single_launches}");
+        assert!(
+            grouped_launches > single_launches + 10,
+            "{grouped_launches} vs {single_launches}"
+        );
         let _ = input2;
         let _ = input;
     }
@@ -307,7 +307,13 @@ mod tests {
         // α = 0.6, modest shape; modeled time ordering must put
         // ByteTransformer first and the padded eager frameworks last —
         // Fig. 14's headline shape.
-        let config = BertConfig { heads: 4, head_size: 16, ffn_scale: 4, layers: 1, eps: 1e-6 };
+        let config = BertConfig {
+            heads: 4,
+            head_size: 16,
+            ffn_scale: 4,
+            layers: 1,
+            eps: 1e-6,
+        };
         let model = BertModel::new_random(config, 2, 3);
         let mask = workload::paper_workload(8, 96, 5);
         let mut input = Tensor::randn([8, 96, config.hidden()], 11);

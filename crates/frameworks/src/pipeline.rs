@@ -91,37 +91,109 @@ pub(crate) fn post_attention(
     let inter = config.intermediate();
     let eps = config.eps;
 
-    let mut attn = launch_gemm(device, "gemm1.proj", &ctx, rows, w.attn_out_weight.as_slice(), hidden, hidden, None);
+    let mut attn = launch_gemm(
+        device,
+        "gemm1.proj",
+        &ctx,
+        rows,
+        w.attn_out_weight.as_slice(),
+        hidden,
+        hidden,
+        None,
+    );
     if strat.layernorm_fused {
         add_bias_residual_layernorm_fused(
-            device, "layernorm0", &mut attn, residual0, &w.attn_out_bias, &w.ln0_gamma, &w.ln0_beta, eps, rows, hidden,
+            device,
+            "layernorm0",
+            &mut attn,
+            residual0,
+            &w.attn_out_bias,
+            &w.ln0_gamma,
+            &w.ln0_beta,
+            eps,
+            rows,
+            hidden,
         );
     } else {
         add_bias_residual_layernorm_unfused(
-            device, "layernorm0", &mut attn, residual0, &w.attn_out_bias, &w.ln0_gamma, &w.ln0_beta, eps, rows, hidden,
+            device,
+            "layernorm0",
+            &mut attn,
+            residual0,
+            &w.attn_out_bias,
+            &w.ln0_gamma,
+            &w.ln0_beta,
+            eps,
+            rows,
+            hidden,
         );
     }
 
     let ffn = match strat.gelu {
         GeluStyle::Epilogue => {
             let epi = bias_gelu_epilogue(&w.ffn_up_bias);
-            launch_gemm(device, "gemm2.ffn_up", &attn, rows, w.ffn_up_weight.as_slice(), hidden, inter, Some(&epi))
+            launch_gemm(
+                device,
+                "gemm2.ffn_up",
+                &attn,
+                rows,
+                w.ffn_up_weight.as_slice(),
+                hidden,
+                inter,
+                Some(&epi),
+            )
         }
         GeluStyle::Unfused => {
-            let mut ffn = launch_gemm(device, "gemm2.ffn_up", &attn, rows, w.ffn_up_weight.as_slice(), hidden, inter, None);
+            let mut ffn = launch_gemm(
+                device,
+                "gemm2.ffn_up",
+                &attn,
+                rows,
+                w.ffn_up_weight.as_slice(),
+                hidden,
+                inter,
+                None,
+            );
             add_bias_gelu_unfused(device, "bias_act", &mut ffn, rows, inter, &w.ffn_up_bias);
             ffn
         }
     };
 
-    let mut out = launch_gemm(device, "gemm3.ffn_down", &ffn, rows, w.ffn_down_weight.as_slice(), inter, hidden, None);
+    let mut out = launch_gemm(
+        device,
+        "gemm3.ffn_down",
+        &ffn,
+        rows,
+        w.ffn_down_weight.as_slice(),
+        inter,
+        hidden,
+        None,
+    );
     if strat.layernorm_fused {
         add_bias_residual_layernorm_fused(
-            device, "layernorm1", &mut out, &attn, &w.ffn_down_bias, &w.ln1_gamma, &w.ln1_beta, eps, rows, hidden,
+            device,
+            "layernorm1",
+            &mut out,
+            &attn,
+            &w.ffn_down_bias,
+            &w.ln1_gamma,
+            &w.ln1_beta,
+            eps,
+            rows,
+            hidden,
         );
     } else {
         add_bias_residual_layernorm_unfused(
-            device, "layernorm1", &mut out, &attn, &w.ffn_down_bias, &w.ln1_gamma, &w.ln1_beta, eps, rows, hidden,
+            device,
+            "layernorm1",
+            &mut out,
+            &attn,
+            &w.ffn_down_bias,
+            &w.ln1_gamma,
+            &w.ln1_beta,
+            eps,
+            rows,
+            hidden,
         );
     }
     out
@@ -140,11 +212,19 @@ pub fn padded_layer(
     let hidden = config.hidden();
     let (batch, seq) = (mask.batch(), mask.max_seq_len());
     let rows = batch * seq;
-    let full_idx = PackingIndex::from_mask(
-        &BatchMask::from_lens(vec![seq; batch], seq).expect("full lengths are valid"),
-    );
+    let full_idx =
+        PackingIndex::from_mask(&BatchMask::from_lens(vec![seq; batch], seq).expect("full lengths are valid"));
 
-    let qkv = launch_gemm(device, "gemm0.qkv", x.as_slice(), rows, w.qkv_weight.as_slice(), hidden, 3 * hidden, None);
+    let qkv = launch_gemm(
+        device,
+        "gemm0.qkv",
+        x.as_slice(),
+        rows,
+        w.qkv_weight.as_slice(),
+        hidden,
+        3 * hidden,
+        None,
+    );
     let qkv = Tensor::from_vec(qkv, [rows, 3 * hidden]).expect("shape consistent");
     let (q, k, v) = add_bias_unpack_split_qkv(device, &qkv, &w.qkv_bias, &full_idx, config.heads);
 
@@ -176,7 +256,16 @@ pub fn packed_layer_ft(
     let hidden = config.hidden();
     let rows = idx.valid_words();
 
-    let qkv = launch_gemm(device, "gemm0.qkv", x.as_slice(), rows, w.qkv_weight.as_slice(), hidden, 3 * hidden, None);
+    let qkv = launch_gemm(
+        device,
+        "gemm0.qkv",
+        x.as_slice(),
+        rows,
+        w.qkv_weight.as_slice(),
+        hidden,
+        3 * hidden,
+        None,
+    );
     let qkv = Tensor::from_vec(qkv, [rows, 3 * hidden]).expect("shape consistent");
     // FT unpacks around MHA even for its fused kernel: the TRT plugin
     // consumes padded fixed-shape batches.
@@ -242,7 +331,12 @@ mod tests {
         let dev = device();
         let reference = model.forward(&dev, &input, &mask, OptLevel::Baseline).unwrap();
         let w = &model.weights.layers[0];
-        for mha in [MhaStyle::Naive, MhaStyle::BatchedPadded, MhaStyle::BatchedZeropad, MhaStyle::FlashPadded] {
+        for mha in [
+            MhaStyle::Naive,
+            MhaStyle::BatchedPadded,
+            MhaStyle::BatchedZeropad,
+            MhaStyle::FlashPadded,
+        ] {
             let strat = LayerStrategy {
                 mha,
                 layernorm_fused: false,
@@ -260,12 +354,28 @@ mod tests {
         let dev = device();
         let w = &model.weights.layers[0];
         let base = padded_layer(
-            &dev, &model.config, w, &input, &mask,
-            &LayerStrategy { mha: MhaStyle::BatchedPadded, layernorm_fused: false, gelu: GeluStyle::Unfused },
+            &dev,
+            &model.config,
+            w,
+            &input,
+            &mask,
+            &LayerStrategy {
+                mha: MhaStyle::BatchedPadded,
+                layernorm_fused: false,
+                gelu: GeluStyle::Unfused,
+            },
         );
         let fused = padded_layer(
-            &dev, &model.config, w, &input, &mask,
-            &LayerStrategy { mha: MhaStyle::BatchedPadded, layernorm_fused: true, gelu: GeluStyle::Epilogue },
+            &dev,
+            &model.config,
+            w,
+            &input,
+            &mask,
+            &LayerStrategy {
+                mha: MhaStyle::BatchedPadded,
+                layernorm_fused: true,
+                gelu: GeluStyle::Epilogue,
+            },
         );
         assert!(valid_diff(&base, &fused, &mask) < 1e-4);
     }

@@ -130,10 +130,7 @@ pub fn simulate_server(
             batch.push(order[next]);
             next += 1;
         }
-        let start = batch
-            .iter()
-            .map(|r| r.arrival)
-            .fold(t0, f64::max);
+        let start = batch.iter().map(|r| r.arrival).fold(t0, f64::max);
         let lens: Vec<usize> = batch.iter().map(|r| r.len.max(1)).collect();
         let max = lens.iter().copied().max().unwrap_or(1);
         let mask = BatchMask::from_lens(lens, max).expect("bounded lengths");
@@ -249,13 +246,7 @@ mod tests {
 
     #[test]
     fn poisson_arrivals_are_monotone_at_roughly_the_rate() {
-        let reqs = poisson_arrivals(
-            2_000,
-            100.0,
-            bt_varlen::workload::LengthDistribution::Fixed,
-            64,
-            7,
-        );
+        let reqs = poisson_arrivals(2_000, 100.0, bt_varlen::workload::LengthDistribution::Fixed, 64, 7);
         assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
         let span = reqs.last().unwrap().arrival;
         let rate = reqs.len() as f64 / span;
@@ -267,7 +258,11 @@ mod tests {
     fn server_batches_up_to_capacity() {
         // 6 requests arriving together, capacity 4, constant 1 s service.
         let reqs: Vec<TimedRequest> = (0..6)
-            .map(|id| TimedRequest { id, len: 8, arrival: 0.0 })
+            .map(|id| TimedRequest {
+                id,
+                len: 8,
+                arrival: 0.0,
+            })
             .collect();
         let mut batches = Vec::new();
         let lat = simulate_server(&reqs, 4, 0.0, |mask| {
@@ -283,8 +278,16 @@ mod tests {
     #[test]
     fn batching_window_gathers_stragglers() {
         let reqs = vec![
-            TimedRequest { id: 0, len: 4, arrival: 0.0 },
-            TimedRequest { id: 1, len: 4, arrival: 0.05 },
+            TimedRequest {
+                id: 0,
+                len: 4,
+                arrival: 0.0,
+            },
+            TimedRequest {
+                id: 1,
+                len: 4,
+                arrival: 0.05,
+            },
         ];
         // Without a window the second request runs alone...
         let mut batches = Vec::new();
@@ -307,8 +310,16 @@ mod tests {
     #[test]
     fn idle_server_jumps_to_next_arrival() {
         let reqs = vec![
-            TimedRequest { id: 0, len: 4, arrival: 0.0 },
-            TimedRequest { id: 1, len: 4, arrival: 100.0 },
+            TimedRequest {
+                id: 0,
+                len: 4,
+                arrival: 0.0,
+            },
+            TimedRequest {
+                id: 1,
+                len: 4,
+                arrival: 100.0,
+            },
         ];
         let lat = simulate_server(&reqs, 8, 0.0, |_| 1.0);
         // Neither request sees the other's gap.

@@ -134,7 +134,11 @@ mod tests {
                 0.0,
                 &mut expect,
             );
-            assert_close(&c[i * args.stride_c..i * args.stride_c + args.m * args.n], &expect, 1e-3);
+            assert_close(
+                &c[i * args.stride_c..i * args.stride_c + args.m * args.n],
+                &expect,
+                1e-3,
+            );
         }
     }
 
@@ -159,7 +163,11 @@ mod tests {
                 0.0,
                 &mut expect,
             );
-            assert_close(&c[i * args.stride_c..i * args.stride_c + args.m * args.n], &expect, 1e-3);
+            assert_close(
+                &c[i * args.stride_c..i * args.stride_c + args.m * args.n],
+                &expect,
+                1e-3,
+            );
         }
     }
 

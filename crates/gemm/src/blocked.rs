@@ -1,25 +1,26 @@
-//! Blocked, packed, rayon-parallel SGEMM with a fused-epilogue entry point.
+//! Blocked, packed, rayon-parallel SGEMM with a fused-epilogue entry point,
+//! built on the shared register-blocked microkernel in [`crate::micro`].
 //!
 //! The layout mirrors a classic GotoBLAS/cuBLAS decomposition adapted to CPU
 //! threads standing in for threadblocks:
 //!
-//! * operands are canonicalized to row-major `A (m×k)` / `B (k×n)` panels
-//!   (a transposed operand is packed once, like a GPU kernel's staging pass);
+//! * `B` is packed once into `NR`-wide k-major micropanels (the staged
+//!   "shared memory" image, shared read-only by every task), consuming the
+//!   `transb` layout directly — no separate transpose pass;
 //! * `C` is split into row panels, one rayon task per panel (the
-//!   "threadblock" grid);
-//! * each panel accumulates in a thread-local buffer over `KC`-wide K blocks
-//!   (the "registers + shared memory" level), and the optional epilogue is
+//!   "threadblock" grid); each task packs its own `A` rows into `MR`-wide
+//!   micropanels, again straight from the `transa` layout;
+//! * each `MR×NR` output block accumulates in microkernel locals across the
+//!   *entire* `K` extent (the "register tile"), and the optional epilogue is
 //!   applied while the accumulator is still hot — which is precisely the
 //!   fusion point the paper uses to hide add-bias + GELU inside the GEMM
 //!   (§III.C.2).
 
+use crate::micro::{microkernel, pack_a_panel, pack_b_panel, MR, NR};
 use rayon::prelude::*;
-use std::borrow::Cow;
 
-/// K-dimension block size (elements) for the accumulation loop.
-const KC: usize = 256;
-/// Rows of `C` per parallel task.
-const MR: usize = 32;
+/// Rows of `C` per parallel task (a multiple of `MR`).
+const PANEL_ROWS: usize = 32;
 
 /// GEMM configuration: operand transposes and scaling factors for
 /// `C = alpha * op(A)·op(B) + beta * C`.
@@ -67,20 +68,6 @@ impl GemmSpec {
     }
 }
 
-/// Packs `src` (stored `cols×rows`, i.e. the transpose of the wanted matrix)
-/// into a `rows×cols` row-major buffer.
-fn pack_transposed(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; rows * cols];
-    // src[(c, r)] = src[c * rows + r]  ->  out[r * cols + c]
-    for c in 0..cols {
-        let col = &src[c * rows..(c + 1) * rows];
-        for (r, &v) in col.iter().enumerate() {
-            out[r * cols + c] = v;
-        }
-    }
-    out
-}
-
 /// `C = alpha * op(A)·op(B) + beta * C`, row-major, parallel.
 ///
 /// # Panics
@@ -106,6 +93,38 @@ pub fn sgemm_epilogue(
     sgemm_inner(spec, m, n, k, a, b, c, Some(epilogue))
 }
 
+/// Blends one microkernel accumulator row into a `C` row with the
+/// alpha/beta scaling and optional epilogue (`col0` is the row's first
+/// global column, passed to the epilogue hook).
+#[inline]
+fn store_row(
+    c_row: &mut [f32],
+    acc_row: &[f32],
+    col0: usize,
+    alpha: f32,
+    beta: f32,
+    epilogue: Option<&(dyn Fn(usize, f32) -> f32 + Sync)>,
+) {
+    match epilogue {
+        None if beta == 0.0 => {
+            for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                *cv = alpha * av;
+            }
+        }
+        None => {
+            for (cv, &av) in c_row.iter_mut().zip(acc_row) {
+                *cv = alpha * av + beta * *cv;
+            }
+        }
+        Some(epi) => {
+            for (j, (cv, &av)) in c_row.iter_mut().zip(acc_row).enumerate() {
+                let x = alpha * av + beta * *cv;
+                *cv = epi(col0 + j, x);
+            }
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn sgemm_inner(
     spec: GemmSpec,
@@ -123,68 +142,68 @@ fn sgemm_inner(
     if m == 0 || n == 0 {
         return;
     }
-
-    // Canonicalize to A: m×k, B: k×n row-major (pack transposed operands).
-    let a_pack: Cow<'_, [f32]> = if spec.transa {
-        Cow::Owned(pack_transposed(&a[..m * k], m, k))
-    } else {
-        Cow::Borrowed(&a[..m * k])
-    };
-    let b_pack: Cow<'_, [f32]> = if spec.transb {
-        Cow::Owned(pack_transposed(&b[..k * n], k, n))
-    } else {
-        Cow::Borrowed(&b[..k * n])
-    };
-    let a_pack = &*a_pack;
-    let b_pack = &*b_pack;
     let (alpha, beta) = (spec.alpha, spec.beta);
+    if k == 0 {
+        // Degenerate product: C = beta*C through the same store path.
+        let zero = [0.0f32; NR];
+        for i in 0..m {
+            let row = &mut c[i * n..(i + 1) * n];
+            for j0 in (0..n).step_by(NR) {
+                let cols = NR.min(n - j0);
+                store_row(&mut row[j0..j0 + cols], &zero[..cols], j0, alpha, beta, epilogue);
+            }
+        }
+        return;
+    }
+
+    // Pack B once into k-major micropanels, straight from the transb layout.
+    let n_panels = n.div_ceil(NR);
+    let mut b_pack = vec![0.0f32; n_panels * k * NR];
+    b_pack.par_chunks_mut(k * NR).enumerate().for_each(|(jb, dst)| {
+        let col0 = jb * NR;
+        pack_b_panel(dst, b, spec.transb, col0, NR.min(n - col0), n, k);
+    });
+    let b_pack = &b_pack;
 
     c[..m * n]
-        .par_chunks_mut(MR * n)
+        .par_chunks_mut(PANEL_ROWS * n)
         .enumerate()
         .for_each(|(chunk_idx, c_panel)| {
-            let row0 = chunk_idx * MR;
+            let row0 = chunk_idx * PANEL_ROWS;
             let rows = c_panel.len() / n;
-            // Thread-local accumulator panel (the "register tile").
-            let mut acc = vec![0.0f32; rows * n];
-            let mut kb = 0;
-            while kb < k {
-                let kc = KC.min(k - kb);
-                for i in 0..rows {
-                    let a_row = &a_pack[(row0 + i) * k + kb..(row0 + i) * k + kb + kc];
-                    let acc_row = &mut acc[i * n..(i + 1) * n];
-                    // No zero-skipping: padded tokens must cost what they
-                    // cost, or the padded-vs-packed comparison would lie.
-                    for (p, &aik) in a_row.iter().enumerate() {
-                        let b_row = &b_pack[(kb + p) * n..(kb + p) * n + n];
-                        for (cv, &bv) in acc_row.iter_mut().zip(b_row) {
-                            *cv += aik * bv;
-                        }
-                    }
-                }
-                kb += kc;
+            let m_panels = rows.div_ceil(MR);
+            // Task-local packed A rows (the task's full K extent, reused
+            // across every column panel).
+            let mut a_pack = vec![0.0f32; m_panels * k * MR];
+            for ib in 0..m_panels {
+                pack_a_panel(
+                    &mut a_pack[ib * k * MR..(ib + 1) * k * MR],
+                    a,
+                    spec.transa,
+                    row0 + ib * MR,
+                    MR.min(rows - ib * MR),
+                    m,
+                    k,
+                );
             }
-            // Store with alpha/beta blend and the optional fused epilogue.
-            for i in 0..rows {
-                let acc_row = &acc[i * n..(i + 1) * n];
-                let c_row = &mut c_panel[i * n..(i + 1) * n];
-                match epilogue {
-                    None => {
-                        if beta == 0.0 {
-                            for (cv, &av) in c_row.iter_mut().zip(acc_row) {
-                                *cv = alpha * av;
-                            }
-                        } else {
-                            for (cv, &av) in c_row.iter_mut().zip(acc_row) {
-                                *cv = alpha * av + beta * *cv;
-                            }
-                        }
-                    }
-                    Some(epi) => {
-                        for (j, (cv, &av)) in c_row.iter_mut().zip(acc_row).enumerate() {
-                            let x = alpha * av + beta * *cv;
-                            *cv = epi(j, x);
-                        }
+            for jb in 0..n_panels {
+                let col0 = jb * NR;
+                let cols = NR.min(n - col0);
+                let b_panel = &b_pack[jb * k * NR..(jb + 1) * k * NR];
+                for ib in 0..m_panels {
+                    let r = MR.min(rows - ib * MR);
+                    let mut acc = [0.0f32; MR * NR];
+                    microkernel(k, &a_pack[ib * k * MR..(ib + 1) * k * MR], b_panel, &mut acc);
+                    for i in 0..r {
+                        let row = ib * MR + i;
+                        store_row(
+                            &mut c_panel[row * n + col0..row * n + col0 + cols],
+                            &acc[i * NR..i * NR + cols],
+                            col0,
+                            alpha,
+                            beta,
+                            epilogue,
+                        );
                     }
                 }
             }
@@ -209,7 +228,18 @@ mod tests {
         let mut c1 = rand_vec(m * n, 3);
         let mut c2 = c1.clone();
         sgemm(spec, m, n, k, &a, &b, &mut c1);
-        gemm_ref(spec.transa, spec.transb, m, n, k, spec.alpha, &a, &b, spec.beta, &mut c2);
+        gemm_ref(
+            spec.transa,
+            spec.transb,
+            m,
+            n,
+            k,
+            spec.alpha,
+            &a,
+            &b,
+            spec.beta,
+            &mut c2,
+        );
         assert_close(&c1, &c2, 1e-4 * k as f32);
     }
 
@@ -224,6 +254,15 @@ mod tests {
             (100, 30, 300),
         ] {
             check_against_ref(GemmSpec::nn(), m, n, k);
+        }
+    }
+
+    #[test]
+    fn matches_reference_microtile_remainders() {
+        // Shapes straddling every MR/NR remainder class.
+        for &(m, n, k) in &[(7, 9, 5), (8, 8, 8), (9, 7, 16), (15, 17, 1), (31, 33, 40)] {
+            check_against_ref(GemmSpec::nn(), m, n, k);
+            check_against_ref(GemmSpec::nt(), m, n, k);
         }
     }
 
@@ -283,9 +322,7 @@ mod tests {
         let bias: Vec<f32> = (0..n).map(|j| j as f32).collect();
         let mut c1 = vec![0.0f32; m * n];
         let mut c2 = vec![0.0f32; m * n];
-        sgemm_epilogue(GemmSpec::nn(), m, n, k, &a, &b, &mut c1, &|j, x| {
-            (x + bias[j]).max(0.0)
-        });
+        sgemm_epilogue(GemmSpec::nn(), m, n, k, &a, &b, &mut c1, &|j, x| (x + bias[j]).max(0.0));
         gemm_ref(false, false, m, n, k, 1.0, &a, &b, 0.0, &mut c2);
         for i in 0..m {
             for j in 0..n {
@@ -296,8 +333,17 @@ mod tests {
     }
 
     #[test]
+    fn epilogue_applied_when_k_zero() {
+        let mut c = vec![1.0f32, -2.0, 3.0, -4.0];
+        sgemm_epilogue(GemmSpec::nn().beta(1.0), 2, 2, 0, &[], &[], &mut c, &|j, x| {
+            x + j as f32 * 10.0
+        });
+        assert_eq!(c, vec![1.0, 8.0, 3.0, 6.0]);
+    }
+
+    #[test]
     fn large_parallel_shape_matches() {
-        // Exercises multiple row panels and K blocks.
+        // Exercises multiple row panels and both packing paths.
         check_against_ref(GemmSpec::nn(), 200, 70, 600);
     }
 }

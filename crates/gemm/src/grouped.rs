@@ -24,8 +24,18 @@
 //!   runs on `A` fragments as they are loaded into the "register tile"
 //!   (Algorithm III.2's mainloop fusion, used to fold
 //!   `exp(x - max) / sum` into the `P·V` GEMM).
+//!
+//! Both entry points ([`grouped_sgemm`], [`grouped_sgemm_strided`]) share
+//! one generic CTA-walk driver parameterized by a store policy, so the
+//! contiguous and strided paths cannot drift. Tiles compute on the
+//! register-blocked microkernel of [`crate::micro`] out of a per-CTA
+//! [`Scratch`] arena (zero heap allocations per tile in steady state), and
+//! stores go through lock-free [`DisjointWriter`]s — tiles partition the
+//! output, so CTAs never serialize on a mutex.
 
-use parking_lot::Mutex;
+use crate::micro::{microkernel, pack_b_panel, MR, NR};
+use crate::scratch::Scratch;
+use crate::store::DisjointWriter;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -94,6 +104,10 @@ pub struct GroupedStats {
     /// Scheduler interactions performed (tiles / 32, rounded up per CTA,
     /// under warp prefetch).
     pub scheduler_visits: u64,
+    /// Scratch-arena growth events summed over CTAs. Bounded by per-CTA
+    /// shape high-water marks — *not* by tile count — which is the
+    /// "zero heap allocations per tile in steady state" invariant.
+    pub scratch_grows: u64,
 }
 
 /// Epilogue applied to each accumulator tile before it is stored to `C`.
@@ -182,6 +196,113 @@ impl ProblemVisitor {
     }
 }
 
+/// Store policy of the generic grouped driver: where a finished output tile
+/// lands. Implementations write through [`DisjointWriter`]s — never a lock.
+trait TileStore: Sync {
+    /// Stores the dense `rows×cols` tile of problem `problem_idx` whose
+    /// top-left element is `C[row0, col0]`.
+    fn store(&self, problem_idx: usize, row0: usize, col0: usize, rows: usize, cols: usize, tile: &[f32]);
+}
+
+/// Per-problem contiguous `m×n` outputs ([`grouped_sgemm`]).
+struct ContiguousStore<'a> {
+    writers: Vec<DisjointWriter<'a>>,
+    /// Leading dimension (= `n`) of each problem's output.
+    ns: Vec<usize>,
+}
+
+impl TileStore for ContiguousStore<'_> {
+    fn store(&self, problem_idx: usize, row0: usize, col0: usize, rows: usize, cols: usize, tile: &[f32]) {
+        let n = self.ns[problem_idx];
+        let w = &self.writers[problem_idx];
+        for i in 0..rows {
+            w.write((row0 + i) * n + col0, &tile[i * cols..(i + 1) * cols]);
+        }
+    }
+}
+
+/// One shared buffer with per-problem strided placements
+/// ([`grouped_sgemm_strided`]).
+struct StridedStore<'a> {
+    writer: DisjointWriter<'a>,
+    placements: &'a [StridedOutput],
+}
+
+impl TileStore for StridedStore<'_> {
+    fn store(&self, problem_idx: usize, row0: usize, col0: usize, rows: usize, cols: usize, tile: &[f32]) {
+        let pl = &self.placements[problem_idx];
+        for i in 0..rows {
+            self.writer
+                .write(pl.offset + (row0 + i) * pl.ld + col0, &tile[i * cols..(i + 1) * cols]);
+        }
+    }
+}
+
+/// The shared CTA walk: virtual CTAs pull tile batches from the scheduler
+/// (one assignment per visit under [`Scheduler::PerTile`],
+/// [`PREFETCH_WIDTH`] under [`Scheduler::WarpPrefetch`]), compute each tile
+/// on the microkernel out of a per-CTA scratch arena, and store through the
+/// policy. Both public entry points funnel here, so the two paths cannot
+/// drift.
+fn run_grouped(
+    problems: &[GroupedProblem<'_>],
+    config: GroupedConfig,
+    epilogue: &dyn TileEpilogue,
+    a_transform: &dyn ALoadTransform,
+    store: &dyn TileStore,
+) -> GroupedStats {
+    let visitor = ProblemVisitor::new(problems, config.tile_m, config.tile_n);
+    let total = visitor.total;
+    if total == 0 {
+        return GroupedStats {
+            tiles: 0,
+            scheduler_visits: 0,
+            scratch_grows: 0,
+        };
+    }
+    let visits = AtomicU64::new(0);
+    let grows = AtomicU64::new(0);
+    let batch_width = match config.scheduler {
+        Scheduler::PerTile => 1,
+        Scheduler::WarpPrefetch => PREFETCH_WIDTH,
+    };
+
+    (0..config.num_ctas).into_par_iter().for_each(|cta| {
+        // The CTA's fixed "shared memory": allocated once, reused for every
+        // tile this CTA computes.
+        let mut scratch = Scratch::new();
+        let mut cursor = 0usize;
+        let mut local_visits = 0u64;
+        let mut batch = [TileAssignment {
+            problem: 0,
+            tile_row: 0,
+            tile_col: 0,
+        }; PREFETCH_WIDTH];
+        let step = config.num_ctas as u64;
+        let mut linear = cta as u64;
+        while linear < total {
+            local_visits += 1;
+            let mut count = 0;
+            while count < batch_width && linear < total {
+                batch[count] = visitor.decode(linear, &mut cursor);
+                count += 1;
+                linear += step;
+            }
+            for asg in &batch[..count] {
+                compute_tile(problems, &config, *asg, epilogue, a_transform, store, &mut scratch);
+            }
+        }
+        visits.fetch_add(local_visits, Ordering::Relaxed);
+        grows.fetch_add(scratch.grow_count(), Ordering::Relaxed);
+    });
+
+    GroupedStats {
+        tiles: total,
+        scheduler_visits: visits.load(Ordering::Relaxed),
+        scratch_grows: grows.load(Ordering::Relaxed),
+    }
+}
+
 /// Runs a grouped GEMM: every sub-problem `C_i = alpha_i * A_i·op(B_i)`,
 /// tiles distributed across `config.num_ctas` virtual CTAs by the selected
 /// scheduler. Returns scheduler statistics for the ablation harness.
@@ -204,66 +325,11 @@ pub fn grouped_sgemm(
         assert!(p.b.len() >= p.k * p.n, "problem {i}: B too short");
         assert!(c.len() >= p.m * p.n, "problem {i}: C too short");
     }
-
-    let visitor = ProblemVisitor::new(problems, config.tile_m, config.tile_n);
-    let total = visitor.total;
-    if total == 0 {
-        return GroupedStats {
-            tiles: 0,
-            scheduler_visits: 0,
-        };
-    }
-
-    // C buffers behind per-problem locks: tiles are disjoint, but the type
-    // system cannot see that, and a short per-tile critical section is an
-    // honest stand-in for the store-to-global phase.
-    let outputs: Vec<Mutex<&mut [f32]>> = outputs.into_iter().map(Mutex::new).collect();
-    let visits = AtomicU64::new(0);
-
-    (0..config.num_ctas).into_par_iter().for_each(|cta| {
-        let mut cursor = 0usize;
-        let mut local_visits = 0u64;
-        match config.scheduler {
-            Scheduler::PerTile => {
-                let mut linear = cta as u64;
-                while linear < total {
-                    local_visits += 1;
-                    let asg = visitor.decode(linear, &mut cursor);
-                    compute_tile(problems, &outputs, &config, asg, epilogue, a_transform);
-                    linear += config.num_ctas as u64;
-                }
-            }
-            Scheduler::WarpPrefetch => {
-                // One visit decodes the CTA's next PREFETCH_WIDTH tiles.
-                let mut batch = [TileAssignment {
-                    problem: 0,
-                    tile_row: 0,
-                    tile_col: 0,
-                }; PREFETCH_WIDTH];
-                let mut linear = cta as u64;
-                while linear < total {
-                    local_visits += 1;
-                    let mut count = 0;
-                    let mut l = linear;
-                    while count < PREFETCH_WIDTH && l < total {
-                        batch[count] = visitor.decode(l, &mut cursor);
-                        count += 1;
-                        l += config.num_ctas as u64;
-                    }
-                    for asg in &batch[..count] {
-                        compute_tile(problems, &outputs, &config, *asg, epilogue, a_transform);
-                    }
-                    linear = l;
-                }
-            }
-        }
-        visits.fetch_add(local_visits, Ordering::Relaxed);
-    });
-
-    GroupedStats {
-        tiles: total,
-        scheduler_visits: visits.load(Ordering::Relaxed),
-    }
+    let store = ContiguousStore {
+        ns: problems.iter().map(|p| p.n).collect(),
+        writers: outputs.into_iter().map(DisjointWriter::new).collect(),
+    };
+    run_grouped(problems, config, epilogue, a_transform, &store)
 }
 
 /// Output placement of one grouped sub-problem inside a shared buffer:
@@ -283,7 +349,9 @@ pub struct StridedOutput {
 }
 
 /// [`grouped_sgemm`] variant writing all sub-problem outputs into one shared
-/// buffer at per-problem strided placements.
+/// buffer at per-problem strided placements. Placements must be disjoint —
+/// CTAs store lock-free, and debug builds assert no element is written
+/// twice.
 ///
 /// # Panics
 /// Panics if placements mismatch `problems` in count or overflow `out`.
@@ -307,141 +375,93 @@ pub fn grouped_sgemm_strided(
             );
         }
     }
-    let visitor = ProblemVisitor::new(problems, config.tile_m, config.tile_n);
-    let total = visitor.total;
-    if total == 0 {
-        return GroupedStats {
-            tiles: 0,
-            scheduler_visits: 0,
-        };
-    }
-    let out = Mutex::new(out);
-    let visits = AtomicU64::new(0);
-    (0..config.num_ctas).into_par_iter().for_each(|cta| {
-        let mut cursor = 0usize;
-        let mut local_visits = 0u64;
-        let mut linear = cta as u64;
-        let step = config.num_ctas as u64;
-        let mut pending = 0usize; // tiles decoded since last scheduler visit
-        while linear < total {
-            if pending == 0 {
-                local_visits += 1;
-                pending = match config.scheduler {
-                    Scheduler::PerTile => 1,
-                    Scheduler::WarpPrefetch => PREFETCH_WIDTH,
-                };
-            }
-            let asg = visitor.decode(linear, &mut cursor);
-            let p = &problems[asg.problem];
-            let pl = &placements[asg.problem];
-            let tile = compute_tile_values(p, &config, asg, epilogue, a_transform, asg.problem);
-            let (row0, col0, rows, cols) = tile_bounds(p, &config, asg);
-            let mut guard = out.lock();
-            for i in 0..rows {
-                let base = pl.offset + (row0 + i) * pl.ld + col0;
-                guard[base..base + cols].copy_from_slice(&tile[i * cols..(i + 1) * cols]);
-            }
-            drop(guard);
-            pending -= 1;
-            linear += step;
-        }
-        visits.fetch_add(local_visits, Ordering::Relaxed);
-    });
-    GroupedStats {
-        tiles: total,
-        scheduler_visits: visits.load(Ordering::Relaxed),
-    }
+    let store = StridedStore {
+        writer: DisjointWriter::new(out),
+        placements,
+    };
+    run_grouped(problems, config, epilogue, a_transform, &store)
 }
 
-fn tile_bounds(
-    p: &GroupedProblem<'_>,
-    config: &GroupedConfig,
-    asg: TileAssignment,
-) -> (usize, usize, usize, usize) {
+fn tile_bounds(p: &GroupedProblem<'_>, config: &GroupedConfig, asg: TileAssignment) -> (usize, usize, usize, usize) {
     let row0 = asg.tile_row * config.tile_m;
     let col0 = asg.tile_col * config.tile_n;
     (row0, col0, config.tile_m.min(p.m - row0), config.tile_n.min(p.n - col0))
 }
 
-/// Computes the values of one output tile into a fresh buffer (shared by the
-/// contiguous and strided store paths).
-fn compute_tile_values(
-    p: &GroupedProblem<'_>,
-    config: &GroupedConfig,
-    asg: TileAssignment,
-    epilogue: &dyn TileEpilogue,
-    a_transform: &dyn ALoadTransform,
-    problem_idx: usize,
-) -> Vec<f32> {
-    let (row0, col0, rows, cols) = tile_bounds(p, config, asg);
-    let mut acc = vec![0.0f32; rows * cols];
-    const KC: usize = 64;
-    let mut a_frag = vec![0.0f32; rows.max(1) * KC];
-    let mut k0 = 0;
-    while k0 < p.k {
-        let kc = KC.min(p.k - k0);
-        for i in 0..rows {
-            let src = &p.a[(row0 + i) * p.k + k0..(row0 + i) * p.k + k0 + kc];
-            let dst = &mut a_frag[i * kc..(i + 1) * kc];
-            dst.copy_from_slice(src);
-            a_transform.transform(problem_idx, row0 + i, k0, dst);
-        }
-        if p.transb {
-            for i in 0..rows {
-                let a_row = &a_frag[i * kc..(i + 1) * kc];
-                let acc_row = &mut acc[i * cols..(i + 1) * cols];
-                for (j, av) in acc_row.iter_mut().enumerate() {
-                    let b_row = &p.b[(col0 + j) * p.k + k0..(col0 + j) * p.k + k0 + kc];
-                    let mut s = 0.0f32;
-                    for (&x, &y) in a_row.iter().zip(b_row) {
-                        s += x * y;
-                    }
-                    *av += s;
-                }
-            }
-        } else {
-            for i in 0..rows {
-                let a_row = &a_frag[i * kc..(i + 1) * kc];
-                let acc_row = &mut acc[i * cols..(i + 1) * cols];
-                for (dp, &av) in a_row.iter().enumerate() {
-                    let b_row = &p.b[(k0 + dp) * p.n + col0..(k0 + dp) * p.n + col0 + cols];
-                    for (cv, &bv) in acc_row.iter_mut().zip(b_row) {
-                        *cv += av * bv;
-                    }
-                }
-            }
-        }
-        k0 += kc;
-    }
-    if p.alpha != 1.0 {
-        for v in &mut acc {
-            *v *= p.alpha;
-        }
-    }
-    epilogue.apply(problem_idx, row0, col0, rows, cols, &mut acc);
-    acc
-}
-
-/// Computes one `C` tile: loads/transforms `A` fragments, accumulates the
-/// product in a tile-local buffer, applies the epilogue, and stores.
+/// Computes one `C` tile in the CTA's scratch arena: packs `A` micropanels
+/// (running the mainloop transform on each contiguous row fragment before
+/// interleaving) and `B` micropanels, accumulates every `MR×NR` block in
+/// microkernel registers across the full `K` extent, then applies alpha,
+/// the tile epilogue, and the store policy.
 fn compute_tile(
     problems: &[GroupedProblem<'_>],
-    outputs: &[Mutex<&mut [f32]>],
     config: &GroupedConfig,
     asg: TileAssignment,
     epilogue: &dyn TileEpilogue,
     a_transform: &dyn ALoadTransform,
+    store: &dyn TileStore,
+    scratch: &mut Scratch,
 ) {
     let p = &problems[asg.problem];
     let (row0, col0, rows, cols) = tile_bounds(p, config, asg);
-    let acc = compute_tile_values(p, config, asg, epilogue, a_transform, asg.problem);
+    let k = p.k;
+    let m_panels = rows.div_ceil(MR);
+    let n_panels = cols.div_ceil(NR);
+    let (a_pack, b_pack, tile, row_buf) = scratch.panels(m_panels * k * MR, n_panels * k * NR, rows * cols, k);
 
-    // Store to "global memory".
-    let mut c = outputs[asg.problem].lock();
-    for i in 0..rows {
-        let dst = &mut c[(row0 + i) * p.n + col0..(row0 + i) * p.n + col0 + cols];
-        dst.copy_from_slice(&acc[i * cols..(i + 1) * cols]);
+    for ib in 0..m_panels {
+        let r = MR.min(rows - ib * MR);
+        let dst = &mut a_pack[ib * k * MR..(ib + 1) * k * MR];
+        for i in 0..r {
+            let g_row = row0 + ib * MR + i;
+            // Stage the contiguous row fragment, run the mainloop fusion
+            // hook on it (Algorithm III.2), then interleave k-major.
+            row_buf.copy_from_slice(&p.a[g_row * k..g_row * k + k]);
+            a_transform.transform(asg.problem, g_row, 0, row_buf);
+            for (kp, &v) in row_buf.iter().enumerate() {
+                dst[kp * MR + i] = v;
+            }
+        }
+        // Scratch is reused across tiles: stale pad lanes must be re-zeroed.
+        for i in r..MR {
+            for kp in 0..k {
+                dst[kp * MR + i] = 0.0;
+            }
+        }
     }
+    for jb in 0..n_panels {
+        pack_b_panel(
+            &mut b_pack[jb * k * NR..(jb + 1) * k * NR],
+            p.b,
+            p.transb,
+            col0 + jb * NR,
+            NR.min(cols - jb * NR),
+            p.n,
+            k,
+        );
+    }
+
+    for jb in 0..n_panels {
+        let b_panel = &b_pack[jb * k * NR..(jb + 1) * k * NR];
+        let cseg = NR.min(cols - jb * NR);
+        for ib in 0..m_panels {
+            let r = MR.min(rows - ib * MR);
+            let mut acc = [0.0f32; MR * NR];
+            microkernel(k, &a_pack[ib * k * MR..(ib + 1) * k * MR], b_panel, &mut acc);
+            for i in 0..r {
+                let trow = ib * MR + i;
+                tile[trow * cols + jb * NR..trow * cols + jb * NR + cseg].copy_from_slice(&acc[i * NR..i * NR + cseg]);
+            }
+        }
+    }
+
+    if p.alpha != 1.0 {
+        for v in tile.iter_mut() {
+            *v *= p.alpha;
+        }
+    }
+    epilogue.apply(asg.problem, row0, col0, rows, cols, tile);
+    store.store(asg.problem, row0, col0, rows, cols, tile);
 }
 
 #[cfg(test)]
@@ -523,10 +543,10 @@ mod tests {
     fn warp_prefetch_same_results_fewer_visits() {
         // 8 CTAs over ~82 tiles so each CTA owns several tiles — the regime
         // where prefetching one batch of 32 assignments pays off.
-        let shapes: Vec<(usize, usize, usize)> =
-            (0..12).map(|i| (40 + i * 17, 50 + i * 13, 64)).collect();
-        let per_tile = run_and_check_ctas(&shapes, false, Scheduler::PerTile, 8);
-        let prefetch = run_and_check_ctas(&shapes, false, Scheduler::WarpPrefetch, 8);
+        let num_ctas = 8;
+        let shapes: Vec<(usize, usize, usize)> = (0..12).map(|i| (40 + i * 17, 50 + i * 13, 64)).collect();
+        let per_tile = run_and_check_ctas(&shapes, false, Scheduler::PerTile, num_ctas);
+        let prefetch = run_and_check_ctas(&shapes, false, Scheduler::WarpPrefetch, num_ctas);
         assert_eq!(per_tile.tiles, prefetch.tiles);
         assert_eq!(per_tile.scheduler_visits, per_tile.tiles);
         assert!(
@@ -535,13 +555,45 @@ mod tests {
             prefetch.scheduler_visits,
             per_tile.scheduler_visits
         );
-        // Each CTA rounds up once, so visits ≤ ceil(tiles/32) + num_ctas.
-        assert!(prefetch.scheduler_visits <= per_tile.tiles / PREFETCH_WIDTH as u64 + 108 + 1);
+        // Each CTA rounds its batch count up at most once, so with the
+        // actual CTA count: visits ≤ ceil(tiles/32) + num_ctas.
+        assert!(
+            prefetch.scheduler_visits <= per_tile.tiles.div_ceil(PREFETCH_WIDTH as u64) + num_ctas as u64,
+            "prefetch visits {} exceed ceil({}/{}) + {}",
+            prefetch.scheduler_visits,
+            per_tile.tiles,
+            PREFETCH_WIDTH,
+            num_ctas
+        );
+    }
+
+    #[test]
+    fn scratch_reused_across_tiles() {
+        // Steady-state allocation invariant: scratch growth is bounded by
+        // per-CTA shape high-water marks, never by the tile count.
+        let num_ctas = 4;
+        let shapes: Vec<(usize, usize, usize)> = (0..12).map(|i| (40 + i * 17, 50 + i * 13, 64)).collect();
+        let stats = run_and_check_ctas(&shapes, false, Scheduler::WarpPrefetch, num_ctas);
+        assert!(stats.tiles > 60, "want many tiles, got {}", stats.tiles);
+        assert!(stats.scratch_grows > 0);
+        // 4 buffers × a handful of high-water bumps per CTA.
+        let bound = (num_ctas * 4 * 4) as u64;
+        assert!(
+            stats.scratch_grows <= bound && stats.scratch_grows < stats.tiles,
+            "scratch grew {} times over {} tiles (bound {})",
+            stats.scratch_grows,
+            stats.tiles,
+            bound
+        );
     }
 
     #[test]
     fn transb_variable_shapes() {
-        run_and_check(&[(33, 65, 64), (128, 96, 64), (5, 5, 64)], true, Scheduler::WarpPrefetch);
+        run_and_check(
+            &[(33, 65, 64), (128, 96, 64), (5, 5, 64)],
+            true,
+            Scheduler::WarpPrefetch,
+        );
     }
 
     #[test]
@@ -678,10 +730,7 @@ mod tests {
                 b: &b1,
             },
         ];
-        let placements = vec![
-            StridedOutput { offset: 0, ld: 8 },
-            StridedOutput { offset: 3, ld: 8 },
-        ];
+        let placements = vec![StridedOutput { offset: 0, ld: 8 }, StridedOutput { offset: 3, ld: 8 }];
         let mut out = vec![0.0f32; 70 * 8];
         grouped_sgemm_strided(
             &problems,
@@ -698,6 +747,67 @@ mod tests {
         for r in 0..70 {
             assert_close(&out[r * 8..r * 8 + 3], &e0[r * 3..(r + 1) * 3], 1e-4);
             assert_close(&out[r * 8 + 3..r * 8 + 8], &e1[r * 5..(r + 1) * 5], 1e-4);
+        }
+    }
+
+    #[test]
+    fn strided_stress_adjacent_tiles_many_ctas() {
+        // ThreadSanitizer-style hammer on the lock-free store: many CTAs
+        // (far more than cores) store adjacent 65×65 problems side by side
+        // in one shared row — every tile boundary is a potential overlap.
+        // Repeated runs shake out scheduling interleavings; the debug-build
+        // claim map additionally asserts element disjointness exactly.
+        let n_problems = 6;
+        let (m, n, k) = (65usize, 65usize, 33usize);
+        let a_bufs: Vec<Vec<f32>> = (0..n_problems).map(|i| rand_vec(m * k, i as u64 + 1)).collect();
+        let b_bufs: Vec<Vec<f32>> = (0..n_problems).map(|i| rand_vec(k * n, i as u64 + 100)).collect();
+        let problems: Vec<GroupedProblem<'_>> = (0..n_problems)
+            .map(|i| GroupedProblem {
+                m,
+                n,
+                k,
+                transb: false,
+                alpha: 1.0,
+                a: &a_bufs[i],
+                b: &b_bufs[i],
+            })
+            .collect();
+        let ld = n * n_problems;
+        let placements: Vec<StridedOutput> = (0..n_problems).map(|i| StridedOutput { offset: i * n, ld }).collect();
+        let mut expect_blocks: Vec<Vec<f32>> = Vec::new();
+        for i in 0..n_problems {
+            let mut e = vec![0.0f32; m * n];
+            gemm_ref(false, false, m, n, k, 1.0, &a_bufs[i], &b_bufs[i], 0.0, &mut e);
+            expect_blocks.push(e);
+        }
+        for round in 0..5 {
+            let mut out = vec![f32::NAN; m * ld];
+            let stats = grouped_sgemm_strided(
+                &problems,
+                &mut out,
+                &placements,
+                GroupedConfig {
+                    num_ctas: 64,
+                    scheduler: if round % 2 == 0 {
+                        Scheduler::WarpPrefetch
+                    } else {
+                        Scheduler::PerTile
+                    },
+                    ..Default::default()
+                },
+                &NoEpilogue,
+                &NoTransform,
+            );
+            assert_eq!(stats.tiles, (n_problems * 4) as u64); // 2×2 tiles each
+            for i in 0..n_problems {
+                for r in 0..m {
+                    assert_close(
+                        &out[r * ld + i * n..r * ld + (i + 1) * n],
+                        &expect_blocks[i][r * n..(r + 1) * n],
+                        1e-4,
+                    );
+                }
+            }
         }
     }
 

@@ -26,29 +26,30 @@
 //! panels of `C`; grouped GEMM spawns a fixed number of virtual CTAs that
 //! pull tiles from the scheduler exactly as Fig. 5 describes.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the lock-free output store (`store`) confines
+// its raw-pointer writes behind a module-level `allow` with debug-checked
+// disjointness; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batched;
 mod blocked;
 pub mod grouped;
+mod micro;
 mod reference;
+mod scratch;
+pub mod store;
 
 pub use blocked::{sgemm, sgemm_epilogue, GemmSpec};
 pub use reference::gemm_ref;
+pub use store::DisjointWriter;
 
 use bt_device::KernelSpec;
 
 /// Builds the standard [`KernelSpec`] cost for an `m×n×k` GEMM with
 /// `elem_bytes`-wide storage: `2mnk` FLOPs, `(mk + kn)` elements read,
 /// `mn` elements written.
-pub fn gemm_kernel_spec(
-    name: impl Into<String>,
-    m: usize,
-    n: usize,
-    k: usize,
-    elem_bytes: usize,
-) -> KernelSpec {
+pub fn gemm_kernel_spec(name: impl Into<String>, m: usize, n: usize, k: usize, elem_bytes: usize) -> KernelSpec {
     KernelSpec::new(name)
         .flops(2 * (m as u64) * (n as u64) * (k as u64))
         .reads(((m * k + k * n) * elem_bytes) as u64)

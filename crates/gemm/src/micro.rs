@@ -1,0 +1,187 @@
+//! Register-blocked microkernel — the shared innermost level of both the
+//! blocked and grouped GEMM paths.
+//!
+//! This is the CPU analogue of the paper's register tile: an `MR×NR` block
+//! of `C` lives entirely in locals while the full `K` extent streams through
+//! it, so every loaded `A` element is reused `NR` times and every `B`
+//! element `MR` times (the seed's axpy loops reused each `B` element once).
+//! Operands are consumed from *packed micropanels* — k-major interleaved
+//! buffers analogous to the staged shared-memory tiles of a GPU kernel —
+//! which makes the inner loop two contiguous streams regardless of operand
+//! transposes.
+//!
+//! Panel layout:
+//!
+//! * `A` micropanel: `kc × MR`, element `(p, i)` at `a[p*MR + i]` — one
+//!   panel per `MR`-row strip, short strips zero-padded.
+//! * `B` micropanel: `kc × NR`, element `(p, j)` at `b[p*NR + j]` — one
+//!   panel per `NR`-column strip, short strips zero-padded.
+//!
+//! Zero padding keeps the microkernel branch-free at the edges: padded lanes
+//! compute zeros that callers simply never store.
+
+/// Rows of the register tile.
+pub(crate) const MR: usize = 8;
+/// Columns of the register tile.
+pub(crate) const NR: usize = 8;
+
+/// Fused multiply-add when the target has hardware FMA, plain mul+add
+/// otherwise (`mul_add` without hardware support lowers to a libm call).
+#[inline(always)]
+fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+    if cfg!(target_feature = "fma") {
+        a.mul_add(b, c)
+    } else {
+        a * b + c
+    }
+}
+
+/// `acc[i*NR + j] += Σ_p a[p*MR + i] · b[p*NR + j]` over `kc` steps.
+///
+/// The accumulator block stays in locals for the whole `kc` loop — with
+/// fixed `MR`/`NR` bounds the two inner loops fully unroll and vectorize.
+#[inline]
+pub(crate) fn microkernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [f32; MR * NR]) {
+    debug_assert!(a.len() >= kc * MR, "A micropanel too short");
+    debug_assert!(b.len() >= kc * NR, "B micropanel too short");
+    let mut c = *acc;
+    for p in 0..kc {
+        let ap: &[f32; MR] = a[p * MR..p * MR + MR].try_into().expect("MR slice");
+        let bp: &[f32; NR] = b[p * NR..p * NR + NR].try_into().expect("NR slice");
+        for i in 0..MR {
+            let ai = ap[i];
+            for j in 0..NR {
+                c[i * NR + j] = fmadd(ai, bp[j], c[i * NR + j]);
+            }
+        }
+    }
+    *acc = c;
+}
+
+/// Packs one `A` micropanel: rows `row0 .. row0+r` (`r ≤ MR`), the full `k`
+/// extent, from a row-major `m×k` matrix (or `k×m` when `trans`).
+/// Rows `r..MR` are zero lanes.
+pub(crate) fn pack_a_panel(dst: &mut [f32], src: &[f32], trans: bool, row0: usize, r: usize, m: usize, k: usize) {
+    debug_assert!(dst.len() >= k * MR);
+    debug_assert!(r <= MR);
+    if trans {
+        // src is k×m: A[row, p] = src[p*m + row]; each p step is contiguous
+        // in the source.
+        for p in 0..k {
+            let s = &src[p * m + row0..p * m + row0 + r];
+            let d = &mut dst[p * MR..p * MR + MR];
+            d[..r].copy_from_slice(s);
+            d[r..].fill(0.0);
+        }
+    } else {
+        for i in 0..r {
+            let s = &src[(row0 + i) * k..(row0 + i) * k + k];
+            for (p, &v) in s.iter().enumerate() {
+                dst[p * MR + i] = v;
+            }
+        }
+        for i in r..MR {
+            for p in 0..k {
+                dst[p * MR + i] = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs one `B` micropanel: columns `col0 .. col0+c` (`c ≤ NR`), the full
+/// `k` extent, from a row-major `k×n` matrix (or `n×k` when `trans`).
+/// Columns `c..NR` are zero lanes.
+pub(crate) fn pack_b_panel(dst: &mut [f32], src: &[f32], trans: bool, col0: usize, c: usize, n: usize, k: usize) {
+    debug_assert!(dst.len() >= k * NR);
+    debug_assert!(c <= NR);
+    if trans {
+        // src is n×k: B[p, col] = src[col*k + p].
+        for j in 0..c {
+            let s = &src[(col0 + j) * k..(col0 + j) * k + k];
+            for (p, &v) in s.iter().enumerate() {
+                dst[p * NR + j] = v;
+            }
+        }
+        for j in c..NR {
+            for p in 0..k {
+                dst[p * NR + j] = 0.0;
+            }
+        }
+    } else {
+        for p in 0..k {
+            let s = &src[p * n + col0..p * n + col0 + c];
+            let d = &mut dst[p * NR..p * NR + NR];
+            d[..c].copy_from_slice(s);
+            d[c..].fill(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microkernel_matches_naive() {
+        let kc = 13;
+        let a: Vec<f32> = (0..kc * MR).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..kc * NR).map(|i| (i as f32 * 0.51).cos()).collect();
+        let mut acc = [1.0f32; MR * NR]; // nonzero start: must accumulate
+        microkernel(kc, &a, &b, &mut acc);
+        for i in 0..MR {
+            for j in 0..NR {
+                let mut expect = 1.0f32;
+                for p in 0..kc {
+                    expect += a[p * MR + i] * b[p * NR + j];
+                }
+                assert!((acc[i * NR + j] - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn microkernel_k_zero_is_identity() {
+        let mut acc = [3.0f32; MR * NR];
+        microkernel(0, &[], &[], &mut acc);
+        assert_eq!(acc, [3.0f32; MR * NR]);
+    }
+
+    #[test]
+    fn pack_a_transposed_agrees_with_plain() {
+        let (m, k) = (11, 9);
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
+        // a_t[p*m + r] = a[r*k + p]
+        let mut a_t = vec![0.0f32; m * k];
+        for r in 0..m {
+            for p in 0..k {
+                a_t[p * m + r] = a[r * k + p];
+            }
+        }
+        let r = 3; // short strip with padding
+        let mut plain = vec![f32::NAN; k * MR];
+        let mut trans = vec![f32::NAN; k * MR];
+        pack_a_panel(&mut plain, &a, false, 8, r, m, k);
+        pack_a_panel(&mut trans, &a_t, true, 8, r, m, k);
+        assert_eq!(plain, trans);
+        assert_eq!(plain[r], 0.0); // padded lane of the first k-step zeroed
+    }
+
+    #[test]
+    fn pack_b_transposed_agrees_with_plain() {
+        let (n, k) = (13, 7);
+        let b: Vec<f32> = (0..n * k).map(|i| (i * 3) as f32).collect();
+        let mut b_t = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                b_t[j * k + p] = b[p * n + j];
+            }
+        }
+        let c = 5;
+        let mut plain = vec![f32::NAN; k * NR];
+        let mut trans = vec![f32::NAN; k * NR];
+        pack_b_panel(&mut plain, &b, false, 8, c, n, k);
+        pack_b_panel(&mut trans, &b_t, true, 8, c, n, k);
+        assert_eq!(plain, trans);
+        assert_eq!(plain[c], 0.0);
+    }
+}

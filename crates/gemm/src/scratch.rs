@@ -1,0 +1,94 @@
+//! Per-CTA scratch arena for the grouped-GEMM path.
+//!
+//! Each virtual CTA owns one [`Scratch`] for the whole launch and reuses it
+//! across every tile it computes — the analogue of a threadblock's fixed
+//! shared-memory allocation. Buffers only ever grow (to the high-water mark
+//! of the shapes seen), so the steady state performs **zero heap
+//! allocations per tile**; the grow counter makes that property assertable
+//! in tests via [`crate::grouped::GroupedStats::scratch_grows`].
+
+/// Reusable packing + accumulation buffers for one virtual CTA.
+pub(crate) struct Scratch {
+    a_pack: Vec<f32>,
+    b_pack: Vec<f32>,
+    tile: Vec<f32>,
+    row_buf: Vec<f32>,
+    grows: u64,
+}
+
+impl Scratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            a_pack: Vec::new(),
+            b_pack: Vec::new(),
+            tile: Vec::new(),
+            row_buf: Vec::new(),
+            grows: 0,
+        }
+    }
+
+    /// Times any buffer had to grow. Stays flat once every shape in the
+    /// problem set has been seen — the "zero allocations per tile" invariant.
+    pub(crate) fn grow_count(&self) -> u64 {
+        self.grows
+    }
+
+    /// Returns `(a_pack, b_pack, tile, row_buf)` slices of at least the
+    /// requested lengths, growing the backing buffers only on a new
+    /// high-water mark. Contents are stale — callers overwrite fully.
+    pub(crate) fn panels(
+        &mut self,
+        a_len: usize,
+        b_len: usize,
+        tile_len: usize,
+        row_len: usize,
+    ) -> (&mut [f32], &mut [f32], &mut [f32], &mut [f32]) {
+        grow(&mut self.a_pack, a_len, &mut self.grows);
+        grow(&mut self.b_pack, b_len, &mut self.grows);
+        grow(&mut self.tile, tile_len, &mut self.grows);
+        grow(&mut self.row_buf, row_len, &mut self.grows);
+        (
+            &mut self.a_pack[..a_len],
+            &mut self.b_pack[..b_len],
+            &mut self.tile[..tile_len],
+            &mut self.row_buf[..row_len],
+        )
+    }
+}
+
+fn grow(buf: &mut Vec<f32>, len: usize, grows: &mut u64) {
+    if buf.len() < len {
+        // Geometric growth keeps the number of grows logarithmic even when
+        // successive tiles ratchet the high-water mark up gradually.
+        let target = len.max(buf.len() * 2);
+        buf.resize(target, 0.0);
+        *grows += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_stops_growing() {
+        let mut s = Scratch::new();
+        s.panels(100, 200, 64, 32);
+        let after_first = s.grow_count();
+        assert!(after_first > 0);
+        for _ in 0..1000 {
+            let (a, b, t, r) = s.panels(100, 200, 64, 32);
+            assert_eq!((a.len(), b.len(), t.len(), r.len()), (100, 200, 64, 32));
+        }
+        assert_eq!(s.grow_count(), after_first, "reuse must not reallocate");
+    }
+
+    #[test]
+    fn smaller_requests_reuse_high_water() {
+        let mut s = Scratch::new();
+        s.panels(512, 512, 512, 512);
+        let g = s.grow_count();
+        s.panels(8, 8, 8, 8);
+        assert_eq!(s.grow_count(), g);
+    }
+}

@@ -3,8 +3,8 @@
 
 use bt_gemm::batched::{batched_sgemm, BatchedArgs};
 use bt_gemm::grouped::{
-    grouped_sgemm, grouped_sgemm_strided, GroupedConfig, GroupedProblem, NoEpilogue, NoTransform,
-    Scheduler, StridedOutput,
+    grouped_sgemm, grouped_sgemm_strided, GroupedConfig, GroupedProblem, NoEpilogue, NoTransform, Scheduler,
+    StridedOutput,
 };
 use bt_gemm::{gemm_ref, sgemm, sgemm_epilogue, GemmSpec};
 use bt_tensor::compare::max_abs_diff;
@@ -30,6 +30,33 @@ proptest! {
         beta in -1.0f32..1.0,
         seed in 0u64..1000,
     ) {
+        let a = rand_vec(m * k, seed);
+        let b = rand_vec(k * n, seed + 1);
+        let mut c1 = rand_vec(m * n, seed + 2);
+        let mut c2 = c1.clone();
+        let spec = GemmSpec { transa, transb, alpha, beta };
+        sgemm(spec, m, n, k, &a, &b, &mut c1);
+        gemm_ref(transa, transb, m, n, k, alpha, &a, &b, beta, &mut c2);
+        prop_assert!(max_abs_diff(&c1, &c2) < 1e-3, "diff {}", max_abs_diff(&c1, &c2));
+    }
+
+    #[test]
+    fn prop_microkernel_remainders_and_degenerate_k(
+        // m and n are drawn as q·8 + r with r in 1..8, so every case lands
+        // off the MR/NR grid — the edge strips the microkernel must pad.
+        mq in 0usize..4,
+        mr in 1usize..8,
+        nq in 0usize..4,
+        nr in 1usize..8,
+        k in 0usize..64, // includes the degenerate k = 0 (C = beta·C)
+        transa: bool,
+        transb: bool,
+        alpha in -2.0f32..2.0,
+        beta in -1.0f32..1.0,
+        seed in 0u64..1000,
+    ) {
+        let m = mq * 8 + mr;
+        let n = nq * 8 + nr;
         let a = rand_vec(m * k, seed);
         let b = rand_vec(k * n, seed + 1);
         let mut c1 = rand_vec(m * n, seed + 2);

@@ -188,15 +188,7 @@ pub fn add_bias_residual_layernorm_fused_f16(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn check_shapes(
-    out: &[f32],
-    residual: &[f32],
-    bias: &[f32],
-    gamma: &[f32],
-    beta: &[f32],
-    rows: usize,
-    hidden: usize,
-) {
+fn check_shapes(out: &[f32], residual: &[f32], bias: &[f32], gamma: &[f32], beta: &[f32], rows: usize, hidden: usize) {
     assert_eq!(out.len(), rows * hidden, "out shape mismatch");
     assert_eq!(residual.len(), rows * hidden, "residual shape mismatch");
     assert_eq!(bias.len(), hidden, "bias length mismatch");
@@ -244,9 +236,31 @@ mod tests {
         let residual = Tensor::randn([rows, hidden], 2).into_vec();
         let dev = device();
         let mut a = x.clone();
-        add_bias_residual_layernorm_unfused(&dev, "layernorm", &mut a, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        add_bias_residual_layernorm_unfused(
+            &dev,
+            "layernorm",
+            &mut a,
+            &residual,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
+        );
         let mut b = x;
-        add_bias_residual_layernorm_fused(&dev, "layernorm", &mut b, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        add_bias_residual_layernorm_fused(
+            &dev,
+            "layernorm",
+            &mut b,
+            &residual,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
+        );
         assert_close(&a, &b, 1e-5);
     }
 
@@ -258,10 +272,32 @@ mod tests {
         let residual = vec![0.0f32; rows * hidden];
         let dev_u = device();
         let mut a = vec![1.0f32; rows * hidden];
-        add_bias_residual_layernorm_unfused(&dev_u, "layernorm", &mut a, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        add_bias_residual_layernorm_unfused(
+            &dev_u,
+            "layernorm",
+            &mut a,
+            &residual,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
+        );
         let dev_f = device();
         let mut b = vec![1.0f32; rows * hidden];
-        add_bias_residual_layernorm_fused(&dev_f, "layernorm", &mut b, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        add_bias_residual_layernorm_fused(
+            &dev_f,
+            "layernorm",
+            &mut b,
+            &residual,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
+        );
         assert_eq!(dev_u.launches(), 2);
         assert_eq!(dev_f.launches(), 1);
         let t = (rows * hidden * 4) as u64;
@@ -280,10 +316,32 @@ mod tests {
         let residual = Tensor::rand_uniform([rows, hidden], -2.0, 2.0, 4).into_vec();
         let dev = device();
         let mut f32_out = x.clone();
-        add_bias_residual_layernorm_fused(&dev, "layernorm", &mut f32_out, &residual, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        add_bias_residual_layernorm_fused(
+            &dev,
+            "layernorm",
+            &mut f32_out,
+            &residual,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
+        );
         let mut h_out = to_f16_vec(&x);
         let h_res = to_f16_vec(&residual);
-        add_bias_residual_layernorm_fused_f16(&dev, "layernorm", &mut h_out, &h_res, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        add_bias_residual_layernorm_fused_f16(
+            &dev,
+            "layernorm",
+            &mut h_out,
+            &h_res,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
+        );
         let widened = to_f32_vec(&h_out);
         // FP16 storage error after normalization stays within ~1e-2.
         assert!(max_abs_diff(&widened, &f32_out) < 2e-2);
@@ -297,11 +355,33 @@ mod tests {
         let dev32 = device();
         let mut a = vec![0.5f32; rows * hidden];
         let res32 = vec![0.5f32; rows * hidden];
-        add_bias_residual_layernorm_fused(&dev32, "layernorm", &mut a, &res32, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        add_bias_residual_layernorm_fused(
+            &dev32,
+            "layernorm",
+            &mut a,
+            &res32,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
+        );
         let dev16 = device();
         let mut b = to_f16_vec(&a);
         let res16 = to_f16_vec(&res32);
-        add_bias_residual_layernorm_fused_f16(&dev16, "layernorm", &mut b, &res16, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        add_bias_residual_layernorm_fused_f16(
+            &dev16,
+            "layernorm",
+            &mut b,
+            &res16,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
+        );
         let param_bytes = (3 * hidden * 4) as u64;
         let t32 = dev32.total_bytes() - param_bytes;
         let t16 = dev16.total_bytes() - param_bytes;
@@ -318,10 +398,32 @@ mod tests {
         let res = vec![0.0f32; rows * hidden];
         let dev = device();
         let mut f32_out = x.clone();
-        add_bias_residual_layernorm_fused(&dev, "layernorm", &mut f32_out, &res, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        add_bias_residual_layernorm_fused(
+            &dev,
+            "layernorm",
+            &mut f32_out,
+            &res,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
+        );
         let mut h = to_f16_vec(&x);
         let h_res = to_f16_vec(&res);
-        add_bias_residual_layernorm_fused_f16(&dev, "layernorm", &mut h, &h_res, &bias, &gamma, &beta, 1e-6, rows, hidden);
+        add_bias_residual_layernorm_fused_f16(
+            &dev,
+            "layernorm",
+            &mut h,
+            &h_res,
+            &bias,
+            &gamma,
+            &beta,
+            1e-6,
+            rows,
+            hidden,
+        );
         assert!(max_abs_diff(&to_f32_vec(&h), &f32_out) < 2e-2);
     }
 
@@ -330,6 +432,17 @@ mod tests {
     fn shape_checked() {
         let dev = device();
         let mut out = vec![0.0f32; 8];
-        add_bias_residual_layernorm_fused(&dev, "layernorm", &mut out, &[0.0; 4], &[0.0; 4], &[1.0; 4], &[0.0; 4], 1e-6, 2, 4);
+        add_bias_residual_layernorm_fused(
+            &dev,
+            "layernorm",
+            &mut out,
+            &[0.0; 4],
+            &[0.0; 4],
+            &[1.0; 4],
+            &[0.0; 4],
+            1e-6,
+            2,
+            4,
+        );
     }
 }

@@ -70,17 +70,15 @@ pub fn merge_heads(device: &Device, input: &Tensor) -> Tensor {
         || {
             let src = input.as_slice();
             let mut data = vec![0.0f32; input.numel()];
-            data.par_chunks_mut(seq * hidden)
-                .enumerate()
-                .for_each(|(b, dst)| {
-                    for h in 0..heads {
-                        for s in 0..seq {
-                            let from = ((b * heads + h) * seq + s) * head;
-                            let to = s * hidden + h * head;
-                            dst[to..to + head].copy_from_slice(&src[from..from + head]);
-                        }
+            data.par_chunks_mut(seq * hidden).enumerate().for_each(|(b, dst)| {
+                for h in 0..heads {
+                    for s in 0..seq {
+                        let from = ((b * heads + h) * seq + s) * head;
+                        let to = s * hidden + h * head;
+                        dst[to..to + head].copy_from_slice(&src[from..from + head]);
                     }
-                });
+                }
+            });
             data
         },
     );
@@ -114,8 +112,7 @@ pub fn add_bias_unpack_split_qkv(
     let (batch, seq) = (idx.batch(), idx.max_seq_len());
     let padded = batch * heads * seq * head;
 
-    let read_bytes = (idx.valid_words() * three_hidden * 4 + three_hidden * 4) as u64
-        + idx.valid_words() as u64 * 4;
+    let read_bytes = (idx.valid_words() * three_hidden * 4 + three_hidden * 4) as u64 + idx.valid_words() as u64 * 4;
     let write_bytes = (3 * padded * 4) as u64;
     let (q, k, v) = device.launch(
         KernelSpec::new("layout.add_bias_unpack_split_qkv")

@@ -74,23 +74,20 @@ pub fn masked_softmax_padded(
             .reads(nbytes)
             .writes(nbytes),
         || {
-            logits
-                .par_chunks_mut(seq)
-                .enumerate()
-                .for_each(|(row_idx, row)| {
-                    let b = row_idx / (heads * seq);
-                    let len = seq_lens[b];
-                    // Additive mask: padded keys -> -inf before the softmax.
-                    for v in row[len..].iter_mut() {
-                        *v = f32::NEG_INFINITY;
-                    }
-                    if len == 0 {
-                        // Fully masked row: conventional kernels emit zeros.
-                        row.fill(0.0);
-                    } else {
-                        softmax_row(row);
-                    }
-                });
+            logits.par_chunks_mut(seq).enumerate().for_each(|(row_idx, row)| {
+                let b = row_idx / (heads * seq);
+                let len = seq_lens[b];
+                // Additive mask: padded keys -> -inf before the softmax.
+                for v in row[len..].iter_mut() {
+                    *v = f32::NEG_INFINITY;
+                }
+                if len == 0 {
+                    // Fully masked row: conventional kernels emit zeros.
+                    row.fill(0.0);
+                } else {
+                    softmax_row(row);
+                }
+            });
         },
     );
 }
@@ -126,17 +123,14 @@ pub fn masked_softmax_zeropad(
             .reads(valid_sq * 4)
             .writes(valid_rows * seq as u64 * 4),
         || {
-            logits
-                .par_chunks_mut(seq * seq)
-                .enumerate()
-                .for_each(|(bh, mat)| {
-                    let b = bh / heads;
-                    let len = seq_lens[b];
-                    for row in mat.chunks_mut(seq).take(len) {
-                        softmax_row(&mut row[..len]);
-                        row[len..].fill(0.0);
-                    }
-                });
+            logits.par_chunks_mut(seq * seq).enumerate().for_each(|(bh, mat)| {
+                let b = bh / heads;
+                let len = seq_lens[b];
+                for row in mat.chunks_mut(seq).take(len) {
+                    softmax_row(&mut row[..len]);
+                    row[len..].fill(0.0);
+                }
+            });
         },
     );
 }

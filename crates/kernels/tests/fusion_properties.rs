@@ -4,9 +4,7 @@
 
 use bt_device::{CostModel, Device};
 use bt_kernels::activation::{add_bias_gelu_fused, add_bias_gelu_unfused};
-use bt_kernels::layernorm::{
-    add_bias_residual_layernorm_fused, add_bias_residual_layernorm_unfused,
-};
+use bt_kernels::layernorm::{add_bias_residual_layernorm_fused, add_bias_residual_layernorm_unfused};
 use bt_kernels::layout::{add_bias_split_qkv_packed, add_bias_unpack_split_qkv, merge_heads_pack};
 use bt_kernels::softmax::softmax_row;
 use bt_tensor::compare::max_abs_diff;

@@ -11,10 +11,7 @@
 /// Panics if the slices differ in length.
 pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "compared slices must match in length");
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y).abs())
-        .fold(0.0f32, f32::max)
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0f32, f32::max)
 }
 
 /// Maximum relative difference `|a-b| / max(|a|, |b|, eps)`.
@@ -39,10 +36,7 @@ pub fn max_rel_diff(a: &[f32], b: &[f32], eps: f32) -> f32 {
 pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
     assert_eq!(a.len(), b.len(), "compared slices must match in length");
     for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
-        assert!(
-            !x.is_nan() && !y.is_nan(),
-            "NaN at index {i}: left={x}, right={y}"
-        );
+        assert!(!x.is_nan() && !y.is_nan(), "NaN at index {i}: left={x}, right={y}");
         assert!(
             (x - y).abs() <= tol,
             "mismatch at index {i}: left={x}, right={y}, |diff|={} > tol={tol}",

@@ -96,7 +96,7 @@ impl f16 {
                 let m_norm = (m << (23 - p)) & 0x007F_FFFF; // drop implicit 1
                 sign | (e << 23) | m_norm
             }
-            (0x1F, 0) => sign | 0x7F80_0000, // infinity
+            (0x1F, 0) => sign | 0x7F80_0000,                           // infinity
             (0x1F, m) => sign | 0x7F80_0000 | (m << 13) | 0x0040_0000, // NaN (quiet)
             (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
         };

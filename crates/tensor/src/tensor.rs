@@ -141,10 +141,7 @@ impl Tensor {
                 to: shape.numel(),
             });
         }
-        Ok(Self {
-            data: self.data,
-            shape,
-        })
+        Ok(Self { data: self.data, shape })
     }
 
     /// For a rank-2 tensor `[rows, cols]`, returns row `r` as a slice.

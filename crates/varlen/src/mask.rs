@@ -87,10 +87,7 @@ impl BatchMask {
                 });
             }
         }
-        Ok(Self {
-            seq_lens,
-            max_seq_len,
-        })
+        Ok(Self { seq_lens, max_seq_len })
     }
 
     /// Builds a mask from a `batch × max_seq_len` 0/1 matrix (the paper's
@@ -116,10 +113,7 @@ impl BatchMask {
             }
             seq_lens.push(len);
         }
-        Ok(Self {
-            seq_lens,
-            max_seq_len,
-        })
+        Ok(Self { seq_lens, max_seq_len })
     }
 
     /// Per-sequence valid lengths.

@@ -175,14 +175,12 @@ impl PackingIndex {
                     .for_each(|(b, dst)| {
                         let off = self.seq_offset(b);
                         let len = self.seq_len(b);
-                        dst[..len * hidden]
-                            .copy_from_slice(&src[off * hidden..(off + len) * hidden]);
+                        dst[..len * hidden].copy_from_slice(&src[off * hidden..(off + len) * hidden]);
                     });
                 data
             },
         );
-        Ok(Tensor::from_vec(out, [self.batch(), self.max_seq_len(), hidden])
-            .expect("padded shape consistent"))
+        Ok(Tensor::from_vec(out, [self.batch(), self.max_seq_len(), hidden]).expect("padded shape consistent"))
     }
 }
 

@@ -52,9 +52,7 @@ impl LengthDistribution {
     pub fn sample(&self, batch: usize, max_seq_len: usize, seed: u64) -> Vec<usize> {
         assert!(max_seq_len > 0, "max_seq_len must be positive");
         let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-        (0..batch)
-            .map(|_| self.sample_one(max_seq_len, &mut rng))
-            .collect()
+        (0..batch).map(|_| self.sample_one(max_seq_len, &mut rng)).collect()
     }
 
     fn sample_one(&self, max: usize, rng: &mut Xoshiro256StarStar) -> usize {
@@ -85,10 +83,7 @@ impl LengthDistribution {
                 };
                 (len as usize).clamp(1, max)
             }
-            LengthDistribution::NormalClamped {
-                mean_frac,
-                std_frac,
-            } => {
+            LengthDistribution::NormalClamped { mean_frac, std_frac } => {
                 let x = mean_frac * max as f64 + std_frac * max as f64 * rng.normal() as f64;
                 (x.round() as isize).clamp(1, max as isize) as usize
             }
@@ -112,8 +107,7 @@ pub fn paper_workload(batch: usize, max_seq_len: usize, seed: u64) -> BatchMask 
 
 /// Convenience: a fully padded (fixed-length) mask.
 pub fn fixed_workload(batch: usize, max_seq_len: usize) -> BatchMask {
-    BatchMask::from_lens(vec![max_seq_len; batch], max_seq_len)
-        .expect("fixed lengths equal the maximum")
+    BatchMask::from_lens(vec![max_seq_len; batch], max_seq_len).expect("fixed lengths equal the maximum")
 }
 
 /// Returns an error-typed variant of [`BatchMask::from_lens`] re-exported

@@ -7,8 +7,8 @@
 //! ```
 
 use bytetransformer::core::attention::{
-    batched_attention, flash_attention, fused_grouped_attention, fused_short_attention,
-    naive_attention, FUSED_SHORT_MAX_SEQ,
+    batched_attention, flash_attention, fused_grouped_attention, fused_short_attention, naive_attention,
+    FUSED_SHORT_MAX_SEQ,
 };
 use bytetransformer::gemm::grouped::Scheduler;
 use bytetransformer::kernels::layout::{add_bias_split_qkv_packed, add_bias_unpack_split_qkv};
@@ -44,9 +44,8 @@ fn main() {
     let (q_pad, k_pad, v_pad) = add_bias_unpack_split_qkv(&setup_dev, &qkv, &bias, &idx, heads);
     let (q_pk, k_pk, v_pk) = add_bias_split_qkv_packed(&setup_dev, &qkv, &bias, heads, scale);
 
-    let reference = bytetransformer::core::attention::reference_attention(
-        &q_pad, &k_pad, &v_pad, mask.seq_lens(), scale,
-    );
+    let reference =
+        bytetransformer::core::attention::reference_attention(&q_pad, &k_pad, &v_pad, mask.seq_lens(), scale);
     let ref_packed = pack(&reference, &idx);
 
     println!(
@@ -111,8 +110,7 @@ fn pack(ctx: &Tensor, idx: &PackingIndex) -> Vec<f32> {
             let w = idx.seq_offset(b) + s;
             for h in 0..heads {
                 for dd in 0..head {
-                    out[w * hidden + h * head + dd] =
-                        ctx.at(&[b, h, s, dd]).expect("in range");
+                    out[w * hidden + h * head + dd] = ctx.at(&[b, h, s, dd]).expect("in range");
                 }
             }
         }

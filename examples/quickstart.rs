@@ -24,10 +24,7 @@ fn main() {
     let batch = 8;
     let max_seq = 128;
     let mask = paper_workload(batch, max_seq, 7);
-    println!(
-        "batch = {batch}, max_seq = {max_seq}, lengths = {:?}",
-        mask.seq_lens()
-    );
+    println!("batch = {batch}, max_seq = {max_seq}, lengths = {:?}", mask.seq_lens());
     println!(
         "valid tokens: {} of {} padded slots (α = {:.2})\n",
         mask.valid_words(),
@@ -63,7 +60,10 @@ fn main() {
     let t_base = dev_base.modeled_total() * 1e3;
     let t_bt = dev_bt.modeled_total() * 1e3;
     println!("\nmodeled A100 time  baseline: {t_base:.3} ms");
-    println!("modeled A100 time  fused:    {t_bt:.3} ms  ({:.0}% faster)", (t_base / t_bt - 1.0) * 100.0);
+    println!(
+        "modeled A100 time  fused:    {t_bt:.3} ms  ({:.0}% faster)",
+        (t_base / t_bt - 1.0) * 100.0
+    );
     println!(
         "kernel launches    baseline: {}, fused: {}",
         dev_base.launches(),

@@ -55,9 +55,8 @@ fn main() {
     let out2 = model
         .forward(&device, &src, &src_mask, &tgt2, &tgt_mask)
         .expect("validated shapes");
-    let changed_earlier = (0..last).any(|s| {
-        (0..config.hidden()).any(|h| out.at(&[0, s, h]).unwrap() != out2.at(&[0, s, h]).unwrap())
-    });
+    let changed_earlier =
+        (0..last).any(|s| (0..config.hidden()).any(|h| out.at(&[0, s, h]).unwrap() != out2.at(&[0, s, h]).unwrap()));
     println!(
         "causality check: earlier target positions changed after perturbing the last token? {}",
         changed_earlier

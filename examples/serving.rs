@@ -45,7 +45,10 @@ fn main() {
 
     let max_batch = 8;
     let window = 5e-3; // 5 ms batching window
-    println!("server: max_batch = {max_batch}, batching window = {:.0} ms\n", window * 1e3);
+    println!(
+        "server: max_batch = {max_batch}, batching window = {:.0} ms\n",
+        window * 1e3
+    );
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "framework", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"

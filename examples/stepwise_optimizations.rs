@@ -39,11 +39,11 @@ fn main() {
     let mut baseline: Option<f64> = None;
     for opt in OptLevel::all() {
         let dev = Device::new();
-        model
-            .forward(&dev, &input, &mask, opt)
-            .expect("validated shapes");
+        model.forward(&dev, &input, &mask, opt).expect("validated shapes");
         let t = dev.modeled_total() * 1e3;
-        let step = prev.map(|p| format!("{:+.1}% vs prev", (p / t - 1.0) * 100.0)).unwrap_or_default();
+        let step = prev
+            .map(|p| format!("{:+.1}% vs prev", (p / t - 1.0) * 100.0))
+            .unwrap_or_default();
         let total = baseline
             .map(|b| format!("{:+.1}% vs baseline", (b / t - 1.0) * 100.0))
             .unwrap_or_default();

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: build, tests, formatting, lints. Run before every commit.
+# Everything is offline — external deps resolve to the in-workspace shims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "OK"

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness surface this workspace's `harness = false` bench
+//! targets use — `Criterion`, `bench_function`, `benchmark_group`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple median-of-samples wall-clock measurement instead of
+//! criterion's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so call sites can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark harness: configuration plus named measurement entry points.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total time spent measuring each benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Time spent running the routine before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            median: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        println!("bench {name:<40} median {:>12.3?}  ({} iters)", b.median, b.iters);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.criterion.bench_function(&format!("  {name}"), f);
+        self
+    }
+
+    /// Ends the group (measurement already happened eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under `iter`.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    median: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`: warms up, then takes `sample_size` samples within
+    /// the measurement-time budget and records the median per-call time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up, also calibrating iterations per sample.
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || calls == 0 {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed() / calls.max(1) as u32;
+        let budget = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = if per_call.is_zero() {
+            1000
+        } else {
+            (budget.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+        self.iters = iters_per_sample * self.sample_size as u64;
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, targets...)` or
+/// the long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),*);
+    };
+}
+
+/// Emits `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let mut g = c.benchmark_group("grouped");
+        g.bench_function("inner", |b| b.iter(|| black_box(3u64) * black_box(4u64)));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach a registry, so this crate implements
+//! the subset of proptest this workspace uses: the `proptest!` macro with
+//! `x in strategy` / `x: Type` argument forms, an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute,
+//! range / tuple / `collection::vec` strategies, and the `prop_assert*`
+//! macros.
+//!
+//! Differences from real proptest, acceptable for this workspace:
+//!
+//! * no shrinking — a failing case reports its inputs via the panic message
+//!   (every generated binding is `Debug`-printed on failure);
+//! * sampling is deterministic per `(test name, case index)`, so failures
+//!   reproduce exactly without a persistence file.
+
+/// Strategies: how to sample a value of some type from a [`test_runner::TestRng`].
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A source of random values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                    lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = rng.next_unit_f64();
+                    let v = self.start as f64 + (self.end as f64 - self.start as f64) * unit;
+                    // Clamp: rounding at the type boundary must not escape the range.
+                    (v as $t).clamp(self.start, self.end)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Strategy producing a constant value (used for `Just`-style plumbing).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive-exclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Types drawable via the `name: Type` argument form of `proptest!`.
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+
+    /// Produces an unconstrained random value of `Self`.
+    pub trait Arbitrary: Sized {
+        /// Draws one value.
+        fn arbitrary_sample(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_sample(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_sample(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Test-loop configuration and the deterministic RNG.
+pub mod test_runner {
+    /// Subset of proptest's run configuration: how many cases to draw.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator, seeded per `(test, case)` so any
+    /// failing case replays without a persistence file.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of the named test.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Self {
+                state: h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 bits of entropy.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Defines `#[test]` functions that run their body over many random cases.
+///
+/// Supported argument forms: `name in <strategy-expr>` and `name: Type`
+/// (where `Type: Arbitrary`). An optional leading
+/// `#![proptest_config(<expr>)]` sets the case count for every function in
+/// the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` into a `#[test]`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __bt_cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for __bt_case in 0..__bt_cfg.cases {
+                let mut __bt_rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), __bt_case);
+                $crate::__proptest_body!(__bt_rng, __bt_case, ($($args)*), (), $body);
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one argument per step, then
+/// runs the body inside a closure so failures report the sampled inputs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    // All arguments bound: run the body, reporting inputs on panic.
+    ($rng:ident, $case:ident, (), ($($bound:ident)*), $body:block) => {{
+        let __bt_inputs = format!(
+            concat!("case {}", $(concat!(" ", stringify!($bound), "={:?}"),)*),
+            $case, $($bound),*
+        );
+        let __bt_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+        if let Err(payload) = __bt_result {
+            eprintln!("proptest failure inputs: {}", __bt_inputs);
+            std::panic::resume_unwind(payload);
+        }
+    }};
+    ($rng:ident, $case:ident, ($x:ident in $strat:expr), ($($bound:ident)*), $body:block) => {
+        $crate::__proptest_body!($rng, $case, ($x in $strat,), ($($bound)*), $body)
+    };
+    ($rng:ident, $case:ident, ($x:ident in $strat:expr, $($rest:tt)*), ($($bound:ident)*), $body:block) => {
+        let $x = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_body!($rng, $case, ($($rest)*), ($($bound)* $x), $body);
+    };
+    ($rng:ident, $case:ident, ($x:ident : $ty:ty), ($($bound:ident)*), $body:block) => {
+        $crate::__proptest_body!($rng, $case, ($x : $ty,), ($($bound)*), $body)
+    };
+    ($rng:ident, $case:ident, ($x:ident : $ty:ty, $($rest:tt)*), ($($bound:ident)*), $body:block) => {
+        let $x = <$ty as $crate::arbitrary::Arbitrary>::arbitrary_sample(&mut $rng);
+        $crate::__proptest_body!($rng, $case, ($($rest)*), ($($bound)* $x), $body);
+    };
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Rejects the current case when the assumption does not hold. Unlike real
+/// proptest this does not draw a replacement case — the rejected case simply
+/// passes — which is fine at the case counts this workspace uses.
+///
+/// Expands to an early `return` from the per-case closure, so it must be
+/// called from the property body itself, not from a nested closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+pub mod prelude {
+    //! Drop-in for `proptest::prelude::*`.
+    pub use crate::arbitrary::Arbitrary;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges_stay_in_bounds", 0);
+        for _ in 0..1000 {
+            let v = (3usize..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f32..2.0).sample(&mut rng);
+            assert!((-2.0..=2.0).contains(&f));
+            let b = (0u16..=0xFFFF).sample(&mut rng);
+            let _ = b; // full range: any value is valid
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = TestRng::for_case("vec_strategy_respects_size", 0);
+        for _ in 0..200 {
+            let v = crate::collection::vec((1usize..40, 0u64..10), 1..8).sample(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            for (a, b) in &v {
+                assert!((1..40).contains(a));
+                assert!(*b < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("x", 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("x", 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        fn macro_binds_all_forms(
+            m in 1usize..48,
+            flag: bool,
+            alpha in -2.0f32..2.0,
+            shapes in crate::collection::vec((1usize..40, 1usize..40), 1..8),
+        ) {
+            prop_assert!((1..48).contains(&m));
+            prop_assert!((-2.0..=2.0).contains(&alpha));
+            prop_assert!(!shapes.is_empty() && shapes.len() < 8);
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+}

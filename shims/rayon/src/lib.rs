@@ -1,0 +1,227 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real rayon can never be fetched. This crate implements the exact parallel
+//! iterator subset the workspace uses — `par_iter`, `par_chunks`,
+//! `par_chunks_mut`, `into_par_iter` (ranges and `Vec`), plus the `zip` /
+//! `enumerate` / `map` / `for_each` / `collect` adapters — on top of
+//! `std::thread::scope`.
+//!
+//! Semantics match rayon where it matters for this workspace:
+//!
+//! * every closure runs exactly once per item, and `map` preserves item order
+//!   in its output;
+//! * closures must be `Sync` (shared across workers by reference);
+//! * nested parallel calls from inside a worker run sequentially instead of
+//!   spawning further threads (rayon achieves the same end with one shared
+//!   pool; here it also bounds thread creation under nested `par_*` calls).
+//!
+//! Scheduling is dynamic: workers pull the next unclaimed item from a shared
+//! cursor, so uneven per-item cost (e.g. grouped-GEMM CTAs with different
+//! tile counts) balances the same way rayon's work stealing would.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of worker threads a parallel call may use.
+fn pool_width() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over every item, in parallel when profitable, returning results
+/// in item order.
+fn run<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let width = pool_width().min(n);
+    if width <= 1 || IN_POOL.with(|c| c.get()) {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Each slot is taken exactly once: workers advance a shared cursor and
+    // claim the item at that index.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|s| {
+        for _ in 0..width {
+            s.spawn(|| {
+                IN_POOL.with(|c| c.set(true));
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("slot claimed twice");
+                    local.push((i, f(item)));
+                }
+                results.lock().unwrap_or_else(|e| e.into_inner()).extend(local);
+            });
+        }
+    });
+
+    let mut pairs = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A materialized parallel iterator: adapters are cheap sequential
+/// transforms, and `map` / `for_each` fan the items out over worker threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs items positionally with another parallel iterator.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Attaches each item's index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run(self.items, f),
+        }
+    }
+
+    /// Consumes every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run(self.items, f);
+    }
+
+    /// Gathers the items (already in order) into a collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// `par_chunks` / `par_chunks_mut` on slices.
+pub trait ParallelSlice<T: Send> {
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+    /// Parallel iterator over element references.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Send + Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `into_par_iter` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+pub mod prelude {
+    //! Drop-in for `rayon::prelude::*`.
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_mut_covers_all_elements() {
+        let mut v = vec![0u32; 1000];
+        v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x = i as u32;
+            }
+        });
+        assert_eq!(v[0], 0);
+        assert_eq!(v[999], 142);
+        assert_eq!(v[7], 1);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_pairs_positionally() {
+        let a = [1, 2, 3];
+        let mut out = vec![0; 3];
+        out.par_chunks_mut(1)
+            .zip(a.par_iter())
+            .for_each(|(o, &x)| o[0] = x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let mut v = vec![0u32; 64];
+        v.par_chunks_mut(8).for_each(|chunk| {
+            chunk.par_chunks_mut(2).for_each(|c| c.fill(1));
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+}

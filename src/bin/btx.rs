@@ -134,7 +134,10 @@ fn cmd_flops(a: &Args) {
         mask.alpha(),
         config.hidden()
     );
-    println!("{:<8} {:>14} {:>14} {:>14}", "module", "baseline", "zero padding", "zp+fused MHA");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14}",
+        "module", "baseline", "zero padding", "zp+fused MHA"
+    );
     let b = layer_flops(&mask, config.hidden(), FlopVariant::Baseline);
     let z = layer_flops(&mask, config.hidden(), FlopVariant::ZeroPadding);
     let f = layer_flops(&mask, config.hidden(), FlopVariant::ZeroPaddingFusedMha);
@@ -181,9 +184,15 @@ fn cmd_compare(a: &Args) {
     let input = masked_input(&mask, config.hidden());
     println!(
         "{} layer(s), batch {} × seq {} (α = {:.3})\n",
-        a.layers, a.batch, a.seq, mask.alpha()
+        a.layers,
+        a.batch,
+        a.seq,
+        mask.alpha()
     );
-    println!("{:<20} {:>12} {:>10} {:>12}", "framework", "modeled_ms", "launches", "vs_BT");
+    println!(
+        "{:<20} {:>12} {:>10} {:>12}",
+        "framework", "modeled_ms", "launches", "vs_BT"
+    );
     let mut bt = None;
     let mut rows = Vec::new();
     for kind in FrameworkKind::all() {
@@ -230,9 +239,16 @@ fn cmd_attention(a: &Args) {
     let (qk, kk, vk) = add_bias_split_qkv_packed(&setup, &qkv, &bias, heads, scale);
     println!(
         "batch {} × seq {} (α = {:.3}), {} heads × {}\n",
-        a.batch, a.seq, mask.alpha(), heads, config.head_size
+        a.batch,
+        a.seq,
+        mask.alpha(),
+        heads,
+        config.head_size
     );
-    println!("{:<28} {:>12} {:>10} {:>10}", "variant", "modeled_µs", "GFLOP", "launches");
+    println!(
+        "{:<28} {:>12} {:>10} {:>10}",
+        "variant", "modeled_µs", "GFLOP", "launches"
+    );
     let report = |name: &str, dev: &Device| {
         println!(
             "{:<28} {:>12.1} {:>10.3} {:>10}",

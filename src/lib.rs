@@ -53,8 +53,8 @@ pub use bt_varlen as varlen;
 /// The most common imports in one place.
 pub mod prelude {
     pub use bt_core::attention::{
-        batched_attention, causal_fused_attention, cross_attention, flash_attention,
-        fused_attention, fused_grouped_attention, fused_short_attention, naive_attention,
+        batched_attention, causal_fused_attention, cross_attention, flash_attention, fused_attention,
+        fused_grouped_attention, fused_short_attention, naive_attention,
     };
     pub use bt_core::config::BertConfig;
     pub use bt_core::decoder::{Seq2SeqTransformer, TransformerDecoder};

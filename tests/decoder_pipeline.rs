@@ -3,7 +3,6 @@
 //! interactions.
 #![allow(clippy::needless_range_loop)] // oracle-style index loops
 
-
 use bytetransformer::core::embeddings::{embed_packed, embed_padded, EmbeddingWeights};
 use bytetransformer::core::incremental::DecoderSession;
 use bytetransformer::prelude::*;
@@ -60,7 +59,10 @@ fn incremental_session_matches_batch_decoder_through_facade() {
     // Encode a source and extract the packed memory for one sequence.
     let src_mask = BatchMask::from_lens(vec![6], 6).unwrap();
     let src = zeroed(&src_mask, hidden, 4);
-    let memory = model.encoder.forward(&dev, &src, &src_mask, OptLevel::FusedMha).unwrap();
+    let memory = model
+        .encoder
+        .forward(&dev, &src, &src_mask, OptLevel::FusedMha)
+        .unwrap();
     let mem_packed = memory.reshape([6, hidden]).unwrap();
 
     // Full teacher-forcing decode of a 5-token target.

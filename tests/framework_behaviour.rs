@@ -38,7 +38,10 @@ fn faster_transformer_switches_mha_at_512() {
     let fw = SimFramework::new(FrameworkKind::FasterTransformer, model.clone());
     let dev = fw.device(CostModel::a100());
     fw.forward(&dev, &input, &mask).unwrap();
-    assert!(dev.trace().iter().any(|r| r.name.contains("flash")), "fused MHA below 512");
+    assert!(
+        dev.trace().iter().any(|r| r.name.contains("flash")),
+        "fused MHA below 512"
+    );
 
     let (model2, input2, mask2) = setup(&[600, 200], 600, 1);
     let fw = SimFramework::new(FrameworkKind::FasterTransformer, model2);
@@ -48,7 +51,10 @@ fn faster_transformer_switches_mha_at_512() {
         !dev.trace().iter().any(|r| r.name.contains("flash")),
         "no fused MHA above {FT_FUSED_MHA_MAX_SEQ}"
     );
-    assert!(dev.trace().iter().any(|r| r.name.contains("batched.scores")), "unfused fallback");
+    assert!(
+        dev.trace().iter().any(|r| r.name.contains("batched.scores")),
+        "unfused fallback"
+    );
     let _ = (model, input, mask);
 }
 
@@ -80,7 +86,9 @@ fn bytetransformer_never_materializes_padded_attention() {
     let dev = fw.device(CostModel::a100());
     fw.forward(&dev, &input, &mask).unwrap();
     let names: Vec<String> = dev.trace().iter().map(|r| r.name.clone()).collect();
-    assert!(names.iter().any(|n| n.contains("fused_short") || n.contains("grouped.qk")));
+    assert!(names
+        .iter()
+        .any(|n| n.contains("fused_short") || n.contains("grouped.qk")));
     assert!(!names.iter().any(|n| n.contains("batched.scores")));
     assert!(!names.iter().any(|n| n.contains("softmax")), "softmax fully fused away");
 }

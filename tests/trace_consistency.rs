@@ -150,12 +150,19 @@ fn report_buckets_cover_all_pipeline_stages() {
     let mask = BatchMask::from_lens(vec![8; 2], 8).unwrap();
     let dev = run_layer(&model, &mask, OptLevel::Baseline);
     let report = TraceReport::by_prefix(&dev.trace());
-    for bucket in ["gemm0", "gemm1", "gemm2", "gemm3", "attention", "layernorm0", "layernorm1", "bias_act", "layout"] {
+    for bucket in [
+        "gemm0",
+        "gemm1",
+        "gemm2",
+        "gemm3",
+        "attention",
+        "layernorm0",
+        "layernorm1",
+        "bias_act",
+        "layout",
+    ] {
         assert!(report.bucket(bucket).is_some(), "missing bucket {bucket}");
     }
-    let frac_sum: f64 = report
-        .buckets()
-        .map(|(name, _)| report.modeled_fraction(name))
-        .sum();
+    let frac_sum: f64 = report.buckets().map(|(name, _)| report.modeled_fraction(name)).sum();
     assert!((frac_sum - 1.0).abs() < 1e-9);
 }

@@ -118,13 +118,22 @@ fn error_paths_are_typed_not_panics() {
     let mask = BatchMask::from_lens(vec![4], 8).unwrap();
     let dev = Device::new();
     // Wrong rank.
-    assert!(m.forward(&dev, &Tensor::zeros([8, m.config.hidden()]), &mask, OptLevel::Baseline).is_err());
+    assert!(m
+        .forward(&dev, &Tensor::zeros([8, m.config.hidden()]), &mask, OptLevel::Baseline)
+        .is_err());
     // Wrong batch.
     assert!(m
-        .forward(&dev, &Tensor::zeros([2, 8, m.config.hidden()]), &mask, OptLevel::Baseline)
+        .forward(
+            &dev,
+            &Tensor::zeros([2, 8, m.config.hidden()]),
+            &mask,
+            OptLevel::Baseline
+        )
         .is_err());
     // Wrong hidden.
-    assert!(m.forward(&dev, &Tensor::zeros([1, 8, 7]), &mask, OptLevel::FusedMha).is_err());
+    assert!(m
+        .forward(&dev, &Tensor::zeros([1, 8, 7]), &mask, OptLevel::FusedMha)
+        .is_err());
     // Bad mask construction.
     assert!(BatchMask::from_lens(vec![9], 8).is_err());
     assert!(BatchMask::from_mask_matrix(&[1, 0, 1, 1], 1, 4).is_err());
