@@ -17,6 +17,7 @@
 //!   (§III.C.2).
 
 use crate::micro::{microkernel, pack_a_panel, pack_b_panel, MR, NR};
+use crate::scratch::with_worker_scratch;
 use rayon::prelude::*;
 
 /// Rows of `C` per parallel task (a multiple of `MR`).
@@ -172,41 +173,46 @@ fn sgemm_inner(
             let row0 = chunk_idx * PANEL_ROWS;
             let rows = c_panel.len() / n;
             let m_panels = rows.div_ceil(MR);
-            // Task-local packed A rows (the task's full K extent, reused
-            // across every column panel).
-            let mut a_pack = vec![0.0f32; m_panels * k * MR];
-            for ib in 0..m_panels {
-                pack_a_panel(
-                    &mut a_pack[ib * k * MR..(ib + 1) * k * MR],
-                    a,
-                    spec.transa,
-                    row0 + ib * MR,
-                    MR.min(rows - ib * MR),
-                    m,
-                    k,
-                );
-            }
-            for jb in 0..n_panels {
-                let col0 = jb * NR;
-                let cols = NR.min(n - col0);
-                let b_panel = &b_pack[jb * k * NR..(jb + 1) * k * NR];
+            // Packed A rows (the task's full K extent, reused across every
+            // column panel) live in the worker's persistent arena — no heap
+            // allocation once the worker has seen this panel size.
+            // `pack_a_panel` overwrites every lane including the zero pads,
+            // so stale contents are harmless.
+            with_worker_scratch(|scratch| {
+                let a_pack = scratch.a_panels(m_panels * k * MR);
                 for ib in 0..m_panels {
-                    let r = MR.min(rows - ib * MR);
-                    let mut acc = [0.0f32; MR * NR];
-                    microkernel(k, &a_pack[ib * k * MR..(ib + 1) * k * MR], b_panel, &mut acc);
-                    for i in 0..r {
-                        let row = ib * MR + i;
-                        store_row(
-                            &mut c_panel[row * n + col0..row * n + col0 + cols],
-                            &acc[i * NR..i * NR + cols],
-                            col0,
-                            alpha,
-                            beta,
-                            epilogue,
-                        );
+                    pack_a_panel(
+                        &mut a_pack[ib * k * MR..(ib + 1) * k * MR],
+                        a,
+                        spec.transa,
+                        row0 + ib * MR,
+                        MR.min(rows - ib * MR),
+                        m,
+                        k,
+                    );
+                }
+                for jb in 0..n_panels {
+                    let col0 = jb * NR;
+                    let cols = NR.min(n - col0);
+                    let b_panel = &b_pack[jb * k * NR..(jb + 1) * k * NR];
+                    for ib in 0..m_panels {
+                        let r = MR.min(rows - ib * MR);
+                        let mut acc = [0.0f32; MR * NR];
+                        microkernel(k, &a_pack[ib * k * MR..(ib + 1) * k * MR], b_panel, &mut acc);
+                        for i in 0..r {
+                            let row = ib * MR + i;
+                            store_row(
+                                &mut c_panel[row * n + col0..row * n + col0 + cols],
+                                &acc[i * NR..i * NR + cols],
+                                col0,
+                                alpha,
+                                beta,
+                                epilogue,
+                            );
+                        }
                     }
                 }
-            }
+            });
         });
 }
 

@@ -28,13 +28,15 @@
 //! Both entry points ([`grouped_sgemm`], [`grouped_sgemm_strided`]) share
 //! one generic CTA-walk driver parameterized by a store policy, so the
 //! contiguous and strided paths cannot drift. Tiles compute on the
-//! register-blocked microkernel of [`crate::micro`] out of a per-CTA
-//! [`Scratch`] arena (zero heap allocations per tile in steady state), and
-//! stores go through lock-free [`DisjointWriter`]s — tiles partition the
-//! output, so CTAs never serialize on a mutex.
+//! register-blocked microkernel of [`crate::micro`] out of the worker's
+//! persistent [`Scratch`] arena — the pool's workers outlive launches, so
+//! a CTA borrows an arena that is already warm from previous launches
+//! (zero heap allocations per tile, and zero per launch once shapes have
+//! been seen) — and stores go through lock-free [`DisjointWriter`]s —
+//! tiles partition the output, so CTAs never serialize on a mutex.
 
 use crate::micro::{microkernel, pack_b_panel, MR, NR};
-use crate::scratch::Scratch;
+use crate::scratch::{with_worker_scratch, Scratch};
 use crate::store::DisjointWriter;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -104,9 +106,10 @@ pub struct GroupedStats {
     /// Scheduler interactions performed (tiles / 32, rounded up per CTA,
     /// under warp prefetch).
     pub scheduler_visits: u64,
-    /// Scratch-arena growth events summed over CTAs. Bounded by per-CTA
-    /// shape high-water marks — *not* by tile count — which is the
-    /// "zero heap allocations per tile in steady state" invariant.
+    /// Scratch-arena growth events this launch caused, summed over CTAs.
+    /// Bounded by per-worker shape high-water marks — *not* by tile count —
+    /// and **zero** for a launch whose shapes the workers have already
+    /// seen, because the arenas persist across launches.
     pub scratch_grows: u64,
 }
 
@@ -268,32 +271,36 @@ fn run_grouped(
     };
 
     (0..config.num_ctas).into_par_iter().for_each(|cta| {
-        // The CTA's fixed "shared memory": allocated once, reused for every
-        // tile this CTA computes.
-        let mut scratch = Scratch::new();
-        let mut cursor = 0usize;
-        let mut local_visits = 0u64;
-        let mut batch = [TileAssignment {
-            problem: 0,
-            tile_row: 0,
-            tile_col: 0,
-        }; PREFETCH_WIDTH];
-        let step = config.num_ctas as u64;
-        let mut linear = cta as u64;
-        while linear < total {
-            local_visits += 1;
-            let mut count = 0;
-            while count < batch_width && linear < total {
-                batch[count] = visitor.decode(linear, &mut cursor);
-                count += 1;
-                linear += step;
+        // The CTA's "shared memory" is its worker's persistent arena: the
+        // pool workers outlive launches, so the buffers are usually warm
+        // already. Grows are reported as this launch's delta so the stat
+        // stays per-launch even though the arena is not.
+        with_worker_scratch(|scratch| {
+            let grows_before = scratch.grow_count();
+            let mut cursor = 0usize;
+            let mut local_visits = 0u64;
+            let mut batch = [TileAssignment {
+                problem: 0,
+                tile_row: 0,
+                tile_col: 0,
+            }; PREFETCH_WIDTH];
+            let step = config.num_ctas as u64;
+            let mut linear = cta as u64;
+            while linear < total {
+                local_visits += 1;
+                let mut count = 0;
+                while count < batch_width && linear < total {
+                    batch[count] = visitor.decode(linear, &mut cursor);
+                    count += 1;
+                    linear += step;
+                }
+                for asg in &batch[..count] {
+                    compute_tile(problems, &config, *asg, epilogue, a_transform, store, scratch);
+                }
             }
-            for asg in &batch[..count] {
-                compute_tile(problems, &config, *asg, epilogue, a_transform, store, &mut scratch);
-            }
-        }
-        visits.fetch_add(local_visits, Ordering::Relaxed);
-        grows.fetch_add(scratch.grow_count(), Ordering::Relaxed);
+            visits.fetch_add(local_visits, Ordering::Relaxed);
+            grows.fetch_add(scratch.grow_count() - grows_before, Ordering::Relaxed);
+        });
     });
 
     GroupedStats {
@@ -568,23 +575,36 @@ mod tests {
     }
 
     #[test]
-    fn scratch_reused_across_tiles() {
-        // Steady-state allocation invariant: scratch growth is bounded by
-        // per-CTA shape high-water marks, never by the tile count.
-        let num_ctas = 4;
-        let shapes: Vec<(usize, usize, usize)> = (0..12).map(|i| (40 + i * 17, 50 + i * 13, 64)).collect();
-        let stats = run_and_check_ctas(&shapes, false, Scheduler::WarpPrefetch, num_ctas);
-        assert!(stats.tiles > 60, "want many tiles, got {}", stats.tiles);
-        assert!(stats.scratch_grows > 0);
-        // 4 buffers × a handful of high-water bumps per CTA.
-        let bound = (num_ctas * 4 * 4) as u64;
-        assert!(
-            stats.scratch_grows <= bound && stats.scratch_grows < stats.tiles,
-            "scratch grew {} times over {} tiles (bound {})",
-            stats.scratch_grows,
-            stats.tiles,
-            bound
-        );
+    fn scratch_reused_across_tiles_and_launches() {
+        // Steady-state allocation invariants: within a launch, scratch
+        // growth is bounded by shape high-water marks, never by the tile
+        // count; and across launches the worker arenas persist, so an
+        // identical second launch allocates nothing at all. Run under
+        // `sequential` so both launches execute on this one thread (under
+        // a wide pool the dynamic scheduler could hand a still-cold worker
+        // its first task during the second launch).
+        rayon::sequential(|| {
+            let num_ctas = 4;
+            let shapes: Vec<(usize, usize, usize)> = (0..12).map(|i| (40 + i * 17, 50 + i * 13, 64)).collect();
+            let cold = run_and_check_ctas(&shapes, false, Scheduler::WarpPrefetch, num_ctas);
+            assert!(cold.tiles > 60, "want many tiles, got {}", cold.tiles);
+            // The test harness gives each #[test] a fresh thread, so this
+            // thread's arena starts cold and the first launch must grow it —
+            // but only up to the shape high-water marks.
+            assert!(cold.scratch_grows > 0);
+            assert!(
+                cold.scratch_grows < cold.tiles,
+                "scratch grew {} times over {} tiles",
+                cold.scratch_grows,
+                cold.tiles
+            );
+            let warm = run_and_check_ctas(&shapes, false, Scheduler::WarpPrefetch, num_ctas);
+            assert_eq!(warm.tiles, cold.tiles);
+            assert_eq!(
+                warm.scratch_grows, 0,
+                "identical second launch must find every buffer at its high-water mark"
+            );
+        });
     }
 
     #[test]

@@ -1,11 +1,37 @@
-//! Per-CTA scratch arena for the grouped-GEMM path.
+//! Worker-keyed scratch arenas for the GEMM hot paths.
 //!
-//! Each virtual CTA owns one [`Scratch`] for the whole launch and reuses it
-//! across every tile it computes — the analogue of a threadblock's fixed
-//! shared-memory allocation. Buffers only ever grow (to the high-water mark
-//! of the shapes seen), so the steady state performs **zero heap
-//! allocations per tile**; the grow counter makes that property assertable
-//! in tests via [`crate::grouped::GroupedStats::scratch_grows`].
+//! One [`Scratch`] lives in a thread-local slot per pool worker (the rayon
+//! shim's workers are persistent, so "per thread" *is* "per worker id"),
+//! and **survives across launches**: a virtual CTA borrows its worker's
+//! arena for the duration of one task, reuses it across every tile it
+//! computes — the analogue of a threadblock's fixed shared-memory
+//! allocation — and the next launch finds the buffers already at their
+//! high-water marks. Buffers only ever grow, so the steady state performs
+//! **zero heap allocations per tile, and zero per launch once shapes have
+//! been seen**; the grow counter makes both properties assertable in tests
+//! via [`crate::grouped::GroupedStats::scratch_grows`].
+//!
+//! Borrow discipline: [`with_worker_scratch`] hands out the arena for the
+//! span of one closure. The closure must not re-enter the parallel runtime
+//! while holding it (every current caller is a leaf task); if a re-entrant
+//! borrow ever happens anyway, the fallback is a fresh one-shot arena —
+//! correct, just not amortized.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static WORKER_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Runs `f` with this worker's persistent scratch arena.
+pub(crate) fn with_worker_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    WORKER_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        // Re-entrant borrow (nested GEMM on one worker): fall back to a
+        // temporary arena rather than aliasing or panicking.
+        Err(_) => f(&mut Scratch::new()),
+    })
+}
 
 /// Reusable packing + accumulation buffers for one virtual CTA.
 pub(crate) struct Scratch {
@@ -31,6 +57,14 @@ impl Scratch {
     /// problem set has been seen — the "zero allocations per tile" invariant.
     pub(crate) fn grow_count(&self) -> u64 {
         self.grows
+    }
+
+    /// Returns just the `A`-micropanel buffer at the requested length (the
+    /// blocked-GEMM row-panel tasks pack only `A` per task; `B` is packed
+    /// once per launch and shared).
+    pub(crate) fn a_panels(&mut self, len: usize) -> &mut [f32] {
+        grow(&mut self.a_pack, len, &mut self.grows);
+        &mut self.a_pack[..len]
     }
 
     /// Returns `(a_pack, b_pack, tile, row_buf)` slices of at least the

@@ -10,6 +10,14 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+echo "==> cargo test --workspace (BYTE_POOL_THREADS=1)"
+# Width-1 pool: every parallel path must also be correct fully serialized.
+BYTE_POOL_THREADS=1 cargo test --workspace --quiet
+
+echo "==> cargo test -p rayon --features interleave"
+# Seeded yield points in the deque's steal/pop race windows.
+cargo test -p rayon --features interleave --quiet
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -1,0 +1,621 @@
+//! The persistent work-stealing pool: N pinned workers, per-worker
+//! Chase–Lev deques, a shared injector for external launches, and an
+//! eventcount parking protocol.
+//!
+//! ## Topology
+//!
+//! The pool is a lazily-initialized global ([`global`]) sized by
+//! `BYTE_POOL_THREADS` (default: `available_parallelism`). For a total
+//! parallelism of `T` it spawns `T − 1` *workers*; the thread that issues
+//! a parallel call is always the remaining lane, so a launch never blocks
+//! a thread just to coordinate. Workers live for the process lifetime —
+//! this is what lets thread-local state (e.g. `bt-gemm`'s scratch arenas)
+//! survive across launches, the property the paper gets from a GPU's
+//! persistent SMs.
+//!
+//! ## Scheduling
+//!
+//! Each worker owns a fixed-capacity [`Deque`]: it pushes and pops its own
+//! fork-join work LIFO at the bottom while idle workers steal FIFO from
+//! the top. Launches from non-pool threads go to a shared injector queue.
+//! A worker looks for work in that order — own deque, steal sweep,
+//! injector — and parks on the eventcount when all are empty.
+//!
+//! ## Parking protocol
+//!
+//! [`Sleep`] is a classic eventcount: a generation counter under a mutex
+//! plus a condvar. A would-be sleeper (1) reads the epoch, (2) re-checks
+//! every queue, and only then (3) parks, conditional on the epoch being
+//! unchanged. Every producer bumps the epoch *after* publishing work, so
+//! the re-check/park pair can never miss a wakeup. Terminal events (a
+//! launch's last token retiring, a `join` job completing, a scope's last
+//! task finishing) bump it too, so blocked launchers park on the same
+//! mechanism instead of spinning.
+//!
+//! ## Launch protocol (no per-launch allocation)
+//!
+//! [`parallel_for`] drives every `par_*` iterator: the launch descriptor
+//! (cursor, body, panic slot, token refcount) lives on the launcher's
+//! stack, and `width − 1` two-word [`JobRef`] *tokens* pointing at it are
+//! pushed into the queues. Each token claims items from the shared atomic
+//! cursor until it runs dry — the same dynamic balancing the old
+//! spawn-per-call shim had, minus the thread creation. The launcher runs
+//! the same loop inline, then waits for the tokens to retire; a worker
+//! launcher executes other pool jobs while it waits (this is what makes
+//! nested `par_iter`/`join` deadlock-free), while an external launcher
+//! first cancels its still-unclaimed tokens from the injector and then
+//! parks. Retiring (`refs -= 1`) is the token's final access to the
+//! descriptor, so the stack frame can never be vacated early.
+//!
+//! ## Panic discipline
+//!
+//! A panicking task poisons only its own launch, never the pool: every
+//! executor catches unwinds, records the payload, and the *launcher*
+//! rethrows after the launch fully drains. Propagation is deterministic —
+//! lowest item index for `parallel_for`, the `a` side first for [`join`],
+//! lowest spawn sequence for [`Scope`] — instead of whichever thread
+//! happens to unwind last.
+
+use crate::deque::Deque;
+use crate::job::JobRef;
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+thread_local! {
+    /// `Some(index)` on pool worker threads.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Forces every parallel entry point to run inline (see [`sequential`]).
+    static FORCE_SEQUENTIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Total parallelism `T` from `BYTE_POOL_THREADS` (≥ 1, capped at 256),
+/// falling back to the host parallelism.
+fn configured_threads() -> usize {
+    match std::env::var("BYTE_POOL_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).clamp(1, 256),
+        Err(_) => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    }
+}
+
+/// Eventcount: epoch under a mutex + condvar. See the module docs for the
+/// read-epoch / re-check / park discipline that makes it lossless.
+struct Sleep {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Sleep {
+    fn new() -> Self {
+        Self {
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        *self.epoch.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Publishes an event: advances the epoch and wakes every sleeper.
+    fn bump(&self) {
+        let mut g = self.epoch.lock().unwrap_or_else(|e| e.into_inner());
+        *g += 1;
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// Parks until the epoch moves past `seen`. The timeout is a pure
+    /// safety net — with correct bumps it never fires under load.
+    fn wait(&self, seen: u64) {
+        let mut g = self.epoch.lock().unwrap_or_else(|e| e.into_inner());
+        while *g == seen {
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(g, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+    }
+}
+
+struct WorkerState {
+    deque: Deque,
+}
+
+/// The global pool: worker deques, the external-launch injector, and the
+/// parking eventcount.
+pub(crate) struct Registry {
+    workers: Box<[WorkerState]>,
+    injector: Mutex<VecDeque<JobRef>>,
+    sleep: Sleep,
+    /// Total parallelism `T` (= workers + the launching lane).
+    threads: usize,
+}
+
+static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
+
+/// The lazily-initialized global registry. Never torn down: worker
+/// threads and their thread-locals persist for the process lifetime.
+pub(crate) fn global() -> &'static Registry {
+    REGISTRY.get_or_init(|| {
+        let threads = configured_threads();
+        let registry: &'static Registry = Box::leak(Box::new(Registry {
+            workers: (0..threads.saturating_sub(1))
+                .map(|_| WorkerState { deque: Deque::new() })
+                .collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleep: Sleep::new(),
+            threads,
+        }));
+        for index in 0..registry.workers.len() {
+            std::thread::Builder::new()
+                .name(format!("byte-pool-{index}"))
+                .spawn(move || worker_main(registry, index))
+                .expect("spawn pool worker");
+        }
+        registry
+    })
+}
+
+fn worker_main(registry: &'static Registry, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    loop {
+        if let Some(job) = registry.find_work(Some(index)) {
+            unsafe { job.execute() };
+            continue;
+        }
+        let seen = registry.sleep.epoch();
+        // Re-check after reading the epoch: a producer that published
+        // work in between has already bumped, so `wait` returns at once.
+        if let Some(job) = registry.find_work(Some(index)) {
+            unsafe { job.execute() };
+            continue;
+        }
+        registry.sleep.wait(seen);
+    }
+}
+
+impl Registry {
+    /// Looks for a job: own deque (LIFO), steal sweep over the other
+    /// workers (FIFO), then the injector.
+    fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
+        if let Some(i) = me {
+            if let Some(job) = self.workers[i].deque.pop() {
+                return Some(job);
+            }
+        }
+        let w = self.workers.len();
+        if w > 0 {
+            let start = me.map_or(0, |i| i + 1);
+            for off in 0..w {
+                let victim = (start + off) % w;
+                if Some(victim) == me {
+                    continue;
+                }
+                if let Some(job) = self.workers[victim].deque.steal() {
+                    return Some(job);
+                }
+            }
+        }
+        self.injector.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+    }
+
+    /// Publishes `count` copies of `job`: onto the caller's own deque when
+    /// called from a worker (overflow spills to the injector), else onto
+    /// the injector. Bumps the eventcount once at the end.
+    fn submit_n(&self, job: JobRef, count: usize) {
+        let me = WORKER_INDEX.with(|w| w.get());
+        let mut spill = 0usize;
+        if let Some(i) = me {
+            for _ in 0..count {
+                if self.workers[i].deque.push(job).is_err() {
+                    spill += 1;
+                }
+            }
+        } else {
+            spill = count;
+        }
+        if spill > 0 {
+            let mut inj = self.injector.lock().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..spill {
+                inj.push_back(job);
+            }
+        }
+        self.sleep.bump();
+    }
+
+    /// Removes still-queued copies of `job` (by identity) from the
+    /// injector, returning how many were cancelled.
+    fn cancel_injected(&self, data: *const ()) -> usize {
+        let mut inj = self.injector.lock().unwrap_or_else(|e| e.into_inner());
+        let before = inj.len();
+        inj.retain(|j| !std::ptr::eq(j.data, data));
+        before - inj.len()
+    }
+
+    /// Blocks until `cond` holds. A worker keeps executing pool jobs while
+    /// it waits (nested fork-join stays deadlock-free); an external thread
+    /// parks on the eventcount.
+    fn wait_until(&self, cond: &dyn Fn() -> bool) {
+        let me = WORKER_INDEX.with(|w| w.get());
+        while !cond() {
+            if me.is_some() {
+                if let Some(job) = self.find_work(me) {
+                    unsafe { job.execute() };
+                    continue;
+                }
+            }
+            let seen = self.sleep.epoch();
+            if cond() {
+                return;
+            }
+            if me.is_some() {
+                if let Some(job) = self.find_work(me) {
+                    unsafe { job.execute() };
+                    continue;
+                }
+            }
+            self.sleep.wait(seen);
+        }
+    }
+}
+
+/// First-panic store: keeps the payload with the lowest key (item index /
+/// spawn sequence), making propagation independent of thread timing.
+struct PanicStore {
+    slot: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
+    armed: AtomicBool,
+}
+
+impl PanicStore {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            armed: AtomicBool::new(false),
+        }
+    }
+
+    fn record(&self, key: usize, payload: Box<dyn Any + Send>) {
+        let mut g = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        match &*g {
+            Some((k, _)) if *k <= key => {}
+            _ => *g = Some((key, payload)),
+        }
+        self.armed.store(true, SeqCst);
+    }
+
+    fn rethrow_if_armed(&self) {
+        if self.armed.load(SeqCst) {
+            let payload = self
+                .slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("armed panic store holds a payload");
+            resume_unwind(payload.1);
+        }
+    }
+}
+
+/// Total parallelism of the pool (`BYTE_POOL_THREADS` or host CPUs).
+pub fn current_num_threads() -> usize {
+    global().threads
+}
+
+/// Index of the current pool worker (`None` on external threads,
+/// including any thread currently inside [`sequential`]). Stable for the
+/// life of the process — suitable for keying per-worker caches.
+pub fn current_worker_id() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+/// Runs `f` with every parallel entry point (`par_*`, [`join`],
+/// [`scope`]) executing inline on the calling thread, in item order. The
+/// single-thread reference mode of the differential test harness.
+pub fn sequential<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard(bool);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            FORCE_SEQUENTIAL.with(|s| s.set(self.0));
+        }
+    }
+    let _guard = FORCE_SEQUENTIAL.with(|s| {
+        let prev = s.get();
+        s.set(true);
+        Guard(prev)
+    });
+    f()
+}
+
+/// True when parallel execution is both possible and profitable for `n`
+/// items.
+fn parallel_enabled(n: usize) -> bool {
+    n >= 2 && !FORCE_SEQUENTIAL.with(|s| s.get()) && global().threads >= 2
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for
+// ---------------------------------------------------------------------------
+
+/// Stack-resident launch descriptor shared (by raw pointer) with every
+/// token of one `parallel_for`.
+struct ForLaunch<'a> {
+    cursor: AtomicUsize,
+    n: usize,
+    body: &'a (dyn Fn(usize) + Sync),
+    panic: PanicStore,
+    /// Outstanding tokens. Decrementing this is a token's final access.
+    refs: AtomicUsize,
+}
+
+impl ForLaunch<'_> {
+    /// One lane: claim items off the shared cursor until it runs dry.
+    /// Panics are caught per item and recorded by index, so the launch
+    /// always drains completely.
+    fn run_lane(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, SeqCst);
+            if i >= self.n {
+                return;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.body)(i))) {
+                self.panic.record(i, payload);
+            }
+        }
+    }
+}
+
+unsafe fn for_token_exec(data: *const ()) {
+    let launch = unsafe { &*(data as *const ForLaunch<'_>) };
+    launch.run_lane();
+    // Final access: after this decrement the launcher may return and the
+    // descriptor's stack frame may be gone.
+    if launch.refs.fetch_sub(1, SeqCst) == 1 {
+        global().sleep.bump();
+    }
+}
+
+/// Runs `body(0..n)` across the pool. Items are claimed dynamically from
+/// a shared cursor (uneven per-item cost balances via work stealing); the
+/// caller is always one of the lanes. Panics rethrow deterministically:
+/// the panicking item with the lowest index wins.
+pub(crate) fn parallel_for(n: usize, body: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    if !parallel_enabled(n) {
+        for i in 0..n {
+            body(i);
+        }
+        return;
+    }
+    let registry = global();
+    let width = registry.threads.min(n);
+    let tokens = width - 1;
+    let launch = ForLaunch {
+        cursor: AtomicUsize::new(0),
+        n,
+        body,
+        panic: PanicStore::new(),
+        refs: AtomicUsize::new(tokens),
+    };
+    let job = JobRef {
+        data: &launch as *const ForLaunch<'_> as *const (),
+        exec: for_token_exec,
+    };
+    registry.submit_n(job, tokens);
+    launch.run_lane();
+    // External launchers reclaim tokens nobody picked up; worker
+    // launchers get theirs back through their own deque inside
+    // `wait_until`'s find_work loop.
+    if WORKER_INDEX.with(|w| w.get()).is_none() {
+        let cancelled = registry.cancel_injected(job.data);
+        if cancelled > 0 && launch.refs.fetch_sub(cancelled, SeqCst) == cancelled {
+            registry.sleep.bump();
+        }
+    }
+    registry.wait_until(&|| launch.refs.load(SeqCst) == 0);
+    launch.panic.rethrow_if_armed();
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Stack job for the `b` side of a [`join`].
+struct JoinJob<B, RB> {
+    func: Mutex<Option<B>>,
+    result: Mutex<Option<std::thread::Result<RB>>>,
+    done: AtomicBool,
+}
+
+impl<B, RB> JoinJob<B, RB>
+where
+    B: FnOnce() -> RB,
+{
+    fn run(&self) {
+        let f = self
+            .func
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("join job claimed twice");
+        let r = catch_unwind(AssertUnwindSafe(f));
+        *self.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+        self.done.store(true, SeqCst);
+    }
+
+    unsafe fn exec(data: *const ()) {
+        let job = unsafe { &*(data as *const Self) };
+        job.run();
+        global().sleep.bump();
+    }
+}
+
+/// Potentially-parallel fork-join: runs `a` on the calling thread while
+/// `b` is offered to the pool; if nobody stole `b`, the caller runs it
+/// inline after `a`. Panics propagate deterministically — `a`'s panic
+/// wins over `b`'s, and both sides always run to completion first.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if !parallel_enabled(2) {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    let registry = global();
+    let job = JoinJob::<B, RB> {
+        func: Mutex::new(Some(b)),
+        result: Mutex::new(None),
+        done: AtomicBool::new(false),
+    };
+    let job_ref = JobRef {
+        data: &job as *const JoinJob<B, RB> as *const (),
+        exec: JoinJob::<B, RB>::exec,
+    };
+    registry.submit_n(job_ref, 1);
+    let ra = catch_unwind(AssertUnwindSafe(a));
+
+    let me = WORKER_INDEX.with(|w| w.get());
+    if let Some(i) = me {
+        // LIFO discipline: our job is the bottom-most unless stolen.
+        // Anything above it was left by `a` and is executed on the way.
+        while !job.done.load(SeqCst) {
+            match registry.workers[i].deque.pop() {
+                Some(j) if std::ptr::eq(j.data, job_ref.data) => {
+                    job.run();
+                    break;
+                }
+                Some(j) => unsafe { j.execute() },
+                None => break, // stolen — fall through to the wait loop
+            }
+        }
+    } else if registry.cancel_injected(job_ref.data) == 1 {
+        job.run();
+    }
+    registry.wait_until(&|| job.done.load(SeqCst));
+
+    let rb = job
+        .result
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .expect("join job completed without a result");
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(pa), _) => resume_unwind(pa),
+        (_, Err(pb)) => resume_unwind(pb),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scope
+// ---------------------------------------------------------------------------
+
+/// A fork-join scope: tasks spawned on it may borrow from the enclosing
+/// stack frame (`'scope`), and [`scope`] does not return until every one
+/// of them has finished.
+pub struct Scope<'scope> {
+    pending: AtomicUsize,
+    next_seq: AtomicUsize,
+    panic: PanicStore,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+/// Heap job for one scope spawn.
+struct ScopeJob<F> {
+    scope: *const Scope<'static>,
+    seq: usize,
+    f: F,
+}
+
+impl<F: FnOnce() + Send> ScopeJob<F> {
+    unsafe fn exec(data: *const ()) {
+        let boxed = unsafe { Box::from_raw(data as *mut Self) };
+        let scope = unsafe { &*boxed.scope };
+        let seq = boxed.seq;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(boxed.f)) {
+            scope.panic.record(seq, payload);
+        }
+        // Final access to the scope: after this the launcher may return.
+        if scope.pending.fetch_sub(1, SeqCst) == 1 {
+            global().sleep.bump();
+        }
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task on the pool. The closure may borrow anything that
+    /// outlives the scope. Panics are recorded (not propagated here) and
+    /// rethrown by [`scope`] once every task has finished — always the
+    /// panic of the *earliest spawned* panicking task, regardless of
+    /// which thread unwinds first.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let seq = self.next_seq.fetch_add(1, SeqCst);
+        if !parallel_enabled(2) {
+            // Inline, but with identical panic bookkeeping so semantics
+            // do not depend on the pool width.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                self.panic.record(seq, payload);
+            }
+            return;
+        }
+        self.pending.fetch_add(1, SeqCst);
+        // Erase 'scope: the job cannot outlive the scope because `scope`
+        // blocks on `pending == 0` before returning.
+        let scope_ptr: *const Scope<'static> = (self as *const Scope<'scope>).cast();
+        let job = Box::new(ScopeJob {
+            scope: scope_ptr,
+            seq,
+            f,
+        });
+        let job_ref = JobRef {
+            data: Box::into_raw(job) as *const (),
+            exec: ScopeJob::<F>::exec,
+        };
+        global().submit_n(job_ref, 1);
+    }
+}
+
+/// Creates a fork-join scope, runs `f` with it, waits for every spawned
+/// task, and returns `f`'s result. If anything panicked, the rethrow is
+/// deterministic: the root closure's panic wins, else the earliest
+/// spawned panicking task's.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        pending: AtomicUsize::new(0),
+        next_seq: AtomicUsize::new(0),
+        panic: PanicStore::new(),
+        _marker: std::marker::PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&s)));
+    if s.pending.load(SeqCst) > 0 {
+        global().wait_until(&|| s.pending.load(SeqCst) == 0);
+    }
+    match result {
+        Err(root_panic) => resume_unwind(root_panic),
+        Ok(value) => {
+            s.panic.rethrow_if_armed();
+            value
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Stress and panic-discipline tests for the persistent pool.
+//!
+//! Three properties under fire:
+//!
+//! 1. **Nesting from outside**: several external OS threads each drive
+//!    `par_iter` launches whose items themselves `join` (and `join` again
+//!    inside that) — the regime where a naive pool deadlocks because every
+//!    worker is blocked waiting on work only another blocked worker could
+//!    run. Our workers execute other pool jobs while they wait, so all
+//!    launches complete.
+//! 2. **Panic isolation**: a panicking task poisons only its own launch —
+//!    concurrent healthy launches and every later launch see a fully
+//!    functional pool.
+//! 3. **Deterministic propagation**: when several tasks of one launch
+//!    panic, the rethrown payload is a function of the launch structure
+//!    (lowest item index / earliest spawn / the `a` side of `join`), never
+//!    of which thread happened to unwind first. Each case is repeated many
+//!    times to make a timing-dependent implementation actually fail.
+
+use rayon::prelude::*;
+use std::panic::catch_unwind;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Widens the pool for this test binary (unless the harness pinned a width
+/// via the environment) before anything touches the lazy global.
+fn ensure_pool() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        if std::env::var("BYTE_POOL_THREADS").is_err() {
+            std::env::set_var("BYTE_POOL_THREADS", "4");
+        }
+    });
+}
+
+fn payload_str(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string payload>"
+    }
+}
+
+#[test]
+fn nested_join_inside_par_iter_from_many_outer_threads() {
+    ensure_pool();
+    // 4 external threads × repeated launches × 48 items × two levels of
+    // nested join: far more logical tasks than workers, all funnelled
+    // through one shared pool.
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                for _round in 0..8 {
+                    let out: Vec<u64> = (0..48usize)
+                        .into_par_iter()
+                        .map(|i| {
+                            let (a, b) = rayon::join(
+                                || (i as u64 + t) * 3,
+                                || {
+                                    let (x, y) = rayon::join(|| i as u64 * 2, || t + 1);
+                                    x + y
+                                },
+                            );
+                            a + b
+                        })
+                        .collect();
+                    for (i, &v) in out.iter().enumerate() {
+                        assert_eq!(v, (i as u64 + t) * 3 + i as u64 * 2 + t + 1);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn panicking_launch_poisons_only_itself() {
+    ensure_pool();
+    let stop = AtomicBool::new(false);
+    let healthy_rounds = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        // A healthy launcher hammers the pool for the whole duration of the
+        // poison barrage from the other thread.
+        s.spawn(|| {
+            while !stop.load(Ordering::Acquire) {
+                let out: Vec<usize> = (0..64usize).into_par_iter().map(|i| i * 2).collect();
+                assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+                healthy_rounds.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        // At least 20 poison launches, and keep going until the healthy
+        // thread has provably completed a round *concurrently* with them
+        // (on a single-CPU host it may not get scheduled for a while).
+        let mut poison_rounds = 0;
+        while poison_rounds < 20 || healthy_rounds.load(Ordering::Relaxed) == 0 {
+            let err = catch_unwind(|| {
+                (0..32usize).into_par_iter().for_each(|i| {
+                    if i % 5 == 2 {
+                        panic!("poison");
+                    }
+                });
+            });
+            assert!(err.is_err(), "poisoned launch must rethrow");
+            poison_rounds += 1;
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::Release);
+    });
+    assert!(healthy_rounds.load(Ordering::Relaxed) > 0);
+    // And the pool is still fully functional afterwards, nesting included.
+    let out: Vec<usize> = (0..100usize)
+        .into_par_iter()
+        .map(|i| {
+            let (a, b) = rayon::join(|| i, || 1usize);
+            a + b
+        })
+        .collect();
+    assert_eq!(out, (1..=100).collect::<Vec<_>>());
+}
+
+#[test]
+fn par_iter_panic_propagates_lowest_index_deterministically() {
+    ensure_pool();
+    for round in 0..50 {
+        let err = catch_unwind(|| {
+            (0..16usize).into_par_iter().for_each(|i| {
+                if i == 3 {
+                    panic!("item-three");
+                }
+                if i == 7 {
+                    panic!("item-seven");
+                }
+            });
+        })
+        .expect_err("launch with panicking items must rethrow");
+        assert_eq!(
+            payload_str(&*err),
+            "item-three",
+            "round {round}: the lowest panicking index must win"
+        );
+    }
+}
+
+#[test]
+fn scope_panic_propagates_earliest_spawn_deterministically() {
+    ensure_pool();
+    for round in 0..50 {
+        let err = catch_unwind(|| {
+            rayon::scope(|s| {
+                for seq in 0..10 {
+                    s.spawn(move || {
+                        if seq == 2 {
+                            panic!("seq-two");
+                        }
+                        if seq == 8 {
+                            panic!("seq-eight");
+                        }
+                    });
+                }
+            });
+        })
+        .expect_err("scope with panicking spawns must rethrow");
+        assert_eq!(
+            payload_str(&*err),
+            "seq-two",
+            "round {round}: the earliest panicking spawn must win"
+        );
+    }
+}
+
+#[test]
+fn scope_root_panic_wins_over_spawned_tasks() {
+    ensure_pool();
+    for _ in 0..20 {
+        let err = catch_unwind(|| {
+            rayon::scope(|s| {
+                s.spawn(|| panic!("task-panic"));
+                panic!("root-panic");
+            });
+        })
+        .expect_err("scope must rethrow");
+        assert_eq!(payload_str(&*err), "root-panic");
+    }
+}
+
+#[test]
+fn join_panic_prefers_the_a_side() {
+    ensure_pool();
+    for _ in 0..50 {
+        let err =
+            catch_unwind(|| rayon::join(|| panic!("a-side"), || panic!("b-side"))).expect_err("join must rethrow");
+        assert_eq!(payload_str(&*err), "a-side", "a's panic wins when both sides panic");
+        let err = catch_unwind(|| rayon::join(|| 1, || panic!("b-side"))).expect_err("join must rethrow");
+        assert_eq!(payload_str(&*err), "b-side");
+    }
+}

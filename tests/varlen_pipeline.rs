@@ -113,6 +113,45 @@ fn mask_matrix_entry_point() {
 }
 
 #[test]
+fn forward_is_deterministic_one_vs_n_workers() {
+    // Seeded end-to-end determinism: the same input through the full
+    // pipeline must be bitwise-identical across three pooled (N-worker)
+    // runs and three single-thread runs (every parallel entry point forced
+    // inline via `rayon::sequential`). Parallel decomposition may change
+    // who computes each row, never what is computed.
+    if std::env::var("BYTE_POOL_THREADS").is_err() {
+        std::env::set_var("BYTE_POOL_THREADS", "4");
+    }
+    let m = model();
+    let mask = BatchMask::from_lens(vec![7, 1, 0, 5], 8).unwrap();
+    let input = zeroed_input(&mask, m.config.hidden(), 99);
+    for level in [OptLevel::Baseline, OptLevel::FusedMha] {
+        let run = || {
+            let dev = Device::new();
+            m.forward(&dev, &input, &mask, level).unwrap().as_slice().to_vec()
+        };
+        let reference = rayon::sequential(run);
+        for round in 0..3 {
+            let pooled = run();
+            let sequential = rayon::sequential(run);
+            assert_eq!(reference.len(), pooled.len());
+            for (i, (r, p)) in reference.iter().zip(&pooled).enumerate() {
+                assert!(
+                    r.to_bits() == p.to_bits(),
+                    "{level:?} round {round}: pooled[{i}] {p:?} != sequential reference {r:?}"
+                );
+            }
+            for (i, (r, s)) in reference.iter().zip(&sequential).enumerate() {
+                assert!(
+                    r.to_bits() == s.to_bits(),
+                    "{level:?} round {round}: sequential[{i}] {s:?} drifted from {r:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn error_paths_are_typed_not_panics() {
     let m = model();
     let mask = BatchMask::from_lens(vec![4], 8).unwrap();
