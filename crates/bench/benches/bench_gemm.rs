@@ -2,9 +2,8 @@
 //! paths (blocked + grouped) at paper shapes, against an in-binary
 //! reimplementation of the pre-microkernel scalar path as the baseline.
 //!
-//! Emits `BENCH_gemm.json` at the repo root so the speedup over the seed
-//! algorithm is recorded machine-locally: both variants run in this same
-//! process, same build flags, same run.
+//! Console-only view; `BENCH_gemm.json` is owned by the `gemm_isa` bench,
+//! which sweeps the same shapes across every ISA dispatch tier.
 //!
 //! Run with `cargo bench --bench bench_gemm` (`BT_BENCH_FAST=1` shrinks the
 //! shapes for smoke runs).
@@ -14,7 +13,6 @@ use bt_gemm::grouped::{grouped_sgemm, GroupedConfig, GroupedProblem, NoEpilogue,
 use bt_gemm::{sgemm, GemmSpec};
 use bt_tensor::rng::Xoshiro256StarStar;
 use rayon::prelude::*;
-use std::fmt::Write as _;
 
 fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
@@ -168,38 +166,5 @@ fn main() {
             println!("{name}: microkernel {x:.2}x over seed scalar");
         }
     }
-
-    // BENCH_gemm.json at the repo root (hand-rolled — no serde in-tree).
-    let mut json = String::from("{\n  \"bench\": \"gemm\",\n  \"unit\": \"GFLOP/s\",\n  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"name\": \"{}\", \"path\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"gflops\": {:.3}, \"secs\": {:.6}}}{}",
-            r.name,
-            r.path,
-            r.m,
-            r.n,
-            r.k,
-            r.gflops,
-            r.secs,
-            if i + 1 == rows.len() { "" } else { "," }
-        );
-    }
-    json.push_str("  ],\n  \"speedup_vs_seed_scalar\": {\n");
-    let names: Vec<&str> = dense.iter().map(|&(n, ..)| n).collect();
-    for (i, name) in names.iter().enumerate() {
-        if let Some(x) = speedup(name) {
-            let _ = write!(
-                json,
-                "    \"{}\": {:.2}{}",
-                name,
-                x,
-                if i + 1 == names.len() { "" } else { "," }
-            );
-        }
-    }
-    json.push_str("  }\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
-    std::fs::write(path, &json).expect("write BENCH_gemm.json");
-    println!("\nwrote {path}");
+    println!("\nper-tier JSON: cargo bench -p bt-bench --bench gemm_isa");
 }

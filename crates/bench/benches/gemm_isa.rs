@@ -1,0 +1,219 @@
+//! Per-ISA-tier GEMM throughput sweep: GFLOP/s of every available dispatch
+//! tier (scalar / avx2 / avx512) at the paper shapes, against the seed's
+//! pre-microkernel scalar path.
+//!
+//! The `scalar` tier *is* the PR 1 autovectorized microkernel, so the
+//! `best-vs-scalar` speedups printed at the end measure exactly what the
+//! explicit-SIMD tentpole bought over the previous PR, same process, same
+//! build flags, same run.
+//!
+//! Owns `BENCH_gemm.json` at the repo root (every entry carries a `tier`
+//! field); `bench_gemm` keeps the console-only microkernel-vs-seed view.
+//!
+//! Run with `cargo bench -p bt-bench --bench gemm_isa` (`BT_BENCH_FAST=1`
+//! shrinks the shapes for smoke runs).
+
+use bt_bench::{banner, fast_mode, wall};
+use bt_gemm::grouped::{grouped_sgemm, GroupedConfig, GroupedProblem, NoEpilogue, NoTransform};
+use bt_gemm::{available_isas, set_active_isa, sgemm, GemmSpec, Isa};
+use bt_tensor::rng::Xoshiro256StarStar;
+use rayon::prelude::*;
+use std::fmt::Write as _;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+/// The seed's scalar GEMM (pre-microkernel): row-parallel axpy loops over
+/// `KC`-blocked panels, no packing, no register tile.
+fn seed_scalar_sgemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    const KC: usize = 64;
+    c[..m * n].par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        c_row.fill(0.0);
+        for p0 in (0..k).step_by(KC) {
+            let pc = KC.min(k - p0);
+            for p in p0..p0 + pc {
+                let aip = a[i * k + p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aip * bv;
+                }
+            }
+        }
+    });
+}
+
+/// Times `f` (1 warm-up + best of `reps`) and returns GFLOP/s for `flops`.
+fn gflops(flops: u64, reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let ((), secs) = wall(&mut f);
+        best = best.min(secs);
+    }
+    (flops as f64 / best / 1e9, best)
+}
+
+struct Row {
+    name: &'static str,
+    tier: String,
+    m: usize,
+    n: usize,
+    k: usize,
+    gflops: f64,
+    secs: f64,
+}
+
+const SHAPES: [&str; 4] = ["square_768", "ffn_up", "ffn_down", "grouped_qk"];
+
+/// Runs all four paper shapes on the currently active dispatch path and
+/// appends one row per shape tagged `tier`.
+fn sweep(tier: &str, reps: usize, scale: usize, rows: &mut Vec<Row>) {
+    let dense: &[(&'static str, usize, usize, usize)] = &[
+        ("square_768", 768 / scale, 768 / scale, 768 / scale),
+        ("ffn_up", 768 / scale, 3072 / scale, 768 / scale),
+        ("ffn_down", 768 / scale, 768 / scale, 3072 / scale),
+    ];
+    for &(name, m, n, k) in dense {
+        let a = rand_vec(m * k, 1);
+        let b = rand_vec(k * n, 2);
+        let mut c = vec![0.0f32; m * n];
+        let flops = 2 * (m * n * k) as u64;
+        let (gf, secs) = if tier == "seed_scalar" {
+            gflops(flops, reps, || seed_scalar_sgemm(m, n, k, &a, &b, &mut c))
+        } else {
+            gflops(flops, reps, || sgemm(GemmSpec::nn(), m, n, k, &a, &b, &mut c))
+        };
+        rows.push(Row {
+            name,
+            tier: tier.to_string(),
+            m,
+            n,
+            k,
+            gflops: gf,
+            secs,
+        });
+    }
+
+    // Grouped path: batch 4 x 12 heads of Q·Kᵀ at seq 256, head 64 — the
+    // fused-MHA GEMM-1 shape. The seed path has no grouped analogue.
+    if tier != "seed_scalar" {
+        let (units, seq, head) = (48 / scale, 256 / scale, 64);
+        let a_bufs: Vec<Vec<f32>> = (0..units).map(|i| rand_vec(seq * head, i as u64)).collect();
+        let b_bufs: Vec<Vec<f32>> = (0..units).map(|i| rand_vec(seq * head, 100 + i as u64)).collect();
+        let problems: Vec<GroupedProblem<'_>> = (0..units)
+            .map(|i| GroupedProblem {
+                m: seq,
+                n: seq,
+                k: head,
+                transb: true,
+                alpha: 1.0,
+                a: &a_bufs[i],
+                b: &b_bufs[i],
+            })
+            .collect();
+        let mut c_bufs: Vec<Vec<f32>> = (0..units).map(|_| vec![0.0f32; seq * seq]).collect();
+        let flops = 2 * (units * seq * seq * head) as u64;
+        let (gf, secs) = gflops(flops, reps, || {
+            grouped_sgemm(
+                &problems,
+                c_bufs.iter_mut().map(|c| c.as_mut_slice()).collect(),
+                GroupedConfig::default(),
+                &NoEpilogue,
+                &NoTransform,
+            );
+        });
+        rows.push(Row {
+            name: "grouped_qk",
+            tier: tier.to_string(),
+            m: seq,
+            n: seq,
+            k: head,
+            gflops: gf,
+            secs,
+        });
+    }
+}
+
+fn main() {
+    banner(
+        "GEMM throughput per ISA dispatch tier",
+        "substrate for Figs. 3/9/10/14 at every BYTE_GEMM_ISA setting",
+        "best tier >= 1.5x GFLOP/s over the scalar (autovectorized) tier at >= 3 shapes",
+    );
+    let reps = if fast_mode() { 2 } else { 3 };
+    let scale = if fast_mode() { 4 } else { 1 };
+    let mut rows: Vec<Row> = Vec::new();
+
+    sweep("seed_scalar", reps, scale, &mut rows);
+    let available = available_isas();
+    for tier in [Isa::Scalar, Isa::Avx2, Isa::Avx512] {
+        if !available.contains(&tier) {
+            println!("tier {tier}: unavailable on this host, skipped");
+            continue;
+        }
+        set_active_isa(tier).expect("tier just reported available");
+        sweep(tier.name(), reps, scale, &mut rows);
+    }
+
+    println!(
+        "\n{:<12} {:<12} {:>5} {:>5} {:>5} {:>10} {:>12}",
+        "shape", "tier", "m", "n", "k", "GFLOP/s", "secs"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<12} {:>5} {:>5} {:>5} {:>10.2} {:>12.6}",
+            r.name, r.tier, r.m, r.n, r.k, r.gflops, r.secs
+        );
+    }
+
+    let lookup = |name: &str, tier: &str| rows.iter().find(|r| r.name == name && r.tier == tier).map(|r| r.gflops);
+    let best_tier = available.last().copied().unwrap_or(Isa::Scalar).name().to_string();
+    println!("\nbest tier: {best_tier}");
+    let mut wins = 0usize;
+    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    for name in SHAPES {
+        if let (Some(best), Some(scalar)) = (lookup(name, &best_tier), lookup(name, "scalar")) {
+            let x = best / scalar;
+            println!("{name}: {best_tier} {x:.2}x over scalar tier");
+            if x >= 1.5 {
+                wins += 1;
+            }
+            speedups.push((name, x));
+        }
+    }
+    println!("shapes at >= 1.5x over the scalar tier: {wins}/{}", SHAPES.len());
+
+    // BENCH_gemm.json at the repo root (hand-rolled — no serde in-tree).
+    let mut json = String::from("{\n  \"bench\": \"gemm\",\n  \"unit\": \"GFLOP/s\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"tier\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"gflops\": {:.3}, \"secs\": {:.6}}}{}",
+            r.name,
+            r.tier,
+            r.m,
+            r.n,
+            r.k,
+            r.gflops,
+            r.secs,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],\n  \"best_tier\": \"{best_tier}\",");
+    json.push_str("  \"speedup_best_vs_scalar_tier\": {\n");
+    for (i, (name, x)) in speedups.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {:.2}{}",
+            name,
+            x,
+            if i + 1 == speedups.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    std::fs::write(path, &json).expect("write BENCH_gemm.json");
+    println!("\nwrote {path}");
+}

@@ -16,11 +16,12 @@
 //!   fusion point the paper uses to hide add-bias + GELU inside the GEMM
 //!   (§III.C.2).
 
-use crate::micro::{microkernel, pack_a_panel, pack_b_panel, MR, NR};
+use crate::isa::active_kernel;
+use crate::micro::{pack_a_panel, pack_b_panel, MR_MAX, NR_MAX};
 use crate::scratch::with_worker_scratch;
 use rayon::prelude::*;
 
-/// Rows of `C` per parallel task (a multiple of `MR`).
+/// Rows of `C` per parallel task (a multiple of every kernel's `MR`).
 const PANEL_ROWS: usize = 32;
 
 /// GEMM configuration: operand transposes and scaling factors for
@@ -145,24 +146,31 @@ fn sgemm_inner(
     }
     let (alpha, beta) = (spec.alpha, spec.beta);
     if k == 0 {
-        // Degenerate product: C = beta*C through the same store path.
-        let zero = [0.0f32; NR];
+        // Degenerate product: C = beta*C through the same store path
+        // (kernel-independent — no dispatch needed).
+        let zero = [0.0f32; NR_MAX];
         for i in 0..m {
             let row = &mut c[i * n..(i + 1) * n];
-            for j0 in (0..n).step_by(NR) {
-                let cols = NR.min(n - j0);
+            for j0 in (0..n).step_by(NR_MAX) {
+                let cols = NR_MAX.min(n - j0);
                 store_row(&mut row[j0..j0 + cols], &zero[..cols], j0, alpha, beta, epilogue);
             }
         }
         return;
     }
 
+    // One kernel per launch: the geometry below must stay consistent even
+    // if the process-wide selection changes mid-flight.
+    let kern = active_kernel();
+    let (mr, nr) = (kern.mr, kern.nr);
+    debug_assert_eq!(PANEL_ROWS % mr, 0, "row panels must hold whole micropanels");
+
     // Pack B once into k-major micropanels, straight from the transb layout.
-    let n_panels = n.div_ceil(NR);
-    let mut b_pack = vec![0.0f32; n_panels * k * NR];
-    b_pack.par_chunks_mut(k * NR).enumerate().for_each(|(jb, dst)| {
-        let col0 = jb * NR;
-        pack_b_panel(dst, b, spec.transb, col0, NR.min(n - col0), n, k);
+    let n_panels = n.div_ceil(nr);
+    let mut b_pack = vec![0.0f32; n_panels * k * nr];
+    b_pack.par_chunks_mut(k * nr).enumerate().for_each(|(jb, dst)| {
+        let col0 = jb * nr;
+        pack_b_panel(dst, b, spec.transb, col0, nr.min(n - col0), n, k, nr);
     });
     let b_pack = &b_pack;
 
@@ -172,38 +180,39 @@ fn sgemm_inner(
         .for_each(|(chunk_idx, c_panel)| {
             let row0 = chunk_idx * PANEL_ROWS;
             let rows = c_panel.len() / n;
-            let m_panels = rows.div_ceil(MR);
+            let m_panels = rows.div_ceil(mr);
             // Packed A rows (the task's full K extent, reused across every
             // column panel) live in the worker's persistent arena — no heap
             // allocation once the worker has seen this panel size.
             // `pack_a_panel` overwrites every lane including the zero pads,
             // so stale contents are harmless.
             with_worker_scratch(|scratch| {
-                let a_pack = scratch.a_panels(m_panels * k * MR);
+                let a_pack = scratch.a_panels(m_panels * k * mr);
                 for ib in 0..m_panels {
                     pack_a_panel(
-                        &mut a_pack[ib * k * MR..(ib + 1) * k * MR],
+                        &mut a_pack[ib * k * mr..(ib + 1) * k * mr],
                         a,
                         spec.transa,
-                        row0 + ib * MR,
-                        MR.min(rows - ib * MR),
+                        row0 + ib * mr,
+                        mr.min(rows - ib * mr),
                         m,
                         k,
+                        mr,
                     );
                 }
                 for jb in 0..n_panels {
-                    let col0 = jb * NR;
-                    let cols = NR.min(n - col0);
-                    let b_panel = &b_pack[jb * k * NR..(jb + 1) * k * NR];
+                    let col0 = jb * nr;
+                    let cols = nr.min(n - col0);
+                    let b_panel = &b_pack[jb * k * nr..(jb + 1) * k * nr];
                     for ib in 0..m_panels {
-                        let r = MR.min(rows - ib * MR);
-                        let mut acc = [0.0f32; MR * NR];
-                        microkernel(k, &a_pack[ib * k * MR..(ib + 1) * k * MR], b_panel, &mut acc);
+                        let r = mr.min(rows - ib * mr);
+                        let mut acc = [0.0f32; MR_MAX * NR_MAX];
+                        kern.run(k, &a_pack[ib * k * mr..(ib + 1) * k * mr], b_panel, &mut acc);
                         for i in 0..r {
-                            let row = ib * MR + i;
+                            let row = ib * mr + i;
                             store_row(
                                 &mut c_panel[row * n + col0..row * n + col0 + cols],
-                                &acc[i * NR..i * NR + cols],
+                                &acc[i * nr..i * nr + cols],
                                 col0,
                                 alpha,
                                 beta,

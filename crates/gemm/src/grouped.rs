@@ -35,7 +35,8 @@
 //! been seen) — and stores go through lock-free [`DisjointWriter`]s —
 //! tiles partition the output, so CTAs never serialize on a mutex.
 
-use crate::micro::{microkernel, pack_b_panel, MR, NR};
+use crate::isa::active_kernel;
+use crate::micro::{pack_b_panel, MicroKernel, MR_MAX, NR_MAX};
 use crate::scratch::{with_worker_scratch, Scratch};
 use crate::store::DisjointWriter;
 use rayon::prelude::*;
@@ -265,6 +266,9 @@ fn run_grouped(
     }
     let visits = AtomicU64::new(0);
     let grows = AtomicU64::new(0);
+    // One kernel per launch, shared by every CTA: tile geometry must stay
+    // consistent even if the process-wide selection changes mid-flight.
+    let kern = active_kernel();
     let batch_width = match config.scheduler {
         Scheduler::PerTile => 1,
         Scheduler::WarpPrefetch => PREFETCH_WIDTH,
@@ -295,7 +299,7 @@ fn run_grouped(
                     linear += step;
                 }
                 for asg in &batch[..count] {
-                    compute_tile(problems, &config, *asg, epilogue, a_transform, store, scratch);
+                    compute_tile(problems, &config, kern, *asg, epilogue, a_transform, store, scratch);
                 }
             }
             visits.fetch_add(local_visits, Ordering::Relaxed);
@@ -397,12 +401,15 @@ fn tile_bounds(p: &GroupedProblem<'_>, config: &GroupedConfig, asg: TileAssignme
 
 /// Computes one `C` tile in the CTA's scratch arena: packs `A` micropanels
 /// (running the mainloop transform on each contiguous row fragment before
-/// interleaving) and `B` micropanels, accumulates every `MR×NR` block in
-/// microkernel registers across the full `K` extent, then applies alpha,
-/// the tile epilogue, and the store policy.
+/// interleaving) and `B` micropanels at the launch kernel's `mr×nr`
+/// geometry, accumulates every `mr×nr` block in microkernel registers
+/// across the full `K` extent, then applies alpha, the tile epilogue, and
+/// the store policy.
+#[allow(clippy::too_many_arguments)]
 fn compute_tile(
     problems: &[GroupedProblem<'_>],
     config: &GroupedConfig,
+    kern: &MicroKernel,
     asg: TileAssignment,
     epilogue: &dyn TileEpilogue,
     a_transform: &dyn ALoadTransform,
@@ -412,52 +419,54 @@ fn compute_tile(
     let p = &problems[asg.problem];
     let (row0, col0, rows, cols) = tile_bounds(p, config, asg);
     let k = p.k;
-    let m_panels = rows.div_ceil(MR);
-    let n_panels = cols.div_ceil(NR);
-    let (a_pack, b_pack, tile, row_buf) = scratch.panels(m_panels * k * MR, n_panels * k * NR, rows * cols, k);
+    let (mr, nr) = (kern.mr, kern.nr);
+    let m_panels = rows.div_ceil(mr);
+    let n_panels = cols.div_ceil(nr);
+    let (a_pack, b_pack, tile, row_buf) = scratch.panels(m_panels * k * mr, n_panels * k * nr, rows * cols, k);
 
     for ib in 0..m_panels {
-        let r = MR.min(rows - ib * MR);
-        let dst = &mut a_pack[ib * k * MR..(ib + 1) * k * MR];
+        let r = mr.min(rows - ib * mr);
+        let dst = &mut a_pack[ib * k * mr..(ib + 1) * k * mr];
         for i in 0..r {
-            let g_row = row0 + ib * MR + i;
+            let g_row = row0 + ib * mr + i;
             // Stage the contiguous row fragment, run the mainloop fusion
             // hook on it (Algorithm III.2), then interleave k-major.
             row_buf.copy_from_slice(&p.a[g_row * k..g_row * k + k]);
             a_transform.transform(asg.problem, g_row, 0, row_buf);
             for (kp, &v) in row_buf.iter().enumerate() {
-                dst[kp * MR + i] = v;
+                dst[kp * mr + i] = v;
             }
         }
         // Scratch is reused across tiles: stale pad lanes must be re-zeroed.
-        for i in r..MR {
+        for i in r..mr {
             for kp in 0..k {
-                dst[kp * MR + i] = 0.0;
+                dst[kp * mr + i] = 0.0;
             }
         }
     }
     for jb in 0..n_panels {
         pack_b_panel(
-            &mut b_pack[jb * k * NR..(jb + 1) * k * NR],
+            &mut b_pack[jb * k * nr..(jb + 1) * k * nr],
             p.b,
             p.transb,
-            col0 + jb * NR,
-            NR.min(cols - jb * NR),
+            col0 + jb * nr,
+            nr.min(cols - jb * nr),
             p.n,
             k,
+            nr,
         );
     }
 
     for jb in 0..n_panels {
-        let b_panel = &b_pack[jb * k * NR..(jb + 1) * k * NR];
-        let cseg = NR.min(cols - jb * NR);
+        let b_panel = &b_pack[jb * k * nr..(jb + 1) * k * nr];
+        let cseg = nr.min(cols - jb * nr);
         for ib in 0..m_panels {
-            let r = MR.min(rows - ib * MR);
-            let mut acc = [0.0f32; MR * NR];
-            microkernel(k, &a_pack[ib * k * MR..(ib + 1) * k * MR], b_panel, &mut acc);
+            let r = mr.min(rows - ib * mr);
+            let mut acc = [0.0f32; MR_MAX * NR_MAX];
+            kern.run(k, &a_pack[ib * k * mr..(ib + 1) * k * mr], b_panel, &mut acc);
             for i in 0..r {
-                let trow = ib * MR + i;
-                tile[trow * cols + jb * NR..trow * cols + jb * NR + cseg].copy_from_slice(&acc[i * NR..i * NR + cseg]);
+                let trow = ib * mr + i;
+                tile[trow * cols + jb * nr..trow * cols + jb * nr + cseg].copy_from_slice(&acc[i * nr..i * nr + cseg]);
             }
         }
     }

@@ -28,19 +28,23 @@
 
 // `deny` rather than `forbid`: the lock-free output store (`store`) confines
 // its raw-pointer writes behind a module-level `allow` with debug-checked
-// disjointness; everything else stays safe.
+// disjointness, and the ISA-dispatched microkernels (`isa`, `micro`) confine
+// theirs behind `#[target_feature]` entry points with a documented
+// zero-padded-panel invariant; everything else stays safe.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batched;
 mod blocked;
 pub mod grouped;
-mod micro;
+pub mod isa;
+pub mod micro;
 mod reference;
 mod scratch;
 pub mod store;
 
 pub use blocked::{sgemm, sgemm_epilogue, GemmSpec};
+pub use isa::{active_isa, available_isas, set_active_isa, Isa};
 pub use reference::gemm_ref;
 pub use store::DisjointWriter;
 

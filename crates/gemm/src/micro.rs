@@ -1,75 +1,201 @@
-//! Register-blocked microkernel — the shared innermost level of both the
+//! Register-blocked microkernels — the shared innermost level of both the
 //! blocked and grouped GEMM paths.
 //!
 //! This is the CPU analogue of the paper's register tile: an `MR×NR` block
-//! of `C` lives entirely in locals while the full `K` extent streams through
-//! it, so every loaded `A` element is reused `NR` times and every `B`
-//! element `MR` times (the seed's axpy loops reused each `B` element once).
-//! Operands are consumed from *packed micropanels* — k-major interleaved
-//! buffers analogous to the staged shared-memory tiles of a GPU kernel —
-//! which makes the inner loop two contiguous streams regardless of operand
-//! transposes.
+//! of `C` lives entirely in registers while the full `K` extent streams
+//! through it, so every loaded `A` element is reused `NR` times and every
+//! `B` element `MR` times (the seed's axpy loops reused each `B` element
+//! once). Operands are consumed from *packed micropanels* — k-major
+//! interleaved buffers analogous to the staged shared-memory tiles of a GPU
+//! kernel — which makes the inner loop two contiguous streams regardless of
+//! operand transposes.
 //!
-//! Panel layout:
+//! Since PR 3 the microkernel is a *family*: the portable scalar 8×8 kernel
+//! (autovectorized under whatever `-C target-cpu` the build used), an
+//! explicit AVX2+FMA 8×16 kernel, and an explicit AVX-512 16×16 kernel —
+//! the CPU counterpart of the paper's hardware-wide CUTLASS tiles and
+//! `__half2` SIMD2 vectorization (§III.C, §III.E). One kernel is selected
+//! at runtime by [`crate::isa`]; because `MR`/`NR` differ per kernel, the
+//! packing routines here and both drivers take the geometry as runtime
+//! parameters instead of constants.
 //!
-//! * `A` micropanel: `kc × MR`, element `(p, i)` at `a[p*MR + i]` — one
-//!   panel per `MR`-row strip, short strips zero-padded.
-//! * `B` micropanel: `kc × NR`, element `(p, j)` at `b[p*NR + j]` — one
-//!   panel per `NR`-column strip, short strips zero-padded.
+//! Panel layout (for a kernel of geometry `mr×nr`):
 //!
-//! Zero padding keeps the microkernel branch-free at the edges: padded lanes
-//! compute zeros that callers simply never store.
+//! * `A` micropanel: `kc × mr`, element `(p, i)` at `a[p*mr + i]` — one
+//!   panel per `mr`-row strip, short strips zero-padded.
+//! * `B` micropanel: `kc × nr`, element `(p, j)` at `b[p*nr + j]` — one
+//!   panel per `nr`-column strip, short strips zero-padded.
+//!
+//! Zero padding keeps the microkernels branch-free at the edges: padded
+//! lanes compute zeros that callers simply never store. This is also the
+//! safety invariant the intrinsic kernels rely on — they load full `nr`-wide
+//! vectors unconditionally, which is in-bounds precisely because every
+//! micropanel is allocated and packed at full tile width.
 
-/// Rows of the register tile.
-pub(crate) const MR: usize = 8;
-/// Columns of the register tile.
-pub(crate) const NR: usize = 8;
+// Unsafe is confined to `MicroKernel::run`'s call through the kernel
+// function pointer (soundness argument at the call site) and to the
+// intrinsic kernels in `crate::isa`.
+#![allow(unsafe_code)]
 
-/// Fused multiply-add when the target has hardware FMA, plain mul+add
-/// otherwise (`mul_add` without hardware support lowers to a libm call).
+use crate::isa::Isa;
+
+/// Largest `MR` of any kernel in the family (the AVX-512 tile height).
+/// Stack accumulators in the drivers are sized `MR_MAX × NR_MAX`.
+pub const MR_MAX: usize = 16;
+/// Largest `NR` of any kernel in the family (the AVX2/AVX-512 tile width).
+pub const NR_MAX: usize = 16;
+
+/// Geometry of the portable scalar kernel.
+pub(crate) const SCALAR_MR: usize = 8;
+/// Geometry of the portable scalar kernel.
+pub(crate) const SCALAR_NR: usize = 8;
+
+/// Whether the scalar kernel contracts with hardware FMA. Decided **once,
+/// at kernel definition**, from the features the *crate* was compiled with:
+/// `mul_add` without hardware support lowers to a libm call, so the scalar
+/// kernel only fuses when the build guarantees an `fma` instruction.
+///
+/// This constant is the fix for a latent PR 1 bug: the old `fmadd` helper
+/// buried `cfg!(target_feature = "fma")` inside a shared `#[inline(always)]`
+/// function, whose meaning would silently diverge if the helper were ever
+/// inlined into a `#[target_feature]`-enabled caller (the `cfg!` is resolved
+/// at crate compile time and ignores caller-enabled features). Contraction
+/// is now an explicit, documented property of each kernel — the intrinsic
+/// kernels always fuse (they *are* the FMA instructions), and the scalar
+/// kernel's choice is pinned here and exported via
+/// [`MicroKernel::fused_fma`] so tests can pick bitwise vs. tolerance
+/// comparisons accordingly.
+pub(crate) const SCALAR_FUSED_FMA: bool = cfg!(target_feature = "fma");
+
+/// Raw microkernel entry point: `acc[i*nr + j] += Σ_p a[p*mr + i] ·
+/// b[p*nr + j]` over `kc` steps, for the kernel's own `mr×nr` geometry.
+///
+/// # Safety
+/// `a` must be valid for `kc*mr` reads, `b` for `kc*nr` reads, `acc` for
+/// `mr*nr` reads and writes; and the CPU must support the kernel's ISA.
+pub(crate) type KernelFn = unsafe fn(kc: usize, a: *const f32, b: *const f32, acc: *mut f32);
+
+/// One member of the microkernel family: an ISA tier plus its register-tile
+/// geometry and contraction mode. Obtain instances from [`crate::isa`]
+/// ([`crate::isa::active_kernel`] / [`crate::isa::kernel_for`]) — they are
+/// only ever constructed for ISAs verified present at runtime.
+pub struct MicroKernel {
+    /// The instruction-set tier this kernel is implemented in.
+    pub isa: Isa,
+    /// Rows of the register tile.
+    pub mr: usize,
+    /// Columns of the register tile.
+    pub nr: usize,
+    /// Whether multiply-accumulate is contracted (single rounding per
+    /// step). All kernels of equal `fused_fma` produce **bitwise
+    /// identical** stored elements for the same operands: every output
+    /// element is one accumulation chain in `p`-order regardless of tile
+    /// geometry, and padded lanes never reach a store.
+    pub fused_fma: bool,
+    func: KernelFn,
+}
+
+impl MicroKernel {
+    pub(crate) const fn new(isa: Isa, mr: usize, nr: usize, fused_fma: bool, func: KernelFn) -> Self {
+        Self {
+            isa,
+            mr,
+            nr,
+            fused_fma,
+            func,
+        }
+    }
+
+    /// Runs the kernel: `acc[i*nr + j] += Σ_p a[p*mr + i] · b[p*nr + j]`
+    /// over `kc` steps. The accumulator block stays in registers for the
+    /// whole `kc` loop.
+    ///
+    /// # Panics
+    /// Panics if a micropanel or the accumulator is shorter than the
+    /// kernel's geometry requires.
+    #[inline]
+    pub fn run(&self, kc: usize, a: &[f32], b: &[f32], acc: &mut [f32]) {
+        assert!(a.len() >= kc * self.mr, "A micropanel too short");
+        assert!(b.len() >= kc * self.nr, "B micropanel too short");
+        assert!(acc.len() >= self.mr * self.nr, "accumulator too short");
+        // SAFETY: lengths asserted above; the function pointer was only
+        // constructed for an ISA that `crate::isa` verified present on this
+        // CPU (scalar is universally valid).
+        unsafe { (self.func)(kc, a.as_ptr(), b.as_ptr(), acc.as_mut_ptr()) }
+    }
+}
+
+impl std::fmt::Debug for MicroKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MicroKernel")
+            .field("isa", &self.isa)
+            .field("mr", &self.mr)
+            .field("nr", &self.nr)
+            .field("fused_fma", &self.fused_fma)
+            .finish()
+    }
+}
+
+/// One explicit multiply-accumulate step with the contraction mode fixed by
+/// the const parameter — never by the caller's (or a helper's) feature
+/// context.
 #[inline(always)]
-fn fmadd(a: f32, b: f32, c: f32) -> f32 {
-    if cfg!(target_feature = "fma") {
+fn contract<const FUSED: bool>(a: f32, b: f32, c: f32) -> f32 {
+    if FUSED {
         a.mul_add(b, c)
     } else {
         a * b + c
     }
 }
 
-/// `acc[i*NR + j] += Σ_p a[p*MR + i] · b[p*NR + j]` over `kc` steps.
+/// The portable scalar kernel (8×8). With fixed loop bounds the two inner
+/// loops fully unroll and autovectorize to whatever the build's target CPU
+/// offers; `FUSED` pins the contraction mode per [`SCALAR_FUSED_FMA`].
 ///
-/// The accumulator block stays in locals for the whole `kc` loop — with
-/// fixed `MR`/`NR` bounds the two inner loops fully unroll and vectorize.
-#[inline]
-pub(crate) fn microkernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [f32; MR * NR]) {
-    debug_assert!(a.len() >= kc * MR, "A micropanel too short");
-    debug_assert!(b.len() >= kc * NR, "B micropanel too short");
-    let mut c = *acc;
+/// # Safety
+/// See [`KernelFn`].
+pub(crate) unsafe fn scalar_kernel<const FUSED: bool>(kc: usize, a: *const f32, b: *const f32, acc: *mut f32) {
+    // SAFETY: caller guarantees the panel and accumulator extents.
+    let (a, b, acc) = unsafe {
+        (
+            std::slice::from_raw_parts(a, kc * SCALAR_MR),
+            std::slice::from_raw_parts(b, kc * SCALAR_NR),
+            std::slice::from_raw_parts_mut(acc, SCALAR_MR * SCALAR_NR),
+        )
+    };
+    let mut c = [0.0f32; SCALAR_MR * SCALAR_NR];
+    c.copy_from_slice(acc);
     for p in 0..kc {
-        let ap: &[f32; MR] = a[p * MR..p * MR + MR].try_into().expect("MR slice");
-        let bp: &[f32; NR] = b[p * NR..p * NR + NR].try_into().expect("NR slice");
-        for i in 0..MR {
+        let ap: &[f32; SCALAR_MR] = a[p * SCALAR_MR..p * SCALAR_MR + SCALAR_MR]
+            .try_into()
+            .expect("MR slice");
+        let bp: &[f32; SCALAR_NR] = b[p * SCALAR_NR..p * SCALAR_NR + SCALAR_NR]
+            .try_into()
+            .expect("NR slice");
+        for i in 0..SCALAR_MR {
             let ai = ap[i];
-            for j in 0..NR {
-                c[i * NR + j] = fmadd(ai, bp[j], c[i * NR + j]);
+            for j in 0..SCALAR_NR {
+                c[i * SCALAR_NR + j] = contract::<FUSED>(ai, bp[j], c[i * SCALAR_NR + j]);
             }
         }
     }
-    *acc = c;
+    acc.copy_from_slice(&c);
 }
 
-/// Packs one `A` micropanel: rows `row0 .. row0+r` (`r ≤ MR`), the full `k`
-/// extent, from a row-major `m×k` matrix (or `k×m` when `trans`).
-/// Rows `r..MR` are zero lanes.
-pub(crate) fn pack_a_panel(dst: &mut [f32], src: &[f32], trans: bool, row0: usize, r: usize, m: usize, k: usize) {
-    debug_assert!(dst.len() >= k * MR);
-    debug_assert!(r <= MR);
+/// Packs one `A` micropanel of an `mr`-row kernel: rows `row0 .. row0+r`
+/// (`r ≤ mr`), the full `k` extent, from a row-major `m×k` matrix (or `k×m`
+/// when `trans`). Rows `r..mr` are zero lanes — every lane is overwritten,
+/// so reused scratch needs no pre-clearing.
+#[allow(clippy::too_many_arguments)] // geometry params are the point
+pub fn pack_a_panel(dst: &mut [f32], src: &[f32], trans: bool, row0: usize, r: usize, m: usize, k: usize, mr: usize) {
+    debug_assert!(dst.len() >= k * mr);
+    debug_assert!(r <= mr);
     if trans {
         // src is k×m: A[row, p] = src[p*m + row]; each p step is contiguous
         // in the source.
         for p in 0..k {
             let s = &src[p * m + row0..p * m + row0 + r];
-            let d = &mut dst[p * MR..p * MR + MR];
+            let d = &mut dst[p * mr..p * mr + mr];
             d[..r].copy_from_slice(s);
             d[r..].fill(0.0);
         }
@@ -77,40 +203,42 @@ pub(crate) fn pack_a_panel(dst: &mut [f32], src: &[f32], trans: bool, row0: usiz
         for i in 0..r {
             let s = &src[(row0 + i) * k..(row0 + i) * k + k];
             for (p, &v) in s.iter().enumerate() {
-                dst[p * MR + i] = v;
+                dst[p * mr + i] = v;
             }
         }
-        for i in r..MR {
+        for i in r..mr {
             for p in 0..k {
-                dst[p * MR + i] = 0.0;
+                dst[p * mr + i] = 0.0;
             }
         }
     }
 }
 
-/// Packs one `B` micropanel: columns `col0 .. col0+c` (`c ≤ NR`), the full
-/// `k` extent, from a row-major `k×n` matrix (or `n×k` when `trans`).
-/// Columns `c..NR` are zero lanes.
-pub(crate) fn pack_b_panel(dst: &mut [f32], src: &[f32], trans: bool, col0: usize, c: usize, n: usize, k: usize) {
-    debug_assert!(dst.len() >= k * NR);
-    debug_assert!(c <= NR);
+/// Packs one `B` micropanel of an `nr`-column kernel: columns
+/// `col0 .. col0+c` (`c ≤ nr`), the full `k` extent, from a row-major `k×n`
+/// matrix (or `n×k` when `trans`). Columns `c..nr` are zero lanes — every
+/// lane is overwritten, so reused scratch needs no pre-clearing.
+#[allow(clippy::too_many_arguments)] // geometry params are the point
+pub fn pack_b_panel(dst: &mut [f32], src: &[f32], trans: bool, col0: usize, c: usize, n: usize, k: usize, nr: usize) {
+    debug_assert!(dst.len() >= k * nr);
+    debug_assert!(c <= nr);
     if trans {
         // src is n×k: B[p, col] = src[col*k + p].
         for j in 0..c {
             let s = &src[(col0 + j) * k..(col0 + j) * k + k];
             for (p, &v) in s.iter().enumerate() {
-                dst[p * NR + j] = v;
+                dst[p * nr + j] = v;
             }
         }
-        for j in c..NR {
+        for j in c..nr {
             for p in 0..k {
-                dst[p * NR + j] = 0.0;
+                dst[p * nr + j] = 0.0;
             }
         }
     } else {
         for p in 0..k {
             let s = &src[p * n + col0..p * n + col0 + c];
-            let d = &mut dst[p * NR..p * NR + NR];
+            let d = &mut dst[p * nr..p * nr + nr];
             d[..c].copy_from_slice(s);
             d[c..].fill(0.0);
         }
@@ -120,68 +248,93 @@ pub(crate) fn pack_b_panel(dst: &mut [f32], src: &[f32], trans: bool, col0: usiz
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::isa;
 
     #[test]
-    fn microkernel_matches_naive() {
+    fn every_kernel_matches_naive() {
         let kc = 13;
-        let a: Vec<f32> = (0..kc * MR).map(|i| (i as f32 * 0.37).sin()).collect();
-        let b: Vec<f32> = (0..kc * NR).map(|i| (i as f32 * 0.51).cos()).collect();
-        let mut acc = [1.0f32; MR * NR]; // nonzero start: must accumulate
-        microkernel(kc, &a, &b, &mut acc);
-        for i in 0..MR {
-            for j in 0..NR {
-                let mut expect = 1.0f32;
-                for p in 0..kc {
-                    expect += a[p * MR + i] * b[p * NR + j];
+        for tier in isa::available_isas() {
+            let kern = isa::kernel_for(tier).expect("available tier has a kernel");
+            let (mr, nr) = (kern.mr, kern.nr);
+            let a: Vec<f32> = (0..kc * mr).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..kc * nr).map(|i| (i as f32 * 0.51).cos()).collect();
+            let mut acc = vec![1.0f32; mr * nr]; // nonzero start: must accumulate
+            kern.run(kc, &a, &b, &mut acc);
+            for i in 0..mr {
+                for j in 0..nr {
+                    let mut expect = 1.0f32;
+                    for p in 0..kc {
+                        expect += a[p * mr + i] * b[p * nr + j];
+                    }
+                    assert!(
+                        (acc[i * nr + j] - expect).abs() < 1e-4,
+                        "{tier:?} ({i},{j}): {} vs {expect}",
+                        acc[i * nr + j]
+                    );
                 }
-                assert!((acc[i * NR + j] - expect).abs() < 1e-4);
             }
         }
     }
 
     #[test]
-    fn microkernel_k_zero_is_identity() {
-        let mut acc = [3.0f32; MR * NR];
-        microkernel(0, &[], &[], &mut acc);
-        assert_eq!(acc, [3.0f32; MR * NR]);
+    fn every_kernel_k_zero_is_identity() {
+        for tier in isa::available_isas() {
+            let kern = isa::kernel_for(tier).unwrap();
+            let mut acc = vec![3.0f32; kern.mr * kern.nr];
+            kern.run(0, &[], &[], &mut acc);
+            assert!(acc.iter().all(|&v| v == 3.0), "{tier:?} k=0 must be identity");
+        }
+    }
+
+    #[test]
+    fn geometry_bounded_by_maxima() {
+        for tier in isa::available_isas() {
+            let kern = isa::kernel_for(tier).unwrap();
+            assert!(kern.mr <= MR_MAX, "{tier:?} mr {} > MR_MAX", kern.mr);
+            assert!(kern.nr <= NR_MAX, "{tier:?} nr {} > NR_MAX", kern.nr);
+        }
     }
 
     #[test]
     fn pack_a_transposed_agrees_with_plain() {
-        let (m, k) = (11, 9);
-        let a: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
-        // a_t[p*m + r] = a[r*k + p]
-        let mut a_t = vec![0.0f32; m * k];
-        for r in 0..m {
-            for p in 0..k {
-                a_t[p * m + r] = a[r * k + p];
+        for mr in [8usize, 16] {
+            let (m, k) = (19, 9);
+            let a: Vec<f32> = (0..m * k).map(|i| i as f32).collect();
+            // a_t[p*m + r] = a[r*k + p]
+            let mut a_t = vec![0.0f32; m * k];
+            for r in 0..m {
+                for p in 0..k {
+                    a_t[p * m + r] = a[r * k + p];
+                }
             }
+            let r = 3; // short strip with padding
+            let mut plain = vec![f32::NAN; k * mr];
+            let mut trans = vec![f32::NAN; k * mr];
+            pack_a_panel(&mut plain, &a, false, 16, r, m, k, mr);
+            pack_a_panel(&mut trans, &a_t, true, 16, r, m, k, mr);
+            assert_eq!(plain, trans);
+            assert_eq!(plain[r], 0.0); // padded lane of the first k-step zeroed
         }
-        let r = 3; // short strip with padding
-        let mut plain = vec![f32::NAN; k * MR];
-        let mut trans = vec![f32::NAN; k * MR];
-        pack_a_panel(&mut plain, &a, false, 8, r, m, k);
-        pack_a_panel(&mut trans, &a_t, true, 8, r, m, k);
-        assert_eq!(plain, trans);
-        assert_eq!(plain[r], 0.0); // padded lane of the first k-step zeroed
     }
 
     #[test]
     fn pack_b_transposed_agrees_with_plain() {
-        let (n, k) = (13, 7);
-        let b: Vec<f32> = (0..n * k).map(|i| (i * 3) as f32).collect();
-        let mut b_t = vec![0.0f32; n * k];
-        for p in 0..k {
-            for j in 0..n {
-                b_t[j * k + p] = b[p * n + j];
+        for nr in [8usize, 16] {
+            let (n, k) = (21, 7);
+            let b: Vec<f32> = (0..n * k).map(|i| (i * 3) as f32).collect();
+            let mut b_t = vec![0.0f32; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    b_t[j * k + p] = b[p * n + j];
+                }
             }
+            let c = 5;
+            let mut plain = vec![f32::NAN; k * nr];
+            let mut trans = vec![f32::NAN; k * nr];
+            pack_b_panel(&mut plain, &b, false, 16, c, n, k, nr);
+            pack_b_panel(&mut trans, &b_t, true, 16, c, n, k, nr);
+            assert_eq!(plain, trans);
+            assert_eq!(plain[c], 0.0);
         }
-        let c = 5;
-        let mut plain = vec![f32::NAN; k * NR];
-        let mut trans = vec![f32::NAN; k * NR];
-        pack_b_panel(&mut plain, &b, false, 8, c, n, k);
-        pack_b_panel(&mut trans, &b_t, true, 8, c, n, k);
-        assert_eq!(plain, trans);
-        assert_eq!(plain[c], 0.0);
     }
 }

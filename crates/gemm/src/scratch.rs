@@ -11,6 +11,11 @@
 //! been seen**; the grow counter makes both properties assertable in tests
 //! via [`crate::grouped::GroupedStats::scratch_grows`].
 //!
+//! Requested lengths are geometry-dependent — callers size panels from the
+//! active microkernel's `mr×nr` tile (see [`crate::isa`]) — so switching
+//! dispatch tiers mid-process at most ratchets a new high-water mark once;
+//! the arenas themselves are geometry-agnostic byte pools.
+//!
 //! Borrow discipline: [`with_worker_scratch`] hands out the arena for the
 //! span of one closure. The closure must not re-enter the parallel runtime
 //! while holding it (every current caller is a leaf task); if a re-entrant

@@ -1,0 +1,148 @@
+//! Unit tests for the `BYTE_GEMM_ISA` dispatch machinery: request parsing,
+//! availability fallback, the strict programmatic override, and the
+//! regression guard that the scalar tier's arithmetic is independent of
+//! which dispatch tier is (or was) selected.
+//!
+//! The env-var integration itself is covered by the `scripts/check.sh`
+//! matrix, which reruns the GEMM suites under `BYTE_GEMM_ISA=scalar` and
+//! `BYTE_GEMM_ISA=auto` — in-process env mutation would race the lazy
+//! one-shot selection, so these tests exercise the pure resolution layer
+//! plus the programmatic setter instead.
+
+use bt_gemm::isa::{self, parse_isa_request, resolve_request, Isa, IsaRequest};
+use bt_gemm::{sgemm, GemmSpec};
+use bt_tensor::rng::Xoshiro256StarStar;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-wide active tier.
+static ISA_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn parse_accepts_every_tier_name() {
+    assert_eq!(parse_isa_request("auto"), Ok(IsaRequest::Auto));
+    assert_eq!(parse_isa_request("scalar"), Ok(IsaRequest::Exact(Isa::Scalar)));
+    assert_eq!(parse_isa_request("avx2"), Ok(IsaRequest::Exact(Isa::Avx2)));
+    assert_eq!(parse_isa_request("avx512"), Ok(IsaRequest::Exact(Isa::Avx512)));
+}
+
+#[test]
+fn parse_is_case_and_whitespace_insensitive() {
+    assert_eq!(parse_isa_request("  AVX512 \n"), Ok(IsaRequest::Exact(Isa::Avx512)));
+    assert_eq!(parse_isa_request("Auto"), Ok(IsaRequest::Auto));
+}
+
+#[test]
+fn parse_rejects_unknown_value_with_clear_message() {
+    let err = parse_isa_request("sse9").unwrap_err();
+    assert!(err.contains("unknown value `sse9`"), "got: {err}");
+    // The message must teach the accepted set.
+    for name in ["scalar", "avx2", "avx512", "auto"] {
+        assert!(err.contains(name), "message must list `{name}`: {err}");
+    }
+}
+
+#[test]
+fn resolve_auto_picks_widest_available() {
+    let (isa, warn) = resolve_request(IsaRequest::Auto, &[Isa::Scalar, Isa::Avx2]);
+    assert_eq!(isa, Isa::Avx2);
+    assert!(warn.is_none());
+    let (isa, _) = resolve_request(IsaRequest::Auto, &[Isa::Scalar, Isa::Avx2, Isa::Avx512]);
+    assert_eq!(isa, Isa::Avx512);
+    let (isa, _) = resolve_request(IsaRequest::Auto, &[Isa::Scalar]);
+    assert_eq!(isa, Isa::Scalar);
+}
+
+#[test]
+fn resolve_exact_available_is_honored_without_warning() {
+    let (isa, warn) = resolve_request(IsaRequest::Exact(Isa::Scalar), &[Isa::Scalar, Isa::Avx2, Isa::Avx512]);
+    assert_eq!(isa, Isa::Scalar);
+    assert!(warn.is_none());
+}
+
+#[test]
+fn resolve_unavailable_tier_falls_back_with_warning() {
+    // `avx512` requested on a host that only has AVX2: graceful downgrade,
+    // and the warning names both the request and the substitute.
+    let (isa, warn) = resolve_request(IsaRequest::Exact(Isa::Avx512), &[Isa::Scalar, Isa::Avx2]);
+    assert_eq!(isa, Isa::Avx2);
+    let warn = warn.expect("downgrade must warn");
+    assert!(warn.contains("avx512"), "warning names the request: {warn}");
+    assert!(warn.contains("`avx2`"), "warning names the fallback: {warn}");
+}
+
+#[test]
+fn set_active_isa_is_strict_about_availability() {
+    let _g = ISA_LOCK.lock().unwrap();
+    let prev = isa::active_isa();
+    for tier in Isa::ALL {
+        if isa::available_isas().contains(&tier) {
+            assert!(isa::set_active_isa(tier).is_ok());
+            assert_eq!(isa::active_isa(), tier);
+        } else {
+            let err = isa::set_active_isa(tier).unwrap_err();
+            assert!(err.contains(tier.name()), "error names the tier: {err}");
+        }
+    }
+    isa::set_active_isa(prev).unwrap();
+}
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+fn sgemm_bits(m: usize, n: usize, k: usize) -> Vec<u32> {
+    let a = rand_vec(m * k, 11);
+    let b = rand_vec(k * n, 12);
+    let mut c = vec![0.0f32; m * n];
+    sgemm(GemmSpec::nn(), m, n, k, &a, &b, &mut c);
+    c.into_iter().map(f32::to_bits).collect()
+}
+
+/// Regression guard for the PR 1 `fmadd` latent bug: the scalar tier's
+/// contraction mode is pinned at kernel definition, so its results must be
+/// **bitwise identical** no matter which other tier was active before, is
+/// active concurrently elsewhere, or runs in between.
+#[test]
+fn scalar_results_independent_of_selected_tier() {
+    let _g = ISA_LOCK.lock().unwrap();
+    let prev = isa::active_isa();
+    let (m, n, k) = (33, 29, 65);
+
+    isa::set_active_isa(Isa::Scalar).unwrap();
+    let reference = sgemm_bits(m, n, k);
+
+    for tier in isa::available_isas() {
+        // Interleave a run on another tier, then return to scalar.
+        isa::set_active_isa(tier).unwrap();
+        let _ = sgemm_bits(m, n, k);
+        isa::set_active_isa(Isa::Scalar).unwrap();
+        let again = sgemm_bits(m, n, k);
+        assert_eq!(reference, again, "scalar output changed after running the {tier} tier");
+    }
+    isa::set_active_isa(prev).unwrap();
+}
+
+/// The scalar kernel reached through dispatch is the same arithmetic as the
+/// kernel invoked directly — dispatch adds routing, never rounding.
+#[test]
+fn scalar_dispatch_matches_direct_kernel_invocation() {
+    let _g = ISA_LOCK.lock().unwrap();
+    let kern = isa::kernel_for(Isa::Scalar).unwrap();
+    let (mr, nr) = (kern.mr, kern.nr);
+    let kc = 37;
+    let a = rand_vec(kc * mr, 21);
+    let b = rand_vec(kc * nr, 22);
+    let mut direct = vec![0.5f32; mr * nr];
+    kern.run(kc, &a, &b, &mut direct);
+
+    let prev = isa::active_isa();
+    isa::set_active_isa(Isa::Scalar).unwrap();
+    let mut via_active = vec![0.5f32; mr * nr];
+    isa::active_kernel().run(kc, &a, &b, &mut via_active);
+    isa::set_active_isa(prev).unwrap();
+
+    let direct: Vec<u32> = direct.into_iter().map(f32::to_bits).collect();
+    let via_active: Vec<u32> = via_active.into_iter().map(f32::to_bits).collect();
+    assert_eq!(direct, via_active);
+}

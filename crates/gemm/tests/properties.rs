@@ -6,6 +6,7 @@ use bt_gemm::grouped::{
     grouped_sgemm, grouped_sgemm_strided, GroupedConfig, GroupedProblem, NoEpilogue, NoTransform, Scheduler,
     StridedOutput,
 };
+use bt_gemm::micro::{pack_a_panel, pack_b_panel};
 use bt_gemm::{gemm_ref, sgemm, sgemm_epilogue, GemmSpec};
 use bt_tensor::compare::max_abs_diff;
 use bt_tensor::rng::Xoshiro256StarStar;
@@ -142,6 +143,142 @@ proptest! {
             let mut expect = vec![0.0f32; m * n];
             gemm_ref(false, false, m, n, k, 1.0, &a_bufs[i], &b_bufs[i], 0.0, &mut expect);
             prop_assert!(max_abs_diff(&cs[i], &expect) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn prop_pack_b_zero_pads_and_roundtrips(
+        // Geometry is drawn independently of the active kernel: the packers
+        // must hold their invariants for every NR in the family (and any
+        // future NEON-width tier).
+        nr_sel in 0usize..3,
+        n in 1usize..40,
+        k in 0usize..24,
+        trans: bool,
+        panel in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let nr = [8usize, 16, 4][nr_sel];
+        let col0 = (panel * nr).min(n.saturating_sub(1));
+        let c = nr.min(n - col0);
+        let b = rand_vec(k * n, seed);
+        // Row-major k×n or its n×k transpose must pack identically.
+        let src = if trans {
+            let mut t = vec![0.0f32; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    t[j * k + p] = b[p * n + j];
+                }
+            }
+            t
+        } else {
+            b.clone()
+        };
+        // NaN canary: every lane of the panel must be overwritten.
+        let mut dst = vec![f32::NAN; k * nr];
+        pack_b_panel(&mut dst, &src, trans, col0, c, n, k, nr);
+        for p in 0..k {
+            for j in 0..nr {
+                let got = dst[p * nr + j];
+                if j < c {
+                    // k-major interleave round-trip: lane (p, j) holds B[p, col0+j].
+                    prop_assert_eq!(got.to_bits(), b[p * n + col0 + j].to_bits());
+                } else {
+                    prop_assert_eq!(got.to_bits(), 0.0f32.to_bits(), "short strip must be zero-padded");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_pack_a_zero_pads_and_roundtrips(
+        mr_sel in 0usize..3,
+        m in 1usize..40,
+        k in 0usize..24,
+        trans: bool,
+        panel in 0usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mr = [8usize, 16, 4][mr_sel];
+        let row0 = (panel * mr).min(m.saturating_sub(1));
+        let r = mr.min(m - row0);
+        let a = rand_vec(m * k, seed);
+        let src = if trans {
+            let mut t = vec![0.0f32; m * k];
+            for i in 0..m {
+                for p in 0..k {
+                    t[p * m + i] = a[i * k + p];
+                }
+            }
+            t
+        } else {
+            a.clone()
+        };
+        let mut dst = vec![f32::NAN; k * mr];
+        pack_a_panel(&mut dst, &src, trans, row0, r, m, k, mr);
+        for p in 0..k {
+            for i in 0..mr {
+                let got = dst[p * mr + i];
+                if i < r {
+                    prop_assert_eq!(got.to_bits(), a[(row0 + i) * k + p].to_bits());
+                } else {
+                    prop_assert_eq!(got.to_bits(), 0.0f32.to_bits(), "short strip must be zero-padded");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_padded_lanes_never_reach_a_tile_store(
+        // Strided grouped outputs with gaps between placements: if any
+        // padded microkernel lane leaked through a `TileStore`, it would
+        // land in a gap (or trip the DisjointWriter claim map in debug).
+        // NaN sentinels in the gaps must survive every tier's remainder
+        // handling.
+        shapes in proptest::collection::vec((1usize..34, 1usize..18, 0usize..20), 1..4),
+        pad in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let a_bufs: Vec<Vec<f32>> = shapes.iter().enumerate()
+            .map(|(i, &(m, _, k))| rand_vec(m * k, seed + i as u64 * 2)).collect();
+        let b_bufs: Vec<Vec<f32>> = shapes.iter().enumerate()
+            .map(|(i, &(_, n, k))| rand_vec(k * n, seed + i as u64 * 2 + 1)).collect();
+        let problems: Vec<GroupedProblem<'_>> = shapes.iter().enumerate()
+            .map(|(i, &(m, n, k))| GroupedProblem {
+                m, n, k, transb: false, alpha: 1.0, a: &a_bufs[i], b: &b_bufs[i],
+            }).collect();
+        // Placements side by side in one row, `pad` sentinel columns apart.
+        let max_m = shapes.iter().map(|&(m, ..)| m).max().unwrap();
+        let ld: usize = shapes.iter().map(|&(_, n, _)| n + pad).sum();
+        let mut offset = 0;
+        let placements: Vec<StridedOutput> = shapes.iter().map(|&(_, n, _)| {
+            let pl = StridedOutput { offset, ld };
+            offset += n + pad;
+            pl
+        }).collect();
+        let mut out = vec![f32::NAN; max_m * ld];
+        grouped_sgemm_strided(&problems, &mut out, &placements, GroupedConfig::default(), &NoEpilogue, &NoTransform);
+        for (i, &(m, n, k)) in shapes.iter().enumerate() {
+            let mut expect = vec![0.0f32; m * n];
+            gemm_ref(false, false, m, n, k, 1.0, &a_bufs[i], &b_bufs[i], 0.0, &mut expect);
+            for r in 0..m {
+                for j in 0..n {
+                    let got = out[placements[i].offset + r * ld + j];
+                    prop_assert!((got - expect[r * n + j]).abs() < 1e-3, "valid region wrong at ({r},{j})");
+                }
+                for j in n..n + pad {
+                    let got = out[placements[i].offset + r * ld + j];
+                    prop_assert!(got.is_nan(), "padded lane leaked into the gap at ({r},{j}): {got}");
+                }
+            }
+            // Rows past this problem's m (shorter than the tallest problem)
+            // are also never-stored territory.
+            for r in m..max_m {
+                for j in 0..n + pad {
+                    let got = out[placements[i].offset + r * ld + j];
+                    prop_assert!(got.is_nan(), "write past problem rows at ({r},{j}): {got}");
+                }
+            }
         }
     }
 

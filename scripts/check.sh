@@ -18,6 +18,15 @@ echo "==> cargo test -p rayon --features interleave"
 # Seeded yield points in the deque's steal/pop race windows.
 cargo test -p rayon --features interleave --quiet
 
+# ISA matrix: the GEMM suites must pass with dispatch pinned to the scalar
+# tier and with auto-detection (widest tier on this host). Covers the
+# BYTE_GEMM_ISA env seam itself, not just the programmatic setter.
+for isa in scalar auto; do
+  echo "==> cargo test -p bt-gemm + differential_simd (BYTE_GEMM_ISA=$isa)"
+  BYTE_GEMM_ISA="$isa" cargo test -p bt-gemm --quiet
+  BYTE_GEMM_ISA="$isa" cargo test -p bytetransformer --test differential_simd --quiet
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

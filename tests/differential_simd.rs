@@ -1,0 +1,321 @@
+//! Cross-ISA differential harness: every SIMD dispatch tier must compute
+//! exactly what the scalar tier computes.
+//!
+//! For each available tier this runs blocked, grouped (both schedulers,
+//! contiguous + strided), batched GEMM and both fused-MHA paths on
+//! randomized shapes — including `MR`/`NR` remainder edges, `k = 0`,
+//! empty groups and single-token sequences — and compares against the
+//! forced-`scalar` run:
+//!
+//! * **Bitwise** (`f32::to_bits`) when the tiers share a contraction mode
+//!   ([`MicroKernel::fused_fma`]): every stored element is one
+//!   multiply-accumulate chain in `p`-order regardless of tile geometry,
+//!   so identical rounding means identical bits. On an FMA-native build
+//!   (ours: `target-cpu=native`) this is the path that runs — the strongest
+//!   statement the dispatch layer can make, mirroring the PR 2
+//!   pooled-vs-sequential harness.
+//! * Otherwise (scalar tier compiled without hardware FMA, intrinsic tiers
+//!   fusing by definition) the per-step rounding differs, and the
+//!   comparison degrades to a `k`-scaled relative tolerance: a fused chain
+//!   and an unfused chain of `k` steps can each accumulate up to `k/2` ULP
+//!   of drift, so exact equality is unachievable *by design*, not by bug.
+//!
+//! Tiers the host lacks are **skipped with a logged reason** (stderr), not
+//! silently: the suite's log always accounts for all three tiers.
+//!
+//! [`MicroKernel::fused_fma`]: bt_gemm::micro::MicroKernel::fused_fma
+
+use bt_core::attention::{fused_grouped_attention, fused_short_attention, DEFAULT_SPLIT_SEQ_LEN};
+use bt_gemm::batched::{batched_sgemm, BatchedArgs};
+use bt_gemm::grouped::{
+    grouped_sgemm, grouped_sgemm_strided, GroupedConfig, GroupedProblem, NoEpilogue, NoTransform, Scheduler,
+    StridedOutput,
+};
+use bt_gemm::isa::{self, Isa};
+use bt_gemm::{sgemm, sgemm_epilogue, GemmSpec};
+use bt_tensor::rng::Xoshiro256StarStar;
+use bt_tensor::Tensor;
+use bt_varlen::{BatchMask, PackingIndex};
+use bytetransformer::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the tier-flipping harness: the active tier is process-wide.
+static ISA_LOCK: Mutex<()> = Mutex::new(());
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect()
+}
+
+/// Largest `k` (accumulation-chain length) a case touches — scales the
+/// tolerance used when contraction modes differ.
+fn assert_matches(label: &str, tier: Isa, reference: &[f32], got: &[f32], same_contraction: bool, max_k: usize) {
+    assert_eq!(reference.len(), got.len(), "{label} [{tier}]: output lengths differ");
+    if same_contraction {
+        for (i, (r, g)) in reference.iter().zip(got).enumerate() {
+            assert!(
+                r.to_bits() == g.to_bits(),
+                "{label} [{tier}][{i}]: scalar {r:?} != {tier} {g:?} (bitwise)"
+            );
+        }
+    } else {
+        // Mixed contraction: bounded relative drift, one rounding per step.
+        let tol = (max_k.max(1) as f32) * f32::EPSILON * 4.0;
+        for (i, (r, g)) in reference.iter().zip(got).enumerate() {
+            let denom = r.abs().max(g.abs()).max(1.0);
+            assert!(
+                (r - g).abs() <= tol * denom,
+                "{label} [{tier}][{i}]: scalar {r} vs {tier} {g} exceeds mixed-contraction tolerance"
+            );
+        }
+    }
+}
+
+/// The harness: runs `case` once per tier, scalar first as the reference,
+/// and logs (never silently drops) unavailable tiers.
+fn differential(label: &str, max_k: usize, case: impl Fn() -> Vec<f32>) {
+    let _g = ISA_LOCK.lock().unwrap();
+    let prev = isa::active_isa();
+    let available = isa::available_isas();
+    for tier in Isa::ALL {
+        if !available.contains(&tier) {
+            eprintln!("differential_simd: {label}: skipping {tier} — not supported on this host");
+        }
+    }
+    isa::set_active_isa(Isa::Scalar).unwrap();
+    let reference = case();
+    let scalar_fused = isa::kernel_for(Isa::Scalar).unwrap().fused_fma;
+    for &tier in available.iter().filter(|&&t| t != Isa::Scalar) {
+        isa::set_active_isa(tier).unwrap();
+        let got = case();
+        let same = isa::kernel_for(tier).unwrap().fused_fma == scalar_fused;
+        assert_matches(label, tier, &reference, &got, same, max_k);
+    }
+    isa::set_active_isa(prev).unwrap();
+}
+
+// --- blocked ---------------------------------------------------------------
+
+#[test]
+fn blocked_sgemm_all_tiers() {
+    // Shapes straddling every remainder class of every tile geometry in the
+    // family (8×8, 8×16, 16×16), plus k = 0 and single elements.
+    for &(m, n, k) in &[
+        (1usize, 1usize, 1usize),
+        (7, 9, 5),
+        (8, 16, 8),
+        (16, 16, 16),
+        (17, 15, 33),
+        (15, 17, 1),
+        (33, 65, 127),
+        (9, 31, 0), // degenerate k: C = beta·C, kernel-independent
+        (100, 30, 300),
+    ] {
+        for (ti, &(transa, transb)) in [(false, false), (false, true), (true, false), (true, true)]
+            .iter()
+            .enumerate()
+        {
+            differential(&format!("sgemm {m}x{n}x{k} t{ti}"), k, || {
+                let a = rand_vec(m * k, 1 + ti as u64);
+                let b = rand_vec(k * n, 2 + ti as u64);
+                let mut c = rand_vec(m * n, 3);
+                let spec = GemmSpec {
+                    transa,
+                    transb,
+                    alpha: 1.25,
+                    beta: -0.5,
+                };
+                sgemm(spec, m, n, k, &a, &b, &mut c);
+                c
+            });
+        }
+    }
+}
+
+#[test]
+fn blocked_epilogue_all_tiers() {
+    let (m, n, k) = (23, 19, 41);
+    differential("sgemm_epilogue gelu-ish", k, || {
+        let a = rand_vec(m * k, 7);
+        let b = rand_vec(k * n, 8);
+        let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.1 - 0.5).collect();
+        let mut c = vec![0.0f32; m * n];
+        sgemm_epilogue(GemmSpec::nn(), m, n, k, &a, &b, &mut c, &|j, x| (x + bias[j]).tanh());
+        c
+    });
+}
+
+// --- grouped ---------------------------------------------------------------
+
+fn grouped_case(shapes: &[(usize, usize, usize)], transb: bool, scheduler: Scheduler) -> Vec<f32> {
+    let a_bufs: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, _, k))| rand_vec(m * k, i as u64 * 2 + 1))
+        .collect();
+    let b_bufs: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, n, k))| rand_vec(k * n, i as u64 * 2 + 2))
+        .collect();
+    let problems: Vec<GroupedProblem<'_>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, n, k))| GroupedProblem {
+            m,
+            n,
+            k,
+            transb,
+            alpha: 1.0,
+            a: &a_bufs[i],
+            b: &b_bufs[i],
+        })
+        .collect();
+    let mut cs: Vec<Vec<f32>> = shapes.iter().map(|&(m, n, _)| vec![0.0; m * n]).collect();
+    grouped_sgemm(
+        &problems,
+        cs.iter_mut().map(|c| c.as_mut_slice()).collect(),
+        GroupedConfig {
+            scheduler,
+            num_ctas: 13,
+            ..Default::default()
+        },
+        &NoEpilogue,
+        &NoTransform,
+    );
+    cs.concat()
+}
+
+#[test]
+fn grouped_sgemm_all_tiers() {
+    // Mixed shapes: remainder edges, an empty group (m = 0), a k = 0 group,
+    // a single-element group.
+    let shapes: &[(usize, usize, usize)] = &[
+        (17, 23, 31),
+        (64, 64, 64),
+        (0, 10, 8), // empty group: contributes no tiles
+        (1, 1, 1),
+        (5, 7, 0), // k = 0 group: all-zero output
+        (130, 5, 70),
+    ];
+    let max_k = 70;
+    for scheduler in [Scheduler::PerTile, Scheduler::WarpPrefetch] {
+        for transb in [false, true] {
+            differential(&format!("grouped {scheduler:?} transb={transb}"), max_k, || {
+                grouped_case(shapes, transb, scheduler)
+            });
+        }
+    }
+}
+
+#[test]
+fn grouped_empty_problem_list_all_tiers() {
+    differential("grouped empty list", 1, || {
+        grouped_sgemm(&[], vec![], GroupedConfig::default(), &NoEpilogue, &NoTransform);
+        vec![]
+    });
+}
+
+#[test]
+fn grouped_strided_all_tiers() {
+    // Two problems packed side by side in one [m, 3+5] buffer — the
+    // fused-MHA context-store pattern.
+    differential("grouped strided", 16, || {
+        let a0 = rand_vec(70 * 16, 1);
+        let b0 = rand_vec(16 * 3, 2);
+        let a1 = rand_vec(70 * 16, 3);
+        let b1 = rand_vec(16 * 5, 4);
+        let problems = vec![
+            GroupedProblem {
+                m: 70,
+                n: 3,
+                k: 16,
+                transb: false,
+                alpha: 1.0,
+                a: &a0,
+                b: &b0,
+            },
+            GroupedProblem {
+                m: 70,
+                n: 5,
+                k: 16,
+                transb: false,
+                alpha: 2.0,
+                a: &a1,
+                b: &b1,
+            },
+        ];
+        let placements = vec![StridedOutput { offset: 0, ld: 8 }, StridedOutput { offset: 3, ld: 8 }];
+        let mut out = vec![0.0f32; 70 * 8];
+        grouped_sgemm_strided(
+            &problems,
+            &mut out,
+            &placements,
+            GroupedConfig::default(),
+            &NoEpilogue,
+            &NoTransform,
+        );
+        out
+    });
+}
+
+// --- batched ---------------------------------------------------------------
+
+#[test]
+fn batched_sgemm_all_tiers() {
+    for &(batch, m, n, k) in &[(1usize, 9usize, 17usize, 25usize), (5, 13, 17, 19), (3, 8, 8, 0)] {
+        differential(&format!("batched {batch}x{m}x{n}x{k}"), k, || {
+            let args = BatchedArgs::dense(batch, m, n, k);
+            let a = rand_vec(batch * m * k, 31);
+            let b = rand_vec(batch * k * n, 32);
+            let mut c = vec![0.0f32; batch * m * n];
+            batched_sgemm(GemmSpec::nt().alpha(0.5), args, &a, &b, &mut c);
+            c
+        });
+    }
+}
+
+// --- fused MHA -------------------------------------------------------------
+
+/// Random packed `[heads, valid, head]` Q/K/V for the given lengths.
+fn packed_qkv(lens: &[usize], max_seq: usize, heads: usize, head: usize, seed: u64) -> (PackingIndex, [Tensor; 3]) {
+    let mask = BatchMask::from_lens(lens.to_vec(), max_seq).unwrap();
+    let idx = PackingIndex::from_mask(&mask);
+    let valid = idx.valid_words();
+    let qkv =
+        [0u64, 1, 2].map(|i| Tensor::from_vec(rand_vec(heads * valid * head, seed + i), [heads, valid, head]).unwrap());
+    (idx, qkv)
+}
+
+#[test]
+fn fused_short_mha_all_tiers() {
+    // Variable lengths incl. a single-token sequence and an empty batch mix.
+    differential("fused_short_attention", 64, || {
+        let (idx, [q, k, v]) = packed_qkv(&[5, 1, 12, 7], 12, 3, 16, 41);
+        let dev = Device::new();
+        let out = fused_short_attention(&dev, &q, &k, &v, &idx, DEFAULT_SPLIT_SEQ_LEN);
+        out.as_slice().to_vec()
+    });
+}
+
+#[test]
+fn fused_grouped_mha_all_tiers() {
+    for scheduler in [Scheduler::PerTile, Scheduler::WarpPrefetch] {
+        differential(&format!("fused_grouped_attention {scheduler:?}"), 96, || {
+            let (idx, [q, k, v]) = packed_qkv(&[33, 1, 96, 17], 96, 2, 32, 43);
+            let dev = Device::new();
+            let out = fused_grouped_attention(&dev, &q, &k, &v, &idx, scheduler);
+            out.as_slice().to_vec()
+        });
+    }
+}
+
+#[test]
+fn fused_grouped_mha_single_token_sequences_all_tiers() {
+    differential("fused_grouped_attention 1-token", 8, || {
+        let (idx, [q, k, v]) = packed_qkv(&[1, 1, 1], 1, 2, 8, 47);
+        let dev = Device::new();
+        let out = fused_grouped_attention(&dev, &q, &k, &v, &idx, Scheduler::WarpPrefetch);
+        out.as_slice().to_vec()
+    });
+}
