@@ -186,7 +186,9 @@ fn main() {
     println!("shapes at >= 1.5x over the scalar tier: {wins}/{}", SHAPES.len());
 
     // BENCH_gemm.json at the repo root (hand-rolled — no serde in-tree).
-    let mut json = String::from("{\n  \"bench\": \"gemm\",\n  \"unit\": \"GFLOP/s\",\n  \"results\": [\n");
+    // The header is the shared RunMeta schema (host, pool, ISA, rev, time).
+    let mut json = bt_bench::report::RunMeta::collect("gemm", "GFLOP/s").header_json();
+    json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,

@@ -249,11 +249,10 @@ fn main() {
          approaches the overhead ratio)"
     );
 
-    let mut json = String::from("{\n  \"bench\": \"pool_launch\",\n  \"unit\": \"us_per_launch\",\n");
-    let _ = write!(
-        json,
-        "  \"pool_width\": {width},\n  \"hidden\": {HIDDEN},\n  \"results\": [\n"
-    );
+    // Shared RunMeta header (host, pool, ISA, rev, time): `pool_width` in
+    // the header is the live rayon width, which equals `width` here.
+    let mut json = bt_bench::report::RunMeta::collect("pool_launch", "us_per_launch").header_json();
+    let _ = write!(json, "  \"hidden\": {HIDDEN},\n  \"results\": [\n");
     for (i, r) in rows_out.iter().enumerate() {
         let _ = writeln!(
             json,

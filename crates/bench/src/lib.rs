@@ -18,6 +18,8 @@ use bt_tensor::Tensor;
 use bt_varlen::BatchMask;
 use std::time::Instant;
 
+pub mod report;
+
 /// True when `BT_BENCH_FAST=1`.
 pub fn fast_mode() -> bool {
     std::env::var("BT_BENCH_FAST").map(|v| v == "1").unwrap_or(false)

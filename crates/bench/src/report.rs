@@ -1,0 +1,125 @@
+//! Shared schema for the machine-readable benchmark artifacts.
+//!
+//! Every emitter that writes a `BENCH_*.json` (and the `btx profile` JSON
+//! export) stamps the same [`RunMeta`] header — bench name, unit, host
+//! thread count, pool width, active GEMM ISA tier, git revision, and a unix
+//! timestamp — so results from different hosts/runs can be compared and
+//! joined without guessing where they came from.
+
+use std::fmt::Write as _;
+
+/// Provenance header shared by every benchmark JSON artifact.
+#[derive(Debug, Clone)]
+pub struct RunMeta {
+    /// Artifact name (e.g. `"gemm"`, `"pool_launch"`, `"profile"`).
+    pub bench: String,
+    /// Unit of the primary metric (e.g. `"GFLOP/s"`, `"us_per_launch"`).
+    pub unit: String,
+    /// `std::thread::available_parallelism()` on the host.
+    pub host_threads: usize,
+    /// Worker count of the `bt-pool` rayon shim.
+    pub pool_width: usize,
+    /// Active `bt-gemm` ISA tier name (`"scalar"` / `"avx2"` / `"avx512"`).
+    pub isa_tier: String,
+    /// Short git revision, or `"unknown"` outside a checkout.
+    pub git_rev: String,
+    /// Seconds since the unix epoch at collection time.
+    pub timestamp_unix: u64,
+}
+
+impl RunMeta {
+    /// Collects the header for the current process: thread counts and ISA
+    /// tier are read live (this initializes the pool and the ISA dispatch
+    /// if they have not run yet).
+    pub fn collect(bench: &str, unit: &str) -> Self {
+        RunMeta {
+            bench: bench.to_string(),
+            unit: unit.to_string(),
+            host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            pool_width: rayon::current_num_threads(),
+            isa_tier: bt_gemm::active_isa().name().to_string(),
+            git_rev: git_rev(),
+            timestamp_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+        }
+    }
+
+    /// Renders the header as the opening fields of a JSON object: starts
+    /// with `{\n` and ends with a trailing comma, ready for the emitter to
+    /// append its payload fields and the closing brace.
+    pub fn header_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"bench\": \"{}\",", json_escape(&self.bench));
+        let _ = writeln!(s, "  \"unit\": \"{}\",", json_escape(&self.unit));
+        let _ = writeln!(s, "  \"host_threads\": {},", self.host_threads);
+        let _ = writeln!(s, "  \"pool_width\": {},", self.pool_width);
+        let _ = writeln!(s, "  \"isa_tier\": \"{}\",", json_escape(&self.isa_tier));
+        let _ = writeln!(s, "  \"git_rev\": \"{}\",", json_escape(&self.git_rev));
+        let _ = writeln!(s, "  \"timestamp_unix\": {},", self.timestamp_unix);
+        s
+    }
+}
+
+/// Short git revision of the working tree, `"unknown"` when git or the
+/// repository is unavailable.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Escapes a string for embedding in a JSON string literal (delegates to
+/// the `bt-obs` profile exporter so every artifact escapes identically).
+pub fn json_escape(s: &str) -> String {
+    bt_obs::profile::json_escape(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_fills_every_field() {
+        let meta = RunMeta::collect("unit-test", "widgets/s");
+        assert_eq!(meta.bench, "unit-test");
+        assert_eq!(meta.unit, "widgets/s");
+        assert!(meta.host_threads >= 1);
+        assert!(meta.pool_width >= 1);
+        assert!(["scalar", "avx2", "avx512"].contains(&meta.isa_tier.as_str()));
+        assert!(!meta.git_rev.is_empty());
+        // A checkout (CI or dev) should produce a short hex rev.
+        if meta.git_rev != "unknown" {
+            assert!(meta.git_rev.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn header_is_open_json_object() {
+        let meta = RunMeta {
+            bench: "b\"1".into(),
+            unit: "u".into(),
+            host_threads: 8,
+            pool_width: 4,
+            isa_tier: "avx2".into(),
+            git_rev: "abc123".into(),
+            timestamp_unix: 1700000000,
+        };
+        let h = meta.header_json();
+        assert!(h.starts_with("{\n"));
+        assert!(h.trim_end().ends_with(','));
+        assert!(h.contains("\"bench\": \"b\\\"1\""));
+        assert!(h.contains("\"pool_width\": 4"));
+        assert!(h.contains("\"timestamp_unix\": 1700000000"));
+        // Closing it with a payload must yield balanced braces.
+        let full = format!("{h}  \"x\": 1\n}}\n");
+        assert_eq!(full.matches('{').count(), full.matches('}').count());
+    }
+}

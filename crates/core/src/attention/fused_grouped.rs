@@ -282,6 +282,7 @@ pub(crate) fn grouped_softmax_attention_ex(
     debug_assert_eq!(stats1.scheduler_visits, visits1, "visit model out of sync");
     device.bump_metric("grouped.scheduler_visits", stats1.scheduler_visits);
     device.bump_metric("grouped.tiles", stats1.tiles);
+    MHA_SCHED_VISITS.add(stats1.scheduler_visits);
     drop(epilogue); // release the partial borrows for the reduction below
 
     // ---- Full reduction: merge partials across column tiles ------------
@@ -363,9 +364,18 @@ pub(crate) fn grouped_softmax_attention_ex(
     debug_assert_eq!(stats2.scheduler_visits, visits2, "visit model out of sync");
     device.bump_metric("grouped.scheduler_visits", stats2.scheduler_visits);
     device.bump_metric("grouped.tiles", stats2.tiles);
+    MHA_SCHED_VISITS.add(stats2.scheduler_visits);
 
     Tensor::from_vec(out, [out_rows, hidden]).expect("shape consistent")
 }
+
+/// Warp-prefetch scheduler visits issued by the grouped-MHA engine (both
+/// the Q·Kᵀ and P·V stages), mirroring the `grouped.scheduler_visits`
+/// device metric into the telemetry registry.
+static MHA_SCHED_VISITS: bt_obs::Counter = bt_obs::Counter::new("mha.grouped.scheduler_visits");
+/// Attention units (batch × heads sub-problems) handed to the grouped
+/// driver per `fused_grouped_attention` call, accumulated.
+static MHA_PROBLEMS: bt_obs::Counter = bt_obs::Counter::new("mha.grouped.problems");
 
 /// Grouped fused MHA over packed `[heads, valid, head]` Q/K/V (`Q`
 /// pre-scaled). Returns the packed `[valid, hidden]` context.
@@ -397,6 +407,7 @@ pub fn fused_grouped_attention(
             }
         })
         .collect();
+    MHA_PROBLEMS.add(units.len() as u64);
     grouped_softmax_attention(device, "attention.grouped", q, k, v, &units, valid, scheduler)
 }
 

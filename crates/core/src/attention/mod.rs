@@ -68,9 +68,15 @@ pub(crate) fn packed_dims(q: &Tensor, k: &Tensor, v: &Tensor, idx: &PackingIndex
 /// [`FUSED_SHORT_MAX_SEQ`] (paper: "With the explicit design for both short
 /// and long sequences…"). Returns the packed `[valid, hidden]` context.
 pub fn fused_attention(device: &Device, q: &Tensor, k: &Tensor, v: &Tensor, idx: &PackingIndex) -> Tensor {
+    static SHORT_PATH: bt_obs::Counter = bt_obs::Counter::new("mha.path.short");
+    static LONG_PATH: bt_obs::Counter = bt_obs::Counter::new("mha.path.long");
     if idx.max_seq_len() <= FUSED_SHORT_MAX_SEQ {
+        SHORT_PATH.incr();
+        let _span = bt_obs::span!("mha.fused.short");
         fused_short_attention(device, q, k, v, idx, DEFAULT_SPLIT_SEQ_LEN)
     } else {
+        LONG_PATH.incr();
+        let _span = bt_obs::span!("mha.fused.long");
         fused_grouped_attention(device, q, k, v, idx, Scheduler::WarpPrefetch)
     }
 }

@@ -119,7 +119,17 @@ impl Device {
     /// of arithmetic and memory traffic.
     pub fn launch<R>(&self, mut spec: KernelSpec, body: impl FnOnce() -> R) -> R {
         let start = Instant::now();
-        let out = body();
+        let out = {
+            // Mirror the kernel into the telemetry rings under its trace
+            // name so `btx profile` can join measured spans against the
+            // modeled `KernelRecord`s bucket by bucket.
+            let _span = if self.tracing {
+                bt_obs::span_dyn(&spec.name)
+            } else {
+                bt_obs::SpanGuard::none()
+            };
+            body()
+        };
         let wall = start.elapsed();
         self.total_flops.fetch_add(spec.cost.flops, Ordering::Relaxed);
         self.total_bytes.fetch_add(spec.cost.bytes(), Ordering::Relaxed);

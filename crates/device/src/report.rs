@@ -118,14 +118,25 @@ impl TraceReport {
     }
 }
 
+/// RFC 4180-style field quoting: wrap in quotes (doubling inner quotes)
+/// when the field contains a comma, quote, or line break.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 /// Serializes a trace as CSV (`name,flops,bytes_read,bytes_written,wall_us,
-/// modeled_us`) for offline analysis/plotting.
+/// modeled_us`) for offline analysis/plotting. Names containing commas,
+/// quotes, or newlines are RFC 4180-quoted.
 pub fn trace_to_csv(trace: &[KernelRecord]) -> String {
     let mut out = String::from("name,flops,bytes_read,bytes_written,wall_us,modeled_us\n");
     for r in trace {
         out.push_str(&format!(
             "{},{},{},{},{:.3},{:.3}\n",
-            r.name,
+            csv_field(&r.name),
             r.cost.flops,
             r.cost.bytes_read,
             r.cost.bytes_written,
@@ -138,15 +149,14 @@ pub fn trace_to_csv(trace: &[KernelRecord]) -> String {
 
 /// Serializes a trace as JSON lines (one kernel record per line), suitable
 /// for `jq`-style processing. Kernel names in this workspace contain no
-/// characters requiring JSON escaping, but quotes/backslashes are escaped
-/// defensively anyway.
+/// characters requiring JSON escaping, but quotes, backslashes, and
+/// control characters are escaped defensively anyway.
 pub fn trace_to_jsonl(trace: &[KernelRecord]) -> String {
     let mut out = String::new();
     for r in trace {
-        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
         out.push_str(&format!(
             "{{\"name\":\"{}\",\"flops\":{},\"bytes_read\":{},\"bytes_written\":{},\"wall_us\":{:.3},\"modeled_us\":{:.3}}}\n",
-            name,
+            bt_obs::profile::json_escape(&r.name),
             r.cost.flops,
             r.cost.bytes_read,
             r.cost.bytes_written,
@@ -247,5 +257,111 @@ mod tests {
         dev.launch(KernelSpec::new("weird\"name"), || ());
         let jsonl = trace_to_jsonl(&dev.trace());
         assert!(jsonl.contains("weird\\\"name"));
+    }
+
+    /// Minimal RFC 4180 parser for the round-trip tests: splits one CSV
+    /// line into fields, honoring quoted fields with doubled quotes.
+    fn parse_csv_line(line: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' if cur.is_empty() => quoted = true,
+                ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+
+    #[test]
+    fn csv_round_trips_field_values() {
+        let dev = sample_device();
+        let trace = dev.trace();
+        let csv = trace_to_csv(&trace);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), trace.len() + 1);
+        for (rec, line) in trace.iter().zip(&lines[1..]) {
+            let fields = parse_csv_line(line);
+            assert_eq!(fields.len(), 6);
+            assert_eq!(fields[0], rec.name);
+            assert_eq!(fields[1].parse::<u64>().unwrap(), rec.cost.flops);
+            assert_eq!(fields[2].parse::<u64>().unwrap(), rec.cost.bytes_read);
+            assert_eq!(fields[3].parse::<u64>().unwrap(), rec.cost.bytes_written);
+            let wall_us: f64 = fields[4].parse().unwrap();
+            assert!((wall_us - rec.wall.as_secs_f64() * 1e6).abs() < 1e-3);
+            let modeled_us: f64 = fields[5].parse().unwrap();
+            assert!((modeled_us - rec.modeled * 1e6).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn csv_quotes_hostile_names() {
+        let dev = Device::with_model(CostModel::unit());
+        dev.launch(KernelSpec::new("comma,name").flops(1), || ());
+        dev.launch(KernelSpec::new("quote\"name").flops(2), || ());
+        dev.launch(KernelSpec::new("plain.name").flops(3), || ());
+        let csv = trace_to_csv(&dev.trace());
+        let lines: Vec<&str> = csv.lines().collect();
+        // A comma inside a name must not create an extra column.
+        let f0 = parse_csv_line(lines[1]);
+        assert_eq!(f0.len(), 6);
+        assert_eq!(f0[0], "comma,name");
+        let f1 = parse_csv_line(lines[2]);
+        assert_eq!(f1[0], "quote\"name");
+        assert!(lines[2].starts_with("\"quote\"\"name\""));
+        // Unquoted plain names stay unquoted.
+        assert!(lines[3].starts_with("plain.name,"));
+    }
+
+    /// Minimal JSON string unescape for the round-trip test.
+    fn json_unescape(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).unwrap()).unwrap());
+                }
+                Some(other) => out.push(other),
+                None => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn jsonl_round_trips_hostile_names() {
+        let dev = Device::with_model(CostModel::unit());
+        let hostile = "a\"b\\c\nd\te\u{1}f";
+        dev.launch(KernelSpec::new(hostile).flops(7), || ());
+        let jsonl = trace_to_jsonl(&dev.trace());
+        let line = jsonl.lines().next().unwrap();
+        // The line must stay a single line (control chars escaped)...
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(line.contains("\\u0001"));
+        // ...and the name must unescape back to the original.
+        let start = line.find("\"name\":\"").unwrap() + 8;
+        let end = line[start..].find("\",\"flops\"").unwrap() + start;
+        assert_eq!(json_unescape(&line[start..end]), hostile);
     }
 }

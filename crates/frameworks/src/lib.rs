@@ -30,6 +30,7 @@ pub mod calibration;
 mod framework;
 pub mod grouping;
 pub mod pipeline;
+pub mod profiled;
 pub mod serving;
 
 pub use calibration::feature_matrix;

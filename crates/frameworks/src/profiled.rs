@@ -1,0 +1,273 @@
+//! Instrumented serving loop: the discrete-event server of
+//! [`crate::serving::simulate_server`], but driving **real** framework
+//! forwards and reporting every stage to `bt-obs`.
+//!
+//! Per batch it records a `serving.batch` span wrapping three child spans —
+//! `serving.batch.pack` (host-side batch assembly + padding),
+//! `serving.batch.forward` (the framework forward), `serving.batch.unpack`
+//! (per-request extraction from the padded output) — plus the batch
+//! occupancy and per-request queue-wait histograms. Failed forwards no
+//! longer drop request timing on the floor: they record a terminal
+//! `serving.request.error` span and an error counter, and the affected
+//! requests still carry queue-wait and time-to-failure latency in the
+//! report.
+//!
+//! Simulation semantics match `simulate_server`: the clock advances by the
+//! device's *modeled* time delta of the batch forward (single-GPU
+//! roofline), while measured wall time lands in the telemetry spans — the
+//! same modeled/measured split the rest of the workspace uses.
+
+use crate::framework::SimFramework;
+use crate::serving::TimedRequest;
+use bt_device::Device;
+use bt_tensor::Tensor;
+use bt_varlen::BatchMask;
+
+/// Occupancy (requests per formed batch) — exact percentiles up to 255.
+static OCCUPANCY: bt_obs::Histogram = bt_obs::Histogram::new("serving.batch.occupancy");
+/// Per-request queue wait in simulated microseconds.
+static QUEUE_WAIT_US: bt_obs::Histogram = bt_obs::Histogram::new("serving.queue_wait_us");
+/// Requests admitted to batches.
+static REQUESTS: bt_obs::Counter = bt_obs::Counter::new("serving.requests");
+/// Batches formed.
+static BATCHES: bt_obs::Counter = bt_obs::Counter::new("serving.batches");
+/// Requests whose batch forward failed.
+static ERRORS: bt_obs::Counter = bt_obs::Counter::new("serving.request.errors");
+
+/// Outcome of one served request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServedRequest {
+    /// Caller-assigned request id.
+    pub id: usize,
+    /// Token count.
+    pub len: usize,
+    /// Seconds spent queued before its batch started (simulated clock).
+    pub queue_wait: f64,
+    /// Completion (or failure) minus arrival, in simulated seconds.
+    pub latency: f64,
+    /// False when the batch forward returned an error.
+    pub ok: bool,
+}
+
+/// Everything `serve_profiled` observed, indexed by request id.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-request outcomes (`requests[id].id == id`).
+    pub requests: Vec<ServedRequest>,
+    /// Batches formed.
+    pub batches: usize,
+    /// Requests that failed (their `ok` flag is false).
+    pub errors: usize,
+}
+
+/// Runs the instrumented serving loop: batches `requests` exactly like
+/// [`crate::serving::simulate_server`] (capacity `max_batch`, batching
+/// window `max_wait`), executes each batch as a real `fw.forward` on
+/// `device`, and reports spans/counters/histograms to `bt-obs`.
+///
+/// Request inputs are synthesized (`seed`-deterministic random embeddings,
+/// padding zeroed) — the serving substrate cares about shapes and timing,
+/// not token values.
+///
+/// # Panics
+/// Panics if `max_batch == 0` or request ids are not a permutation of
+/// `0..requests.len()`.
+pub fn serve_profiled(
+    fw: &SimFramework,
+    device: &Device,
+    requests: &[TimedRequest],
+    max_batch: usize,
+    max_wait: f64,
+    seed: u64,
+) -> ServeReport {
+    assert!(max_batch > 0, "max_batch must be positive");
+    let hidden = fw.model.config.hidden();
+    let mut order: Vec<TimedRequest> = requests.to_vec();
+    order.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
+    let mut report = ServeReport {
+        requests: (0..order.len())
+            .map(|id| ServedRequest {
+                id,
+                len: 0,
+                queue_wait: 0.0,
+                latency: 0.0,
+                ok: false,
+            })
+            .collect(),
+        batches: 0,
+        errors: 0,
+    };
+    let mut clock = 0.0f64;
+    let mut next = 0usize;
+    while next < order.len() {
+        let t0 = clock.max(order[next].arrival);
+        let deadline = t0 + max_wait;
+        let mut batch = Vec::new();
+        while next < order.len() && batch.len() < max_batch && order[next].arrival <= deadline {
+            batch.push(order[next]);
+            next += 1;
+        }
+        let start = batch.iter().map(|r| r.arrival).fold(t0, f64::max);
+        let _batch_span = bt_obs::span!("serving.batch");
+        BATCHES.incr();
+        REQUESTS.add(batch.len() as u64);
+        OCCUPANCY.record(batch.len() as u64);
+        for r in &batch {
+            QUEUE_WAIT_US.record(((start - r.arrival) * 1e6) as u64);
+        }
+
+        // Pack: assemble the padded [batch, max_seq, hidden] input.
+        let (input, mask) = {
+            let _span = bt_obs::span!("serving.batch.pack");
+            let lens: Vec<usize> = batch.iter().map(|r| r.len.max(1)).collect();
+            let max = lens.iter().copied().max().unwrap_or(1);
+            let mask = BatchMask::from_lens(lens, max).expect("bounded lengths");
+            let mut input = Tensor::randn([mask.batch(), max, hidden], seed ^ report.batches as u64);
+            for (b, &len) in mask.seq_lens().iter().enumerate() {
+                for s in len..max {
+                    for h in 0..hidden {
+                        input.set(&[b, s, h], 0.0).expect("within shape");
+                    }
+                }
+            }
+            (input, mask)
+        };
+
+        let modeled_before = device.modeled_total();
+        let result = {
+            let _span = bt_obs::span!("serving.batch.forward");
+            fw.forward(device, &input, &mask)
+        };
+        match result {
+            Ok(out) => {
+                // Unpack: slice each request's valid rows out of the
+                // padded output (what a real server would send back).
+                {
+                    let _span = bt_obs::span!("serving.batch.unpack");
+                    let o = out.as_slice();
+                    let seq = mask.max_seq_len();
+                    for b in 0..batch.len() {
+                        let rows = mask.seq_lens()[b];
+                        let _reply: Vec<f32> = o[b * seq * hidden..b * seq * hidden + rows * hidden].to_vec();
+                    }
+                }
+                let done = start + (device.modeled_total() - modeled_before);
+                for r in &batch {
+                    report.requests[r.id] = ServedRequest {
+                        id: r.id,
+                        len: r.len,
+                        queue_wait: start - r.arrival,
+                        latency: done - r.arrival,
+                        ok: true,
+                    };
+                }
+                clock = done;
+            }
+            Err(_) => {
+                // Terminal error: the requests still appear in the profile
+                // with their queue wait and time-to-failure latency.
+                let _span = bt_obs::span!("serving.request.error");
+                ERRORS.add(batch.len() as u64);
+                report.errors += batch.len();
+                for r in &batch {
+                    report.requests[r.id] = ServedRequest {
+                        id: r.id,
+                        len: r.len,
+                        queue_wait: start - r.arrival,
+                        latency: start - r.arrival,
+                        ok: false,
+                    };
+                }
+                clock = start;
+            }
+        }
+        report.batches += 1;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::FrameworkKind;
+    use bt_core::config::BertConfig;
+    use bt_core::encoder::BertModel;
+    use bt_device::CostModel;
+
+    fn tiny_framework(kind: FrameworkKind) -> SimFramework {
+        SimFramework {
+            kind,
+            model: BertModel::new_random(BertConfig::tiny(), 1, 42),
+        }
+    }
+
+    fn arrivals(lens: &[usize]) -> Vec<TimedRequest> {
+        lens.iter()
+            .enumerate()
+            .map(|(id, &len)| TimedRequest {
+                id,
+                len,
+                arrival: id as f64 * 1e-4,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_every_request_with_latency() {
+        let fw = tiny_framework(FrameworkKind::ByteTransformer);
+        let device = fw.device(CostModel::unit());
+        let report = serve_profiled(&fw, &device, &arrivals(&[5, 9, 2, 7]), 2, 0.0, 1);
+        assert_eq!(report.requests.len(), 4);
+        assert_eq!(report.errors, 0);
+        assert!(report.batches >= 2);
+        for (id, r) in report.requests.iter().enumerate() {
+            assert_eq!(r.id, id);
+            assert!(r.ok, "request {id} must succeed");
+            assert!(r.latency >= r.queue_wait);
+            assert!(r.latency > 0.0);
+        }
+    }
+
+    #[test]
+    fn failed_forward_keeps_request_timing() {
+        // TurboTransformer rejects max_seq_len > 512: the whole batch
+        // fails, but its requests must still carry timing + an error flag.
+        let fw = tiny_framework(FrameworkKind::TurboTransformer);
+        let device = fw.device(CostModel::unit());
+        if bt_obs::compiled() {
+            bt_obs::set_enabled(true);
+        }
+        let errors_before = bt_obs::drain()
+            .counters
+            .iter()
+            .find(|(n, _)| n == "serving.request.errors")
+            .map_or(0, |(_, v)| *v);
+        let report = serve_profiled(&fw, &device, &arrivals(&[600, 550]), 2, 1.0, 1);
+        assert_eq!(report.errors, 2);
+        for r in &report.requests {
+            assert!(!r.ok);
+            assert!(r.latency >= 0.0 && r.queue_wait >= 0.0);
+        }
+        if bt_obs::compiled() {
+            // Counter is cumulative: the failed batch must have added 2.
+            let errors_after = bt_obs::drain()
+                .counters
+                .iter()
+                .find(|(n, _)| n == "serving.request.errors")
+                .map_or(0, |(_, v)| *v);
+            assert!(errors_after >= errors_before + 2, "error counter must record the batch");
+        }
+    }
+
+    #[test]
+    fn mixed_outcomes_cover_all_requests() {
+        let fw = tiny_framework(FrameworkKind::TurboTransformer);
+        let device = fw.device(CostModel::unit());
+        // Short request succeeds, long one fails; both must be reported.
+        let report = serve_profiled(&fw, &device, &arrivals(&[30, 600]), 1, 0.0, 1);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.errors, 1);
+        assert!(report.requests[0].ok);
+        assert!(!report.requests[1].ok);
+    }
+}

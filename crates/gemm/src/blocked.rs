@@ -162,6 +162,9 @@ fn sgemm_inner(
     // One kernel per launch: the geometry below must stay consistent even
     // if the process-wide selection changes mid-flight.
     let kern = active_kernel();
+    if bt_obs::enabled() {
+        bt_obs::counter(&format!("gemm.blocked.launches.{}", kern.isa.name())).incr();
+    }
     let (mr, nr) = (kern.mr, kern.nr);
     debug_assert_eq!(PANEL_ROWS % mr, 0, "row panels must hold whole micropanels");
 

@@ -269,6 +269,9 @@ fn run_grouped(
     // One kernel per launch, shared by every CTA: tile geometry must stay
     // consistent even if the process-wide selection changes mid-flight.
     let kern = active_kernel();
+    if bt_obs::enabled() {
+        bt_obs::counter(&format!("gemm.grouped.tiles.{}", kern.isa.name())).add(total);
+    }
     let batch_width = match config.scheduler {
         Scheduler::PerTile => 1,
         Scheduler::WarpPrefetch => PREFETCH_WIDTH,
@@ -280,6 +283,7 @@ fn run_grouped(
         // already. Grows are reported as this launch's delta so the stat
         // stays per-launch even though the arena is not.
         with_worker_scratch(|scratch| {
+            let _span = bt_obs::span!("gemm.grouped.cta");
             let grows_before = scratch.grow_count();
             let mut cursor = 0usize;
             let mut local_visits = 0u64;
@@ -304,15 +308,33 @@ fn run_grouped(
             }
             visits.fetch_add(local_visits, Ordering::Relaxed);
             grows.fetch_add(scratch.grow_count() - grows_before, Ordering::Relaxed);
+            SCRATCH_HWM.record_max(scratch.high_water_elems() as u64);
         });
     });
 
-    GroupedStats {
+    let stats = GroupedStats {
         tiles: total,
         scheduler_visits: visits.load(Ordering::Relaxed),
         scratch_grows: grows.load(Ordering::Relaxed),
-    }
+    };
+    SCHED_VISITS.add(stats.scheduler_visits);
+    SCRATCH_GROWS.add(stats.scratch_grows);
+    stats
 }
+
+/// Accumulated nanoseconds spent packing micropanels in [`compute_tile`]
+/// (per-tile spans would flood the rings; a timed counter gives the same
+/// pack-vs-compute split at a fraction of the cost).
+static PACK_NS: bt_obs::Counter = bt_obs::Counter::new("gemm.grouped.pack_ns");
+/// Accumulated nanoseconds in the microkernel mainloop of [`compute_tile`].
+static COMPUTE_NS: bt_obs::Counter = bt_obs::Counter::new("gemm.grouped.compute_ns");
+/// High-water mark of any worker's scratch arena, in f32 elements.
+static SCRATCH_HWM: bt_obs::Counter = bt_obs::Counter::new("gemm.scratch.high_water_elems");
+/// Total scratch-arena grow events across grouped launches.
+static SCRATCH_GROWS: bt_obs::Counter = bt_obs::Counter::new("gemm.scratch.grows");
+/// Total tile-scheduler visits across grouped launches (warp-prefetch
+/// batching makes this `≈ tiles / PREFETCH_WIDTH`).
+static SCHED_VISITS: bt_obs::Counter = bt_obs::Counter::new("gemm.grouped.scheduler_visits");
 
 /// Runs a grouped GEMM: every sub-problem `C_i = alpha_i * A_i·op(B_i)`,
 /// tiles distributed across `config.num_ctas` virtual CTAs by the selected
@@ -424,52 +446,57 @@ fn compute_tile(
     let n_panels = cols.div_ceil(nr);
     let (a_pack, b_pack, tile, row_buf) = scratch.panels(m_panels * k * mr, n_panels * k * nr, rows * cols, k);
 
-    for ib in 0..m_panels {
-        let r = mr.min(rows - ib * mr);
-        let dst = &mut a_pack[ib * k * mr..(ib + 1) * k * mr];
-        for i in 0..r {
-            let g_row = row0 + ib * mr + i;
-            // Stage the contiguous row fragment, run the mainloop fusion
-            // hook on it (Algorithm III.2), then interleave k-major.
-            row_buf.copy_from_slice(&p.a[g_row * k..g_row * k + k]);
-            a_transform.transform(asg.problem, g_row, 0, row_buf);
-            for (kp, &v) in row_buf.iter().enumerate() {
-                dst[kp * mr + i] = v;
-            }
-        }
-        // Scratch is reused across tiles: stale pad lanes must be re-zeroed.
-        for i in r..mr {
-            for kp in 0..k {
-                dst[kp * mr + i] = 0.0;
-            }
-        }
-    }
-    for jb in 0..n_panels {
-        pack_b_panel(
-            &mut b_pack[jb * k * nr..(jb + 1) * k * nr],
-            p.b,
-            p.transb,
-            col0 + jb * nr,
-            nr.min(cols - jb * nr),
-            p.n,
-            k,
-            nr,
-        );
-    }
-
-    for jb in 0..n_panels {
-        let b_panel = &b_pack[jb * k * nr..(jb + 1) * k * nr];
-        let cseg = nr.min(cols - jb * nr);
+    bt_obs::timed(&PACK_NS, || {
         for ib in 0..m_panels {
             let r = mr.min(rows - ib * mr);
-            let mut acc = [0.0f32; MR_MAX * NR_MAX];
-            kern.run(k, &a_pack[ib * k * mr..(ib + 1) * k * mr], b_panel, &mut acc);
+            let dst = &mut a_pack[ib * k * mr..(ib + 1) * k * mr];
             for i in 0..r {
-                let trow = ib * mr + i;
-                tile[trow * cols + jb * nr..trow * cols + jb * nr + cseg].copy_from_slice(&acc[i * nr..i * nr + cseg]);
+                let g_row = row0 + ib * mr + i;
+                // Stage the contiguous row fragment, run the mainloop fusion
+                // hook on it (Algorithm III.2), then interleave k-major.
+                row_buf.copy_from_slice(&p.a[g_row * k..g_row * k + k]);
+                a_transform.transform(asg.problem, g_row, 0, row_buf);
+                for (kp, &v) in row_buf.iter().enumerate() {
+                    dst[kp * mr + i] = v;
+                }
+            }
+            // Scratch is reused across tiles: stale pad lanes must be re-zeroed.
+            for i in r..mr {
+                for kp in 0..k {
+                    dst[kp * mr + i] = 0.0;
+                }
             }
         }
-    }
+        for jb in 0..n_panels {
+            pack_b_panel(
+                &mut b_pack[jb * k * nr..(jb + 1) * k * nr],
+                p.b,
+                p.transb,
+                col0 + jb * nr,
+                nr.min(cols - jb * nr),
+                p.n,
+                k,
+                nr,
+            );
+        }
+    });
+
+    bt_obs::timed(&COMPUTE_NS, || {
+        for jb in 0..n_panels {
+            let b_panel = &b_pack[jb * k * nr..(jb + 1) * k * nr];
+            let cseg = nr.min(cols - jb * nr);
+            for ib in 0..m_panels {
+                let r = mr.min(rows - ib * mr);
+                let mut acc = [0.0f32; MR_MAX * NR_MAX];
+                kern.run(k, &a_pack[ib * k * mr..(ib + 1) * k * mr], b_panel, &mut acc);
+                for i in 0..r {
+                    let trow = ib * mr + i;
+                    tile[trow * cols + jb * nr..trow * cols + jb * nr + cseg]
+                        .copy_from_slice(&acc[i * nr..i * nr + cseg]);
+                }
+            }
+        }
+    });
 
     if p.alpha != 1.0 {
         for v in tile.iter_mut() {

@@ -145,6 +145,13 @@ pub fn resolve_request(request: IsaRequest, available: &[Isa]) -> (Isa, Option<S
     }
 }
 
+/// Emits a degraded-dispatch diagnostic through [`bt_obs::warn_once`]: it
+/// prints at most once per process and lands in the captured warning log,
+/// so tests assert on it instead of scraping stderr.
+fn emit_warning(w: &str) {
+    bt_obs::warn_once("bt-gemm.isa", &format!("bt-gemm: {w}"));
+}
+
 static SCALAR_KERNEL: MicroKernel = MicroKernel::new(
     Isa::Scalar,
     SCALAR_MR,
@@ -188,7 +195,7 @@ fn init_from_env() {
         };
         let (isa, warning) = resolve_request(request, &available_isas());
         if let Some(w) = warning {
-            eprintln!("bt-gemm: {w}");
+            emit_warning(&w);
         }
         // `store` may race a concurrent `set_active_isa`; either value is a
         // valid selection and the `Once` keeps the env consulted only once.
@@ -321,5 +328,22 @@ mod tests {
     fn active_kernel_is_available() {
         let k = active_kernel();
         assert!(available_isas().contains(&k.isa));
+    }
+
+    #[test]
+    fn unavailable_tier_warning_is_captured_once() {
+        // Emit the same degraded-dispatch warning twice; the captured log
+        // must hold exactly one entry for the key (warn_once dedupes).
+        let (_, warning) = resolve_request(IsaRequest::Exact(Isa::Avx512), &[Isa::Scalar]);
+        let w = warning.expect("unavailable tier must warn");
+        assert!(w.contains("avx512") && w.contains("scalar"));
+        emit_warning(&w);
+        emit_warning(&w);
+        let captured: Vec<_> = bt_obs::warnings()
+            .into_iter()
+            .filter(|(k, _)| k == "bt-gemm.isa")
+            .collect();
+        assert_eq!(captured.len(), 1, "warn_once must dedupe by key");
+        assert!(captured[0].1.contains("bt-gemm:"));
     }
 }

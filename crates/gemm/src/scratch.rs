@@ -64,6 +64,12 @@ impl Scratch {
         self.grows
     }
 
+    /// Total f32 elements currently held across all buffers — the arena's
+    /// high-water mark (buffers only ever grow), reported to telemetry.
+    pub(crate) fn high_water_elems(&self) -> usize {
+        self.a_pack.len() + self.b_pack.len() + self.tile.len() + self.row_buf.len()
+    }
+
     /// Returns just the `A`-micropanel buffer at the requested length (the
     /// blocked-GEMM row-panel tasks pack only `A` per task; `B` is packed
     /// once per launch and shared).

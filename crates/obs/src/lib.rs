@@ -1,0 +1,62 @@
+//! `bt-obs` — lock-free runtime telemetry for the ByteTransformer runtime.
+//!
+//! Three primitives, all cheap enough for hot paths:
+//!
+//! * **Spans** — `span!("gemm.grouped.cta")` pushes an enter event into a
+//!   thread-local ring buffer and the guard's `Drop` pushes the matching
+//!   exit; each event carries an `Instant`-based nanosecond timestamp plus a
+//!   global monotonic sequence number so a merged profile is totally
+//!   ordered even when timestamps tie.
+//! * **Counters** — `static N: Counter = Counter::new("pool.launches")`
+//!   bumped with relaxed atomics; `counter("name")` interns dynamic names.
+//! * **Histograms** — fixed 312-bucket (256 linear + 56 log2) atomic
+//!   histograms with p50/p95/p99 snapshots, for batch occupancy and
+//!   queue-wait distributions.
+//!
+//! [`drain`] empties every thread's ring into a time-ordered
+//! [`profile::Profile`] which renders as a hierarchical span tree,
+//! `chrome://tracing` JSON, or a flat Prometheus-style text dump.
+//!
+//! Recording is gated at runtime by the `BYTE_OBS` environment variable
+//! (`BYTE_OBS=off` disables it; [`set_enabled`] overrides programmatically)
+//! and at compile time by the `obs-off` cargo feature, which swaps the
+//! whole layer for inline no-ops — same API, zero cost (asserted by the
+//! `obs_overhead` bench). [`warn_once`] works in **both** modes so
+//! diagnostics never vanish.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profile;
+mod warn;
+
+pub use warn::{reset_warnings, warn_once, warnings};
+
+#[cfg(not(feature = "obs-off"))]
+mod record;
+#[cfg(not(feature = "obs-off"))]
+pub use record::{counter, drain, enabled, set_enabled, span_dyn, timed, Counter, Histogram, LabelId, SpanGuard};
+
+#[cfg(feature = "obs-off")]
+mod noop;
+#[cfg(feature = "obs-off")]
+pub use noop::{counter, drain, enabled, set_enabled, span_dyn, timed, Counter, Histogram, LabelId, SpanGuard};
+
+/// True when the recording layer is compiled in (i.e. the `obs-off` feature
+/// is *not* active). Tests that assert on recorded telemetry early-return
+/// when this is false so the full suite passes under `obs-off`.
+pub const fn compiled() -> bool {
+    cfg!(not(feature = "obs-off"))
+}
+
+/// Opens a span named by a string literal; the returned guard closes it on
+/// drop. The label is interned once per call site via a hidden `static`, so
+/// the steady-state cost is one atomic load plus two ring pushes (and a
+/// single branch when recording is disabled).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static __BT_OBS_LABEL: $crate::LabelId = $crate::LabelId::new($name);
+        $crate::SpanGuard::enter(&__BT_OBS_LABEL)
+    }};
+}

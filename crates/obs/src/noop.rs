@@ -1,0 +1,147 @@
+//! Zero-cost mirror of the recording API, active under the `obs-off`
+//! feature. Every type and function keeps the live layer's signature so
+//! dependents compile unchanged; everything inlines to nothing.
+
+use crate::profile::{HistogramSnapshot, Profile};
+
+/// A per-call-site span label (no-op build: carries nothing).
+pub struct LabelId {
+    _name: &'static str,
+}
+
+impl LabelId {
+    /// A label for `name` (unused in the no-op build).
+    pub const fn new(name: &'static str) -> Self {
+        LabelId { _name: name }
+    }
+}
+
+/// RAII span guard (no-op build: zero-sized, `Drop` does nothing).
+pub struct SpanGuard {
+    _priv: (),
+}
+
+impl SpanGuard {
+    /// Opens nothing.
+    #[inline(always)]
+    pub fn enter(_label: &'static LabelId) -> SpanGuard {
+        SpanGuard { _priv: () }
+    }
+
+    /// An inactive guard.
+    #[inline(always)]
+    pub fn none() -> SpanGuard {
+        SpanGuard { _priv: () }
+    }
+}
+
+/// Opens nothing (dynamic-name variant).
+#[inline(always)]
+pub fn span_dyn(_name: &str) -> SpanGuard {
+    SpanGuard { _priv: () }
+}
+
+/// A named counter (no-op build: stores nothing, methods inline away).
+pub struct Counter {
+    _name: &'static str,
+}
+
+impl Counter {
+    /// A counter named `name` (unused in the no-op build).
+    pub const fn new(name: &'static str) -> Self {
+        Counter { _name: name }
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&'static self, _n: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn incr(&'static self) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record_max(&'static self, _v: u64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Returns a shared inert counter regardless of `name`.
+#[inline(always)]
+pub fn counter(_name: &str) -> &'static Counter {
+    static INERT: Counter = Counter::new("noop");
+    &INERT
+}
+
+/// Runs `f` untimed.
+#[inline(always)]
+pub fn timed<R>(_c: &'static Counter, f: impl FnOnce() -> R) -> R {
+    f()
+}
+
+/// A fixed-bucket histogram (no-op build: stores nothing).
+pub struct Histogram {
+    _name: &'static str,
+}
+
+impl Histogram {
+    /// A histogram named `name` (unused in the no-op build).
+    pub const fn new(name: &'static str) -> Self {
+        Histogram { _name: name }
+    }
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn record(&'static self, _v: u64) {}
+
+    /// Always empty.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+}
+
+/// Always false in the no-op build.
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Accepted and ignored in the no-op build.
+#[inline(always)]
+pub fn set_enabled(_on: bool) {}
+
+/// Always returns an empty [`Profile`] in the no-op build.
+pub fn drain() -> Profile {
+    Profile::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_api_accepts_all_calls() {
+        let _g = crate::span!("noop.span");
+        let _d = span_dyn("noop.dyn");
+        static C: Counter = Counter::new("noop.counter");
+        C.add(7);
+        C.incr();
+        C.record_max(99);
+        assert_eq!(C.get(), 0);
+        counter("noop.dynamic").add(3);
+        static H: Histogram = Histogram::new("noop.hist");
+        H.record(12);
+        assert_eq!(H.snapshot().count, 0);
+        assert_eq!(timed(&C, || 5), 5);
+        set_enabled(true);
+        assert!(!enabled());
+        let p = drain();
+        assert!(p.events.is_empty() && p.counters.is_empty());
+        assert!(!crate::compiled());
+    }
+}

@@ -1,0 +1,714 @@
+//! The live recording layer: thread-local span rings, label interning,
+//! counter/histogram registries, and the drain that merges everything into
+//! a [`Profile`].
+//!
+//! Concurrency model: each ring is single-producer (its owning thread)
+//! single-consumer (the drainer, serialized by a global lock). The writer
+//! publishes slots with a `Release` store of `head`; the drainer `Acquire`-
+//! loads `head`, reads the slots behind it, and advances `tail`. A full
+//! ring drops new events (counted) rather than blocking or overwriting.
+
+use crate::profile::{EventKind, HistogramSnapshot, Profile, SpanEvent};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{LazyLock, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Slots per thread-local ring (power of two; ~1.5 MiB per thread).
+const RING_CAP: usize = 1 << 14;
+
+const KIND_ENTER: u64 = 0;
+const KIND_EXIT: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// enable switch
+// ---------------------------------------------------------------------------
+
+const EN_UNINIT: u8 = 0;
+const EN_ON: u8 = 1;
+const EN_OFF: u8 = 2;
+
+static ENABLED: AtomicU8 = AtomicU8::new(EN_UNINIT);
+
+/// True when recording is active. First call reads `BYTE_OBS` (values
+/// `0`/`off`/`false`/`no` disable recording; anything else — including
+/// unset — enables it).
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        EN_ON => true,
+        EN_OFF => false,
+        _ => init_enabled(),
+    }
+}
+
+#[cold]
+fn init_enabled() -> bool {
+    let on = match std::env::var("BYTE_OBS") {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false" | "no"),
+        Err(_) => true,
+    };
+    let want = if on { EN_ON } else { EN_OFF };
+    // Racing initializers agree (same env), and set_enabled may win — reread.
+    let _ = ENABLED.compare_exchange(EN_UNINIT, want, Ordering::Relaxed, Ordering::Relaxed);
+    ENABLED.load(Ordering::Relaxed) == EN_ON
+}
+
+/// Programmatically force recording on or off, overriding `BYTE_OBS`.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { EN_ON } else { EN_OFF }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// clock + sequence
+// ---------------------------------------------------------------------------
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+#[inline]
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------------
+// label interning
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct LabelTable {
+    /// Index `id - 1` → name (id 0 means "unset / span inactive").
+    names: Vec<&'static str>,
+    by_name: HashMap<&'static str, u32>,
+}
+
+static LABELS: LazyLock<Mutex<LabelTable>> = LazyLock::new(Default::default);
+
+fn intern(name: &str) -> u32 {
+    let mut t = LABELS.lock().expect("label table poisoned");
+    if let Some(&id) = t.by_name.get(name) {
+        return id;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let id = (t.names.len() + 1) as u32;
+    t.names.push(leaked);
+    t.by_name.insert(leaked, id);
+    id
+}
+
+fn label_names() -> Vec<&'static str> {
+    LABELS.lock().expect("label table poisoned").names.clone()
+}
+
+/// A per-call-site span label, interned on first use. Declared by the
+/// [`span!`](crate::span!) macro; user code rarely constructs one directly.
+pub struct LabelId {
+    name: &'static str,
+    id: AtomicU32,
+}
+
+impl LabelId {
+    /// A label for `name`, not yet interned.
+    pub const fn new(name: &'static str) -> Self {
+        LabelId {
+            name,
+            id: AtomicU32::new(0),
+        }
+    }
+
+    fn resolve(&self) -> u32 {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let id = intern(self.name);
+        self.id.store(id, Ordering::Relaxed);
+        id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread-local rings
+// ---------------------------------------------------------------------------
+
+struct Slot {
+    /// `label_id << 1 | kind`.
+    packed: AtomicU64,
+    t_ns: AtomicU64,
+    seq: AtomicU64,
+}
+
+struct Ring {
+    slots: Vec<Slot>,
+    /// Writer cursor (monotonic, not wrapped); published with `Release`.
+    head: AtomicUsize,
+    /// Reader cursor; only advanced under the drain lock.
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+    thread: usize,
+    name: String,
+}
+
+impl Ring {
+    fn push(&self, kind: u64, label: u32) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        if head - tail >= RING_CAP {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[head & (RING_CAP - 1)];
+        slot.packed.store((label as u64) << 1 | kind, Ordering::Relaxed);
+        slot.t_ns.store(now_ns(), Ordering::Relaxed);
+        slot.seq.store(SEQ.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        self.head.store(head + 1, Ordering::Release);
+    }
+}
+
+static RINGS: Mutex<Vec<&'static Ring>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static MY_RING: Cell<Option<&'static Ring>> = const { Cell::new(None) };
+}
+
+#[cold]
+fn make_ring() -> &'static Ring {
+    let mut rings = RINGS.lock().expect("ring registry poisoned");
+    let thread = rings.len();
+    let name = std::thread::current()
+        .name()
+        .map(|n| n.to_string())
+        .unwrap_or_else(|| format!("thread-{thread}"));
+    let ring: &'static Ring = Box::leak(Box::new(Ring {
+        slots: (0..RING_CAP)
+            .map(|_| Slot {
+                packed: AtomicU64::new(0),
+                t_ns: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+            })
+            .collect(),
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        dropped: AtomicU64::new(0),
+        thread,
+        name,
+    }));
+    rings.push(ring);
+    ring
+}
+
+#[inline]
+fn push_event(kind: u64, label: u32) {
+    MY_RING.with(|cell| {
+        let ring = match cell.get() {
+            Some(r) => r,
+            None => {
+                let r = make_ring();
+                cell.set(Some(r));
+                r
+            }
+        };
+        ring.push(kind, label);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// spans
+// ---------------------------------------------------------------------------
+
+/// RAII guard for an open span; `Drop` records the exit event.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct SpanGuard {
+    /// Interned label, or 0 when the span is inactive (recording disabled).
+    id: u32,
+}
+
+impl SpanGuard {
+    /// Opens a span for an interned label (the `span!` macro's entry point).
+    #[inline]
+    pub fn enter(label: &'static LabelId) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard { id: 0 };
+        }
+        let id = label.resolve();
+        push_event(KIND_ENTER, id);
+        SpanGuard { id }
+    }
+
+    /// An inactive guard, for conditional instrumentation.
+    #[inline]
+    pub fn none() -> SpanGuard {
+        SpanGuard { id: 0 }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if self.id != 0 {
+            push_event(KIND_EXIT, self.id);
+        }
+    }
+}
+
+/// Opens a span with a runtime-computed name (interned via a global table;
+/// costlier than `span!`, intended for per-kernel names on traced devices).
+pub fn span_dyn(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { id: 0 };
+    }
+    let id = intern(name);
+    push_event(KIND_ENTER, id);
+    SpanGuard { id }
+}
+
+// ---------------------------------------------------------------------------
+// counters
+// ---------------------------------------------------------------------------
+
+/// A named monotonic counter, bumped with relaxed atomics. Declare as a
+/// `static`; it self-registers into the global registry on first touch.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+static COUNTERS: Mutex<Vec<&'static Counter>> = Mutex::new(Vec::new());
+
+impl Counter {
+    /// A counter named `name`, initially zero and unregistered.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    #[cold]
+    fn register(&'static self) {
+        COUNTERS.lock().expect("counter registry poisoned").push(self);
+    }
+
+    #[inline]
+    fn touch(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            self.register();
+        }
+    }
+
+    /// Adds `n` (no-op while recording is disabled).
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if enabled() {
+            self.touch();
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Raises the counter to `v` if `v` is larger (high-water marks).
+    #[inline]
+    pub fn record_max(&'static self, v: u64) {
+        if enabled() {
+            self.touch();
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Interns a runtime-named counter (e.g. per-worker lanes). The counter is
+/// registered at creation and lives forever.
+pub fn counter(name: &str) -> &'static Counter {
+    static DYN: Mutex<Option<HashMap<&'static str, &'static Counter>>> = Mutex::new(None);
+    let mut map = DYN.lock().expect("dynamic counter registry poisoned");
+    let map = map.get_or_insert_with(HashMap::new);
+    if let Some(&c) = map.get(name) {
+        return c;
+    }
+    let leaked_name: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let c: &'static Counter = Box::leak(Box::new(Counter::new(leaked_name)));
+    c.registered.store(true, Ordering::Relaxed);
+    COUNTERS.lock().expect("counter registry poisoned").push(c);
+    map.insert(leaked_name, c);
+    c
+}
+
+/// Times `f` and accumulates the elapsed nanoseconds into `c`. Used where
+/// per-iteration spans would flood the rings (GEMM pack/compute phases).
+#[inline]
+pub fn timed<R>(c: &'static Counter, f: impl FnOnce() -> R) -> R {
+    if enabled() {
+        let start = Instant::now();
+        let out = f();
+        c.add(start.elapsed().as_nanos() as u64);
+        out
+    } else {
+        f()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// histograms
+// ---------------------------------------------------------------------------
+
+/// Linear buckets (exact) below this value; log2 buckets above.
+const HIST_LINEAR: usize = 256;
+/// 256 linear + one bucket per power of two from 2^8 through 2^63.
+const HIST_BUCKETS: usize = HIST_LINEAR + 56;
+
+/// A fixed-bucket atomic histogram: values below 256 are recorded exactly,
+/// larger values land in per-power-of-two buckets (percentiles then report
+/// the bucket's upper bound).
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    registered: AtomicBool,
+}
+
+static HISTOGRAMS: Mutex<Vec<&'static Histogram>> = Mutex::new(Vec::new());
+
+impl Histogram {
+    /// A histogram named `name`, initially empty and unregistered.
+    pub const fn new(name: &'static str) -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            buckets: [ZERO; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < HIST_LINEAR as u64 {
+            v as usize
+        } else {
+            HIST_LINEAR + (63 - v.leading_zeros() as usize) - 8
+        }
+    }
+
+    /// Upper bound of bucket `i` (exact for linear buckets).
+    fn bucket_upper(i: usize) -> u64 {
+        if i < HIST_LINEAR {
+            i as u64
+        } else {
+            let e = i - HIST_LINEAR + 9;
+            if e >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << e) - 1
+            }
+        }
+    }
+
+    /// Records one observation (no-op while recording is disabled).
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if enabled() {
+            if !self.registered.swap(true, Ordering::Relaxed) {
+                HISTOGRAMS.lock().expect("histogram registry poisoned").push(self);
+            }
+            self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time snapshot with p50/p95/p99.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        let pct = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = (q * total as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return Self::bucket_upper(i);
+                }
+            }
+            Self::bucket_upper(HIST_BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count: total,
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// drain
+// ---------------------------------------------------------------------------
+
+/// Drains every thread-local ring into a merged, time-ordered [`Profile`]
+/// and snapshots all registered counters and histograms (counter values are
+/// cumulative — draining does not reset them; ring events are consumed).
+pub fn drain() -> Profile {
+    static DRAIN_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = DRAIN_LOCK.lock().expect("drain lock poisoned");
+
+    let names = label_names();
+    let rings: Vec<&'static Ring> = RINGS.lock().expect("ring registry poisoned").clone();
+
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    let mut threads = Vec::new();
+    for ring in &rings {
+        threads.push(ring.name.clone());
+        let head = ring.head.load(Ordering::Acquire);
+        let tail = ring.tail.load(Ordering::Relaxed);
+        for i in tail..head {
+            let slot = &ring.slots[i & (RING_CAP - 1)];
+            let packed = slot.packed.load(Ordering::Relaxed);
+            let label = (packed >> 1) as usize;
+            let name = names
+                .get(label.wrapping_sub(1))
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!("label-{label}"));
+            events.push(SpanEvent {
+                name,
+                kind: if packed & 1 == KIND_ENTER {
+                    EventKind::Enter
+                } else {
+                    EventKind::Exit
+                },
+                t_ns: slot.t_ns.load(Ordering::Relaxed),
+                seq: slot.seq.load(Ordering::Relaxed),
+                thread: ring.thread,
+            });
+        }
+        ring.tail.store(head, Ordering::Relaxed);
+        dropped += ring.dropped.swap(0, Ordering::Relaxed);
+    }
+    events.sort_by_key(|e| (e.t_ns, e.seq));
+
+    let counters: Vec<(String, u64)> = {
+        let regs = COUNTERS.lock().expect("counter registry poisoned");
+        let mut v: Vec<(String, u64)> = regs.iter().map(|c| (c.name.to_string(), c.get())).collect();
+        v.sort();
+        v
+    };
+    let histograms: Vec<HistogramSnapshot> = {
+        let regs = HISTOGRAMS.lock().expect("histogram registry poisoned");
+        let mut v: Vec<HistogramSnapshot> = regs.iter().map(|h| h.snapshot()).collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    };
+
+    Profile {
+        events,
+        counters,
+        histograms,
+        dropped,
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Drain-based tests share global state; serialize them.
+    fn lock() -> MutexGuard<'static, ()> {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        let _ = drain(); // discard events from earlier tests
+        guard
+    }
+
+    #[test]
+    fn span_macro_records_matched_pair() {
+        let _l = lock();
+        {
+            let _s = crate::span!("test.outer");
+            let _inner = crate::span!("test.inner");
+        }
+        let p = drain();
+        let names: Vec<(&str, EventKind)> = p.events.iter().map(|e| (e.name.as_str(), e.kind)).collect();
+        assert!(names.contains(&("test.outer", EventKind::Enter)));
+        assert!(names.contains(&("test.inner", EventKind::Enter)));
+        assert!(names.contains(&("test.inner", EventKind::Exit)));
+        assert!(names.contains(&("test.outer", EventKind::Exit)));
+        let totals = p.span_totals();
+        assert_eq!(totals["test.outer"].0, 1);
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_sequenced() {
+        let _l = lock();
+        for _ in 0..10 {
+            let _s = crate::span!("test.order");
+        }
+        let p = drain();
+        let evs: Vec<&SpanEvent> = p.events.iter().filter(|e| e.name == "test.order").collect();
+        assert_eq!(evs.len(), 20);
+        for w in evs.windows(2) {
+            assert!((w[0].t_ns, w[0].seq) <= (w[1].t_ns, w[1].seq));
+        }
+    }
+
+    #[test]
+    fn disabled_recording_is_invisible() {
+        let _l = lock();
+        set_enabled(false);
+        {
+            let _s = crate::span!("test.disabled");
+            static C: Counter = Counter::new("test.disabled.counter");
+            C.incr();
+            assert_eq!(C.get(), 0);
+        }
+        set_enabled(true);
+        let p = drain();
+        assert!(p.events.iter().all(|e| e.name != "test.disabled"));
+    }
+
+    #[test]
+    fn counters_register_and_accumulate() {
+        let _l = lock();
+        static C: Counter = Counter::new("test.counter.acc");
+        let before = C.get();
+        C.add(5);
+        C.incr();
+        assert_eq!(C.get(), before + 6);
+        let p = drain();
+        assert!(p.counters.iter().any(|(n, v)| n == "test.counter.acc" && *v >= 6));
+    }
+
+    #[test]
+    fn dynamic_counters_intern_to_one_instance() {
+        let _l = lock();
+        let a = counter("test.dyn.lane0");
+        let b = counter("test.dyn.lane0");
+        assert!(std::ptr::eq(a, b));
+        let before = a.get();
+        a.add(3);
+        assert_eq!(b.get(), before + 3);
+    }
+
+    #[test]
+    fn record_max_is_high_water() {
+        let _l = lock();
+        static HWM: Counter = Counter::new("test.hwm");
+        HWM.record_max(10);
+        HWM.record_max(4);
+        HWM.record_max(12);
+        assert_eq!(HWM.get(), 12);
+    }
+
+    #[test]
+    fn timed_accumulates_nanos() {
+        let _l = lock();
+        static T: Counter = Counter::new("test.timed.ns");
+        let before = T.get();
+        let out = timed(&T, || {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            7
+        });
+        assert_eq!(out, 7);
+        assert!(T.get() - before >= 500_000, "timed() should record >= 0.5ms");
+    }
+
+    #[test]
+    fn histogram_percentiles_exact_in_linear_range() {
+        let _l = lock();
+        static H: Histogram = Histogram::new("test.hist.linear");
+        for v in 1..=100u64 {
+            H.record(v);
+        }
+        let s = H.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert_eq!(s.p99, 99);
+    }
+
+    #[test]
+    fn histogram_log_range_reports_upper_bound() {
+        let _l = lock();
+        static H: Histogram = Histogram::new("test.hist.log");
+        H.record(1000); // bucket [512, 1024) -> upper 1023
+        let s = H.snapshot();
+        assert_eq!(s.p50, 1023);
+        assert!(s.p99 >= 1000);
+    }
+
+    #[test]
+    fn ring_overflow_drops_and_counts() {
+        let _l = lock();
+        // Fill well past capacity without draining.
+        for _ in 0..(RING_CAP) {
+            let _s = crate::span!("test.flood");
+        }
+        let p = drain();
+        assert!(p.dropped > 0, "flooding one ring must report drops");
+        // Drop counter resets after drain.
+        let p2 = drain();
+        assert_eq!(p2.dropped, 0);
+    }
+
+    #[test]
+    fn cross_thread_events_carry_thread_ids() {
+        let _l = lock();
+        std::thread::spawn(|| {
+            let _s = crate::span!("test.cross_thread");
+        })
+        .join()
+        .unwrap();
+        let _s = crate::span!("test.main_thread");
+        drop(_s);
+        let p = drain();
+        let t_a = p
+            .events
+            .iter()
+            .find(|e| e.name == "test.cross_thread")
+            .map(|e| e.thread);
+        let t_b = p.events.iter().find(|e| e.name == "test.main_thread").map(|e| e.thread);
+        assert!(t_a.is_some() && t_b.is_some());
+        assert_ne!(t_a, t_b);
+        assert!(p.threads.len() >= 2);
+    }
+
+    #[test]
+    fn bucket_math_is_monotonic() {
+        let mut last = 0;
+        for v in [0u64, 1, 255, 256, 511, 512, 1 << 20, 1 << 40, u64::MAX] {
+            let b = Histogram::bucket_of(v);
+            assert!(b >= last);
+            assert!(b < HIST_BUCKETS);
+            assert!(Histogram::bucket_upper(b) >= v, "upper bound must cover {v}");
+            last = b;
+        }
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+}

@@ -27,6 +27,17 @@ for isa in scalar auto; do
   BYTE_GEMM_ISA="$isa" cargo test -p bytetransformer --test differential_simd --quiet
 done
 
+echo "==> cargo test --workspace (obs-off)"
+# Telemetry compiled out: the no-op layer must keep the whole workspace
+# building and passing (every bt-obs call site is exercised as dead code).
+cargo test --workspace --quiet --features bt-obs/obs-off
+
+echo "==> obs overhead gate (enabled vs disabled, and compiled out)"
+# The harness exits nonzero if the instrumented empty pool launch exceeds
+# 2x the uninstrumented baseline, or if obs-off spans cost anything.
+BT_BENCH_FAST=1 cargo bench -p bt-bench --bench obs_overhead --quiet
+BT_BENCH_FAST=1 cargo bench -p bt-bench --bench obs_overhead --quiet --features bt-obs/obs-off
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

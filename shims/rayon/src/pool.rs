@@ -130,6 +130,37 @@ struct WorkerState {
     deque: Deque,
 }
 
+/// Per-lane telemetry counters (one set per worker plus one for the
+/// external lane). Interned once at pool construction so the hot paths
+/// never format names; every bump is a single relaxed atomic when
+/// recording is on and one branch when it is off.
+struct LaneObs {
+    launches: &'static bt_obs::Counter,
+    local_pops: &'static bt_obs::Counter,
+    steals: &'static bt_obs::Counter,
+    injector_pops: &'static bt_obs::Counter,
+    parks: &'static bt_obs::Counter,
+    unparks: &'static bt_obs::Counter,
+}
+
+impl LaneObs {
+    fn new(lane: &str) -> Self {
+        LaneObs {
+            launches: bt_obs::counter(&format!("pool.{lane}.launches")),
+            local_pops: bt_obs::counter(&format!("pool.{lane}.local_pops")),
+            steals: bt_obs::counter(&format!("pool.{lane}.steals")),
+            injector_pops: bt_obs::counter(&format!("pool.{lane}.injector_pops")),
+            parks: bt_obs::counter(&format!("pool.{lane}.parks")),
+            unparks: bt_obs::counter(&format!("pool.{lane}.unparks")),
+        }
+    }
+}
+
+/// Lane label for panic accounting (cold path — formats on demand).
+fn lane_name(me: Option<usize>) -> String {
+    me.map_or_else(|| "ext".to_string(), |i| format!("worker{i}"))
+}
+
 /// The global pool: worker deques, the external-launch injector, and the
 /// parking eventcount.
 pub(crate) struct Registry {
@@ -138,6 +169,15 @@ pub(crate) struct Registry {
     sleep: Sleep,
     /// Total parallelism `T` (= workers + the launching lane).
     threads: usize,
+    /// `obs[i]` for worker `i`; `obs[workers.len()]` is the external lane.
+    obs: Box<[LaneObs]>,
+}
+
+impl Registry {
+    /// The [`LaneObs`] for worker `me`, or the external lane when `None`.
+    fn lane_obs(&self, me: Option<usize>) -> &LaneObs {
+        &self.obs[me.unwrap_or(self.workers.len())]
+    }
 }
 
 static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
@@ -147,13 +187,15 @@ static REGISTRY: OnceLock<&'static Registry> = OnceLock::new();
 pub(crate) fn global() -> &'static Registry {
     REGISTRY.get_or_init(|| {
         let threads = configured_threads();
+        let n_workers = threads.saturating_sub(1);
         let registry: &'static Registry = Box::leak(Box::new(Registry {
-            workers: (0..threads.saturating_sub(1))
-                .map(|_| WorkerState { deque: Deque::new() })
-                .collect(),
+            workers: (0..n_workers).map(|_| WorkerState { deque: Deque::new() }).collect(),
             injector: Mutex::new(VecDeque::new()),
             sleep: Sleep::new(),
             threads,
+            obs: (0..=n_workers)
+                .map(|i| LaneObs::new(&lane_name(Some(i).filter(|&i| i < n_workers))))
+                .collect(),
         }));
         for index in 0..registry.workers.len() {
             std::thread::Builder::new()
@@ -179,7 +221,10 @@ fn worker_main(registry: &'static Registry, index: usize) {
             unsafe { job.execute() };
             continue;
         }
+        let lane = registry.lane_obs(Some(index));
+        lane.parks.incr();
         registry.sleep.wait(seen);
+        lane.unparks.incr();
     }
 }
 
@@ -187,8 +232,10 @@ impl Registry {
     /// Looks for a job: own deque (LIFO), steal sweep over the other
     /// workers (FIFO), then the injector.
     fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
+        let lane = self.lane_obs(me);
         if let Some(i) = me {
             if let Some(job) = self.workers[i].deque.pop() {
+                lane.local_pops.incr();
                 return Some(job);
             }
         }
@@ -201,11 +248,16 @@ impl Registry {
                     continue;
                 }
                 if let Some(job) = self.workers[victim].deque.steal() {
+                    lane.steals.incr();
                     return Some(job);
                 }
             }
         }
-        self.injector.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+        let job = self.injector.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+        if job.is_some() {
+            lane.injector_pops.incr();
+        }
+        job
     }
 
     /// Publishes `count` copies of `job`: onto the caller's own deque when
@@ -263,7 +315,10 @@ impl Registry {
                     continue;
                 }
             }
+            let lane = self.lane_obs(me);
+            lane.parks.incr();
             self.sleep.wait(seen);
+            lane.unparks.incr();
         }
     }
 }
@@ -284,6 +339,8 @@ impl PanicStore {
     }
 
     fn record(&self, key: usize, payload: Box<dyn Any + Send>) {
+        // Cold path: a task panicked. Attribute it to the unwinding lane.
+        bt_obs::counter(&format!("pool.{}.panics", lane_name(WORKER_INDEX.with(|w| w.get())))).incr();
         let mut g = self.slot.lock().unwrap_or_else(|e| e.into_inner());
         match &*g {
             Some((k, _)) if *k <= key => {}
@@ -398,6 +455,8 @@ pub(crate) fn parallel_for(n: usize, body: &(dyn Fn(usize) + Sync)) {
         return;
     }
     let registry = global();
+    let _span = bt_obs::span!("pool.parallel_for");
+    registry.lane_obs(WORKER_INDEX.with(|w| w.get())).launches.incr();
     let width = registry.threads.min(n);
     let tokens = width - 1;
     let launch = ForLaunch {

@@ -6,6 +6,7 @@
 //! btx breakdown  [--batch 4] [--seq 256] [--opt fused|baseline|...]
 //! btx compare    [--batch 4] [--seq 256]           # frameworks
 //! btx attention  [--batch 8] [--seq 256]           # MHA variants
+//! btx profile    [--batch 4] [--seq 256] [--format tree|chrome|prom|json]
 //! ```
 //!
 //! All subcommands use the standard BERT configuration (12 heads × 64) and
@@ -26,6 +27,7 @@ struct Args {
     heads: usize,
     head_size: usize,
     layers: usize,
+    format: String,
 }
 
 fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
@@ -38,6 +40,7 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
         heads: 12,
         head_size: 64,
         layers: 1,
+        format: "tree".to_string(),
     };
     let rest: Vec<String> = raw.collect();
     let mut i = 0;
@@ -57,6 +60,13 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
             "--heads" => args.heads = take("--heads").parse().expect("numeric --heads"),
             "--head-size" => args.head_size = take("--head-size").parse().expect("numeric --head-size"),
             "--layers" => args.layers = take("--layers").parse().expect("numeric --layers"),
+            "--format" => {
+                args.format = take("--format");
+                if !["tree", "chrome", "prom", "json"].contains(&args.format.as_str()) {
+                    eprintln!("unknown --format {} (tree|chrome|prom|json)", args.format);
+                    std::process::exit(2);
+                }
+            }
             "--opt" => {
                 args.opt = match take("--opt").as_str() {
                     "baseline" => OptLevel::Baseline,
@@ -114,10 +124,12 @@ fn main() {
         "breakdown" => cmd_breakdown(&args),
         "compare" => cmd_compare(&args),
         "attention" => cmd_attention(&args),
+        "profile" => cmd_profile(&args),
         _ => {
             eprintln!(
-                "usage: btx <features|flops|breakdown|compare|attention> \
-                 [--batch N] [--seq N] [--alpha F] [--opt L] [--heads N] [--head-size N] [--layers N]"
+                "usage: btx <features|flops|breakdown|compare|attention|profile> \
+                 [--batch N] [--seq N] [--alpha F] [--opt L] [--heads N] [--head-size N] [--layers N] \
+                 [--format tree|chrome|prom|json]"
             );
             std::process::exit(2);
         }
@@ -222,6 +234,178 @@ fn cmd_compare(a: &Args) {
             None => println!("{:<20} {:>12}", name, "n/a (>512)"),
         }
     }
+}
+
+fn cmd_profile(a: &Args) {
+    use bytetransformer::frameworks::profiled::serve_profiled;
+    use bytetransformer::frameworks::serving::{latency_stats, poisson_arrivals};
+    use bytetransformer::obs;
+    use std::collections::{BTreeMap, HashSet};
+
+    // Steal/park attribution needs real workers: widen the pool before its
+    // lazy init unless the host already chose a width.
+    if std::env::var("BYTE_POOL_THREADS").is_err() {
+        std::env::set_var("BYTE_POOL_THREADS", "4");
+    }
+    let width = rayon::current_num_threads();
+    obs::set_enabled(true);
+    let _ = obs::drain(); // start the profile from a clean slate
+
+    // Segment 1: the optimized encoder forward on a variable-length batch.
+    // Running it from *inside* a pool task means the inner parallel_for
+    // fan-outs push to that worker's own deque — which is what gives the
+    // other workers something to steal (external launches only reach the
+    // shared injector).
+    let config = config_of(a);
+    let mask = workload_of(a);
+    let model = BertModel::new_random(config, a.layers, 1);
+    let input = masked_input(&mask, config.hidden());
+    let dev = Device::new();
+    let mut forward = None;
+    rayon::scope(|s| {
+        s.spawn(|| {
+            forward = Some(model.forward(&dev, &input, &mask, a.opt));
+        });
+    });
+    forward.expect("spawned task ran").expect("validated shapes");
+
+    // Segment 2: a short request stream through the instrumented server.
+    let fw = SimFramework::new(FrameworkKind::ByteTransformer, model.clone());
+    let serve_dev = fw.device(CostModel::a100());
+    let requests = poisson_arrivals(
+        8,
+        2_000.0,
+        LengthDistribution::PaperUniform { alpha: a.alpha },
+        a.seq,
+        11,
+    );
+    let serve = serve_profiled(&fw, &serve_dev, &requests, 4, 1e-3, 11);
+
+    let profile = obs::drain();
+    match a.format.as_str() {
+        "chrome" => {
+            println!("{}", profile.chrome_trace());
+            return;
+        }
+        "prom" => {
+            print!("{}", profile.prometheus());
+            return;
+        }
+        "json" => {
+            print!("{}", profile_json(&profile));
+            return;
+        }
+        _ => {}
+    }
+
+    println!(
+        "{} layer(s), batch {} × seq {} (α = {:.3}), opt = {}, pool width {}\n",
+        a.layers,
+        a.batch,
+        a.seq,
+        mask.alpha(),
+        a.opt.label(),
+        width
+    );
+    print!("{}", profile.render_tree());
+
+    // Reconciliation: every traced kernel launch also recorded an obs span
+    // under the same name, so bucketing both by the name prefix joins the
+    // *measured* host wall time against the *modeled* A100 roofline.
+    let mut trace = dev.trace();
+    trace.extend(serve_dev.trace());
+    let kernel_names: HashSet<String> = trace.iter().map(|r| r.name.clone()).collect();
+    let mut obs_wall_ns: BTreeMap<String, u64> = BTreeMap::new();
+    for (name, (_count, total_ns)) in profile.span_totals() {
+        if kernel_names.contains(&name) {
+            let bucket = name.split('.').next().unwrap_or(&name).to_string();
+            *obs_wall_ns.entry(bucket).or_default() += total_ns;
+        }
+    }
+    let report = TraceReport::by_prefix(&trace);
+    println!("\nmeasured vs roofline, per pipeline bucket:");
+    println!(
+        "  {:<14} {:>8} {:>14} {:>14} {:>12}",
+        "bucket", "launches", "measured_ms", "modeled_ms", "meas/model"
+    );
+    for (bucket, stats) in report.buckets() {
+        let measured_ms = obs_wall_ns.get(bucket).copied().unwrap_or(0) as f64 / 1e6;
+        let modeled_ms = stats.modeled * 1e3;
+        println!(
+            "  {:<14} {:>8} {:>14.3} {:>14.3} {:>11.1}x",
+            bucket,
+            stats.launches,
+            measured_ms,
+            modeled_ms,
+            measured_ms / modeled_ms.max(1e-12)
+        );
+    }
+    println!(
+        "  (measured = host wall from obs spans; modeled = A100 roofline — \
+         the ratio is host-vs-A100 deviation, stable within a bucket)"
+    );
+
+    let lat: Vec<f64> = serve.requests.iter().map(|r| r.latency).collect();
+    let stats = latency_stats(&lat);
+    println!(
+        "\nserving: {} requests in {} batches, {} errors; latency p50 {:.3} ms, p95 {:.3} ms, max {:.3} ms",
+        serve.requests.len(),
+        serve.batches,
+        serve.errors,
+        stats.p50 * 1e3,
+        stats.p95 * 1e3,
+        stats.max * 1e3
+    );
+    if profile.dropped > 0 {
+        println!("note: {} events dropped (ring full)", profile.dropped);
+    }
+}
+
+/// Renders a drained profile as a `BENCH_*`-schema JSON object (shared
+/// `RunMeta` header + span totals + counters + histogram percentiles).
+fn profile_json(profile: &bytetransformer::obs::profile::Profile) -> String {
+    use std::fmt::Write as _;
+    let meta = bytetransformer::bench::report::RunMeta::collect("profile", "ns");
+    let esc = bytetransformer::bench::report::json_escape;
+    let mut s = meta.header_json();
+    s.push_str("  \"spans\": [\n");
+    let totals = profile.span_totals();
+    for (i, (name, (count, total_ns))) in totals.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}}}{}",
+            esc(name),
+            count,
+            total_ns,
+            if i + 1 == totals.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n  \"counters\": [\n");
+    for (i, (name, value)) in profile.counters.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"value\": {}}}{}",
+            esc(name),
+            value,
+            if i + 1 == profile.counters.len() { "" } else { "," }
+        );
+    }
+    s.push_str("  ],\n  \"histograms\": [\n");
+    for (i, h) in profile.histograms.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"count\": {}, \"sum\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}{}",
+            esc(&h.name),
+            h.count,
+            h.sum,
+            h.p50,
+            h.p95,
+            h.p99,
+            if i + 1 == profile.histograms.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(s, "  ],\n  \"events_dropped\": {}\n}}", profile.dropped);
+    s
 }
 
 fn cmd_attention(a: &Args) {

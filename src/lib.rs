@@ -41,12 +41,16 @@
 //! | [`varlen`] | zero-padding algorithm: masks, prefix sums, packing |
 //! | [`core`] | fused MHA variants + the step-wise optimized BERT encoder |
 //! | [`frameworks`] | PyTorch/TF/Turbo/FasterTransformer strategy simulations |
+//! | [`obs`] | runtime telemetry: spans, counters, profile export |
+//! | [`bench`] | benchmark harness utilities + shared artifact schema |
 
+pub use bt_bench as bench;
 pub use bt_core as core;
 pub use bt_device as device;
 pub use bt_frameworks as frameworks;
 pub use bt_gemm as gemm;
 pub use bt_kernels as kernels;
+pub use bt_obs as obs;
 pub use bt_tensor as tensor;
 pub use bt_varlen as varlen;
 
