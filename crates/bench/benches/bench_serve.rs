@@ -1,0 +1,202 @@
+//! Serving-policy harness: fifo vs sorted-groups vs token-budget admission
+//! under open-loop Poisson load at 0.5×, 1.0× and 2.0× calibrated capacity.
+//!
+//! The paper's runtime makes batch cost proportional to *valid tokens*;
+//! this bench measures what that buys at the serving layer. Capacity is
+//! calibrated once from the roofline ([`calibrate_capacity`]), every knob
+//! (token budget, deadline, arrival rate) is derived from it, and each
+//! policy × load cell runs the same deterministic virtual-time loop with
+//! real ByteTransformer forwards. Recorded per cell: served/shed
+//! accounting (exact by construction, asserted anyway), p50/p95/p99 of
+//! served latency, and goodput.
+//!
+//! The headline acceptance figure — p99 of served requests at 2× load
+//! within 3× of the 0.5× p99 under the token-budget policy — is asserted
+//! here and recorded in the artifact.
+//!
+//! Emits `BENCH_serve.json` at the repo root. Run with
+//! `cargo bench --bench bench_serve` (`BT_BENCH_FAST=1` shrinks reps).
+
+use bt_bench::{banner, fast_mode};
+use bt_core::config::BertConfig;
+use bt_core::encoder::BertModel;
+use bt_device::CostModel;
+use bt_frameworks::admission::CutPolicy;
+use bt_frameworks::calibration::{calibrate_capacity, flops_per_token, host_tokens_per_sec_from_bench_json};
+use bt_frameworks::server::{modeled_forward_executor, run_open_loop, ServeConfig, ServeSummary};
+use bt_frameworks::serving::poisson_arrivals;
+use bt_frameworks::{FrameworkKind, SimFramework};
+use bt_varlen::workload::LengthDistribution;
+use std::fmt::Write as _;
+
+const SEQ: usize = 256;
+const ALPHA: f64 = 0.6;
+
+struct Cell {
+    policy: &'static str,
+    load: f64,
+    summary: ServeSummary,
+}
+
+fn main() {
+    banner(
+        "Serving policies under open-loop load: fifo vs sorted-groups vs token-budget",
+        "continuous batching with deadlines, bounded queue and load shedding",
+        "exact accounting at every load; token-budget p99 at 2x within 3x of the 0.5x p99",
+    );
+    let requests = if fast_mode() { 192 } else { 768 };
+
+    let config = BertConfig {
+        heads: 12,
+        head_size: 64,
+        ffn_scale: 4,
+        layers: 1,
+        eps: 1e-6,
+    };
+    let model = BertModel::new_random(config, 1, 1);
+    let fw = SimFramework::new(FrameworkKind::ByteTransformer, model);
+
+    // One calibration feeds every knob, so "2x load" means the same thing
+    // in every cell (and in `btx serve` / the stress suite).
+    let capacity = calibrate_capacity(&fw, SEQ, ALPHA, 8, 42);
+    let mean_tokens = ALPHA * SEQ as f64;
+    let interval = 8.0 * mean_tokens / capacity.tokens_per_sec;
+    let budget = capacity.token_budget(interval);
+    let max_batch = ((budget as f64 / mean_tokens).round() as usize).max(1);
+    let deadline = 2.0 * interval;
+    let queue_capacity = 64;
+    println!(
+        "calibrated {:.0} tokens/s -> budget {budget} tokens, max_batch {max_batch}, \
+         deadline {:.2} ms, queue {queue_capacity}, {requests} requests/cell\n",
+        capacity.tokens_per_sec,
+        deadline * 1e3
+    );
+
+    // Optional host-wall ceiling from the recorded GEMM artifact, for scale.
+    let host_ceiling = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json"))
+        .ok()
+        .and_then(|json| host_tokens_per_sec_from_bench_json(&json, flops_per_token(&config, SEQ, ALPHA)));
+
+    let policies: [(&'static str, CutPolicy); 3] = [
+        ("fifo", CutPolicy::Fifo { max_batch }),
+        ("sorted_groups", CutPolicy::SortedGroups { max_batch }),
+        ("token_budget", CutPolicy::TokenBudget { budget_tokens: budget }),
+    ];
+    let loads = [0.5f64, 1.0, 2.0];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    println!(
+        "{:<14} {:>5} {:>8} {:>7} {:>6} {:>9} {:>9} {:>9} {:>14}",
+        "policy", "load", "served", "shed", "batch", "p50_ms", "p95_ms", "p99_ms", "goodput_tok/s"
+    );
+    for (name, policy) in policies {
+        for &load in &loads {
+            let serve_config = ServeConfig {
+                policy,
+                queue_capacity,
+                deadline,
+                max_len: SEQ,
+            };
+            let rate = capacity.request_rate(mean_tokens, load);
+            let reqs = poisson_arrivals(
+                requests,
+                rate,
+                LengthDistribution::PaperUniform { alpha: ALPHA },
+                SEQ,
+                42,
+            );
+            let report = run_open_loop(
+                &reqs,
+                &serve_config,
+                modeled_forward_executor(&fw, CostModel::a100(), 42),
+            );
+            let s = report.summary();
+            assert!(s.accounting_is_exact(), "{name} @ {load}: accounting must be exact");
+            println!(
+                "{:<14} {:>5.2} {:>8} {:>7} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>14.0}",
+                name,
+                load,
+                s.served,
+                s.shed(),
+                s.batches,
+                s.served_latency.p50 * 1e3,
+                s.served_latency.p95 * 1e3,
+                s.served_latency.p99 * 1e3,
+                s.goodput_tokens_per_sec()
+            );
+            cells.push(Cell {
+                policy: name,
+                load,
+                summary: s,
+            });
+        }
+    }
+
+    let p99_of = |policy: &str, load: f64| {
+        cells
+            .iter()
+            .find(|c| c.policy == policy && c.load == load)
+            .expect("cell ran")
+            .summary
+            .served_latency
+            .p99
+    };
+    let p99_ratio = p99_of("token_budget", 2.0) / p99_of("token_budget", 0.5).max(1e-12);
+    println!(
+        "\ntoken-budget p99 at 2.0x = {:.3} ms vs 0.5x = {:.3} ms -> ratio {:.2} (target <= 3)",
+        p99_of("token_budget", 2.0) * 1e3,
+        p99_of("token_budget", 0.5) * 1e3,
+        p99_ratio
+    );
+    assert!(p99_ratio <= 3.0, "graceful-degradation bound violated: {p99_ratio:.2}");
+    if let Some(h) = host_ceiling {
+        println!("host dense-math ceiling (BENCH_gemm.json): {h:.0} tokens/s");
+    }
+
+    let mut json = bt_bench::report::RunMeta::collect("serve", "tokens_per_sec").header_json();
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"seq\": {SEQ}, \"alpha\": {ALPHA}, \"requests\": {requests}, \
+         \"budget_tokens\": {budget}, \"max_batch\": {max_batch}, \"deadline_ms\": {:.4}, \
+         \"queue_capacity\": {queue_capacity}}},",
+        deadline * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "  \"calibrated_tokens_per_sec\": {:.1},\n  \"host_ceiling_tokens_per_sec\": {},",
+        capacity.tokens_per_sec,
+        host_ceiling.map_or("null".to_string(), |h| format!("{h:.1}"))
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let s = &c.summary;
+        let _ = writeln!(
+            json,
+            "    {{\"policy\": \"{}\", \"load\": {}, \"offered\": {}, \"served\": {}, \
+             \"shed_queue_full\": {}, \"shed_deadline\": {}, \"shed_too_long\": {}, \"batches\": {}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"goodput_tokens_per_sec\": {:.1}, \"accounting_exact\": {}}}{}",
+            c.policy,
+            c.load,
+            s.offered,
+            s.served,
+            s.shed_queue_full,
+            s.shed_deadline,
+            s.shed_too_long,
+            s.batches,
+            s.served_latency.p50 * 1e3,
+            s.served_latency.p95 * 1e3,
+            s.served_latency.p99 * 1e3,
+            s.goodput_tokens_per_sec(),
+            s.accounting_is_exact(),
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(
+        json,
+        "  ],\n  \"p99_ratio_2x_vs_half_token_budget\": {p99_ratio:.3}\n}}"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

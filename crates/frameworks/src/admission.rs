@@ -1,0 +1,311 @@
+//! Admission control and batch-cutting policies shared by the offline
+//! batcher ([`crate::serving::form_batches`]) and the continuous-batching
+//! server ([`crate::server`]).
+//!
+//! The central idea is **token-weighted admission**: a request's cost is its
+//! valid-token count, not its slot in a fixed-size batch. Under a
+//! [`CutPolicy::TokenBudget`] one 512-token request and sixty-four 8-token
+//! requests carry the same admission weight, so batch *work* is constant
+//! even when batch *occupancy* swings by an order of magnitude — exactly
+//! the property a packed (zero-padding) runtime needs, because its cost is
+//! proportional to valid tokens rather than to `batch × max_seq_len`.
+//!
+//! The policies here are pure data-structure code (no clocks, no threads):
+//! the virtual-time engine, the threaded server, and the offline window
+//! batcher all call the same [`CutPolicy::cut_next_batch`], so a policy
+//! tested in one driver behaves identically in the others.
+
+use crate::grouping::descending_order;
+use bt_varlen::{BatchMask, VarlenError};
+use std::collections::VecDeque;
+
+/// Why a request was rejected instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The bounded ingress queue was full when the request arrived
+    /// (backpressure: the caller should retry later or divert).
+    QueueFull,
+    /// The request's deadline expired before its batch started; it was
+    /// cancelled while queued rather than served uselessly late.
+    DeadlineExpired,
+    /// The request exceeds the longest sequence the runtime accepts.
+    TooLong,
+}
+
+impl ShedReason {
+    /// Stable lowercase label (used in reports and the `BENCH_serve.json`
+    /// artifact).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::DeadlineExpired => "deadline_expired",
+            ShedReason::TooLong => "too_long",
+        }
+    }
+}
+
+/// Admission weight of a request: its valid-token count, clamped to at
+/// least one (zero-length requests still occupy a batch slot and a launch).
+pub fn admission_weight(len: usize) -> usize {
+    len.max(1)
+}
+
+/// A queued request, as seen by the batch cutter: identity, token count,
+/// arrival time and absolute deadline (both in the driver's clock domain —
+/// simulated seconds for the virtual-time engine, wall seconds for the
+/// threaded server).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pending {
+    /// Caller-assigned identifier.
+    pub id: usize,
+    /// Valid-token count.
+    pub len: usize,
+    /// When the request arrived.
+    pub arrival: f64,
+    /// Absolute time after which the request must be shed, not served.
+    pub deadline: f64,
+}
+
+/// How the server cuts the next batch from its queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CutPolicy {
+    /// Arrival order, at most `max_batch` requests per batch — the paper's
+    /// baseline serving discipline. A packed runtime is insensitive to the
+    /// length variance inside such batches; a padded runtime pays for it.
+    Fifo {
+        /// Maximum requests per batch.
+        max_batch: usize,
+    },
+    /// Take the `max_batch` *longest* queued requests — the
+    /// TurboTransformers-style grouping family applied continuously
+    /// (clusters similar lengths, at the cost of reordering).
+    SortedGroups {
+        /// Maximum requests per batch.
+        max_batch: usize,
+    },
+    /// Arrival order, but cut the batch when its summed
+    /// [`admission_weight`] would exceed `budget_tokens` — constant *work*
+    /// per batch regardless of length mix. A batch always contains at least
+    /// one request, so a single request longer than the budget runs alone
+    /// rather than starving.
+    TokenBudget {
+        /// Valid-token budget per batch.
+        budget_tokens: usize,
+    },
+}
+
+impl CutPolicy {
+    /// Stable lowercase label (reports and `BENCH_serve.json`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CutPolicy::Fifo { .. } => "fifo",
+            CutPolicy::SortedGroups { .. } => "sorted_groups",
+            CutPolicy::TokenBudget { .. } => "token_budget",
+        }
+    }
+
+    /// Removes and returns the next batch from the front of `queue`.
+    ///
+    /// Returns an empty batch only when the queue is empty. All three
+    /// policies preserve the queue order of the requests they leave behind.
+    ///
+    /// # Panics
+    /// Panics if the policy's capacity parameter is zero.
+    pub fn cut_next_batch(&self, queue: &mut VecDeque<Pending>) -> Vec<Pending> {
+        match *self {
+            CutPolicy::Fifo { max_batch } => {
+                assert!(max_batch > 0, "max_batch must be positive");
+                let take = max_batch.min(queue.len());
+                queue.drain(..take).collect()
+            }
+            CutPolicy::SortedGroups { max_batch } => {
+                assert!(max_batch > 0, "max_batch must be positive");
+                if queue.is_empty() {
+                    return Vec::new();
+                }
+                let lens: Vec<usize> = queue.iter().map(|p| p.len).collect();
+                let mut chosen: Vec<usize> = descending_order(&lens).into_iter().take(max_batch).collect();
+                chosen.sort_unstable();
+                // Remove back-to-front so earlier indices stay valid.
+                let mut batch: Vec<Pending> = chosen
+                    .iter()
+                    .rev()
+                    .map(|&i| queue.remove(i).expect("index within queue"))
+                    .collect();
+                // Longest-first inside the batch, matching descending_order.
+                batch.sort_by_key(|p| std::cmp::Reverse(p.len));
+                batch
+            }
+            CutPolicy::TokenBudget { budget_tokens } => {
+                assert!(budget_tokens > 0, "budget_tokens must be positive");
+                let mut batch = Vec::new();
+                let mut weight = 0usize;
+                while let Some(front) = queue.front() {
+                    let w = admission_weight(front.len);
+                    if !batch.is_empty() && weight + w > budget_tokens {
+                        break;
+                    }
+                    weight += w;
+                    batch.push(queue.pop_front().expect("front exists"));
+                }
+                batch
+            }
+        }
+    }
+}
+
+/// One planned batch: the `(id, len)` pairs it contains plus the
+/// [`BatchMask`] it runs with.
+pub type PlannedBatch = (Vec<(usize, usize)>, BatchMask);
+
+/// Cuts an entire window of already-arrived requests into batches with
+/// masks — the offline form of the server's continuous loop, and the shared
+/// implementation behind [`crate::serving::form_batches`].
+///
+/// Each batch's mask uses the batch's own maximum (clamped) length, so a
+/// padded runtime pays per-batch padding while a packed runtime pays only
+/// for valid tokens.
+///
+/// # Errors
+/// Propagates [`VarlenError`] from mask construction. With the invariants
+/// established here — every length clamped to at least 1 and the mask's
+/// `max_seq_len` taken as the maximum over the same clamped lengths — mask
+/// construction cannot currently fail; the `Result` is kept so the
+/// signature stays honest if [`BatchMask`] gains new invariants.
+pub fn plan_batches(requests: &[(usize, usize)], policy: CutPolicy) -> Result<Vec<PlannedBatch>, VarlenError> {
+    let mut queue: VecDeque<Pending> = requests
+        .iter()
+        .map(|&(id, len)| Pending {
+            id,
+            len,
+            arrival: 0.0,
+            deadline: f64::INFINITY,
+        })
+        .collect();
+    // SortedGroups over a whole window: repeated longest-`max_batch` cuts
+    // are exactly "sort the window descending, chunk it".
+    let mut batches = Vec::new();
+    while !queue.is_empty() {
+        let cut = policy.cut_next_batch(&mut queue);
+        let mask = batch_mask(&cut)?;
+        batches.push((cut.into_iter().map(|p| (p.id, p.len)).collect(), mask));
+    }
+    Ok(batches)
+}
+
+/// Builds the [`BatchMask`] for one cut batch: lengths clamped to at least
+/// one, padded length equal to the batch's own maximum.
+///
+/// # Errors
+/// As [`plan_batches`]: structurally unreachable under current invariants.
+pub fn batch_mask(batch: &[Pending]) -> Result<BatchMask, VarlenError> {
+    let lens: Vec<usize> = batch.iter().map(|p| admission_weight(p.len)).collect();
+    let max = lens.iter().copied().max().unwrap_or(1);
+    BatchMask::from_lens(lens, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue_of(lens: &[usize]) -> VecDeque<Pending> {
+        lens.iter()
+            .enumerate()
+            .map(|(id, &len)| Pending {
+                id,
+                len,
+                arrival: id as f64,
+                deadline: f64::INFINITY,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fifo_takes_front_in_order() {
+        let mut q = queue_of(&[9, 1, 7, 3]);
+        let batch = CutPolicy::Fifo { max_batch: 3 }.cut_next_batch(&mut q);
+        assert_eq!(batch.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].id, 3);
+    }
+
+    #[test]
+    fn sorted_groups_takes_longest_and_preserves_rest() {
+        let mut q = queue_of(&[5, 100, 7, 90]);
+        let batch = CutPolicy::SortedGroups { max_batch: 2 }.cut_next_batch(&mut q);
+        assert_eq!(batch.iter().map(|p| p.len).collect::<Vec<_>>(), vec![100, 90]);
+        // Remaining requests keep arrival order.
+        assert_eq!(q.iter().map(|p| p.id).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn token_budget_cuts_by_weight_not_count() {
+        let mut q = queue_of(&[8; 64]);
+        let batch = CutPolicy::TokenBudget { budget_tokens: 512 }.cut_next_batch(&mut q);
+        assert_eq!(batch.len(), 64, "64 × 8 tokens fit a 512-token budget");
+        let mut q = queue_of(&[512, 8]);
+        let batch = CutPolicy::TokenBudget { budget_tokens: 512 }.cut_next_batch(&mut q);
+        assert_eq!(batch.len(), 1, "one 512-token request fills the same budget");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn token_budget_oversized_request_runs_alone() {
+        let mut q = queue_of(&[4000, 5]);
+        let batch = CutPolicy::TokenBudget { budget_tokens: 512 }.cut_next_batch(&mut q);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].len, 4000);
+    }
+
+    #[test]
+    fn zero_length_requests_weigh_one() {
+        assert_eq!(admission_weight(0), 1);
+        let mut q = queue_of(&[0, 0, 0]);
+        let batch = CutPolicy::TokenBudget { budget_tokens: 2 }.cut_next_batch(&mut q);
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn empty_queue_yields_empty_batch() {
+        let mut q = VecDeque::new();
+        for policy in [
+            CutPolicy::Fifo { max_batch: 4 },
+            CutPolicy::SortedGroups { max_batch: 4 },
+            CutPolicy::TokenBudget { budget_tokens: 64 },
+        ] {
+            assert!(policy.cut_next_batch(&mut q).is_empty());
+        }
+    }
+
+    #[test]
+    fn plan_batches_covers_every_request_once() {
+        let requests: Vec<(usize, usize)> = [3usize, 9, 1, 4, 4, 8, 2].iter().copied().enumerate().collect();
+        for policy in [
+            CutPolicy::Fifo { max_batch: 3 },
+            CutPolicy::SortedGroups { max_batch: 3 },
+            CutPolicy::TokenBudget { budget_tokens: 8 },
+        ] {
+            let batches = plan_batches(&requests, policy).unwrap();
+            let mut ids: Vec<usize> = batches.iter().flat_map(|(b, _)| b.iter().map(|&(id, _)| id)).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..requests.len()).collect::<Vec<_>>(), "{}", policy.label());
+        }
+    }
+
+    #[test]
+    fn masks_use_per_batch_maximum() {
+        let requests = vec![(0, 100), (1, 5), (2, 90), (3, 7)];
+        let batches = plan_batches(&requests, CutPolicy::SortedGroups { max_batch: 2 }).unwrap();
+        assert_eq!(batches[0].1.max_seq_len(), 100);
+        assert_eq!(batches[1].1.max_seq_len(), 7);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CutPolicy::Fifo { max_batch: 1 }.label(), "fifo");
+        assert_eq!(CutPolicy::TokenBudget { budget_tokens: 1 }.label(), "token_budget");
+        assert_eq!(ShedReason::QueueFull.label(), "queue_full");
+        assert_eq!(ShedReason::DeadlineExpired.label(), "deadline_expired");
+        assert_eq!(ShedReason::TooLong.label(), "too_long");
+    }
+}

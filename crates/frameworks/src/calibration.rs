@@ -5,7 +5,10 @@
 //! fusion structure, grouping behaviour — is encoded structurally in
 //! [`crate::SimFramework`] and [`crate::pipeline`].
 
-use bt_device::LaunchTax;
+use bt_core::config::BertConfig;
+use bt_core::flops::{layer_flops, FlopVariant};
+use bt_device::{CostModel, LaunchTax};
+use bt_varlen::workload::LengthDistribution;
 
 /// PyTorch (JIT): eager-ish dispatcher with a noticeable per-op tax; its
 /// hand-written CUDA kernels are close to peak; GEMMs are cuBLAS.
@@ -63,6 +66,102 @@ pub const FT_FUSED_MHA_MAX_SEQ: usize = 512;
 /// Minimum length ratio TurboTransformer's batch scheduler accepts when
 /// grouping sequences into one padded sub-batch.
 pub const TURBO_GROUP_RATIO: f64 = 0.7;
+
+/// Serving capacity of one runtime on one device: the sustained
+/// valid-token throughput the admission layer budgets against.
+///
+/// Produced by [`calibrate_capacity`] (modeled roofline probe) or
+/// [`host_tokens_per_sec_from_bench_json`] (measured host GFLOP/s from a
+/// `BENCH_gemm.json` artifact). Everything the server derives — batch token
+/// budgets, open-loop arrival rates for a given load factor — comes through
+/// the methods here, so "2× load" means the same thing in the stress test,
+/// the bench, and `btx serve`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeCapacity {
+    /// Sustained valid tokens per second.
+    pub tokens_per_sec: f64,
+}
+
+impl ServeCapacity {
+    /// The per-batch valid-token budget that makes one batch roughly
+    /// `batch_interval` seconds of work (at least one token).
+    pub fn token_budget(&self, batch_interval: f64) -> usize {
+        assert!(batch_interval > 0.0, "batch_interval must be positive");
+        ((self.tokens_per_sec * batch_interval).round() as usize).max(1)
+    }
+
+    /// Open-loop request rate (requests/second) that offers
+    /// `load × tokens_per_sec` tokens per second for requests averaging
+    /// `mean_tokens` valid tokens.
+    pub fn request_rate(&self, mean_tokens: f64, load: f64) -> f64 {
+        assert!(mean_tokens > 0.0 && load > 0.0, "mean_tokens and load must be positive");
+        load * self.tokens_per_sec / mean_tokens
+    }
+}
+
+/// Calibrates [`ServeCapacity`] from the roofline: runs one probe forward
+/// of `fw` on a `probe_batch × max_seq` paper-α batch and divides the
+/// probe's valid tokens by its modeled device time. Because the probe uses
+/// the same cost model, launch taxes, and pipeline as serving itself, the
+/// resulting tokens/sec already prices in per-launch overhead and the
+/// memory-bound fraction at the calibrated shape.
+pub fn calibrate_capacity(
+    fw: &crate::SimFramework,
+    max_seq: usize,
+    alpha: f64,
+    probe_batch: usize,
+    seed: u64,
+) -> ServeCapacity {
+    assert!(probe_batch > 0, "probe_batch must be positive");
+    let mask = LengthDistribution::PaperUniform { alpha }.sample_mask(probe_batch, max_seq, seed);
+    let input = crate::server::masked_randn(&mask, fw.model.config.hidden(), seed ^ 0x9e37_79b9);
+    let device = fw.device(CostModel::a100());
+    fw.forward(&device, &input, &mask).expect("probe shapes are valid");
+    ServeCapacity {
+        tokens_per_sec: mask.valid_words() as f64 / device.modeled_total().max(1e-12),
+    }
+}
+
+/// Closed-form FLOPs per valid token of the fully optimized pipeline
+/// (Table II's zero-padding + fused-MHA variant) at a representative
+/// paper-α length mix — the conversion factor between a measured GFLOP/s
+/// figure and a token throughput.
+pub fn flops_per_token(config: &BertConfig, max_seq: usize, alpha: f64) -> f64 {
+    let mask = LengthDistribution::PaperUniform { alpha }.sample_mask(16, max_seq, 12345);
+    let per_layer = layer_flops(&mask, config.hidden(), FlopVariant::ZeroPaddingFusedMha).total();
+    (per_layer as f64 * config.layers as f64) / mask.valid_words() as f64
+}
+
+/// Scans a `BENCH_gemm.json` artifact for its best measured GFLOP/s figure
+/// (the dense-math ceiling of this host across ISA tiers). The scan is
+/// schema-tolerant — it looks for `"gflops": <number>` fields rather than
+/// parsing the full document — so artifacts from older emitters still
+/// calibrate. Returns `None` if no such field parses.
+pub fn max_gflops_in_bench_json(json: &str) -> Option<f64> {
+    let key = "\"gflops\":";
+    let mut best: Option<f64> = None;
+    let mut rest = json;
+    while let Some(pos) = rest.find(key) {
+        rest = &rest[pos + key.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            if v.is_finite() && v > 0.0 {
+                best = Some(best.map_or(v, |b: f64| b.max(v)));
+            }
+        }
+    }
+    best
+}
+
+/// Host-wall-clock serving capacity from a `BENCH_gemm.json` artifact:
+/// best measured GFLOP/s divided by the closed-form FLOPs per token
+/// ([`flops_per_token`]). An *optimistic* host ceiling (it assumes the
+/// whole pipeline sustains GEMM throughput); use the roofline
+/// [`calibrate_capacity`] for the modeled-time serving loop.
+pub fn host_tokens_per_sec_from_bench_json(json: &str, flops_per_token: f64) -> Option<f64> {
+    assert!(flops_per_token > 0.0, "flops_per_token must be positive");
+    max_gflops_in_bench_json(json).map(|g| g * 1e9 / flops_per_token)
+}
 
 /// One row of the paper's Table I.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -184,6 +283,49 @@ mod tests {
         ] {
             assert!(text.contains(name));
         }
+    }
+
+    #[test]
+    fn capacity_budget_and_rate_are_consistent() {
+        let c = ServeCapacity { tokens_per_sec: 1e6 };
+        assert_eq!(c.token_budget(1e-3), 1_000);
+        assert_eq!(c.token_budget(1e-9), 1, "budget is clamped to one token");
+        assert!((c.request_rate(100.0, 2.0) - 20_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_json_scan_finds_the_best_gflops() {
+        let json = r#"{
+  "results": [
+    {"name": "a", "tier": "scalar", "gflops": 47.297, "secs": 0.01},
+    {"name": "b", "tier": "avx512", "gflops": 97.810, "secs": 0.009},
+    {"name": "c", "tier": "avx2", "gflops": 65.682}
+  ]
+}"#;
+        assert!((max_gflops_in_bench_json(json).unwrap() - 97.810).abs() < 1e-9);
+        assert_eq!(max_gflops_in_bench_json("{}"), None);
+        assert_eq!(max_gflops_in_bench_json("\"gflops\": nonsense"), None);
+        let fpt = 1e6;
+        let tps = host_tokens_per_sec_from_bench_json(json, fpt).unwrap();
+        assert!((tps - 97.810e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn roofline_capacity_prices_in_the_pipeline() {
+        use bt_core::config::BertConfig;
+        use bt_core::encoder::BertModel;
+        let model = BertModel::new_random(BertConfig::tiny(), 1, 42);
+        let fw = crate::SimFramework::new(crate::FrameworkKind::ByteTransformer, model);
+        let cap = calibrate_capacity(&fw, 32, 0.6, 4, 7);
+        assert!(cap.tokens_per_sec > 0.0 && cap.tokens_per_sec.is_finite());
+        // More layers -> fewer tokens per second, roughly proportionally.
+        let model2 = BertModel::new_random(BertConfig::tiny(), 2, 42);
+        let fw2 = crate::SimFramework::new(crate::FrameworkKind::ByteTransformer, model2);
+        let cap2 = calibrate_capacity(&fw2, 32, 0.6, 4, 7);
+        assert!(cap2.tokens_per_sec < cap.tokens_per_sec);
+        // And the closed form agrees on the sign of that scaling.
+        let f1 = flops_per_token(&BertConfig::tiny(), 32, 0.6);
+        assert!(f1 > 0.0);
     }
 
     #[test]

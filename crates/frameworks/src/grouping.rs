@@ -18,14 +18,24 @@ pub struct Group {
     pub padded_len: usize,
 }
 
+/// Indices of `seq_lens` sorted by descending length (ties keep their
+/// original relative order). This is the shared first step of every
+/// length-aware policy in the workspace: TurboTransformer's greedy and DP
+/// groupers below, and the `SortedGroups` batch cutter in
+/// [`crate::admission`].
+pub fn descending_order(seq_lens: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..seq_lens.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(seq_lens[i]));
+    order
+}
+
 /// Splits a batch into groups of similar lengths: sort descending, then
 /// greedily extend the current group while `len ≥ ratio × group_max`.
 /// Zero-length sequences are grouped together at padded length 1 (they
 /// produce no valid tokens either way).
 pub fn group_by_length(seq_lens: &[usize], ratio: f64) -> Vec<Group> {
     assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
-    let mut order: Vec<usize> = (0..seq_lens.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(seq_lens[i]));
+    let order = descending_order(seq_lens);
     let mut groups: Vec<Group> = Vec::new();
     for i in order {
         let len = seq_lens[i];
@@ -53,8 +63,7 @@ pub fn group_optimal(seq_lens: &[usize], max_group: usize) -> Vec<Group> {
     if n == 0 {
         return Vec::new();
     }
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(seq_lens[i]));
+    let order = descending_order(seq_lens);
     // In descending order, a group's padded length is its first member's.
     // cost[i] = minimal padded slots to cover order[i..].
     let mut cost = vec![u64::MAX; n + 1];

@@ -19,19 +19,31 @@
 //! * [`pipeline`] — the shared padded/packed layer pipelines the strategies
 //!   compose.
 //! * [`grouping`] — TurboTransformer's sort-and-group re-batching.
-//! * [`serving`] — request batching policies and latency statistics for the
-//!   online-serving example.
+//! * [`admission`] — shared batch-cutting policies (FIFO, sorted groups,
+//!   token budget) and shed reasons.
+//! * [`serving`] — open-loop workload generators, offline batching helpers
+//!   and latency statistics.
+//! * [`server`] — `bt-serve`: the continuous-batching server with bounded
+//!   ingress, deadlines and load shedding (virtual-time engine + threaded
+//!   front-end).
+//! * [`calibration`] — per-runtime constants, the paper's Table I, and
+//!   serving-capacity calibration from the roofline model / recorded GEMM
+//!   benchmarks.
 //! * [`feature_matrix`] — the paper's Table I.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod calibration;
 mod framework;
 pub mod grouping;
 pub mod pipeline;
 pub mod profiled;
+pub mod server;
 pub mod serving;
 
+pub use admission::{CutPolicy, ShedReason};
 pub use calibration::feature_matrix;
 pub use framework::{FrameworkKind, SimFramework};
+pub use server::{run_open_loop, ServeConfig, ServeReport, ServeSummary, Server};

@@ -1,0 +1,830 @@
+//! `bt-serve` — a continuous-batching server with token-budget admission
+//! and graceful overload shedding.
+//!
+//! This is the serving-side half of the paper's zero-padding story: the
+//! runtime (packed layouts, fused MHA, the persistent pool) makes batch
+//! cost proportional to *valid tokens*, so the batcher should meter valid
+//! tokens too. The server here does exactly that:
+//!
+//! * **Continuous batching** — no fixed windows: whenever the device is
+//!   free and work is queued, the configured [`CutPolicy`] cuts the next
+//!   batch from the queue (FIFO, TurboTransformers-style sorted groups, or
+//!   the token-budget policy this module exists for).
+//! * **Bounded ingress** — the queue holds at most `queue_capacity`
+//!   requests; arrivals beyond that are rejected immediately with
+//!   [`ShedReason::QueueFull`] (backpressure, not unbounded latency).
+//! * **Deadlines with cancellation** — each request expires
+//!   `deadline` seconds after arrival; expired requests are cancelled
+//!   *while queued* ([`ShedReason::DeadlineExpired`]) instead of being
+//!   served uselessly late.
+//! * **Exact accounting** — every offered request gets exactly one
+//!   [`Outcome`]; `served + shed == offered` always
+//!   ([`ServeSummary::accounting_is_exact`], asserted by the seeded stress
+//!   suite).
+//!
+//! Two drivers share the same admission and cutting code
+//! ([`crate::admission`]):
+//!
+//! * [`run_open_loop`] — a deterministic virtual-time engine: arrivals come
+//!   from a seeded generator ([`crate::serving::poisson_arrivals`] /
+//!   [`crate::serving::bursty_arrivals`]) and the clock advances by the
+//!   executor's *modeled* batch time, so shed/served accounting and latency
+//!   percentiles are bit-identical across runs. This drives the stress
+//!   test, `BENCH_serve.json`, and `btx serve`.
+//! * [`Server`] — a real multi-threaded front-end: producers submit over a
+//!   bounded MPSC channel ([`std::sync::mpsc::sync_channel`]), a server
+//!   thread runs the same continuous-batching loop in wall time, and batch
+//!   execution runs on the persistent work-stealing pool (the forwards'
+//!   internal `parallel_for` fan-outs).
+//!
+//! Everything is instrumented with `bt-obs`: queue-depth, batch-occupancy,
+//! batch-token and time-in-queue histograms, per-reason shed counters, and
+//! `serve.batch` / `serve.batch.forward` spans.
+//!
+//! ```
+//! use bt_frameworks::server::{run_open_loop, ServeConfig};
+//! use bt_frameworks::admission::CutPolicy;
+//! use bt_frameworks::serving::poisson_arrivals;
+//! use bt_varlen::workload::LengthDistribution;
+//!
+//! let requests = poisson_arrivals(64, 500.0, LengthDistribution::PaperUniform { alpha: 0.6 }, 64, 7);
+//! let config = ServeConfig {
+//!     policy: CutPolicy::TokenBudget { budget_tokens: 256 },
+//!     queue_capacity: 16,
+//!     deadline: 0.05,
+//!     max_len: 64,
+//! };
+//! // Executor returns the modeled batch duration; here a toy linear cost.
+//! let report = run_open_loop(&requests, &config, |mask| mask.valid_words() as f64 * 1e-5);
+//! let summary = report.summary();
+//! assert!(summary.accounting_is_exact());
+//! assert_eq!(summary.offered, 64);
+//! ```
+
+use crate::admission::{batch_mask, CutPolicy, Pending, ShedReason};
+use crate::serving::{latency_stats, LatencyStats, TimedRequest};
+use bt_varlen::BatchMask;
+use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::time::Instant;
+
+/// Requests offered to the server (admitted or not).
+static OFFERED: bt_obs::Counter = bt_obs::Counter::new("serve.offered");
+/// Requests served to completion.
+static SERVED: bt_obs::Counter = bt_obs::Counter::new("serve.served");
+/// Requests shed at the ingress gate (bounded queue full).
+static SHED_QUEUE_FULL: bt_obs::Counter = bt_obs::Counter::new("serve.shed.queue_full");
+/// Requests cancelled in the queue after their deadline expired.
+static SHED_DEADLINE: bt_obs::Counter = bt_obs::Counter::new("serve.shed.deadline_expired");
+/// Requests rejected for exceeding the runtime's maximum length.
+static SHED_TOO_LONG: bt_obs::Counter = bt_obs::Counter::new("serve.shed.too_long");
+/// Batches executed.
+static BATCHES: bt_obs::Counter = bt_obs::Counter::new("serve.batches");
+/// Queue depth sampled after every admission decision.
+static QUEUE_DEPTH: bt_obs::Histogram = bt_obs::Histogram::new("serve.queue.depth");
+/// Requests per executed batch.
+static OCCUPANCY: bt_obs::Histogram = bt_obs::Histogram::new("serve.batch.occupancy");
+/// Valid tokens per executed batch (what a token budget meters).
+static BATCH_TOKENS: bt_obs::Histogram = bt_obs::Histogram::new("serve.batch.tokens");
+/// Time spent queued before the batch started, in microseconds.
+static TIME_IN_QUEUE_US: bt_obs::Histogram = bt_obs::Histogram::new("serve.queue_wait_us");
+
+/// Server configuration: cutting policy plus the three overload guards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// How batches are cut from the queue.
+    pub policy: CutPolicy,
+    /// Bounded ingress queue capacity, in requests.
+    pub queue_capacity: usize,
+    /// Per-request deadline in seconds from arrival (`f64::INFINITY`
+    /// disables expiry). A request whose batch has not *started* by its
+    /// deadline is cancelled and shed.
+    pub deadline: f64,
+    /// Longest sequence the runtime accepts; longer requests are shed with
+    /// [`ShedReason::TooLong`] instead of being admitted.
+    pub max_len: usize,
+}
+
+impl ServeConfig {
+    fn validate(&self) {
+        assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(self.deadline > 0.0, "deadline must be positive");
+        assert!(self.max_len > 0, "max_len must be positive");
+    }
+}
+
+/// Final disposition of one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// The request's batch completed.
+    Served {
+        /// Seconds spent queued before its batch started.
+        queue_wait: f64,
+        /// Completion minus arrival, in seconds.
+        latency: f64,
+    },
+    /// The request was rejected or cancelled.
+    Shed {
+        /// Why it was shed.
+        reason: ShedReason,
+        /// Seconds spent queued before the shed decision (zero for
+        /// ingress-gate rejections).
+        wait: f64,
+    },
+}
+
+/// One request's identity, size, and [`Outcome`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// Caller-assigned request id.
+    pub id: usize,
+    /// Valid-token count.
+    pub len: usize,
+    /// What happened to it.
+    pub outcome: Outcome,
+}
+
+impl RequestOutcome {
+    /// True when the request was served to completion.
+    pub fn served(&self) -> bool {
+        matches!(self.outcome, Outcome::Served { .. })
+    }
+}
+
+/// Everything one serving run observed.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-request outcomes, indexed by request id.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Batches executed.
+    pub batches: usize,
+    /// Completion time of the last batch (seconds from the first arrival
+    /// epoch); zero if nothing was served.
+    pub makespan: f64,
+}
+
+impl ServeReport {
+    /// Aggregates the run into counts, latency percentiles and goodput.
+    pub fn summary(&self) -> ServeSummary {
+        let mut s = ServeSummary {
+            offered: self.outcomes.len(),
+            served: 0,
+            shed_queue_full: 0,
+            shed_deadline: 0,
+            shed_too_long: 0,
+            batches: self.batches,
+            served_tokens: 0,
+            makespan: self.makespan,
+            served_latency: latency_stats(&[]),
+        };
+        let mut latencies = Vec::new();
+        for r in &self.outcomes {
+            match r.outcome {
+                Outcome::Served { latency, .. } => {
+                    s.served += 1;
+                    s.served_tokens += r.len.max(1);
+                    latencies.push(latency);
+                }
+                Outcome::Shed { reason, .. } => match reason {
+                    ShedReason::QueueFull => s.shed_queue_full += 1,
+                    ShedReason::DeadlineExpired => s.shed_deadline += 1,
+                    ShedReason::TooLong => s.shed_too_long += 1,
+                },
+            }
+        }
+        s.served_latency = latency_stats(&latencies);
+        s
+    }
+}
+
+/// Aggregate view of a serving run (see [`ServeReport::summary`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSummary {
+    /// Requests offered (served + shed).
+    pub offered: usize,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Shed at the ingress gate (queue full).
+    pub shed_queue_full: usize,
+    /// Cancelled after deadline expiry.
+    pub shed_deadline: usize,
+    /// Rejected as longer than the runtime supports.
+    pub shed_too_long: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Valid tokens across served requests.
+    pub served_tokens: usize,
+    /// Completion time of the last batch, in seconds.
+    pub makespan: f64,
+    /// Latency percentiles over *served* requests only.
+    pub served_latency: LatencyStats,
+}
+
+impl ServeSummary {
+    /// Total shed requests across all reasons.
+    pub fn shed(&self) -> usize {
+        self.shed_queue_full + self.shed_deadline + self.shed_too_long
+    }
+
+    /// The invariant the stress suite enforces: every offered request has
+    /// exactly one outcome.
+    pub fn accounting_is_exact(&self) -> bool {
+        self.served + self.shed() == self.offered
+    }
+
+    /// Served valid tokens per second of makespan — the throughput that
+    /// *mattered* (shed work does not count).
+    pub fn goodput_tokens_per_sec(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.served_tokens as f64 / self.makespan
+    }
+}
+
+/// Zero-padded random input for a masked batch (`[batch, max_seq, hidden]`
+/// with rows past each sequence's length zeroed) — the standard request
+/// synthesis for serving paths, shared by the capacity probe, the serving
+/// executors, and `btx`.
+pub fn masked_randn(mask: &BatchMask, hidden: usize, seed: u64) -> bt_tensor::Tensor {
+    let mut t = bt_tensor::Tensor::randn([mask.batch(), mask.max_seq_len(), hidden], seed);
+    for (b, &len) in mask.seq_lens().iter().enumerate() {
+        for s in len..mask.max_seq_len() {
+            for h in 0..hidden {
+                t.set(&[b, s, h], 0.0).expect("within shape");
+            }
+        }
+    }
+    t
+}
+
+/// An executor for [`run_open_loop`] that runs **real** framework forwards:
+/// each batch synthesizes a masked random input, executes `fw.forward` on a
+/// fresh device (so per-batch modeled time is isolated), and returns the
+/// modeled device seconds. The forwards' internal `parallel_for` fan-outs
+/// run on the persistent work-stealing pool.
+pub fn modeled_forward_executor(
+    fw: &crate::SimFramework,
+    cost: bt_device::CostModel,
+    seed: u64,
+) -> impl FnMut(&BatchMask) -> f64 + '_ {
+    let mut batch_no: u64 = 0;
+    move |mask| {
+        let input = masked_randn(
+            mask,
+            fw.model.config.hidden(),
+            seed ^ batch_no.wrapping_mul(0x9e37_79b9),
+        );
+        batch_no += 1;
+        let device = fw.device(cost);
+        fw.forward(&device, &input, mask)
+            .expect("server admission bounds request lengths to supported shapes");
+        device.modeled_total()
+    }
+}
+
+fn record_shed(outcomes: &mut [Option<RequestOutcome>], id: usize, len: usize, reason: ShedReason, wait: f64) {
+    match reason {
+        ShedReason::QueueFull => SHED_QUEUE_FULL.incr(),
+        ShedReason::DeadlineExpired => SHED_DEADLINE.incr(),
+        ShedReason::TooLong => SHED_TOO_LONG.incr(),
+    }
+    let slot = outcomes.get_mut(id).expect("request ids must be a permutation of 0..n");
+    assert!(slot.is_none(), "request id {id} offered twice");
+    *slot = Some(RequestOutcome {
+        id,
+        len,
+        outcome: Outcome::Shed { reason, wait },
+    });
+}
+
+/// Runs the continuous-batching server over a pre-generated open-loop
+/// arrival trace in **virtual time**: the clock advances by the executor's
+/// returned batch duration (typically modeled device seconds), so the whole
+/// run — batches formed, requests shed, every latency — is deterministic
+/// for a fixed trace and executor.
+///
+/// Loop semantics, identical to the threaded [`Server`]:
+/// 1. admit every arrival up to the clock (gate-shedding `TooLong` and,
+///    once the bounded queue is full, `QueueFull`);
+/// 2. cancel queued requests whose deadline passed (a request whose
+///    deadline equals the batch start still runs);
+/// 3. cut the next batch with the configured policy and execute it;
+/// 4. advance the clock by the batch duration and repeat. An idle server
+///    jumps straight to the next arrival.
+///
+/// # Panics
+/// Panics if request ids are not a permutation of `0..requests.len()`, if
+/// the executor returns a non-finite or negative duration, or on an invalid
+/// [`ServeConfig`].
+pub fn run_open_loop(
+    requests: &[TimedRequest],
+    config: &ServeConfig,
+    mut exec: impl FnMut(&BatchMask) -> f64,
+) -> ServeReport {
+    config.validate();
+    let mut order: Vec<TimedRequest> = requests.to_vec();
+    order.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
+    let n = order.len();
+    let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; n];
+    let mut queue: VecDeque<Pending> = VecDeque::new();
+    let mut clock = 0.0f64;
+    let mut next = 0usize;
+    let mut batches = 0usize;
+    let mut makespan = 0.0f64;
+    while next < n || !queue.is_empty() {
+        if queue.is_empty() {
+            clock = clock.max(order[next].arrival);
+        }
+        while next < n && order[next].arrival <= clock {
+            let r = order[next];
+            next += 1;
+            OFFERED.incr();
+            if r.len > config.max_len {
+                record_shed(&mut outcomes, r.id, r.len, ShedReason::TooLong, 0.0);
+            } else if queue.len() >= config.queue_capacity {
+                record_shed(&mut outcomes, r.id, r.len, ShedReason::QueueFull, 0.0);
+            } else {
+                queue.push_back(Pending {
+                    id: r.id,
+                    len: r.len,
+                    arrival: r.arrival,
+                    deadline: r.arrival + config.deadline,
+                });
+            }
+            QUEUE_DEPTH.record(queue.len() as u64);
+        }
+        queue.retain(|p| {
+            if p.deadline < clock {
+                record_shed(
+                    &mut outcomes,
+                    p.id,
+                    p.len,
+                    ShedReason::DeadlineExpired,
+                    clock - p.arrival,
+                );
+                false
+            } else {
+                true
+            }
+        });
+        if queue.is_empty() {
+            continue;
+        }
+        let _batch_span = bt_obs::span!("serve.batch");
+        let batch = config.policy.cut_next_batch(&mut queue);
+        let mask = batch_mask(&batch).expect("per-batch mask invariants hold");
+        BATCHES.incr();
+        OCCUPANCY.record(batch.len() as u64);
+        BATCH_TOKENS.record(mask.valid_words() as u64);
+        let start = clock;
+        for p in &batch {
+            TIME_IN_QUEUE_US.record(((start - p.arrival) * 1e6) as u64);
+        }
+        let duration = {
+            let _span = bt_obs::span!("serve.batch.forward");
+            exec(&mask)
+        };
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "executor must return a finite non-negative duration, got {duration}"
+        );
+        let done = start + duration;
+        for p in &batch {
+            SERVED.incr();
+            let slot = outcomes
+                .get_mut(p.id)
+                .expect("request ids must be a permutation of 0..n");
+            assert!(slot.is_none(), "request id {} offered twice", p.id);
+            *slot = Some(RequestOutcome {
+                id: p.id,
+                len: p.len,
+                outcome: Outcome::Served {
+                    queue_wait: start - p.arrival,
+                    latency: done - p.arrival,
+                },
+            });
+        }
+        batches += 1;
+        clock = done;
+        makespan = makespan.max(done);
+    }
+    let outcomes: Vec<RequestOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every offered request has exactly one outcome"))
+        .collect();
+    ServeReport {
+        outcomes,
+        batches,
+        makespan,
+    }
+}
+
+/// A submission into the threaded server's bounded MPSC ingress.
+#[derive(Debug)]
+struct Submission {
+    id: usize,
+    len: usize,
+    submitted: Instant,
+}
+
+/// A cloneable producer handle onto the server's bounded ingress queue.
+///
+/// [`IngressHandle::try_submit`] applies backpressure: when the bounded
+/// channel is full the submission is rejected immediately with
+/// [`ShedReason::QueueFull`] — the caller owns that shed outcome (the
+/// request never reached the server, so it appears in no [`ServeReport`]).
+#[derive(Debug, Clone)]
+pub struct IngressHandle {
+    tx: SyncSender<Submission>,
+}
+
+impl IngressHandle {
+    /// Offers a request; rejects with [`ShedReason::QueueFull`] when the
+    /// bounded ingress is full, or with a disconnect error message if the
+    /// server already shut down.
+    ///
+    /// # Errors
+    /// `Err(Some(QueueFull))` on backpressure, `Err(None)` if the server is
+    /// gone.
+    pub fn try_submit(&self, id: usize, len: usize) -> Result<(), Option<ShedReason>> {
+        match self.tx.try_send(Submission {
+            id,
+            len,
+            submitted: Instant::now(),
+        }) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(Some(ShedReason::QueueFull)),
+            Err(TrySendError::Disconnected(_)) => Err(None),
+        }
+    }
+}
+
+/// The multi-threaded continuous-batching server: a bounded MPSC ingress
+/// feeding one server thread that runs the same admission/cut/shed loop as
+/// [`run_open_loop`], in wall-clock time, executing batches on the
+/// persistent pool.
+///
+/// Lifecycle: [`Server::spawn`] → clone [`Server::handle`] into producer
+/// threads → drop all handles → [`Server::finish`] to join and collect
+/// outcomes. Outcomes for requests the handles rejected (`QueueFull`
+/// backpressure) are owned by the producers; `finish` returns outcomes for
+/// every request that entered the channel — the two partitions together
+/// account for every offered request exactly once.
+#[derive(Debug)]
+pub struct Server {
+    handle: IngressHandle,
+    results: Receiver<RequestOutcome>,
+    worker: std::thread::JoinHandle<usize>,
+}
+
+impl Server {
+    /// Starts the server thread with the given configuration and batch
+    /// executor (wall time; the executor's internal parallelism runs on the
+    /// persistent pool).
+    pub fn spawn(config: ServeConfig, mut exec: impl FnMut(&BatchMask) + Send + 'static) -> Server {
+        config.validate();
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Submission>(config.queue_capacity);
+        let (result_tx, results) = std::sync::mpsc::channel::<RequestOutcome>();
+        let worker = std::thread::spawn(move || {
+            let epoch = Instant::now();
+            let mut queue: VecDeque<Pending> = VecDeque::new();
+            let mut batches = 0usize;
+            let shed = |result_tx: &std::sync::mpsc::Sender<RequestOutcome>, p: &Pending, reason, wait| {
+                match reason {
+                    ShedReason::QueueFull => SHED_QUEUE_FULL.incr(),
+                    ShedReason::DeadlineExpired => SHED_DEADLINE.incr(),
+                    ShedReason::TooLong => SHED_TOO_LONG.incr(),
+                }
+                let _ = result_tx.send(RequestOutcome {
+                    id: p.id,
+                    len: p.len,
+                    outcome: Outcome::Shed { reason, wait },
+                });
+            };
+            let admit =
+                |queue: &mut VecDeque<Pending>, result_tx: &std::sync::mpsc::Sender<RequestOutcome>, s: Submission| {
+                    OFFERED.incr();
+                    let arrival = s.submitted.saturating_duration_since(epoch).as_secs_f64();
+                    let p = Pending {
+                        id: s.id,
+                        len: s.len,
+                        arrival,
+                        deadline: arrival + config.deadline,
+                    };
+                    if p.len > config.max_len {
+                        shed(result_tx, &p, ShedReason::TooLong, 0.0);
+                    } else if queue.len() >= config.queue_capacity {
+                        // The channel bound already pushed back on producers;
+                        // this second gate keeps the *internal* queue within the
+                        // configured bound even after a drain.
+                        shed(result_tx, &p, ShedReason::QueueFull, 0.0);
+                    } else {
+                        queue.push_back(p);
+                    }
+                    QUEUE_DEPTH.record(queue.len() as u64);
+                };
+            loop {
+                if queue.is_empty() {
+                    // Idle: block until work arrives or every producer hung up.
+                    match rx.recv() {
+                        Ok(s) => admit(&mut queue, &result_tx, s),
+                        Err(_) => break,
+                    }
+                }
+                while let Ok(s) = rx.try_recv() {
+                    admit(&mut queue, &result_tx, s);
+                }
+                let now = epoch.elapsed().as_secs_f64();
+                queue.retain(|p| {
+                    if p.deadline < now {
+                        shed(&result_tx, p, ShedReason::DeadlineExpired, now - p.arrival);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if queue.is_empty() {
+                    continue;
+                }
+                let _batch_span = bt_obs::span!("serve.batch");
+                let batch = config.policy.cut_next_batch(&mut queue);
+                let mask = batch_mask(&batch).expect("per-batch mask invariants hold");
+                BATCHES.incr();
+                OCCUPANCY.record(batch.len() as u64);
+                BATCH_TOKENS.record(mask.valid_words() as u64);
+                let start = epoch.elapsed().as_secs_f64();
+                for p in &batch {
+                    TIME_IN_QUEUE_US.record(((start - p.arrival) * 1e6) as u64);
+                }
+                {
+                    let _span = bt_obs::span!("serve.batch.forward");
+                    exec(&mask);
+                }
+                let done = epoch.elapsed().as_secs_f64();
+                for p in &batch {
+                    SERVED.incr();
+                    let _ = result_tx.send(RequestOutcome {
+                        id: p.id,
+                        len: p.len,
+                        outcome: Outcome::Served {
+                            queue_wait: start - p.arrival,
+                            latency: done - p.arrival,
+                        },
+                    });
+                }
+                batches += 1;
+            }
+            batches
+        });
+        Server {
+            handle: IngressHandle { tx },
+            results,
+            worker,
+        }
+    }
+
+    /// A cloneable producer handle. Drop every clone (and stop using the
+    /// server's own) before [`Server::finish`], or the server thread will
+    /// keep waiting for more work.
+    pub fn handle(&self) -> IngressHandle {
+        self.handle.clone()
+    }
+
+    /// Shuts down: closes the server's own ingress reference, waits for the
+    /// server thread to drain and exit, and returns every outcome it
+    /// produced plus the number of batches executed.
+    ///
+    /// # Panics
+    /// Panics if the server thread panicked.
+    pub fn finish(self) -> (Vec<RequestOutcome>, usize) {
+        let Server {
+            handle,
+            results,
+            worker,
+        } = self;
+        drop(handle);
+        let mut outcomes = Vec::new();
+        // recv drains until the worker drops its result sender (exit).
+        while let Ok(r) = results.recv() {
+            outcomes.push(r);
+        }
+        let batches = worker.join().expect("server thread must not panic");
+        (outcomes, batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::poisson_arrivals;
+    use bt_varlen::workload::LengthDistribution;
+
+    fn arrivals(lens_and_times: &[(usize, f64)]) -> Vec<TimedRequest> {
+        lens_and_times
+            .iter()
+            .enumerate()
+            .map(|(id, &(len, arrival))| TimedRequest { id, len, arrival })
+            .collect()
+    }
+
+    fn ample() -> ServeConfig {
+        ServeConfig {
+            policy: CutPolicy::Fifo { max_batch: 4 },
+            queue_capacity: 64,
+            deadline: f64::INFINITY,
+            max_len: 1024,
+        }
+    }
+
+    #[test]
+    fn everything_served_under_light_load() {
+        let reqs = arrivals(&[(8, 0.0), (16, 0.0), (4, 5.0), (2, 5.0)]);
+        let report = run_open_loop(&reqs, &ample(), |_| 1.0);
+        let s = report.summary();
+        assert!(s.accounting_is_exact());
+        assert_eq!(s.served, 4);
+        assert_eq!(s.shed(), 0);
+        assert_eq!(report.batches, 2, "two arrival clusters, two batches");
+        // The idle server jumps to the second cluster rather than waiting.
+        assert!(matches!(report.outcomes[2].outcome, Outcome::Served { latency, .. } if (latency - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn bounded_queue_sheds_overflow_at_the_gate() {
+        // 8 simultaneous arrivals into a 2-slot queue: 2 queued, 6 shed.
+        let reqs = arrivals(&[(4, 0.0); 8]);
+        let mut config = ample();
+        config.queue_capacity = 2;
+        config.policy = CutPolicy::Fifo { max_batch: 2 };
+        let report = run_open_loop(&reqs, &config, |_| 1.0);
+        let s = report.summary();
+        assert!(s.accounting_is_exact());
+        assert_eq!(s.served, 2);
+        assert_eq!(s.shed_queue_full, 6);
+    }
+
+    #[test]
+    fn deadlines_cancel_queued_requests() {
+        // One long batch occupies the server; the straggler behind it
+        // expires before the server frees up.
+        let reqs = arrivals(&[(8, 0.0), (8, 0.1)]);
+        let mut config = ample();
+        config.policy = CutPolicy::Fifo { max_batch: 1 };
+        config.deadline = 0.5;
+        let report = run_open_loop(&reqs, &config, |_| 2.0);
+        let s = report.summary();
+        assert!(s.accounting_is_exact());
+        assert_eq!(s.served, 1);
+        assert_eq!(s.shed_deadline, 1);
+        match report.outcomes[1].outcome {
+            Outcome::Shed { reason, wait } => {
+                assert_eq!(reason, ShedReason::DeadlineExpired);
+                assert!((wait - 1.9).abs() < 1e-9, "cancelled when the server freed at t=2.0");
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_long_requests_never_reach_the_queue() {
+        let reqs = arrivals(&[(4096, 0.0), (8, 0.0)]);
+        let mut config = ample();
+        config.max_len = 512;
+        let report = run_open_loop(&reqs, &config, |_| 0.1);
+        let s = report.summary();
+        assert!(s.accounting_is_exact());
+        assert_eq!(s.shed_too_long, 1);
+        assert_eq!(s.served, 1);
+    }
+
+    #[test]
+    fn token_budget_bounds_batch_work() {
+        let reqs = poisson_arrivals(64, 10_000.0, LengthDistribution::PaperUniform { alpha: 0.6 }, 64, 5);
+        let budget = 128;
+        let mut config = ample();
+        config.policy = CutPolicy::TokenBudget { budget_tokens: budget };
+        let report = run_open_loop(&reqs, &config, |mask| {
+            assert!(
+                mask.valid_words() <= budget || mask.batch() == 1,
+                "batch of {} tokens exceeds budget {budget}",
+                mask.valid_words()
+            );
+            mask.valid_words() as f64 * 1e-5
+        });
+        let s = report.summary();
+        assert!(s.accounting_is_exact());
+        assert_eq!(s.served, 64);
+    }
+
+    #[test]
+    fn virtual_time_runs_are_deterministic() {
+        let reqs = poisson_arrivals(256, 3_000.0, LengthDistribution::Zipf { exponent: 1.2 }, 128, 11);
+        let config = ServeConfig {
+            policy: CutPolicy::TokenBudget { budget_tokens: 256 },
+            queue_capacity: 8,
+            deadline: 0.02,
+            max_len: 128,
+        };
+        let exec = |mask: &BatchMask| mask.valid_words() as f64 * 2e-5 + 1e-5;
+        let a = run_open_loop(&reqs, &config, exec);
+        let b = run_open_loop(&reqs, &config, exec);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.batches, b.batches);
+        assert!(a.summary().accounting_is_exact());
+    }
+
+    #[test]
+    fn goodput_counts_only_served_tokens() {
+        let reqs = arrivals(&[(10, 0.0), (10, 0.0)]);
+        let mut config = ample();
+        config.queue_capacity = 1;
+        config.policy = CutPolicy::Fifo { max_batch: 1 };
+        let report = run_open_loop(&reqs, &config, |_| 1.0);
+        let s = report.summary();
+        assert_eq!(s.served_tokens, 10);
+        assert!((s.goodput_tokens_per_sec() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threaded_server_accounts_for_every_submission() {
+        let config = ServeConfig {
+            policy: CutPolicy::TokenBudget { budget_tokens: 64 },
+            queue_capacity: 4,
+            deadline: 10.0,
+            max_len: 256,
+        };
+        let server = Server::spawn(config, |mask| {
+            // A tiny busy-wait stands in for the forward; length-dependent
+            // so batches take observably different times.
+            std::hint::black_box(mask.valid_words());
+        });
+        let producers = 4;
+        let per_producer = 64;
+        let mut rejected = 0usize;
+        std::thread::scope(|s| {
+            let mut joins = Vec::new();
+            for t in 0..producers {
+                let handle = server.handle();
+                joins.push(s.spawn(move || {
+                    let mut rejected = 0usize;
+                    for i in 0..per_producer {
+                        let id = t * per_producer + i;
+                        match handle.try_submit(id, 1 + (id % 32)) {
+                            Ok(()) => {}
+                            Err(Some(ShedReason::QueueFull)) => rejected += 1,
+                            Err(other) => panic!("unexpected submit failure: {other:?}"),
+                        }
+                    }
+                    rejected
+                }));
+            }
+            for j in joins {
+                rejected += j.join().expect("producer thread");
+            }
+        });
+        let (outcomes, batches) = server.finish();
+        let offered = producers * per_producer;
+        assert_eq!(
+            outcomes.len() + rejected,
+            offered,
+            "every submission is either a server outcome or a backpressure rejection"
+        );
+        let mut ids: Vec<usize> = outcomes.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), outcomes.len(), "no request reported twice");
+        assert!(batches > 0 || outcomes.is_empty());
+        for o in &outcomes {
+            if let Outcome::Served { queue_wait, latency } = o.outcome {
+                assert!(latency >= queue_wait && queue_wait >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_server_sheds_too_long_requests() {
+        let config = ServeConfig {
+            policy: CutPolicy::Fifo { max_batch: 4 },
+            queue_capacity: 8,
+            deadline: 10.0,
+            max_len: 16,
+        };
+        let server = Server::spawn(config, |_| {});
+        let handle = server.handle();
+        handle.try_submit(0, 1000).expect("channel has room");
+        handle.try_submit(1, 8).expect("channel has room");
+        drop(handle);
+        let (outcomes, _) = server.finish();
+        assert_eq!(outcomes.len(), 2);
+        let by_id = |id: usize| outcomes.iter().find(|o| o.id == id).expect("reported");
+        assert!(matches!(
+            by_id(0).outcome,
+            Outcome::Shed {
+                reason: ShedReason::TooLong,
+                ..
+            }
+        ));
+        assert!(by_id(1).served());
+    }
+}

@@ -1,19 +1,25 @@
-//! Online-serving substrate: request batching policies and latency
-//! statistics.
+//! Online-serving substrate: request batching policies, open-loop arrival
+//! generators, and latency statistics.
 //!
 //! The paper's motivation is a *serving* system (TikTok/Douyin traffic):
 //! requests with wildly different lengths arrive continuously and must be
-//! batched for GPU efficiency. This module provides the batching policies
-//! the serving example compares:
+//! batched for GPU efficiency. This module provides the offline batching
+//! policies the serving example compares:
 //!
 //! * [`BatchPolicy::Fifo`] — take the next `max_batch` requests as they
 //!   came. A padding-free runtime (ByteTransformer) is insensitive to the
 //!   length variance inside such batches; a padded runtime pays for it.
-//! * [`BatchPolicy::SortedGroups`] — TurboTransformer-style: sort a window
+//! * [`BatchPolicy::SortedGroups`] — TurboTransformers-style: sort a window
 //!   of requests by length, then cut batches of similar lengths. Reduces
 //!   padding for padded runtimes at the cost of reordering (which shows up
 //!   as queueing latency for early-arrived long requests).
+//!
+//! Both are thin wrappers over the shared batch-cutting policies in
+//! [`crate::admission`]; the *online* continuous-batching server (bounded
+//! ingress queue, deadlines, token-budget batches, load shedding) lives in
+//! [`crate::server`].
 
+use crate::admission::CutPolicy;
 use bt_varlen::{BatchMask, VarlenError};
 
 /// A serving request: an id and a sequence length.
@@ -25,42 +31,54 @@ pub struct Request {
     pub len: usize,
 }
 
-/// Batch formation policy.
+/// Batch formation policy for the offline window batcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchPolicy {
     /// Arrival order, fixed maximum batch size.
     Fifo,
     /// Sort the whole window by length, then cut fixed-size batches —
-    /// the grouping family TurboTransformer/LightSeq use.
+    /// the grouping family TurboTransformers/LightSeq use.
     SortedGroups,
+}
+
+impl BatchPolicy {
+    /// The equivalent continuous-batching [`CutPolicy`] at the given
+    /// capacity (both offline policies are count-capped).
+    pub fn cut_policy(&self, max_batch: usize) -> CutPolicy {
+        match self {
+            BatchPolicy::Fifo => CutPolicy::Fifo { max_batch },
+            BatchPolicy::SortedGroups => CutPolicy::SortedGroups { max_batch },
+        }
+    }
 }
 
 /// Forms batches over a window of requests. Each batch is at most
 /// `max_batch` requests; its mask's `max_seq_len` is the longest member
 /// (padded runtimes pay for that; packed runtimes pay only for valid
-/// tokens).
+/// tokens). Delegates to [`crate::admission::plan_batches`], so the window
+/// batcher and the continuous server cut batches with the same code.
 ///
 /// # Errors
-/// Propagates [`VarlenError`] from mask construction (cannot happen for
-/// well-formed requests; surfaced for API honesty).
+/// Propagates [`VarlenError`] from mask construction. Under the invariants
+/// `plan_batches` establishes (lengths clamped to ≥ 1, each mask's
+/// `max_seq_len` the maximum of its own batch) mask construction cannot
+/// currently fail; the `Result` is kept so the signature survives future
+/// [`BatchMask`] invariants without breaking callers.
+///
+/// # Panics
+/// Panics if `max_batch == 0`.
 pub fn form_batches(
     requests: &[Request],
     max_batch: usize,
     policy: BatchPolicy,
 ) -> Result<Vec<(Vec<Request>, BatchMask)>, VarlenError> {
     assert!(max_batch > 0, "max_batch must be positive");
-    let mut order: Vec<Request> = requests.to_vec();
-    if policy == BatchPolicy::SortedGroups {
-        order.sort_by_key(|r| std::cmp::Reverse(r.len));
-    }
-    let mut batches = Vec::new();
-    for chunk in order.chunks(max_batch) {
-        let lens: Vec<usize> = chunk.iter().map(|r| r.len.max(1)).collect();
-        let max = lens.iter().copied().max().unwrap_or(1);
-        let mask = BatchMask::from_lens(lens, max)?;
-        batches.push((chunk.to_vec(), mask));
-    }
-    Ok(batches)
+    let pairs: Vec<(usize, usize)> = requests.iter().map(|r| (r.id, r.len)).collect();
+    let planned = crate::admission::plan_batches(&pairs, policy.cut_policy(max_batch))?;
+    Ok(planned
+        .into_iter()
+        .map(|(batch, mask)| (batch.into_iter().map(|(id, len)| Request { id, len }).collect(), mask))
+        .collect())
 }
 
 /// A request with an arrival time, for the discrete-event server
@@ -92,6 +110,44 @@ pub fn poisson_arrivals(
         .enumerate()
         .map(|(id, len)| {
             t += -(1.0 - rng.next_f64()).ln() / rate; // Exp(rate)
+            TimedRequest { id, len, arrival: t }
+        })
+        .collect()
+}
+
+/// Samples `n` requests from a two-phase bursty (Markov-modulated Poisson)
+/// process: the arrival rate alternates between `base_rate` and
+/// `burst_rate` requests/second, switching phase every `period` seconds,
+/// with lengths from `dist`. This is the adversarial open-loop shape for an
+/// admission policy — sustained bursts at a multiple of capacity with quiet
+/// valleys in between — while staying fully deterministic under `seed`.
+///
+/// # Panics
+/// Panics unless both rates and the period are positive.
+pub fn bursty_arrivals(
+    n: usize,
+    base_rate: f64,
+    burst_rate: f64,
+    period: f64,
+    dist: bt_varlen::workload::LengthDistribution,
+    max_len: usize,
+    seed: u64,
+) -> Vec<TimedRequest> {
+    assert!(base_rate > 0.0 && burst_rate > 0.0, "rates must be positive");
+    assert!(period > 0.0, "period must be positive");
+    let mut rng = bt_tensor::rng::Xoshiro256StarStar::seed_from_u64(seed);
+    let lens = dist.sample(n, max_len, seed.wrapping_add(1));
+    let mut t = 0.0f64;
+    lens.into_iter()
+        .enumerate()
+        .map(|(id, len)| {
+            // Phase of the current instant decides the local rate; the
+            // exponential gap is sampled at that rate. (A gap can straddle a
+            // phase boundary — fine for a load generator: the realized rate
+            // still alternates between the two targets.)
+            let in_burst = ((t / period) as u64) % 2 == 1;
+            let rate = if in_burst { burst_rate } else { base_rate };
+            t += -(1.0 - rng.next_f64()).ln() / rate;
             TimedRequest { id, len, arrival: t }
         })
         .collect()
@@ -252,6 +308,34 @@ mod tests {
         let rate = reqs.len() as f64 / span;
         assert!((rate - 100.0).abs() < 10.0, "observed rate {rate}");
         assert!(reqs.iter().all(|r| r.len == 64));
+    }
+
+    #[test]
+    fn bursty_arrivals_alternate_between_the_two_rates() {
+        let period = 0.5;
+        let reqs = bursty_arrivals(
+            4_000,
+            20.0,
+            400.0,
+            period,
+            bt_varlen::workload::LengthDistribution::Fixed,
+            16,
+            3,
+        );
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // Count arrivals per phase; burst phases must be far denser.
+        let (mut quiet, mut burst) = (0usize, 0usize);
+        for r in &reqs {
+            if ((r.arrival / period) as u64) % 2 == 1 {
+                burst += 1;
+            } else {
+                quiet += 1;
+            }
+        }
+        assert!(
+            burst > quiet * 4,
+            "burst phases must dominate: burst {burst} vs quiet {quiet}"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! one generic CTA-walk driver parameterized by a store policy, so the
 //! contiguous and strided paths cannot drift. Tiles compute on the
 //! register-blocked microkernel of [`crate::micro`] out of the worker's
-//! persistent [`Scratch`] arena — the pool's workers outlive launches, so
+//! persistent `Scratch` arena — the pool's workers outlive launches, so
 //! a CTA borrows an arena that is already warm from previous launches
 //! (zero heap allocations per tile, and zero per launch once shapes have
 //! been seen) — and stores go through lock-free [`DisjointWriter`]s —

@@ -38,6 +38,11 @@ echo "==> obs overhead gate (enabled vs disabled, and compiled out)"
 BT_BENCH_FAST=1 cargo bench -p bt-bench --bench obs_overhead --quiet
 BT_BENCH_FAST=1 cargo bench -p bt-bench --bench obs_overhead --quiet --features bt-obs/obs-off
 
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+# The docs layer is a deliverable: missing_docs and broken intra-doc links
+# fail the gate, not just warn.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -4,7 +4,7 @@
 //!
 //! ## Topology
 //!
-//! The pool is a lazily-initialized global ([`global`]) sized by
+//! The pool is a lazily-initialized global (`global`) sized by
 //! `BYTE_POOL_THREADS` (default: `available_parallelism`). For a total
 //! parallelism of `T` it spawns `T − 1` *workers*; the thread that issues
 //! a parallel call is always the remaining lane, so a launch never blocks
@@ -15,7 +15,7 @@
 //!
 //! ## Scheduling
 //!
-//! Each worker owns a fixed-capacity [`Deque`]: it pushes and pops its own
+//! Each worker owns a fixed-capacity `Deque`: it pushes and pops its own
 //! fork-join work LIFO at the bottom while idle workers steal FIFO from
 //! the top. Launches from non-pool threads go to a shared injector queue.
 //! A worker looks for work in that order — own deque, steal sweep,
@@ -23,7 +23,7 @@
 //!
 //! ## Parking protocol
 //!
-//! [`Sleep`] is a classic eventcount: a generation counter under a mutex
+//! `Sleep` is a classic eventcount: a generation counter under a mutex
 //! plus a condvar. A would-be sleeper (1) reads the epoch, (2) re-checks
 //! every queue, and only then (3) parks, conditional on the epoch being
 //! unchanged. Every producer bumps the epoch *after* publishing work, so
@@ -34,9 +34,9 @@
 //!
 //! ## Launch protocol (no per-launch allocation)
 //!
-//! [`parallel_for`] drives every `par_*` iterator: the launch descriptor
+//! `parallel_for` drives every `par_*` iterator: the launch descriptor
 //! (cursor, body, panic slot, token refcount) lives on the launcher's
-//! stack, and `width − 1` two-word [`JobRef`] *tokens* pointing at it are
+//! stack, and `width − 1` two-word `JobRef` *tokens* pointing at it are
 //! pushed into the queues. Each token claims items from the shared atomic
 //! cursor until it runs dry — the same dynamic balancing the old
 //! spawn-per-call shim had, minus the thread creation. The launcher runs

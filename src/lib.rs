@@ -42,7 +42,13 @@
 //! | [`core`] | fused MHA variants + the step-wise optimized BERT encoder |
 //! | [`frameworks`] | PyTorch/TF/Turbo/FasterTransformer strategy simulations |
 //! | [`obs`] | runtime telemetry: spans, counters, profile export |
-//! | [`bench`] | benchmark harness utilities + shared artifact schema |
+//! | [`mod@bench`] | benchmark harness utilities + shared artifact schema |
+
+// Doc-test the `rust` snippets in EXPERIMENTS.md (e.g. the BENCH_serve
+// reproduction) so the committed methodology cannot drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../EXPERIMENTS.md")]
+pub struct ExperimentsDoctests;
 
 pub use bt_bench as bench;
 pub use bt_core as core;

@@ -1,0 +1,254 @@
+//! Seeded stress suite for the `bt-serve` continuous-batching server.
+//!
+//! These tests pin the acceptance contract of the serving layer:
+//! * accounting is **exact** under overload — every offered request is
+//!   served or shed with a reason, never dropped or double-counted;
+//! * overload degrades gracefully — at 2× calibrated capacity the server
+//!   sheds load, and the p99 latency of the requests it *does* serve stays
+//!   within 3× of the p99 at 0.5× load;
+//! * runs are bit-deterministic for a fixed seed;
+//! * the threaded front-end preserves the same accounting under real
+//!   multi-producer contention.
+
+use bytetransformer::frameworks::admission::{CutPolicy, ShedReason};
+use bytetransformer::frameworks::calibration::calibrate_capacity;
+use bytetransformer::frameworks::server::{modeled_forward_executor, run_open_loop, Outcome, ServeConfig, Server};
+use bytetransformer::frameworks::serving::{poisson_arrivals, TimedRequest};
+use bytetransformer::frameworks::{FrameworkKind, SimFramework};
+use bytetransformer::prelude::*;
+
+/// Synthetic batch cost: a fixed launch overhead plus linear token cost at
+/// `TOKENS_PER_SEC`. Deterministic and fast, so the stress runs thousands
+/// of requests in debug builds.
+const TOKENS_PER_SEC: f64 = 1.0e6;
+const BATCH_OVERHEAD: f64 = 50e-6;
+
+fn synthetic_exec(mask: &BatchMask) -> f64 {
+    BATCH_OVERHEAD + mask.valid_words() as f64 / TOKENS_PER_SEC
+}
+
+/// The same knob derivation `btx serve` uses, against the synthetic
+/// capacity: budget ≈ 8 mean-requests of tokens, deadline = 2 batch
+/// intervals.
+fn stress_setup(seq: usize, alpha: f64) -> (ServeConfig, f64, f64) {
+    let mean_tokens = alpha * seq as f64;
+    let interval = 8.0 * mean_tokens / TOKENS_PER_SEC;
+    let budget = (TOKENS_PER_SEC * interval).round() as usize;
+    let config = ServeConfig {
+        policy: CutPolicy::TokenBudget { budget_tokens: budget },
+        queue_capacity: 64,
+        deadline: 2.0 * interval,
+        max_len: seq,
+    };
+    (config, mean_tokens, interval)
+}
+
+fn arrivals_at_load(n: usize, load: f64, seq: usize, alpha: f64, seed: u64) -> Vec<TimedRequest> {
+    let mean_tokens = alpha * seq as f64;
+    let rate = load * TOKENS_PER_SEC / mean_tokens;
+    poisson_arrivals(n, rate, LengthDistribution::PaperUniform { alpha }, seq, seed)
+}
+
+#[test]
+fn accounting_is_exact_and_tail_is_bounded_at_double_load() {
+    let (config, _, _) = stress_setup(256, 0.6);
+    for seed in [7u64, 1234, 0xdead_beef] {
+        let light = run_open_loop(&arrivals_at_load(2000, 0.5, 256, 0.6, seed), &config, synthetic_exec);
+        let heavy = run_open_loop(&arrivals_at_load(2000, 2.0, 256, 0.6, seed), &config, synthetic_exec);
+        let ls = light.summary();
+        let hs = heavy.summary();
+
+        // Exact accounting at both loads, request by request.
+        for s in [&ls, &hs] {
+            assert!(
+                s.accounting_is_exact(),
+                "seed {seed}: served {} + shed {} != offered {}",
+                s.served,
+                s.shed(),
+                s.offered
+            );
+            assert_eq!(s.offered, 2000);
+        }
+        for report in [&light, &heavy] {
+            let mut ids: Vec<usize> = report.outcomes.iter().map(|o| o.id).collect();
+            ids.sort_unstable();
+            assert_eq!(
+                ids,
+                (0..2000).collect::<Vec<_>>(),
+                "every request has exactly one outcome"
+            );
+        }
+
+        // Light load serves essentially everything; 2× must shed hard.
+        assert!(
+            ls.shed() * 100 <= ls.offered,
+            "seed {seed}: light load shed {} of {}",
+            ls.shed(),
+            ls.offered
+        );
+        assert!(
+            hs.shed() * 10 >= hs.offered * 3,
+            "seed {seed}: 2× load shed only {} of {}",
+            hs.shed(),
+            hs.offered
+        );
+        assert!(hs.served > 0, "overload still serves the admitted fraction");
+
+        // Graceful degradation: the p99 of *served* requests under overload
+        // stays within 3× of the light-load p99 (deadline + one batch).
+        let ratio = hs.served_latency.p99 / ls.served_latency.p99.max(1e-12);
+        assert!(
+            ratio <= 3.0,
+            "seed {seed}: p99 ratio {ratio:.2} (2×: {:.3} ms vs 0.5×: {:.3} ms)",
+            hs.served_latency.p99 * 1e3,
+            ls.served_latency.p99 * 1e3
+        );
+
+        // Goodput at 2× is at least the goodput at 0.5× — shedding protects
+        // throughput instead of collapsing it.
+        assert!(hs.goodput_tokens_per_sec() >= ls.goodput_tokens_per_sec() * 0.9);
+    }
+}
+
+#[test]
+fn runs_are_bit_deterministic_for_a_fixed_seed() {
+    let (config, _, _) = stress_setup(128, 0.6);
+    let reqs = arrivals_at_load(1500, 2.0, 128, 0.6, 99);
+    let a = run_open_loop(&reqs, &config, synthetic_exec);
+    let b = run_open_loop(&reqs, &config, synthetic_exec);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(a.makespan, b.makespan);
+}
+
+#[test]
+fn deadline_sheds_report_at_least_the_deadline_of_waiting() {
+    let (config, _, _) = stress_setup(256, 0.6);
+    let report = run_open_loop(&arrivals_at_load(2000, 2.0, 256, 0.6, 5), &config, synthetic_exec);
+    let mut expired = 0;
+    for o in &report.outcomes {
+        if let Outcome::Shed {
+            reason: ShedReason::DeadlineExpired,
+            wait,
+        } = o.outcome
+        {
+            expired += 1;
+            assert!(
+                wait >= config.deadline,
+                "a deadline shed waited {wait:.6}s < deadline {:.6}s",
+                config.deadline
+            );
+        }
+    }
+    assert!(expired > 0, "2× load must produce deadline cancellations");
+}
+
+#[test]
+fn queue_full_sheds_appear_when_the_queue_is_tight() {
+    let (mut config, _, _) = stress_setup(256, 0.6);
+    config.queue_capacity = 4;
+    let report = run_open_loop(&arrivals_at_load(2000, 2.0, 256, 0.6, 21), &config, synthetic_exec);
+    let s = report.summary();
+    assert!(s.accounting_is_exact());
+    assert!(
+        s.shed_queue_full > 0,
+        "a 4-slot queue under 2× load must exercise backpressure"
+    );
+    // Gate rejections report zero queue time.
+    for o in &report.outcomes {
+        if let Outcome::Shed {
+            reason: ShedReason::QueueFull,
+            wait,
+        } = o.outcome
+        {
+            assert_eq!(wait, 0.0);
+        }
+    }
+}
+
+#[test]
+fn real_forward_serving_overload_smoke() {
+    // End-to-end: calibrate capacity from the roofline on a small model,
+    // then serve at 2× that capacity with real framework forwards.
+    let config = BertConfig {
+        heads: 4,
+        head_size: 16,
+        ffn_scale: 4,
+        layers: 1,
+        eps: 1e-6,
+    };
+    let model = BertModel::new_random(config, 1, 1);
+    let fw = SimFramework::new(FrameworkKind::ByteTransformer, model);
+    let capacity = calibrate_capacity(&fw, 64, 0.6, 8, 42);
+    assert!(capacity.tokens_per_sec > 0.0);
+    let mean_tokens = 0.6 * 64.0;
+    let interval = 8.0 * mean_tokens / capacity.tokens_per_sec;
+    let serve_config = ServeConfig {
+        policy: CutPolicy::TokenBudget {
+            budget_tokens: capacity.token_budget(interval),
+        },
+        queue_capacity: 32,
+        deadline: 2.0 * interval,
+        max_len: 64,
+    };
+    let rate = capacity.request_rate(mean_tokens, 2.0);
+    let reqs = poisson_arrivals(48, rate, LengthDistribution::PaperUniform { alpha: 0.6 }, 64, 13);
+    let report = run_open_loop(
+        &reqs,
+        &serve_config,
+        modeled_forward_executor(&fw, CostModel::a100(), 42),
+    );
+    let s = report.summary();
+    assert!(s.accounting_is_exact());
+    assert_eq!(s.offered, 48);
+    assert!(s.shed() > 0, "2× calibrated capacity must shed");
+    assert!(s.served > 0, "overload still serves admitted requests");
+}
+
+#[test]
+fn threaded_server_under_producer_contention_accounts_exactly() {
+    let config = ServeConfig {
+        policy: CutPolicy::TokenBudget { budget_tokens: 128 },
+        queue_capacity: 8,
+        deadline: 30.0,
+        max_len: 128,
+    };
+    let server = Server::spawn(config, |mask| {
+        std::hint::black_box(mask.valid_words());
+    });
+    let producers = 8;
+    let per_producer = 256;
+    let mut rejected = 0usize;
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for t in 0..producers {
+            let handle = server.handle();
+            joins.push(scope.spawn(move || {
+                let mut rejected = 0usize;
+                for i in 0..per_producer {
+                    let id = t * per_producer + i;
+                    match handle.try_submit(id, 1 + id % 96) {
+                        Ok(()) => {}
+                        Err(Some(ShedReason::QueueFull)) => rejected += 1,
+                        Err(other) => panic!("unexpected submit failure: {other:?}"),
+                    }
+                }
+                rejected
+            }));
+        }
+        for j in joins {
+            rejected += j.join().expect("producer thread");
+        }
+    });
+    let (outcomes, _batches) = server.finish();
+    let offered = producers * per_producer;
+    assert_eq!(
+        outcomes.len() + rejected,
+        offered,
+        "every submission is a server outcome or a backpressure rejection"
+    );
+    let mut ids: Vec<usize> = outcomes.iter().map(|o| o.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), outcomes.len(), "no duplicate outcomes");
+}
