@@ -15,7 +15,10 @@
 
 use bt_bench::{banner, fast_mode, wall};
 use bt_gemm::grouped::{grouped_sgemm, GroupedConfig, GroupedProblem, NoEpilogue, NoTransform};
-use bt_gemm::{available_isas, set_active_isa, sgemm, GemmSpec, Isa};
+use bt_gemm::isa::active_kernel;
+use bt_gemm::{
+    available_isas, resolve_lowp_kernel, set_active_isa, set_active_precision, sgemm, GemmSpec, Isa, Precision,
+};
 use bt_tensor::rng::Xoshiro256StarStar;
 use rayon::prelude::*;
 use std::fmt::Write as _;
@@ -58,6 +61,7 @@ fn gflops(flops: u64, reps: usize, mut f: impl FnMut()) -> (f64, f64) {
 struct Row {
     name: &'static str,
     tier: String,
+    prec: String,
     m: usize,
     n: usize,
     k: usize,
@@ -66,10 +70,12 @@ struct Row {
 }
 
 const SHAPES: [&str; 4] = ["square_768", "ffn_up", "ffn_down", "grouped_qk"];
+const DENSE_SHAPES: [&str; 3] = ["square_768", "ffn_up", "ffn_down"];
+const LOW_PRECS: [Precision; 3] = [Precision::F16, Precision::Bf16, Precision::Int8];
 
-/// Runs all four paper shapes on the currently active dispatch path and
-/// appends one row per shape tagged `tier`.
-fn sweep(tier: &str, reps: usize, scale: usize, rows: &mut Vec<Row>) {
+/// Runs all four paper shapes on the currently active dispatch path
+/// (ISA tier × precision) and appends one row per shape tagged `tier`/`prec`.
+fn sweep(tier: &str, prec: &str, reps: usize, scale: usize, rows: &mut Vec<Row>) {
     let dense: &[(&'static str, usize, usize, usize)] = &[
         ("square_768", 768 / scale, 768 / scale, 768 / scale),
         ("ffn_up", 768 / scale, 3072 / scale, 768 / scale),
@@ -88,6 +94,7 @@ fn sweep(tier: &str, reps: usize, scale: usize, rows: &mut Vec<Row>) {
         rows.push(Row {
             name,
             tier: tier.to_string(),
+            prec: prec.to_string(),
             m,
             n,
             k,
@@ -127,6 +134,7 @@ fn sweep(tier: &str, reps: usize, scale: usize, rows: &mut Vec<Row>) {
         rows.push(Row {
             name: "grouped_qk",
             tier: tier.to_string(),
+            prec: prec.to_string(),
             m: seq,
             n: seq,
             k: head,
@@ -146,7 +154,7 @@ fn main() {
     let scale = if fast_mode() { 4 } else { 1 };
     let mut rows: Vec<Row> = Vec::new();
 
-    sweep("seed_scalar", reps, scale, &mut rows);
+    sweep("seed_scalar", "f32", reps, scale, &mut rows);
     let available = available_isas();
     for tier in [Isa::Scalar, Isa::Avx2, Isa::Avx512] {
         if !available.contains(&tier) {
@@ -154,27 +162,49 @@ fn main() {
             continue;
         }
         set_active_isa(tier).expect("tier just reported available");
-        sweep(tier.name(), reps, scale, &mut rows);
+        sweep(tier.name(), "f32", reps, scale, &mut rows);
+        // Low-precision sweeps on this tier — only combinations the
+        // dispatcher serves natively (a degraded combination would just
+        // duplicate the row of the tier it degrades to).
+        for prec in LOW_PRECS {
+            set_active_precision(prec);
+            let served =
+                resolve_lowp_kernel(prec, active_kernel().isa).is_some_and(|lk| lk.prec == prec && lk.isa == tier);
+            if served {
+                sweep(tier.name(), prec.name(), reps, scale, &mut rows);
+            } else {
+                println!(
+                    "{}/{}: no native kernel on this host, skipped",
+                    tier.name(),
+                    prec.name()
+                );
+            }
+        }
+        set_active_precision(Precision::F32);
     }
 
     println!(
-        "\n{:<12} {:<12} {:>5} {:>5} {:>5} {:>10} {:>12}",
-        "shape", "tier", "m", "n", "k", "GFLOP/s", "secs"
+        "\n{:<12} {:<12} {:<6} {:>5} {:>5} {:>5} {:>10} {:>12}",
+        "shape", "tier", "prec", "m", "n", "k", "GFLOP/s", "secs"
     );
     for r in &rows {
         println!(
-            "{:<12} {:<12} {:>5} {:>5} {:>5} {:>10.2} {:>12.6}",
-            r.name, r.tier, r.m, r.n, r.k, r.gflops, r.secs
+            "{:<12} {:<12} {:<6} {:>5} {:>5} {:>5} {:>10.2} {:>12.6}",
+            r.name, r.tier, r.prec, r.m, r.n, r.k, r.gflops, r.secs
         );
     }
 
-    let lookup = |name: &str, tier: &str| rows.iter().find(|r| r.name == name && r.tier == tier).map(|r| r.gflops);
+    let lookup = |name: &str, tier: &str, prec: &str| {
+        rows.iter()
+            .find(|r| r.name == name && r.tier == tier && r.prec == prec)
+            .map(|r| r.gflops)
+    };
     let best_tier = available.last().copied().unwrap_or(Isa::Scalar).name().to_string();
     println!("\nbest tier: {best_tier}");
     let mut wins = 0usize;
     let mut speedups: Vec<(&str, f64)> = Vec::new();
     for name in SHAPES {
-        if let (Some(best), Some(scalar)) = (lookup(name, &best_tier), lookup(name, "scalar")) {
+        if let (Some(best), Some(scalar)) = (lookup(name, &best_tier, "f32"), lookup(name, "scalar", "f32")) {
             let x = best / scalar;
             println!("{name}: {best_tier} {x:.2}x over scalar tier");
             if x >= 1.5 {
@@ -185,6 +215,40 @@ fn main() {
     }
     println!("shapes at >= 1.5x over the scalar tier: {wins}/{}", SHAPES.len());
 
+    // §III.C gate: at the dense paper shapes, the best same-tier speedup of
+    // each low precision over f32 must reach 1.4x (f16/bf16) or 2x (int8)
+    // on at least one ISA tier.
+    let tier_names: Vec<&str> = available.iter().map(|t| t.name()).collect();
+    let mut lowp_speedups: Vec<(&str, &str, f64, &str)> = Vec::new();
+    println!();
+    for prec in LOW_PRECS {
+        let target = if prec == Precision::Int8 { 2.0 } else { 1.4 };
+        let mut prec_wins = 0usize;
+        for name in DENSE_SHAPES {
+            let (mut best_x, mut best_at) = (0.0f64, "-");
+            for &tier in &tier_names {
+                if let (Some(lp), Some(f)) = (lookup(name, tier, prec.name()), lookup(name, tier, "f32")) {
+                    if lp / f > best_x {
+                        best_x = lp / f;
+                        best_at = tier;
+                    }
+                }
+            }
+            if best_x > 0.0 {
+                println!("{} {name}: {best_x:.2}x over f32 (at {best_at})", prec.name());
+                if best_x >= target {
+                    prec_wins += 1;
+                }
+                lowp_speedups.push((prec.name(), name, best_x, best_at));
+            }
+        }
+        println!(
+            "{}: dense shapes at >= {target}x over same-tier f32: {prec_wins}/{}",
+            prec.name(),
+            DENSE_SHAPES.len()
+        );
+    }
+
     // BENCH_gemm.json at the repo root (hand-rolled — no serde in-tree).
     // The header is the shared RunMeta schema (host, pool, ISA, rev, time).
     let mut json = bt_bench::report::RunMeta::collect("gemm", "GFLOP/s").header_json();
@@ -192,9 +256,10 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"tier\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"gflops\": {:.3}, \"secs\": {:.6}}}{}",
+            "    {{\"name\": \"{}\", \"tier\": \"{}\", \"prec\": \"{}\", \"m\": {}, \"n\": {}, \"k\": {}, \"gflops\": {:.3}, \"secs\": {:.6}}}{}",
             r.name,
             r.tier,
+            r.prec,
             r.m,
             r.n,
             r.k,
@@ -214,7 +279,15 @@ fn main() {
             if i + 1 == speedups.len() { "" } else { "," }
         );
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n  \"speedup_lowp_vs_f32_same_tier\": [\n");
+    for (i, (prec, name, x, at)) in lowp_speedups.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"prec\": \"{prec}\", \"name\": \"{name}\", \"speedup\": {x:.2}, \"at_tier\": \"{at}\"}}{}",
+            if i + 1 == lowp_speedups.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
     std::fs::write(path, &json).expect("write BENCH_gemm.json");
     println!("\nwrote {path}");

@@ -26,7 +26,7 @@ use crate::encoder::{BertModel, OptLevel};
 use crate::weights::{DecoderLayerWeights, DecoderWeights};
 use bt_device::Device;
 use bt_gemm::grouped::Scheduler;
-use bt_gemm::{gemm_kernel_spec, sgemm, sgemm_epilogue, GemmSpec};
+use bt_gemm::{gemm_kernel_spec_active, sgemm, sgemm_epilogue, GemmSpec};
 use bt_kernels::activation::bias_gelu_epilogue;
 use bt_kernels::layernorm::add_bias_residual_layernorm_fused;
 use bt_kernels::layout::{add_bias_split_heads_packed, add_bias_split_kv_packed, add_bias_split_qkv_packed};
@@ -252,7 +252,7 @@ impl TransformerDecoder {
         epilogue: Option<&(dyn Fn(usize, f32) -> f32 + Sync)>,
     ) -> Vec<f32> {
         let mut out = vec![0.0f32; rows * n];
-        let mut spec = gemm_kernel_spec(name, rows, n, k, 4);
+        let mut spec = gemm_kernel_spec_active(name, rows, n, k);
         if epilogue.is_some() {
             spec.cost.flops += (rows * n * 9) as u64;
         }

@@ -27,7 +27,7 @@ use crate::attention::{batched_attention, fused_attention};
 use crate::config::BertConfig;
 use crate::weights::{LayerWeights, ModelWeights};
 use bt_device::Device;
-use bt_gemm::{gemm_kernel_spec, sgemm, sgemm_epilogue, GemmSpec};
+use bt_gemm::{gemm_kernel_spec_active, sgemm, sgemm_epilogue, GemmSpec};
 use bt_kernels::activation::{add_bias_gelu_unfused, bias_gelu_epilogue};
 use bt_kernels::layernorm::{add_bias_residual_layernorm_fused, add_bias_residual_layernorm_unfused};
 use bt_kernels::layout::{add_bias_split_qkv_packed, add_bias_unpack_split_qkv, merge_heads_pack};
@@ -399,7 +399,7 @@ impl BertModel {
         epilogue: Option<&(dyn Fn(usize, f32) -> f32 + Sync)>,
     ) -> Vec<f32> {
         let mut out = vec![0.0f32; rows * n];
-        let mut spec = gemm_kernel_spec(name, rows, n, k, 4);
+        let mut spec = gemm_kernel_spec_active(name, rows, n, k);
         if epilogue.is_some() {
             // The fused element-wise tail adds its flops but no traffic —
             // that is the entire point of epilogue fusion.

@@ -133,34 +133,75 @@ pub fn flops_per_token(config: &BertConfig, max_seq: usize, alpha: f64) -> f64 {
 }
 
 /// Scans a `BENCH_gemm.json` artifact for its best measured GFLOP/s figure
-/// (the dense-math ceiling of this host across ISA tiers). The scan is
-/// schema-tolerant — it looks for `"gflops": <number>` fields rather than
-/// parsing the full document — so artifacts from older emitters still
-/// calibrate. Returns `None` if no such field parses.
+/// (the dense-math ceiling of this host across ISA *and* precision tiers).
+/// The scan is schema-tolerant — it looks for `"gflops": <number>` fields
+/// rather than parsing the full document — so artifacts from older emitters
+/// still calibrate. Returns `None` if no such field parses.
 pub fn max_gflops_in_bench_json(json: &str) -> Option<f64> {
-    let key = "\"gflops\":";
     let mut best: Option<f64> = None;
-    let mut rest = json;
-    while let Some(pos) = rest.find(key) {
-        rest = &rest[pos + key.len()..];
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        if let Ok(v) = rest[..end].trim().parse::<f64>() {
-            if v.is_finite() && v > 0.0 {
-                best = Some(best.map_or(v, |b: f64| b.max(v)));
-            }
-        }
-    }
+    scan_gflops(json, |v, _| best = Some(best.map_or(v, |b: f64| b.max(v))));
     best
 }
 
+/// Precision-aware variant of [`max_gflops_in_bench_json`]: best GFLOP/s
+/// among rows whose `"prec"` field equals `prec`. Rows without a `"prec"`
+/// field (artifacts from emitters predating the `BYTE_GEMM_PREC` axis)
+/// count as `f32` — the only precision those emitters measured.
+pub fn max_gflops_for_prec(json: &str, prec: &str) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    scan_gflops(json, |v, row_prec| {
+        if row_prec.unwrap_or("f32") == prec {
+            best = Some(best.map_or(v, |b: f64| b.max(v)));
+        }
+    });
+    best
+}
+
+/// Shared scan: invokes `visit` with every parsed positive-finite
+/// `"gflops"` value and the `"prec"` string (if any) of the enclosing
+/// flat JSON object.
+fn scan_gflops<'a>(json: &'a str, mut visit: impl FnMut(f64, Option<&'a str>)) {
+    let key = "\"gflops\":";
+    let mut offset = 0;
+    while let Some(pos) = json[offset..].find(key) {
+        let abs = offset + pos;
+        offset = abs + key.len();
+        let rest = &json[offset..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            if v.is_finite() && v > 0.0 {
+                // Bench rows are flat objects, so the nearest braces bound
+                // the row this gflops figure belongs to.
+                let start = json[..abs].rfind('{').map_or(0, |i| i + 1);
+                let stop = json[abs..].find('}').map_or(json.len(), |i| abs + i);
+                visit(v, extract_prec(&json[start..stop]));
+            }
+        }
+    }
+}
+
+/// Pulls the string value of a `"prec"` key out of one row's span.
+fn extract_prec(span: &str) -> Option<&str> {
+    let rest = span[span.find("\"prec\":")? + "\"prec\":".len()..].trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(&rest[..rest.find('"')?])
+}
+
 /// Host-wall-clock serving capacity from a `BENCH_gemm.json` artifact:
-/// best measured GFLOP/s divided by the closed-form FLOPs per token
-/// ([`flops_per_token`]). An *optimistic* host ceiling (it assumes the
-/// whole pipeline sustains GEMM throughput); use the roofline
-/// [`calibrate_capacity`] for the modeled-time serving loop.
+/// best measured **f32** GFLOP/s divided by the closed-form FLOPs per token
+/// ([`flops_per_token`]). The f32 row is picked explicitly — the serving
+/// pipeline being capacity-planned runs f32 end to end, so a faster
+/// low-precision row in the same artifact must not inflate the budget.
+/// Falls back to the precision-agnostic best only if no f32 row exists
+/// (and an older artifact's unlabeled rows *are* f32 rows). An *optimistic*
+/// host ceiling (it assumes the whole pipeline sustains GEMM throughput);
+/// use the roofline [`calibrate_capacity`] for the modeled-time serving
+/// loop.
 pub fn host_tokens_per_sec_from_bench_json(json: &str, flops_per_token: f64) -> Option<f64> {
     assert!(flops_per_token > 0.0, "flops_per_token must be positive");
-    max_gflops_in_bench_json(json).map(|g| g * 1e9 / flops_per_token)
+    max_gflops_for_prec(json, "f32")
+        .or_else(|| max_gflops_in_bench_json(json))
+        .map(|g| g * 1e9 / flops_per_token)
 }
 
 /// One row of the paper's Table I.
@@ -308,6 +349,34 @@ mod tests {
         let fpt = 1e6;
         let tps = host_tokens_per_sec_from_bench_json(json, fpt).unwrap();
         assert!((tps - 97.810e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn bench_json_scan_is_precision_aware() {
+        let json = r#"{
+  "results": [
+    {"name": "a", "tier": "avx512", "prec": "f32", "gflops": 97.8},
+    {"name": "a", "tier": "avx512", "prec": "f16", "gflops": 180.3},
+    {"name": "a", "tier": "avx512", "prec": "int8", "gflops": 410.0},
+    {"name": "b", "tier": "scalar", "prec": "f32", "gflops": 47.3}
+  ]
+}"#;
+        // Per-precision scans pick within their own rows.
+        assert!((max_gflops_for_prec(json, "f32").unwrap() - 97.8).abs() < 1e-9);
+        assert!((max_gflops_for_prec(json, "f16").unwrap() - 180.3).abs() < 1e-9);
+        assert!((max_gflops_for_prec(json, "int8").unwrap() - 410.0).abs() < 1e-9);
+        assert_eq!(max_gflops_for_prec(json, "bf16"), None);
+        // The precision-agnostic ceiling still sees everything.
+        assert!((max_gflops_in_bench_json(json).unwrap() - 410.0).abs() < 1e-9);
+        // Capacity planning uses the f32 row, NOT the faster int8 row.
+        let tps = host_tokens_per_sec_from_bench_json(json, 1e6).unwrap();
+        assert!((tps - 97.8e3).abs() < 1.0, "f32 row must drive capacity, got {tps}");
+        // Artifacts predating the precision axis: unlabeled rows are f32.
+        let old = r#"{"results": [{"name": "a", "tier": "avx2", "gflops": 65.7}]}"#;
+        assert!((max_gflops_for_prec(old, "f32").unwrap() - 65.7).abs() < 1e-9);
+        assert_eq!(max_gflops_for_prec(old, "f16"), None);
+        let tps = host_tokens_per_sec_from_bench_json(old, 1e6).unwrap();
+        assert!((tps - 65.7e3).abs() < 1.0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use bt_core::attention::{batched_attention, flash_attention, naive_attention};
 use bt_core::config::BertConfig;
 use bt_core::weights::LayerWeights;
 use bt_device::Device;
-use bt_gemm::{gemm_kernel_spec, sgemm, sgemm_epilogue, GemmSpec};
+use bt_gemm::{gemm_kernel_spec_active, sgemm, sgemm_epilogue, GemmSpec};
 use bt_kernels::activation::{add_bias_gelu_unfused, bias_gelu_epilogue};
 use bt_kernels::layernorm::{add_bias_residual_layernorm_fused, add_bias_residual_layernorm_unfused};
 use bt_kernels::layout::{add_bias_unpack_split_qkv, merge_heads_pack};
@@ -65,7 +65,7 @@ pub(crate) fn launch_gemm(
     epilogue: Option<&(dyn Fn(usize, f32) -> f32 + Sync)>,
 ) -> Vec<f32> {
     let mut out = vec![0.0f32; rows * n];
-    let mut spec = gemm_kernel_spec(name, rows, n, k, 4);
+    let mut spec = gemm_kernel_spec_active(name, rows, n, k);
     if epilogue.is_some() {
         spec.cost.flops += (rows * n * 9) as u64;
     }

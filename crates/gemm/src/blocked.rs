@@ -159,6 +159,15 @@ fn sgemm_inner(
         return;
     }
 
+    // The precision axis: a non-f32 active precision resolves to a
+    // low-precision kernel (possibly ISA-degraded, with a warn_once) and
+    // routes the launch through the packed-bytes driver. `None` means f32 —
+    // the original family below.
+    let prec = crate::prec::active_precision();
+    if let Some(lk) = crate::lowp::resolve_lowp_kernel(prec, crate::isa::active_isa()) {
+        return sgemm_lowp(lk, spec, m, n, k, a, b, c, epilogue);
+    }
+
     // One kernel per launch: the geometry below must stay consistent even
     // if the process-wide selection changes mid-flight.
     let kern = active_kernel();
@@ -211,6 +220,132 @@ fn sgemm_inner(
                         let r = mr.min(rows - ib * mr);
                         let mut acc = [0.0f32; MR_MAX * NR_MAX];
                         kern.run(k, &a_pack[ib * k * mr..(ib + 1) * k * mr], b_panel, &mut acc);
+                        for i in 0..r {
+                            let row = ib * mr + i;
+                            store_row(
+                                &mut c_panel[row * n + col0..row * n + col0 + cols],
+                                &acc[i * nr..i * nr + cols],
+                                col0,
+                                alpha,
+                                beta,
+                                epilogue,
+                            );
+                        }
+                    }
+                }
+            });
+        });
+}
+
+/// The low-precision twin of the f32 driver below: same decomposition
+/// (B packed once per launch, one rayon task per `C` row panel, register
+/// tile accumulation over the full `K` extent, same alpha/beta/epilogue
+/// store path) — but micropanels are packed *bytes* in the kernel's own
+/// layout, with per-row/per-column scales riding alongside.
+///
+/// `B` is packed serially: conversion/quantization is vectorized inside the
+/// packers, and per-panel scale slices would need a zip the rayon shim does
+/// not offer.
+#[allow(clippy::too_many_arguments)]
+fn sgemm_lowp(
+    kern: &'static crate::lowp::LowpKernel,
+    spec: GemmSpec,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    epilogue: Option<&(dyn Fn(usize, f32) -> f32 + Sync)>,
+) {
+    use crate::lowp::{count_pack_bytes, pack_a_panel_lowp, pack_b_panel_lowp};
+
+    let (alpha, beta) = (spec.alpha, spec.beta);
+    if bt_obs::enabled() {
+        bt_obs::counter(&format!(
+            "gemm.blocked.launches.{}.{}",
+            kern.isa.name(),
+            kern.prec.name()
+        ))
+        .incr();
+    }
+    let (mr, nr) = (kern.mr, kern.nr);
+    debug_assert_eq!(PANEL_ROWS % mr, 0, "row panels must hold whole micropanels");
+
+    // Pack + quantize B once into k-major byte micropanels.
+    let n_panels = n.div_ceil(nr);
+    let bpb = kern.b_panel_bytes(k);
+    let mut b_pack = vec![0u8; n_panels * bpb];
+    let mut sb = vec![0.0f32; n_panels * nr];
+    let mut colsum = vec![0i32; n_panels * nr];
+    {
+        let mut cvt = vec![0u16; k.max(nr)];
+        for jb in 0..n_panels {
+            let col0 = jb * nr;
+            pack_b_panel_lowp(
+                kern,
+                &mut b_pack[jb * bpb..(jb + 1) * bpb],
+                &mut sb[jb * nr..(jb + 1) * nr],
+                &mut colsum[jb * nr..(jb + 1) * nr],
+                b,
+                spec.transb,
+                col0,
+                nr.min(n - col0),
+                n,
+                k,
+                &mut cvt,
+            );
+        }
+    }
+    if bt_obs::enabled() {
+        count_pack_bytes(kern.prec, (n_panels * bpb) as u64);
+    }
+    let (b_pack, sb, colsum) = (&b_pack, &sb, &colsum);
+
+    let apb = kern.a_panel_bytes(k);
+    c[..m * n]
+        .par_chunks_mut(PANEL_ROWS * n)
+        .enumerate()
+        .for_each(|(chunk_idx, c_panel)| {
+            let row0 = chunk_idx * PANEL_ROWS;
+            let rows = c_panel.len() / n;
+            let m_panels = rows.div_ceil(mr);
+            with_worker_scratch(|scratch| {
+                let (a_pack, sa, row_buf, cvt) = scratch.lowp_a_panels(m_panels * apb, m_panels * mr, k, k.max(nr));
+                for ib in 0..m_panels {
+                    pack_a_panel_lowp(
+                        kern,
+                        &mut a_pack[ib * apb..(ib + 1) * apb],
+                        &mut sa[ib * mr..(ib + 1) * mr],
+                        a,
+                        spec.transa,
+                        row0 + ib * mr,
+                        mr.min(rows - ib * mr),
+                        m,
+                        k,
+                        row_buf,
+                        cvt,
+                    );
+                }
+                if bt_obs::enabled() {
+                    count_pack_bytes(kern.prec, (m_panels * apb) as u64);
+                }
+                for jb in 0..n_panels {
+                    let col0 = jb * nr;
+                    let cols = nr.min(n - col0);
+                    let b_panel = &b_pack[jb * bpb..(jb + 1) * bpb];
+                    for ib in 0..m_panels {
+                        let r = mr.min(rows - ib * mr);
+                        let mut acc = [0.0f32; MR_MAX * NR_MAX];
+                        kern.run(
+                            k,
+                            &a_pack[ib * apb..(ib + 1) * apb],
+                            b_panel,
+                            &mut acc,
+                            &sa[ib * mr..(ib + 1) * mr],
+                            &sb[jb * nr..(jb + 1) * nr],
+                            &colsum[jb * nr..(jb + 1) * nr],
+                        );
                         for i in 0..r {
                             let row = ib * mr + i;
                             store_row(

@@ -267,10 +267,16 @@ fn run_grouped(
     let visits = AtomicU64::new(0);
     let grows = AtomicU64::new(0);
     // One kernel per launch, shared by every CTA: tile geometry must stay
-    // consistent even if the process-wide selection changes mid-flight.
+    // consistent even if the process-wide selection changes mid-flight. The
+    // same holds for the precision axis — resolved once here, so every CTA
+    // of a launch agrees on the low-precision tier (or its absence).
     let kern = active_kernel();
+    let lowp = crate::lowp::resolve_lowp_kernel(crate::prec::active_precision(), kern.isa);
     if bt_obs::enabled() {
-        bt_obs::counter(&format!("gemm.grouped.tiles.{}", kern.isa.name())).add(total);
+        match lowp {
+            Some(lk) => bt_obs::counter(&format!("gemm.grouped.tiles.{}.{}", lk.isa.name(), lk.prec.name())).add(total),
+            None => bt_obs::counter(&format!("gemm.grouped.tiles.{}", kern.isa.name())).add(total),
+        }
     }
     let batch_width = match config.scheduler {
         Scheduler::PerTile => 1,
@@ -303,7 +309,12 @@ fn run_grouped(
                     linear += step;
                 }
                 for asg in &batch[..count] {
-                    compute_tile(problems, &config, kern, *asg, epilogue, a_transform, store, scratch);
+                    match lowp {
+                        Some(lk) => {
+                            compute_tile_lowp(problems, &config, lk, *asg, epilogue, a_transform, store, scratch)
+                        }
+                        None => compute_tile(problems, &config, kern, *asg, epilogue, a_transform, store, scratch),
+                    }
                 }
             }
             visits.fetch_add(local_visits, Ordering::Relaxed);
@@ -489,6 +500,116 @@ fn compute_tile(
                 let r = mr.min(rows - ib * mr);
                 let mut acc = [0.0f32; MR_MAX * NR_MAX];
                 kern.run(k, &a_pack[ib * k * mr..(ib + 1) * k * mr], b_panel, &mut acc);
+                for i in 0..r {
+                    let trow = ib * mr + i;
+                    tile[trow * cols + jb * nr..trow * cols + jb * nr + cseg]
+                        .copy_from_slice(&acc[i * nr..i * nr + cseg]);
+                }
+            }
+        }
+    });
+
+    if p.alpha != 1.0 {
+        for v in tile.iter_mut() {
+            *v *= p.alpha;
+        }
+    }
+    epilogue.apply(asg.problem, row0, col0, rows, cols, tile);
+    store.store(asg.problem, row0, col0, rows, cols, tile);
+}
+
+/// [`compute_tile`]'s low-precision twin: identical tile walk, but `A` rows
+/// are quantized/narrowed as they are staged (the mainloop transform still
+/// runs on the f32 staging row *before* conversion, so fused softmax
+/// normalization composes with every precision tier) and the inner blocks
+/// run on the [`crate::lowp`] kernel, which dequantizes into the same f32
+/// accumulator the epilogue and store paths already consume.
+#[allow(clippy::too_many_arguments)]
+fn compute_tile_lowp(
+    problems: &[GroupedProblem<'_>],
+    config: &GroupedConfig,
+    lk: &'static crate::lowp::LowpKernel,
+    asg: TileAssignment,
+    epilogue: &dyn TileEpilogue,
+    a_transform: &dyn ALoadTransform,
+    store: &dyn TileStore,
+    scratch: &mut Scratch,
+) {
+    use crate::lowp::{count_pack_bytes, pack_a_pad_row_lowp, pack_a_row_lowp, pack_b_panel_lowp};
+    let p = &problems[asg.problem];
+    let (row0, col0, rows, cols) = tile_bounds(p, config, asg);
+    let k = p.k;
+    let (mr, nr) = (lk.mr, lk.nr);
+    let m_panels = rows.div_ceil(mr);
+    let n_panels = cols.div_ceil(nr);
+    let apb = lk.a_panel_bytes(k);
+    let bpb = lk.b_panel_bytes(k);
+    let (a_pack, b_pack, tile, row_buf, sa, sb, colsum, cvt) = scratch.lowp_tile_panels(
+        m_panels * apb,
+        n_panels * bpb,
+        rows * cols,
+        k,
+        m_panels * mr,
+        n_panels * nr,
+        n_panels * nr,
+        k.max(nr),
+    );
+
+    bt_obs::timed(&PACK_NS, || {
+        for ib in 0..m_panels {
+            let r = mr.min(rows - ib * mr);
+            let dst = &mut a_pack[ib * apb..(ib + 1) * apb];
+            for i in 0..r {
+                let g_row = row0 + ib * mr + i;
+                // Stage the contiguous row fragment, run the mainloop fusion
+                // hook on it (Algorithm III.2), then narrow and interleave.
+                row_buf.copy_from_slice(&p.a[g_row * k..g_row * k + k]);
+                a_transform.transform(asg.problem, g_row, 0, row_buf);
+                sa[ib * mr + i] = pack_a_row_lowp(lk, dst, row_buf, i, cvt);
+            }
+            // Scratch is reused across tiles: stale pad lanes must be re-set
+            // to the format's neutral code.
+            for i in r..mr {
+                pack_a_pad_row_lowp(lk, dst, i, k);
+                sa[ib * mr + i] = 1.0;
+            }
+        }
+        for jb in 0..n_panels {
+            pack_b_panel_lowp(
+                lk,
+                &mut b_pack[jb * bpb..(jb + 1) * bpb],
+                &mut sb[jb * nr..(jb + 1) * nr],
+                &mut colsum[jb * nr..(jb + 1) * nr],
+                p.b,
+                p.transb,
+                col0 + jb * nr,
+                nr.min(cols - jb * nr),
+                p.n,
+                k,
+                cvt,
+            );
+        }
+    });
+    if bt_obs::enabled() {
+        count_pack_bytes(lk.prec, (m_panels * apb + n_panels * bpb) as u64);
+    }
+
+    bt_obs::timed(&COMPUTE_NS, || {
+        for jb in 0..n_panels {
+            let b_panel = &b_pack[jb * bpb..(jb + 1) * bpb];
+            let cseg = nr.min(cols - jb * nr);
+            for ib in 0..m_panels {
+                let r = mr.min(rows - ib * mr);
+                let mut acc = [0.0f32; MR_MAX * NR_MAX];
+                lk.run(
+                    k,
+                    &a_pack[ib * apb..(ib + 1) * apb],
+                    b_panel,
+                    &mut acc,
+                    &sa[ib * mr..(ib + 1) * mr],
+                    &sb[jb * nr..(jb + 1) * nr],
+                    &colsum[jb * nr..(jb + 1) * nr],
+                );
                 for i in 0..r {
                     let trow = ib * mr + i;
                     tile[trow * cols + jb * nr..trow * cols + jb * nr + cseg]

@@ -38,13 +38,17 @@ pub mod batched;
 mod blocked;
 pub mod grouped;
 pub mod isa;
+pub mod lowp;
 pub mod micro;
+pub mod prec;
 mod reference;
 mod scratch;
 pub mod store;
 
 pub use blocked::{sgemm, sgemm_epilogue, GemmSpec};
 pub use isa::{active_isa, available_isas, set_active_isa, Isa};
+pub use lowp::{dot_error_bound, int8_dot_error_bound, lowp_impl, resolve_lowp_kernel, Chain, LowpKernel};
+pub use prec::{active_precision, parse_prec_request, set_active_precision, Precision};
 pub use reference::gemm_ref;
 pub use store::DisjointWriter;
 
@@ -58,4 +62,11 @@ pub fn gemm_kernel_spec(name: impl Into<String>, m: usize, n: usize, k: usize, e
         .flops(2 * (m as u64) * (n as u64) * (k as u64))
         .reads(((m * k + k * n) * elem_bytes) as u64)
         .writes((m * n * elem_bytes) as u64)
+}
+
+/// Like [`gemm_kernel_spec`] but priced at the *active precision*'s packed
+/// element width — the cost-model view of the `BYTE_GEMM_PREC` axis (panel
+/// bytes are what actually stream through the cache hierarchy).
+pub fn gemm_kernel_spec_active(name: impl Into<String>, m: usize, n: usize, k: usize) -> KernelSpec {
+    gemm_kernel_spec(name, m, n, k, active_precision().elem_bytes())
 }

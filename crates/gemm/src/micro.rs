@@ -42,8 +42,9 @@ use crate::isa::Isa;
 /// Largest `MR` of any kernel in the family (the AVX-512 tile height).
 /// Stack accumulators in the drivers are sized `MR_MAX × NR_MAX`.
 pub const MR_MAX: usize = 16;
-/// Largest `NR` of any kernel in the family (the AVX2/AVX-512 tile width).
-pub const NR_MAX: usize = 16;
+/// Largest `NR` of any kernel in the family (the AVX512-FP16 low-precision
+/// tile width — see [`crate::lowp`]).
+pub const NR_MAX: usize = 32;
 
 /// Geometry of the portable scalar kernel.
 pub(crate) const SCALAR_MR: usize = 8;

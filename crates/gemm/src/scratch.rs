@@ -39,11 +39,22 @@ pub(crate) fn with_worker_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
 }
 
 /// Reusable packing + accumulation buffers for one virtual CTA.
+///
+/// The f32 buffers serve the [`crate::isa`] family; the byte/scale/colsum
+/// buffers serve the [`crate::lowp`] family (packed low-precision panels
+/// are byte pools — per-kernel layouts are imposed by the packers, and the
+/// `cvt` buffer stages one row's f16/bf16 conversion).
 pub(crate) struct Scratch {
     a_pack: Vec<f32>,
     b_pack: Vec<f32>,
     tile: Vec<f32>,
     row_buf: Vec<f32>,
+    lowp_a: Vec<u8>,
+    lowp_b: Vec<u8>,
+    scale_a: Vec<f32>,
+    scale_b: Vec<f32>,
+    colsum: Vec<i32>,
+    cvt: Vec<u16>,
     grows: u64,
 }
 
@@ -54,6 +65,12 @@ impl Scratch {
             b_pack: Vec::new(),
             tile: Vec::new(),
             row_buf: Vec::new(),
+            lowp_a: Vec::new(),
+            lowp_b: Vec::new(),
+            scale_a: Vec::new(),
+            scale_b: Vec::new(),
+            colsum: Vec::new(),
+            cvt: Vec::new(),
             grows: 0,
         }
     }
@@ -64,10 +81,19 @@ impl Scratch {
         self.grows
     }
 
-    /// Total f32 elements currently held across all buffers — the arena's
-    /// high-water mark (buffers only ever grow), reported to telemetry.
+    /// Total f32-equivalent elements currently held across all buffers —
+    /// the arena's high-water mark (buffers only ever grow), reported to
+    /// telemetry. Sub-f32 buffers are rounded up to whole elements.
     pub(crate) fn high_water_elems(&self) -> usize {
-        self.a_pack.len() + self.b_pack.len() + self.tile.len() + self.row_buf.len()
+        self.a_pack.len()
+            + self.b_pack.len()
+            + self.tile.len()
+            + self.row_buf.len()
+            + self.scale_a.len()
+            + self.scale_b.len()
+            + self.colsum.len()
+            + (self.lowp_a.len() + self.lowp_b.len()).div_ceil(4)
+            + (self.cvt.len() * 2).div_ceil(4)
     }
 
     /// Returns just the `A`-micropanel buffer at the requested length (the
@@ -99,14 +125,79 @@ impl Scratch {
             &mut self.row_buf[..row_len],
         )
     }
+
+    /// Low-precision blocked-GEMM task buffers: `(a_bytes, scale_a,
+    /// row_buf, cvt)` — the packed `A` byte panels, their per-row scales,
+    /// and the f32/u16 staging rows for conversion.
+    pub(crate) fn lowp_a_panels(
+        &mut self,
+        a_bytes: usize,
+        sa_len: usize,
+        row_len: usize,
+        cvt_len: usize,
+    ) -> (&mut [u8], &mut [f32], &mut [f32], &mut [u16]) {
+        grow(&mut self.lowp_a, a_bytes, &mut self.grows);
+        grow(&mut self.scale_a, sa_len, &mut self.grows);
+        grow(&mut self.row_buf, row_len, &mut self.grows);
+        grow(&mut self.cvt, cvt_len, &mut self.grows);
+        (
+            &mut self.lowp_a[..a_bytes],
+            &mut self.scale_a[..sa_len],
+            &mut self.row_buf[..row_len],
+            &mut self.cvt[..cvt_len],
+        )
+    }
+
+    /// Low-precision grouped-GEMM tile buffers: `(a_bytes, b_bytes, tile,
+    /// row_buf, scale_a, scale_b, colsum, cvt)`.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)] // one tile's full working set
+    pub(crate) fn lowp_tile_panels(
+        &mut self,
+        a_bytes: usize,
+        b_bytes: usize,
+        tile_len: usize,
+        row_len: usize,
+        sa_len: usize,
+        sb_len: usize,
+        cs_len: usize,
+        cvt_len: usize,
+    ) -> (
+        &mut [u8],
+        &mut [u8],
+        &mut [f32],
+        &mut [f32],
+        &mut [f32],
+        &mut [f32],
+        &mut [i32],
+        &mut [u16],
+    ) {
+        grow(&mut self.lowp_a, a_bytes, &mut self.grows);
+        grow(&mut self.lowp_b, b_bytes, &mut self.grows);
+        grow(&mut self.tile, tile_len, &mut self.grows);
+        grow(&mut self.row_buf, row_len, &mut self.grows);
+        grow(&mut self.scale_a, sa_len, &mut self.grows);
+        grow(&mut self.scale_b, sb_len, &mut self.grows);
+        grow(&mut self.colsum, cs_len, &mut self.grows);
+        grow(&mut self.cvt, cvt_len, &mut self.grows);
+        (
+            &mut self.lowp_a[..a_bytes],
+            &mut self.lowp_b[..b_bytes],
+            &mut self.tile[..tile_len],
+            &mut self.row_buf[..row_len],
+            &mut self.scale_a[..sa_len],
+            &mut self.scale_b[..sb_len],
+            &mut self.colsum[..cs_len],
+            &mut self.cvt[..cvt_len],
+        )
+    }
 }
 
-fn grow(buf: &mut Vec<f32>, len: usize, grows: &mut u64) {
+fn grow<T: Default + Clone>(buf: &mut Vec<T>, len: usize, grows: &mut u64) {
     if buf.len() < len {
         // Geometric growth keeps the number of grows logarithmic even when
         // successive tiles ratchet the high-water mark up gradually.
         let target = len.max(buf.len() * 2);
-        buf.resize(target, 0.0);
+        buf.resize(target, T::default());
         *grows += 1;
     }
 }

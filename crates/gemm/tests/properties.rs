@@ -6,11 +6,28 @@ use bt_gemm::grouped::{
     grouped_sgemm, grouped_sgemm_strided, GroupedConfig, GroupedProblem, NoEpilogue, NoTransform, Scheduler,
     StridedOutput,
 };
+use bt_gemm::lowp::{
+    a_panel_code, b_panel_code, bf16_bits, bf16_to_f32, f16_bits, int8_scale, lowp_impl, lowp_impl_isas,
+    pack_a_panel_lowp, pack_b_panel_lowp, quantize_i8,
+};
 use bt_gemm::micro::{pack_a_panel, pack_b_panel};
-use bt_gemm::{gemm_ref, sgemm, sgemm_epilogue, GemmSpec};
+use bt_gemm::{gemm_ref, sgemm, sgemm_epilogue, GemmSpec, Precision};
 use bt_tensor::compare::max_abs_diff;
+use bt_tensor::half::f16;
 use bt_tensor::rng::Xoshiro256StarStar;
 use proptest::prelude::*;
+
+/// Decoded narrow value the packer must have stored for source value `x`,
+/// plus the round-trip tolerance the storage format guarantees (f16/bf16:
+/// half-ulp relative; int8: half a quantization step).
+fn lowp_expected(prec: Precision, x: f32, inv_scale: f32) -> (f32, f64) {
+    match prec {
+        Precision::F16 => (f16::from_bits(f16_bits(x)).to_f32(), x.abs() as f64 / 2048.0 + 1e-7),
+        Precision::Bf16 => (bf16_to_f32(bf16_bits(x)), x.abs() as f64 / 256.0 + 1e-7),
+        Precision::Int8 => (quantize_i8(x, inv_scale) as f32, 0.5000001 / inv_scale as f64 + 1e-7),
+        Precision::F32 => unreachable!("f32 has no lowp packer"),
+    }
+}
 
 fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
@@ -277,6 +294,134 @@ proptest! {
                 for j in 0..n + pad {
                     let got = out[placements[i].offset + r * ld + j];
                     prop_assert!(got.is_nan(), "write past problem rows at ({r},{j}): {got}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_lowp_pack_b_neutral_pads_and_roundtrips(
+        // Every available precision × ISA implementation must uphold the
+        // same packing invariants the f32 packers guarantee: pad lanes hold
+        // the format's neutral code (decoding to 0), valid lanes hold the
+        // exact deterministic narrowing of the source, and dequantizing
+        // round-trips within the format's documented step.
+        prec_sel in 0usize..3,
+        n in 1usize..40,
+        k in 0usize..24,
+        trans: bool,
+        panel in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let prec = [Precision::F16, Precision::Bf16, Precision::Int8][prec_sel];
+        let b = rand_vec(k * n, seed);
+        let src = if trans {
+            let mut t = vec![0.0f32; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    t[j * k + p] = b[p * n + j];
+                }
+            }
+            t
+        } else {
+            b.clone()
+        };
+        for isa in lowp_impl_isas(prec) {
+            let kern = lowp_impl(prec, isa).unwrap();
+            let nr = kern.nr;
+            let col0 = (panel * nr).min(n.saturating_sub(1));
+            let c = nr.min(n - col0);
+            // 0xAB canary: every packed byte must be overwritten.
+            let mut dst = vec![0xABu8; kern.b_panel_bytes(k)];
+            let mut sb = vec![f32::NAN; nr];
+            let mut colsum = vec![i32::MIN; nr];
+            let mut cvt = vec![0u16; k.max(nr)];
+            pack_b_panel_lowp(kern, &mut dst, &mut sb, &mut colsum, &src, trans, col0, c, n, k, &mut cvt);
+            for j in 0..nr {
+                let (scale, expect_sum) = if j < c && prec == Precision::Int8 {
+                    let colmax = (0..k).fold(0.0f32, |x, p| x.max(b[p * n + col0 + j].abs()));
+                    prop_assert_eq!(sb[j], int8_scale(colmax), "{} {}: sb[{}]", prec, isa, j);
+                    let sum: i32 = (0..k).map(|p| b_panel_code(kern, &dst, p, j) as i32).sum();
+                    (sb[j], sum)
+                } else {
+                    prop_assert_eq!(sb[j], 1.0, "{} {}: sb[{}] of a float/pad column", prec, isa, j);
+                    (1.0, 0)
+                };
+                prop_assert_eq!(colsum[j], expect_sum, "{} {}: colsum[{}]", prec, isa, j);
+                for p in 0..kern.padded_k(k) {
+                    let code = b_panel_code(kern, &dst, p, j);
+                    if j < c && p < k {
+                        let x = b[p * n + col0 + j];
+                        let (expect, tol) = lowp_expected(prec, x, scale.recip());
+                        prop_assert_eq!(code.to_bits(), expect.to_bits(), "{} {}: lane ({p},{j})", prec, isa);
+                        let scale = if prec == Precision::Int8 { scale } else { 1.0 };
+                        prop_assert!(
+                            ((code * scale) as f64 - x as f64).abs() <= tol,
+                            "{} {}: round-trip at ({p},{j}): {} vs {x}", prec, isa, code * scale
+                        );
+                    } else {
+                        prop_assert_eq!(code.to_bits(), 0.0f32.to_bits(), "{} {}: pad lane ({p},{j}) not neutral", prec, isa);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prop_lowp_pack_a_neutral_pads_and_roundtrips(
+        prec_sel in 0usize..3,
+        m in 1usize..40,
+        k in 0usize..24,
+        trans: bool,
+        panel in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let prec = [Precision::F16, Precision::Bf16, Precision::Int8][prec_sel];
+        let a = rand_vec(m * k, seed);
+        let src = if trans {
+            let mut t = vec![0.0f32; k * m];
+            for i in 0..m {
+                for p in 0..k {
+                    t[p * m + i] = a[i * k + p];
+                }
+            }
+            t
+        } else {
+            a.clone()
+        };
+        for isa in lowp_impl_isas(prec) {
+            let kern = lowp_impl(prec, isa).unwrap();
+            let mr = kern.mr;
+            let row0 = (panel * mr).min(m.saturating_sub(1));
+            let r = mr.min(m - row0);
+            let mut dst = vec![0xABu8; kern.a_panel_bytes(k)];
+            let mut sa = vec![f32::NAN; mr];
+            let mut row_buf = vec![0.0f32; k];
+            let mut cvt = vec![0u16; k.max(1)];
+            pack_a_panel_lowp(kern, &mut dst, &mut sa, &src, trans, row0, r, m, k, &mut row_buf, &mut cvt);
+            for i in 0..mr {
+                let scale = if i < r && prec == Precision::Int8 {
+                    let rowmax = a[(row0 + i) * k..(row0 + i) * k + k].iter().fold(0.0f32, |x, &v| x.max(v.abs()));
+                    prop_assert_eq!(sa[i], int8_scale(rowmax), "{} {}: sa[{}]", prec, isa, i);
+                    sa[i]
+                } else {
+                    prop_assert_eq!(sa[i], 1.0, "{} {}: sa[{}] of a float/pad row", prec, isa, i);
+                    1.0
+                };
+                for p in 0..kern.padded_k(k) {
+                    let code = a_panel_code(kern, &dst, p, i);
+                    if i < r && p < k {
+                        let x = a[(row0 + i) * k + p];
+                        let (expect, tol) = lowp_expected(prec, x, scale.recip());
+                        prop_assert_eq!(code.to_bits(), expect.to_bits(), "{} {}: lane ({p},{i})", prec, isa);
+                        let scale = if prec == Precision::Int8 { scale } else { 1.0 };
+                        prop_assert!(
+                            ((code * scale) as f64 - x as f64).abs() <= tol,
+                            "{} {}: round-trip at ({p},{i}): {} vs {x}", prec, isa, code * scale
+                        );
+                    } else {
+                        prop_assert_eq!(code.to_bits(), 0.0f32.to_bits(), "{} {}: pad lane ({p},{i}) not neutral", prec, isa);
+                    }
                 }
             }
         }

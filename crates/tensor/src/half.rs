@@ -44,9 +44,12 @@ impl f16 {
         let man = bits & 0x007F_FFFF;
 
         if exp == 0xFF {
-            // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+            // Inf or NaN. NaNs are quieted and keep the top 10 payload bits
+            // (the f32 quiet bit lands on the f16 quiet bit), matching what
+            // hardware `vcvtps2ph` does — payloads survive narrowing instead
+            // of collapsing to a canonical NaN.
             return if man != 0 {
-                f16(sign | 0x7E00)
+                f16(sign | 0x7C00 | 0x0200 | ((man >> 13) & 0x3FF) as u16)
             } else {
                 f16(sign | 0x7C00)
             };

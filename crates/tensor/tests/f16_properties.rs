@@ -78,6 +78,49 @@ proptest! {
         // Conversion is idempotent after the first rounding.
         prop_assert_eq!(once, twice);
     }
+
+    #[test]
+    fn prop_nan_payload_survives_narrowing(payload in 1u32..0x0080_0000, neg: bool) {
+        // Narrowing keeps the top 10 payload bits and sets the quiet bit —
+        // what hardware `vcvtps2ph` does — instead of collapsing every NaN
+        // to a canonical one.
+        let sign = if neg { 0x8000_0000u32 } else { 0 };
+        let x = f32::from_bits(sign | 0x7F80_0000 | payload);
+        let h = f16::from_f32(x);
+        prop_assert!(h.is_nan());
+        let expect = (sign >> 16) as u16 | 0x7C00 | 0x0200 | ((payload >> 13) & 0x3FF) as u16;
+        prop_assert_eq!(h.to_bits(), expect);
+        // Widening keeps the (quieted) payload in the same bit positions, so
+        // narrowing again is the identity on the f16 payload.
+        let wide = h.to_f32();
+        prop_assert!(wide.is_nan());
+        prop_assert_eq!(f16::from_f32(wide).to_bits(), h.to_bits());
+    }
+
+    #[test]
+    fn prop_midpoints_round_to_even(bits in 0u16..0x7C00) {
+        // The exact midpoint between two consecutive finite f16 values (both
+        // the midpoint and the endpoints are exactly representable in f32)
+        // must round to the neighbour with the even mantissa bit.
+        let lo = f16::from_bits(bits);
+        let hi = f16::from_bits(bits + 1);
+        prop_assume!(!hi.is_infinite());
+        let mid = (lo.to_f32() + hi.to_f32()) / 2.0; // exact: same binade
+        let expect = if bits & 1 == 0 { bits } else { bits + 1 };
+        prop_assert_eq!(f16::from_f32(mid).to_bits(), expect, "midpoint of {bits:#06x} and its successor");
+        prop_assert_eq!(f16::from_f32(-mid).to_bits(), expect | 0x8000, "negative midpoint");
+    }
+
+    #[test]
+    fn prop_subnormals_roundtrip_exactly(steps in 0u16..0x0400, neg: bool) {
+        // Every f16 subnormal is an exact multiple of 2^-24; both directions
+        // of the conversion must treat them exactly.
+        let x = steps as f32 * 2.0f32.powi(-24) * if neg { -1.0 } else { 1.0 };
+        let h = f16::from_f32(x);
+        prop_assert_eq!(h.to_f32(), x, "subnormal {steps} * 2^-24 must convert exactly");
+        let bits = if neg { 0x8000 | steps } else { steps };
+        prop_assert_eq!(h.to_bits(), bits);
+    }
 }
 
 /// Next representable f16 in the direction of `delta`, in bit ordering over

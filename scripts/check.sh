@@ -27,6 +27,18 @@ for isa in scalar auto; do
   BYTE_GEMM_ISA="$isa" cargo test -p bytetransformer --test differential_simd --quiet
 done
 
+# Precision x ISA matrix: the precision-aware suites must pass under every
+# BYTE_GEMM_PREC value at both ends of the ISA range. Only the suites that
+# pin or sweep precision themselves run here — the full bt-gemm suite
+# asserts f32 tolerances that a low-precision default would rightly break.
+for prec in f32 f16 bf16 int8; do
+  for isa in scalar auto; do
+    echo "==> prec_dispatch + differential_simd (BYTE_GEMM_PREC=$prec BYTE_GEMM_ISA=$isa)"
+    BYTE_GEMM_PREC="$prec" BYTE_GEMM_ISA="$isa" cargo test -p bt-gemm --test prec_dispatch --quiet
+    BYTE_GEMM_PREC="$prec" BYTE_GEMM_ISA="$isa" cargo test -p bytetransformer --test differential_simd --quiet
+  done
+done
+
 echo "==> cargo test --workspace (obs-off)"
 # Telemetry compiled out: the no-op layer must keep the whole workspace
 # building and passing (every bt-obs call site is exercised as dead code).

@@ -32,7 +32,11 @@ use bt_gemm::grouped::{
     StridedOutput,
 };
 use bt_gemm::isa::{self, Isa};
-use bt_gemm::{sgemm, sgemm_epilogue, GemmSpec};
+use bt_gemm::lowp::{lowp_impl, lowp_impl_isas};
+use bt_gemm::{
+    active_precision, dot_error_bound, int8_dot_error_bound, set_active_precision, sgemm, sgemm_epilogue, GemmSpec,
+    Precision,
+};
 use bt_tensor::rng::Xoshiro256StarStar;
 use bt_tensor::Tensor;
 use bt_varlen::{BatchMask, PackingIndex};
@@ -76,6 +80,12 @@ fn assert_matches(label: &str, tier: Isa, reference: &[f32], got: &[f32], same_c
 fn differential(label: &str, max_k: usize, case: impl Fn() -> Vec<f32>) {
     let _g = ISA_LOCK.lock().unwrap();
     let prev = isa::active_isa();
+    // This harness asserts the *f32 family's* bitwise contract; the
+    // precision axis has its own chain-aware section below. Pin f32 so a
+    // `BYTE_GEMM_PREC` env selection (the check.sh matrix) doesn't reroute
+    // these cases through the tolerance-only low-precision kernels.
+    let prev_prec = active_precision();
+    set_active_precision(Precision::F32);
     let available = isa::available_isas();
     for tier in Isa::ALL {
         if !available.contains(&tier) {
@@ -92,6 +102,7 @@ fn differential(label: &str, max_k: usize, case: impl Fn() -> Vec<f32>) {
         assert_matches(label, tier, &reference, &got, same, max_k);
     }
     isa::set_active_isa(prev).unwrap();
+    set_active_precision(prev_prec);
 }
 
 // --- blocked ---------------------------------------------------------------
@@ -308,6 +319,289 @@ fn fused_grouped_mha_all_tiers() {
             out.as_slice().to_vec()
         });
     }
+}
+
+// --- precision × ISA -------------------------------------------------------
+//
+// The low-precision family trades bitwise equality for *documented* error
+// bounds (`dot_error_bound` / `int8_dot_error_bound`): every precision × ISA
+// implementation must track the f64 reference product within its bound, and
+// implementations sharing a contraction [`Chain`] must still agree bitwise
+// (int8 is exact in i32, so all its tiers agree; the AVX512 f16 tier
+// accumulates in f16 and is tolerance-only by design).
+//
+// [`Chain`]: bt_gemm::Chain
+
+const LOW_PRECS: [Precision; 3] = [Precision::F16, Precision::Bf16, Precision::Int8];
+
+/// Implementations of `prec` this host can actually dispatch to, with the
+/// missing ones logged (never silently dropped) — every precision × ISA
+/// combination is accounted for in the suite's log.
+fn lowp_tiers_logged(prec: Precision, what: &str) -> Vec<Isa> {
+    let impls: Vec<Isa> = lowp_impl_isas(prec)
+        .into_iter()
+        .filter(|t| isa::available_isas().contains(t))
+        .collect();
+    for tier in Isa::ALL {
+        if !impls.contains(&tier) {
+            eprintln!(
+                "differential_simd: {what}: no {prec}×{tier} implementation on this host — \
+                 resolution degrades it to a narrower tier (asserted by prec_dispatch)"
+            );
+        }
+    }
+    impls
+}
+
+/// Asserts every element of `got` is within the precision's documented
+/// error bound of the f64 reference of `alpha * A·B` (A `m×k`, B `k×n`,
+/// both row-major).
+#[allow(clippy::too_many_arguments)] // the GEMM operand set is the point
+fn assert_tracks_f64(
+    label: &str,
+    prec: Precision,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    got: &[f32],
+) {
+    assert_eq!(got.len(), m * n, "{label}: output length");
+    // Int8 scales are deterministic from the operands (|max|/127 per A row
+    // and per B column; 1.0 for all-zero vectors).
+    let sa: Vec<f32> = (0..m)
+        .map(|i| bt_gemm::lowp::int8_scale(a[i * k..(i + 1) * k].iter().fold(0.0f32, |x, &v| x.max(v.abs()))))
+        .collect();
+    let sb: Vec<f32> = (0..n)
+        .map(|j| bt_gemm::lowp::int8_scale((0..k).fold(0.0f32, |x, p| x.max(b[p * n + j].abs()))))
+        .collect();
+    for i in 0..m {
+        for j in 0..n {
+            let a_row = &a[i * k..(i + 1) * k];
+            let b_col: Vec<f32> = (0..k).map(|p| b[p * n + j]).collect();
+            let exact: f64 = a_row.iter().zip(&b_col).map(|(&x, &y)| x as f64 * y as f64).sum();
+            let sum_abs: f64 = a_row
+                .iter()
+                .zip(&b_col)
+                .map(|(&x, &y)| (x as f64 * y as f64).abs())
+                .sum();
+            let bound = match prec {
+                Precision::Int8 => int8_dot_error_bound(a_row, &b_col, sa[i], sb[j]),
+                _ => dot_error_bound(prec, k, sum_abs),
+            } * (alpha.abs() as f64).max(1.0);
+            let got_ij = got[i * n + j] as f64;
+            let want = alpha as f64 * exact;
+            assert!(
+                (got_ij - want).abs() <= bound,
+                "{label}: c[{i},{j}] = {got_ij}, reference {want}, documented bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lowp_blocked_every_precision_and_tier_tracks_reference() {
+    let _g = ISA_LOCK.lock().unwrap();
+    let (prev_isa, prev_prec) = (isa::active_isa(), active_precision());
+    // Remainder edges of every lowp tile geometry (8×8, 16×16, 16×32),
+    // depths crossing the int8 k-step groups (2 and 4) and odd against
+    // both, plus k = 0 and a 1-token row.
+    let shapes: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (7, 9, 5),
+        (17, 15, 33),
+        (16, 32, 64),
+        (33, 65, 127),
+        (9, 31, 0),
+        (1, 7, 16),
+    ];
+    let alpha = 1.25f32;
+    for prec in LOW_PRECS {
+        let impls = lowp_tiers_logged(prec, "blocked");
+        set_active_precision(prec);
+        let scalar_chain = lowp_impl(prec, Isa::Scalar).unwrap().chain;
+        for &(m, n, k) in shapes {
+            let a = rand_vec(m * k, 0x51 + k as u64);
+            let b = rand_vec(k * n, 0x52 + n as u64);
+            let run = |tier: Isa| {
+                isa::set_active_isa(tier).unwrap();
+                let mut c = vec![f32::NAN; m * n];
+                sgemm(GemmSpec::nn().alpha(alpha), m, n, k, &a, &b, &mut c);
+                c
+            };
+            let reference = run(Isa::Scalar);
+            assert_tracks_f64(
+                &format!("{prec}/scalar {m}x{n}x{k}"),
+                prec,
+                m,
+                n,
+                k,
+                alpha,
+                &a,
+                &b,
+                &reference,
+            );
+            for &tier in impls.iter().filter(|&&t| t != Isa::Scalar) {
+                let got = run(tier);
+                assert_tracks_f64(
+                    &format!("{prec}/{tier} {m}x{n}x{k}"),
+                    prec,
+                    m,
+                    n,
+                    k,
+                    alpha,
+                    &a,
+                    &b,
+                    &got,
+                );
+                if lowp_impl(prec, tier).unwrap().chain == scalar_chain {
+                    for (i, (r, g)) in reference.iter().zip(&got).enumerate() {
+                        assert!(
+                            r.to_bits() == g.to_bits(),
+                            "{prec} {m}x{n}x{k} [{i}]: equal chains must agree bitwise: scalar {r:?} != {tier} {g:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    isa::set_active_isa(prev_isa).unwrap();
+    set_active_precision(prev_prec);
+}
+
+#[test]
+fn lowp_grouped_every_precision_empty_and_single_token() {
+    let _g = ISA_LOCK.lock().unwrap();
+    let (prev_isa, prev_prec) = (isa::active_isa(), active_precision());
+    // Mixed grouped shapes per precision: an empty group, a k = 0 group,
+    // 1-token sequences, and remainder-edge tiles.
+    let shapes: &[(usize, usize, usize)] = &[(17, 23, 31), (0, 10, 8), (1, 1, 1), (5, 7, 0), (1, 64, 32), (40, 5, 70)];
+    let a_bufs: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, _, k))| rand_vec(m * k, i as u64 * 2 + 61))
+        .collect();
+    let b_bufs: Vec<Vec<f32>> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, n, k))| rand_vec(k * n, i as u64 * 2 + 62))
+        .collect();
+    for prec in LOW_PRECS {
+        let impls = lowp_tiers_logged(prec, "grouped");
+        set_active_precision(prec);
+        let scalar_chain = lowp_impl(prec, Isa::Scalar).unwrap().chain;
+        for scheduler in [Scheduler::PerTile, Scheduler::WarpPrefetch] {
+            let run = |tier: Isa| {
+                isa::set_active_isa(tier).unwrap();
+                let problems: Vec<GroupedProblem<'_>> = shapes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(m, n, k))| GroupedProblem {
+                        m,
+                        n,
+                        k,
+                        transb: false,
+                        alpha: 1.0,
+                        a: &a_bufs[i],
+                        b: &b_bufs[i],
+                    })
+                    .collect();
+                let mut cs: Vec<Vec<f32>> = shapes.iter().map(|&(m, n, _)| vec![0.0; m * n]).collect();
+                grouped_sgemm(
+                    &problems,
+                    cs.iter_mut().map(|c| c.as_mut_slice()).collect(),
+                    GroupedConfig {
+                        scheduler,
+                        num_ctas: 13,
+                        ..Default::default()
+                    },
+                    &NoEpilogue,
+                    &NoTransform,
+                );
+                cs
+            };
+            let reference = run(Isa::Scalar);
+            for (i, &(m, n, k)) in shapes.iter().enumerate() {
+                assert_tracks_f64(
+                    &format!("grouped {prec}/scalar #{i}"),
+                    prec,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    &a_bufs[i],
+                    &b_bufs[i],
+                    &reference[i],
+                );
+            }
+            for &tier in impls.iter().filter(|&&t| t != Isa::Scalar) {
+                let got = run(tier);
+                for (i, &(m, n, k)) in shapes.iter().enumerate() {
+                    assert_tracks_f64(
+                        &format!("grouped {prec}/{tier} #{i} {scheduler:?}"),
+                        prec,
+                        m,
+                        n,
+                        k,
+                        1.0,
+                        &a_bufs[i],
+                        &b_bufs[i],
+                        &got[i],
+                    );
+                    if lowp_impl(prec, tier).unwrap().chain == scalar_chain {
+                        for (e, (r, g)) in reference[i].iter().zip(&got[i]).enumerate() {
+                            assert!(
+                                r.to_bits() == g.to_bits(),
+                                "grouped {prec} #{i} [{e}]: equal chains must agree bitwise ({scheduler:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    isa::set_active_isa(prev_isa).unwrap();
+    set_active_precision(prev_prec);
+}
+
+#[test]
+fn lowp_fused_mha_every_precision_stays_close_to_f32() {
+    // End-to-end fused attention under each precision: softmax renormalizes
+    // the logits, so documented per-dot bounds don't compose tightly — this
+    // asserts an empirical envelope (several × the observed drift) against
+    // the f32 run, per precision, on the widest available tier and scalar.
+    let _g = ISA_LOCK.lock().unwrap();
+    let (prev_isa, prev_prec) = (isa::active_isa(), active_precision());
+    let (idx, [q, k, v]) = packed_qkv(&[33, 1, 96, 17], 96, 2, 32, 53);
+    let dev = Device::new();
+    set_active_precision(Precision::F32);
+    let reference: Vec<f32> = fused_grouped_attention(&dev, &q, &k, &v, &idx, Scheduler::WarpPrefetch)
+        .as_slice()
+        .to_vec();
+    for (prec, envelope) in [
+        (Precision::F16, 0.02f32),
+        (Precision::Bf16, 0.1),
+        (Precision::Int8, 0.1),
+    ] {
+        set_active_precision(prec);
+        for tier in [Isa::Scalar, *lowp_tiers_logged(prec, "fused MHA").last().unwrap()] {
+            isa::set_active_isa(tier).unwrap();
+            let got = fused_grouped_attention(&dev, &q, &k, &v, &idx, Scheduler::WarpPrefetch);
+            let worst = reference
+                .iter()
+                .zip(got.as_slice())
+                .map(|(r, g)| (r - g).abs())
+                .fold(0.0f32, f32::max);
+            assert!(
+                worst <= envelope,
+                "fused MHA {prec}/{tier}: max drift {worst} exceeds the {envelope} envelope"
+            );
+        }
+    }
+    isa::set_active_isa(prev_isa).unwrap();
+    set_active_precision(prev_prec);
 }
 
 #[test]
