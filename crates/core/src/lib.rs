@@ -49,4 +49,5 @@ pub mod embeddings;
 pub mod encoder;
 pub mod flops;
 pub mod incremental;
+pub mod paged;
 pub mod weights;

@@ -1,0 +1,924 @@
+//! Batched autoregressive decoding over a block-paged KV cache.
+//!
+//! [`crate::incremental::DecoderSession`] decodes one sequence at a time
+//! against a contiguous, privately owned cache. A serving system runs
+//! *hundreds* of such sessions concurrently, and their per-step work — a
+//! pile of `1×n` GEMVs and one attention per `(session, head)` at that
+//! session's current length — is exactly the variable-shape problem the
+//! grouped-GEMM engine was built for (paper Fig. 5). This module supplies
+//! the two pieces that turn the single-sequence path into a batched one:
+//!
+//! * [`PagedKvCache`] — K/V storage indexed through `bt-varlen`'s
+//!   [`BlockPool`]: a fixed pool of `block_tokens`-sized blocks, per-session
+//!   block tables, and an explicit [`KvOom`] signal when the pool is
+//!   exhausted. Sessions grow by whole blocks, so memory held is within one
+//!   block of tokens stored — no per-session `max_seq_len` reservation, the
+//!   same anti-padding argument as the zero-padding algorithm applied to
+//!   the time axis.
+//! * [`PagedDecoder`] — many concurrent sessions over one shared cache,
+//!   with a **batched step**: [`PagedDecoder::step_batch`] advances every
+//!   session by one token in a single pipeline per layer — one `[rows, 3h]`
+//!   QKV GEMM for all sessions, one gather of each session's K/V planes via
+//!   its block table, and one grouped-GEMM launch carrying every
+//!   `(session, head)` attention problem at its true cache length.
+//!   [`PagedDecoder::prefill`] ingests a whole prompt through the same
+//!   pipeline with causal prefix lengths.
+//!
+//! Equivalence guarantee (tested here and cross-ISA in
+//! `tests/differential_decode.rs`): a paged session tracks the contiguous
+//! [`crate::incremental::DecoderSession`] within documented float tolerance
+//! (different contraction order through the grouped microkernel), and its
+//! outputs are **bitwise invariant** to the block size — paging is memory
+//! layout, never math.
+
+use crate::decoder::TransformerDecoder;
+use bt_device::{Device, KernelSpec};
+use bt_gemm::grouped::{grouped_sgemm, GroupedConfig, GroupedProblem, NoEpilogue, NoTransform};
+use bt_kernels::layernorm::normalize_row;
+use bt_kernels::softmax::softmax_row;
+use bt_tensor::Tensor;
+use bt_varlen::paged::{BlockPool, KvOom, PagedLayout, SessionId};
+
+/// Sessions ever opened on a [`PagedDecoder`].
+static SESSIONS_OPENED: bt_obs::Counter = bt_obs::Counter::new("kvcache.sessions.opened");
+/// Sessions freed (blocks returned to the pool).
+static SESSIONS_FREED: bt_obs::Counter = bt_obs::Counter::new("kvcache.sessions.freed");
+/// Appends refused with [`KvOom`] — each one is a shed candidate upstream.
+static KV_OOM: bt_obs::Counter = bt_obs::Counter::new("kvcache.oom");
+/// Token slots appended across all sessions (prefill + decode).
+static KV_TOKENS: bt_obs::Counter = bt_obs::Counter::new("kvcache.tokens.appended");
+/// Rows pushed through the batched decode pipeline.
+static DECODE_ROWS: bt_obs::Counter = bt_obs::Counter::new("core.paged.rows");
+
+/// Per-layer K/V storage addressed through a [`BlockPool`].
+///
+/// One block table per session covers **all** layers: every layer stores its
+/// K and V rows for token `i` of a session at the same `(block, slot)` the
+/// pool assigned, in that layer's private storage plane. Capacity is
+/// therefore checked once per appended token, not once per layer.
+pub struct PagedKvCache {
+    pool: BlockPool,
+    hidden: usize,
+    /// Per-layer key storage, `[pool_blocks × block_tokens × hidden]`.
+    k: Vec<Vec<f32>>,
+    /// Per-layer value storage, same geometry.
+    v: Vec<Vec<f32>>,
+}
+
+impl PagedKvCache {
+    /// Allocates storage for `layers` decoder layers of width `hidden` over
+    /// the given pool geometry.
+    pub fn new(layout: PagedLayout, layers: usize, hidden: usize) -> Self {
+        let elems = layout.pool_blocks * layout.block_tokens * hidden;
+        Self {
+            pool: BlockPool::new(layout),
+            hidden,
+            k: (0..layers).map(|_| vec![0.0; elems]).collect(),
+            v: (0..layers).map(|_| vec![0.0; elems]).collect(),
+        }
+    }
+
+    /// The underlying block pool (read-only: occupancy, high water, layout).
+    pub fn pool(&self) -> &BlockPool {
+        &self.pool
+    }
+
+    /// Opens a session with an empty block table.
+    pub fn create(&mut self) -> SessionId {
+        SESSIONS_OPENED.incr();
+        self.pool.create()
+    }
+
+    /// Reserves cache capacity for `tokens` more tokens of the session —
+    /// all-or-nothing; on [`KvOom`] the session is unchanged.
+    ///
+    /// # Errors
+    /// Propagates [`KvOom`] from the pool when the free list cannot cover
+    /// the growth.
+    pub fn append(&mut self, sid: SessionId, tokens: usize) -> Result<(), KvOom> {
+        match self.pool.append(sid, tokens) {
+            Ok(()) => {
+                KV_TOKENS.add(tokens as u64);
+                Ok(())
+            }
+            Err(e) => {
+                KV_OOM.incr();
+                Err(e)
+            }
+        }
+    }
+
+    /// Frees the session, returning its block count to the free list.
+    pub fn free(&mut self, sid: SessionId) -> usize {
+        SESSIONS_FREED.incr();
+        self.pool.free(sid)
+    }
+
+    /// Tokens stored for the session.
+    pub fn len(&self, sid: SessionId) -> usize {
+        self.pool.len(sid)
+    }
+
+    /// True when the session holds no tokens.
+    pub fn is_empty(&self, sid: SessionId) -> bool {
+        self.pool.is_empty(sid)
+    }
+
+    /// Stores one token's K and V rows (`[hidden]` each, head-interleaved as
+    /// produced by the QKV projection) at the session's token `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos` has no reserved slot (append first) or row widths
+    /// mismatch `hidden`.
+    pub fn write(&mut self, layer: usize, sid: SessionId, pos: usize, k_row: &[f32], v_row: &[f32]) {
+        assert_eq!(k_row.len(), self.hidden, "k row width mismatch");
+        assert_eq!(v_row.len(), self.hidden, "v row width mismatch");
+        let slot = self.pool.slot(sid, pos);
+        let base = (slot.block * self.pool.layout().block_tokens + slot.slot) * self.hidden;
+        self.k[layer][base..base + self.hidden].copy_from_slice(k_row);
+        self.v[layer][base..base + self.hidden].copy_from_slice(v_row);
+    }
+
+    /// Gathers the session's first `klen` K and V rows for one layer into
+    /// contiguous `[heads, klen, head]` planes — the layout every attention
+    /// kernel in the repo consumes ([`crate::incremental`] uses it for cross
+    /// K/V). This is the block-table indirection made dense: downstream
+    /// grouped-GEMM problems slice token prefixes of a head's plane
+    /// contiguously.
+    ///
+    /// # Panics
+    /// Panics if `klen` exceeds the session length, `heads × head` ≠ hidden,
+    /// or the output planes are not `heads × klen × head` long.
+    #[allow(clippy::too_many_arguments)] // gather geometry is the point
+    pub fn gather(
+        &self,
+        layer: usize,
+        sid: SessionId,
+        klen: usize,
+        heads: usize,
+        head: usize,
+        kp: &mut [f32],
+        vp: &mut [f32],
+    ) {
+        assert!(klen <= self.pool.len(sid), "gather past session length");
+        assert_eq!(heads * head, self.hidden, "head split mismatch");
+        assert_eq!(kp.len(), heads * klen * head, "k plane size mismatch");
+        assert_eq!(vp.len(), heads * klen * head, "v plane size mismatch");
+        let bt = self.pool.layout().block_tokens;
+        for idx in 0..klen {
+            let slot = self.pool.slot(sid, idx);
+            let base = (slot.block * bt + slot.slot) * self.hidden;
+            for h in 0..heads {
+                let src = base + h * head;
+                let dst = (h * klen + idx) * head;
+                kp[dst..dst + head].copy_from_slice(&self.k[layer][src..src + head]);
+                vp[dst..dst + head].copy_from_slice(&self.v[layer][src..src + head]);
+            }
+        }
+    }
+}
+
+/// Cross-attention state of one live session: per-layer memory K/V planes
+/// (`[heads, mem_len, head]`), projected once at session open exactly like
+/// [`crate::incremental::DecoderSession`].
+struct SessionState {
+    cross_kv: Vec<(Vec<f32>, Vec<f32>)>,
+    mem_len: usize,
+}
+
+/// Result of one batched decode step.
+pub struct BatchStepOutput {
+    /// Per input session, in call order: the token's output hidden state,
+    /// or `None` when that session's cache append was refused.
+    pub outputs: Vec<Option<Vec<f32>>>,
+    /// Sessions whose append failed this step, with the pool's shortfall.
+    /// They produced no token and still hold their blocks — the caller
+    /// decides whether to shed ([`PagedDecoder::free_session`]) or retry.
+    pub oom: Vec<(SessionId, KvOom)>,
+}
+
+/// One row flowing through the batched per-layer pipeline: which gather
+/// plane it attends through, where its K/V row lands, and how many cache
+/// tokens it may see (causal prefix).
+struct RowPlan {
+    /// Index into the step's distinct-session list.
+    unit: usize,
+    /// Token position of this row in its session.
+    pos: usize,
+    /// Cache tokens visible to this row (`pos + 1`).
+    klen: usize,
+}
+
+/// Many concurrent decoding sessions over one shared [`PagedKvCache`],
+/// advanced in batched token steps through the grouped-GEMM engine.
+pub struct PagedDecoder<'a> {
+    decoder: &'a TransformerDecoder,
+    cache: PagedKvCache,
+    /// Cross-attention state, indexed by [`SessionId::index`] (slots are
+    /// recycled with the pool's session slots).
+    sessions: Vec<Option<SessionState>>,
+}
+
+impl<'a> PagedDecoder<'a> {
+    /// Builds a paged decoder over `decoder` with a cache of the given
+    /// geometry.
+    pub fn new(decoder: &'a TransformerDecoder, layout: PagedLayout) -> Self {
+        let layers = decoder.weights.layers.len();
+        let hidden = decoder.config.hidden();
+        Self {
+            decoder,
+            cache: PagedKvCache::new(layout, layers, hidden),
+            sessions: Vec::new(),
+        }
+    }
+
+    /// The shared KV cache (occupancy, high water, OOM counts).
+    pub fn cache(&self) -> &PagedKvCache {
+        &self.cache
+    }
+
+    /// The decoder whose weights every session runs.
+    pub fn decoder(&self) -> &TransformerDecoder {
+        self.decoder
+    }
+
+    /// Opens a session over one encoder memory sequence
+    /// (`[mem_len, hidden]`, packed), projecting cross-attention K/V once.
+    /// Never takes cache blocks — those are claimed by prefill/steps.
+    ///
+    /// # Panics
+    /// Panics if `memory` is not `[mem_len, hidden]` with `mem_len ≥ 1`.
+    pub fn open_session(&mut self, device: &Device, memory: &Tensor) -> SessionId {
+        let hidden = self.decoder.config.hidden();
+        let dims = memory.dims();
+        assert_eq!(dims.len(), 2, "memory must be [mem_len, hidden]");
+        assert_eq!(dims[1], hidden, "memory hidden mismatch");
+        let mem_len = dims[0];
+        assert!(mem_len >= 1, "memory must hold at least one row");
+        let heads = self.decoder.config.heads;
+        let head = self.decoder.config.head_size;
+
+        let cross_kv = self
+            .decoder
+            .weights
+            .layers
+            .iter()
+            .map(|w| {
+                let mut kv = vec![0.0f32; mem_len * 2 * hidden];
+                device.launch(
+                    bt_gemm::gemm_kernel_spec("paged.cross_kv", mem_len, 2 * hidden, hidden, 4),
+                    || {
+                        bt_gemm::sgemm(
+                            bt_gemm::GemmSpec::nn(),
+                            mem_len,
+                            2 * hidden,
+                            hidden,
+                            memory.as_slice(),
+                            w.cross_kv_weight.as_slice(),
+                            &mut kv,
+                        )
+                    },
+                );
+                let mut kp = vec![0.0f32; heads * mem_len * head];
+                let mut vp = vec![0.0f32; heads * mem_len * head];
+                for s in 0..mem_len {
+                    for h in 0..heads {
+                        for d in 0..head {
+                            let c = h * head + d;
+                            kp[(h * mem_len + s) * head + d] = kv[s * 2 * hidden + c] + w.cross_kv_bias[c];
+                            vp[(h * mem_len + s) * head + d] =
+                                kv[s * 2 * hidden + hidden + c] + w.cross_kv_bias[hidden + c];
+                        }
+                    }
+                }
+                (kp, vp)
+            })
+            .collect();
+
+        let sid = self.cache.create();
+        if self.sessions.len() <= sid.index() {
+            self.sessions.resize_with(sid.index() + 1, || None);
+        }
+        self.sessions[sid.index()] = Some(SessionState { cross_kv, mem_len });
+        sid
+    }
+
+    /// Tokens cached for the session.
+    pub fn session_len(&self, sid: SessionId) -> usize {
+        self.cache.len(sid)
+    }
+
+    /// Frees the session's blocks and cross-attention state; returns how
+    /// many blocks came back to the pool.
+    pub fn free_session(&mut self, sid: SessionId) -> usize {
+        self.sessions[sid.index()] = None;
+        self.cache.free(sid)
+    }
+
+    /// Ingests a whole prompt (`[len, hidden]`, packed) through the batched
+    /// pipeline with causal prefix attention, returning every prompt
+    /// token's output hidden state. All-or-nothing on capacity: on
+    /// [`KvOom`] the session is unchanged.
+    ///
+    /// # Errors
+    /// Returns [`KvOom`] when the pool cannot hold `len` more tokens.
+    ///
+    /// # Panics
+    /// Panics if the session is not open or `tokens` is not
+    /// `[len ≥ 1, hidden]`.
+    pub fn prefill(&mut self, device: &Device, sid: SessionId, tokens: &Tensor) -> Result<Vec<Vec<f32>>, KvOom> {
+        let hidden = self.decoder.config.hidden();
+        let dims = tokens.dims();
+        assert_eq!(dims.len(), 2, "prompt must be [len, hidden]");
+        assert_eq!(dims[1], hidden, "prompt hidden mismatch");
+        let len = dims[0];
+        assert!(len >= 1, "prompt must hold at least one token");
+        let start = self.cache.len(sid);
+        self.cache.append(sid, len)?;
+        let rows: Vec<RowPlan> = (0..len)
+            .map(|i| RowPlan {
+                unit: 0,
+                pos: start + i,
+                klen: start + i + 1,
+            })
+            .collect();
+        let mut h = tokens.as_slice().to_vec();
+        self.forward_rows(device, &[sid], &rows, &mut h);
+        Ok(h.chunks(hidden).map(|r| r.to_vec()).collect())
+    }
+
+    /// Advances many sessions by one token each in a single batched
+    /// pipeline. `inputs` is `[ids.len(), hidden]` flattened, row `i` being
+    /// session `ids[i]`'s new token. Sessions whose capacity append is
+    /// refused are reported in [`BatchStepOutput::oom`] (their state
+    /// untouched) and the rest proceed — explicit OOM→shed signaling, never
+    /// a partial token.
+    ///
+    /// # Panics
+    /// Panics on a duplicate or unopened session id, or a width mismatch.
+    pub fn step_batch(&mut self, device: &Device, ids: &[SessionId], inputs: &[f32]) -> BatchStepOutput {
+        let hidden = self.decoder.config.hidden();
+        assert_eq!(inputs.len(), ids.len() * hidden, "inputs must be [sessions, hidden]");
+        for (i, a) in ids.iter().enumerate() {
+            assert!(
+                self.sessions.get(a.index()).is_some_and(Option::is_some),
+                "session {} is not open",
+                a.index()
+            );
+            assert!(!ids[..i].contains(a), "session {} appears twice in one step", a.index());
+        }
+
+        // Phase 0: claim capacity per session; survivors proceed together.
+        let mut oom = Vec::new();
+        let mut outputs: Vec<Option<Vec<f32>>> = (0..ids.len()).map(|_| None).collect();
+        let mut units: Vec<SessionId> = Vec::with_capacity(ids.len());
+        let mut rows: Vec<RowPlan> = Vec::with_capacity(ids.len());
+        let mut h: Vec<f32> = Vec::with_capacity(ids.len() * hidden);
+        let mut survivor_at: Vec<usize> = Vec::with_capacity(ids.len());
+        for (i, &sid) in ids.iter().enumerate() {
+            match self.cache.append(sid, 1) {
+                Ok(()) => {
+                    let len = self.cache.len(sid);
+                    rows.push(RowPlan {
+                        unit: units.len(),
+                        pos: len - 1,
+                        klen: len,
+                    });
+                    units.push(sid);
+                    h.extend_from_slice(&inputs[i * hidden..(i + 1) * hidden]);
+                    survivor_at.push(i);
+                }
+                Err(e) => oom.push((sid, e)),
+            }
+        }
+        if !units.is_empty() {
+            self.forward_rows(device, &units, &rows, &mut h);
+            for (r, &i) in survivor_at.iter().enumerate() {
+                outputs[i] = Some(h[r * hidden..(r + 1) * hidden].to_vec());
+            }
+        }
+        BatchStepOutput { outputs, oom }
+    }
+
+    /// The shared per-layer pipeline: `rows` are token rows (flattened in
+    /// `h`, `[rows, hidden]`), each attending over a causal prefix of its
+    /// session's cache. Both prefill (many rows, one session) and batched
+    /// decode (one row per session) flow through here, so the two paths
+    /// cannot diverge numerically.
+    fn forward_rows(&mut self, device: &Device, units: &[SessionId], rows: &[RowPlan], h: &mut Vec<f32>) {
+        let config = self.decoder.config;
+        let hidden = config.hidden();
+        let heads = config.heads;
+        let head = config.head_size;
+        let scale = config.attention_scale();
+        let eps = config.eps;
+        let inter = config.intermediate();
+        let r = rows.len();
+        DECODE_ROWS.add(r as u64);
+        let grouped_cfg = GroupedConfig::default();
+
+        for (layer, w) in self.decoder.weights.layers.iter().enumerate() {
+            // --- QKV projection for every row at once ------------------
+            let mut qkv = vec![0.0f32; r * 3 * hidden];
+            device.launch(
+                bt_gemm::gemm_kernel_spec("paged.self_qkv", r, 3 * hidden, hidden, 4),
+                || {
+                    bt_gemm::sgemm(
+                        bt_gemm::GemmSpec::nn(),
+                        r,
+                        3 * hidden,
+                        hidden,
+                        h,
+                        w.self_qkv_weight.as_slice(),
+                        &mut qkv,
+                    )
+                },
+            );
+            for row in 0..r {
+                for (v, &b) in qkv[row * 3 * hidden..(row + 1) * 3 * hidden]
+                    .iter_mut()
+                    .zip(&w.self_qkv_bias)
+                {
+                    *v += b;
+                }
+            }
+
+            // --- append K/V through the block tables -------------------
+            for (row, plan) in rows.iter().enumerate() {
+                let base = row * 3 * hidden;
+                let (k_row, v_row) = (
+                    &qkv[base + hidden..base + 2 * hidden],
+                    &qkv[base + 2 * hidden..base + 3 * hidden],
+                );
+                self.cache.write(layer, units[plan.unit], plan.pos, k_row, v_row);
+            }
+
+            // --- gather each session's K/V planes ----------------------
+            let max_klen: Vec<usize> = units
+                .iter()
+                .enumerate()
+                .map(|(u, _)| rows.iter().filter(|p| p.unit == u).map(|p| p.klen).max().unwrap_or(0))
+                .collect();
+            let gather_bytes: u64 = max_klen.iter().map(|&kl| (2 * kl * hidden * 4) as u64).sum();
+            let planes: Vec<(Vec<f32>, Vec<f32>)> = device.launch(
+                KernelSpec::new("paged.gather").reads(gather_bytes).writes(gather_bytes),
+                || {
+                    units
+                        .iter()
+                        .zip(&max_klen)
+                        .map(|(&sid, &kl)| {
+                            let mut kp = vec![0.0f32; heads * kl * head];
+                            let mut vp = vec![0.0f32; heads * kl * head];
+                            self.cache.gather(layer, sid, kl, heads, head, &mut kp, &mut vp);
+                            (kp, vp)
+                        })
+                        .collect()
+                },
+            );
+
+            // --- self-attention: one grouped launch per GEMM -----------
+            let sa = self.grouped_attention(
+                device,
+                "paged.attn",
+                &qkv,
+                3 * hidden,
+                rows,
+                |p| {
+                    let (kp, vp) = &planes[p.unit];
+                    (kp.as_slice(), vp.as_slice(), max_klen[p.unit], p.klen)
+                },
+                heads,
+                head,
+                scale,
+                grouped_cfg,
+            );
+            let mut attn = vec![0.0f32; r * hidden];
+            device.launch(
+                bt_gemm::gemm_kernel_spec("paged.self_proj", r, hidden, hidden, 4),
+                || {
+                    bt_gemm::sgemm(
+                        bt_gemm::GemmSpec::nn(),
+                        r,
+                        hidden,
+                        hidden,
+                        &sa,
+                        w.self_out_weight.as_slice(),
+                        &mut attn,
+                    )
+                },
+            );
+            for row in 0..r {
+                let o = &mut attn[row * hidden..(row + 1) * hidden];
+                for ((v, &res), &b) in o
+                    .iter_mut()
+                    .zip(&h[row * hidden..(row + 1) * hidden])
+                    .zip(&w.self_out_bias)
+                {
+                    *v += res + b;
+                }
+                normalize_row(o, &w.ln0_gamma, &w.ln0_beta, eps);
+            }
+
+            // --- cross-attention over per-session memory planes --------
+            let mut cq = vec![0.0f32; r * hidden];
+            device.launch(bt_gemm::gemm_kernel_spec("paged.cross_q", r, hidden, hidden, 4), || {
+                bt_gemm::sgemm(
+                    bt_gemm::GemmSpec::nn(),
+                    r,
+                    hidden,
+                    hidden,
+                    &attn,
+                    w.cross_q_weight.as_slice(),
+                    &mut cq,
+                )
+            });
+            for row in 0..r {
+                for (v, &b) in cq[row * hidden..(row + 1) * hidden].iter_mut().zip(&w.cross_q_bias) {
+                    *v += b;
+                }
+            }
+            let ca = self.grouped_attention(
+                device,
+                "paged.cross",
+                &cq,
+                hidden,
+                rows,
+                |p| {
+                    let state = self.sessions[units[p.unit].index()].as_ref().expect("session open");
+                    let (kp, vp) = &state.cross_kv[layer];
+                    (kp.as_slice(), vp.as_slice(), state.mem_len, state.mem_len)
+                },
+                heads,
+                head,
+                scale,
+                grouped_cfg,
+            );
+            let mut cattn = vec![0.0f32; r * hidden];
+            device.launch(
+                bt_gemm::gemm_kernel_spec("paged.cross_proj", r, hidden, hidden, 4),
+                || {
+                    bt_gemm::sgemm(
+                        bt_gemm::GemmSpec::nn(),
+                        r,
+                        hidden,
+                        hidden,
+                        &ca,
+                        w.cross_out_weight.as_slice(),
+                        &mut cattn,
+                    )
+                },
+            );
+            for row in 0..r {
+                let o = &mut cattn[row * hidden..(row + 1) * hidden];
+                for ((v, &res), &b) in o
+                    .iter_mut()
+                    .zip(&attn[row * hidden..(row + 1) * hidden])
+                    .zip(&w.cross_out_bias)
+                {
+                    *v += res + b;
+                }
+                normalize_row(o, &w.ln1_gamma, &w.ln1_beta, eps);
+            }
+
+            // --- FFN ----------------------------------------------------
+            let mut up = vec![0.0f32; r * inter];
+            device.launch(bt_gemm::gemm_kernel_spec("paged.ffn_up", r, inter, hidden, 4), || {
+                bt_gemm::sgemm(
+                    bt_gemm::GemmSpec::nn(),
+                    r,
+                    inter,
+                    hidden,
+                    &cattn,
+                    w.ffn_up_weight.as_slice(),
+                    &mut up,
+                )
+            });
+            for row in 0..r {
+                for (v, &b) in up[row * inter..(row + 1) * inter].iter_mut().zip(&w.ffn_up_bias) {
+                    *v = bt_kernels::activation::gelu_tanh(*v + b);
+                }
+            }
+            let mut out = vec![0.0f32; r * hidden];
+            device.launch(bt_gemm::gemm_kernel_spec("paged.ffn_down", r, hidden, inter, 4), || {
+                bt_gemm::sgemm(
+                    bt_gemm::GemmSpec::nn(),
+                    r,
+                    hidden,
+                    inter,
+                    &up,
+                    w.ffn_down_weight.as_slice(),
+                    &mut out,
+                )
+            });
+            for row in 0..r {
+                let o = &mut out[row * hidden..(row + 1) * hidden];
+                for ((v, &res), &b) in o
+                    .iter_mut()
+                    .zip(&cattn[row * hidden..(row + 1) * hidden])
+                    .zip(&w.ffn_down_bias)
+                {
+                    *v += res + b;
+                }
+                normalize_row(o, &w.ln2_gamma, &w.ln2_beta, eps);
+            }
+            *h = out;
+        }
+    }
+
+    /// One attention pass as two grouped-GEMM launches: `Q·Kᵀ` over every
+    /// `(row, head)` problem at its causal length, a softmax per logits row,
+    /// then `P·V` back into `[rows, hidden]`. `planes_of` maps a row to its
+    /// `(K plane, V plane, plane_klen, visible_klen)` — plane rows are
+    /// `[heads, plane_klen, head]`, the problem consumes the first
+    /// `visible_klen` tokens of each head (a contiguous prefix slice).
+    #[allow(clippy::too_many_arguments)]
+    fn grouped_attention<'p>(
+        &self,
+        device: &Device,
+        name: &str,
+        q: &'p [f32],
+        q_stride: usize,
+        rows: &[RowPlan],
+        planes_of: impl Fn(&RowPlan) -> (&'p [f32], &'p [f32], usize, usize),
+        heads: usize,
+        head: usize,
+        scale: f32,
+        grouped_cfg: GroupedConfig,
+    ) -> Vec<f32> {
+        let r = rows.len();
+        let hidden = heads * head;
+        // Logits buffers, one per (row, head) problem, row-major order.
+        let mut logits: Vec<Vec<f32>> = Vec::with_capacity(r * heads);
+        let mut qk_problems = Vec::with_capacity(r * heads);
+        let mut total_flops = 0u64;
+        let mut k_bytes = 0u64;
+        for (row, p) in rows.iter().enumerate() {
+            let (kp, _vp, plane_kl, kl) = planes_of(p);
+            for hh in 0..heads {
+                logits.push(vec![0.0f32; kl]);
+                qk_problems.push(GroupedProblem {
+                    m: 1,
+                    n: kl,
+                    k: head,
+                    transb: true,
+                    alpha: scale,
+                    a: &q[row * q_stride + hh * head..row * q_stride + (hh + 1) * head],
+                    b: &kp[hh * plane_kl * head..hh * plane_kl * head + kl * head],
+                });
+            }
+            total_flops += (2 * heads * kl * head) as u64;
+            k_bytes += (heads * kl * head * 4) as u64;
+        }
+        let logit_elems: u64 = logits.iter().map(|l| l.len() as u64).sum();
+        device.launch(
+            KernelSpec::new(format!("{name}.qk"))
+                .flops(total_flops)
+                .reads((r * hidden * 4) as u64 + k_bytes)
+                .writes(logit_elems * 4),
+            || {
+                grouped_sgemm(
+                    &qk_problems,
+                    logits.iter_mut().map(Vec::as_mut_slice).collect(),
+                    grouped_cfg,
+                    &NoEpilogue,
+                    &NoTransform,
+                )
+            },
+        );
+        drop(qk_problems);
+        device.launch(
+            KernelSpec::new(format!("{name}.softmax"))
+                .flops(logit_elems * 3)
+                .reads(logit_elems * 4)
+                .writes(logit_elems * 4),
+            || {
+                for l in logits.iter_mut() {
+                    softmax_row(l);
+                }
+            },
+        );
+
+        let mut out = vec![0.0f32; r * hidden];
+        let mut pv_problems = Vec::with_capacity(r * heads);
+        let mut li = 0;
+        for p in rows.iter() {
+            let (_kp, vp, plane_kl, kl) = planes_of(p);
+            for hh in 0..heads {
+                pv_problems.push(GroupedProblem {
+                    m: 1,
+                    n: head,
+                    k: kl,
+                    transb: false,
+                    alpha: 1.0,
+                    a: logits[li].as_slice(),
+                    b: &vp[hh * plane_kl * head..hh * plane_kl * head + kl * head],
+                });
+                li += 1;
+            }
+        }
+        device.launch(
+            KernelSpec::new(format!("{name}.pv"))
+                .flops(total_flops)
+                .reads(logit_elems * 4 + k_bytes)
+                .writes((r * hidden * 4) as u64),
+            || {
+                grouped_sgemm(
+                    &pv_problems,
+                    out.chunks_mut(head).collect(),
+                    grouped_cfg,
+                    &NoEpilogue,
+                    &NoTransform,
+                )
+            },
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BertConfig;
+    use crate::incremental::DecoderSession;
+    use bt_device::CostModel;
+
+    fn device() -> Device {
+        Device::with_model(CostModel::unit())
+    }
+
+    /// Documented tolerance of the paged path vs the contiguous cache: the
+    /// grouped microkernel contracts in a different order than the scalar
+    /// attention loops (same bound as teacher-forcing vs incremental).
+    const TOL: f32 = 5e-3;
+
+    #[test]
+    fn batched_decode_matches_contiguous_sessions() {
+        let config = BertConfig::tiny();
+        let decoder = TransformerDecoder::new_random(config, 2, 7);
+        let hidden = config.hidden();
+        let dev = device();
+        let mem_lens = [4usize, 3, 5];
+        let memories: Vec<Tensor> = mem_lens
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| Tensor::randn([l, hidden], 20 + i as u64))
+            .collect();
+
+        let mut paged = PagedDecoder::new(&decoder, PagedLayout::new(4, 32));
+        let ids: Vec<SessionId> = memories.iter().map(|m| paged.open_session(&dev, m)).collect();
+        let mut reference: Vec<DecoderSession<'_>> = memories
+            .iter()
+            .map(|m| DecoderSession::new(&decoder, &dev, m))
+            .collect();
+
+        let steps = 6;
+        let inputs: Vec<Tensor> = (0..memories.len())
+            .map(|i| Tensor::randn([steps, hidden], 40 + i as u64))
+            .collect();
+        for t in 0..steps {
+            let mut flat = Vec::with_capacity(ids.len() * hidden);
+            for inp in &inputs {
+                flat.extend_from_slice(&inp.as_slice()[t * hidden..(t + 1) * hidden]);
+            }
+            let out = paged.step_batch(&dev, &ids, &flat);
+            assert!(out.oom.is_empty(), "pool sized to fit");
+            for (s, session) in reference.iter_mut().enumerate() {
+                let want = session.step(&dev, &inputs[s].as_slice()[t * hidden..(t + 1) * hidden]);
+                let got = out.outputs[s].as_ref().expect("no shed");
+                for (d, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                    assert!(
+                        (g - w).abs() < TOL,
+                        "step {t}, session {s}, dim {d}: paged {g} vs contiguous {w}"
+                    );
+                }
+            }
+        }
+        for &sid in &ids {
+            assert_eq!(paged.session_len(sid), steps);
+        }
+    }
+
+    #[test]
+    fn prefill_matches_step_by_step() {
+        let config = BertConfig::tiny();
+        let decoder = TransformerDecoder::new_random(config, 2, 9);
+        let hidden = config.hidden();
+        let dev = device();
+        let memory = Tensor::randn([4, hidden], 5);
+        let prompt_len = 5;
+        let prompt = Tensor::randn([prompt_len, hidden], 6);
+
+        let mut a = PagedDecoder::new(&decoder, PagedLayout::new(2, 16));
+        let sa = a.open_session(&dev, &memory);
+        let prefilled = a.prefill(&dev, sa, &prompt).unwrap();
+
+        let mut b = PagedDecoder::new(&decoder, PagedLayout::new(2, 16));
+        let sb = b.open_session(&dev, &memory);
+        for (i, row) in prompt.as_slice().chunks(hidden).enumerate() {
+            let out = b.step_batch(&dev, &[sb], row);
+            let got = out.outputs[0].as_ref().unwrap();
+            for (d, (&p, &s)) in prefilled[i].iter().zip(got).enumerate() {
+                assert!((p - s).abs() < 1e-5, "token {i}, dim {d}: prefill {p} vs step {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_size_is_memory_layout_not_math() {
+        let config = BertConfig::tiny();
+        let decoder = TransformerDecoder::new_random(config, 2, 11);
+        let hidden = config.hidden();
+        let dev = device();
+        let memory = Tensor::randn([3, hidden], 8);
+        let prompt = Tensor::randn([7, hidden], 9);
+
+        let mut outs: Vec<Vec<Vec<f32>>> = Vec::new();
+        for block_tokens in [1usize, 3, 16] {
+            let mut d = PagedDecoder::new(&decoder, PagedLayout::new(block_tokens, 64));
+            let sid = d.open_session(&dev, &memory);
+            outs.push(d.prefill(&dev, sid, &prompt).unwrap());
+        }
+        for alt in &outs[1..] {
+            assert_eq!(&outs[0], alt, "outputs must be bitwise invariant to block size");
+        }
+    }
+
+    #[test]
+    fn cache_oom_is_explicit_and_partial_steps_survive() {
+        let config = BertConfig::tiny();
+        let decoder = TransformerDecoder::new_random(config, 1, 13);
+        let hidden = config.hidden();
+        let dev = device();
+        // 3 blocks × 2 tokens: room for 6 tokens total.
+        let mut paged = PagedDecoder::new(&decoder, PagedLayout::new(2, 3));
+        let memory = Tensor::randn([2, hidden], 3);
+        let a = paged.open_session(&dev, &memory);
+        let b = paged.open_session(&dev, &memory);
+
+        // Oversized prefill fails all-or-nothing.
+        let big = Tensor::randn([7, hidden], 4);
+        let err = paged.prefill(&dev, a, &big).unwrap_err();
+        assert_eq!(err.needed_blocks, 4);
+        assert_eq!(paged.session_len(a), 0, "failed prefill leaves nothing behind");
+
+        paged.prefill(&dev, a, &Tensor::randn([3, hidden], 5)).unwrap(); // 2 blocks
+        paged.prefill(&dev, b, &Tensor::randn([2, hidden], 6)).unwrap(); // 1 block
+
+        // a has a slot left in its tail block; b needs a new block and pool
+        // is empty → b sheds, a still decodes.
+        let mut flat = vec![0.0f32; 2 * hidden];
+        flat[0] = 0.5;
+        let out = paged.step_batch(&dev, &[a, b], &flat);
+        assert!(out.outputs[0].is_some(), "session with tail-block room proceeds");
+        assert!(out.outputs[1].is_none(), "session without capacity sheds");
+        assert_eq!(out.oom.len(), 1);
+        assert_eq!(out.oom[0].0, b);
+        assert_eq!(paged.session_len(b), 2, "failed step leaves the session unchanged");
+
+        // Freeing b returns its block; b's slot is gone but a keeps going.
+        assert_eq!(paged.free_session(b), 1);
+        assert_eq!(paged.cache().pool().free_blocks(), 1);
+        let out = paged.step_batch(&dev, &[a], &flat[..hidden]);
+        assert!(out.outputs[0].is_some());
+        assert_eq!(paged.session_len(a), 5);
+        assert!(paged.cache().pool().oom_events() >= 2);
+    }
+
+    #[test]
+    fn gather_walks_block_tables() {
+        let mut cache = PagedKvCache::new(PagedLayout::new(2, 8), 1, 4);
+        let s = cache.create();
+        cache.append(s, 5).unwrap();
+        for pos in 0..5 {
+            let row: Vec<f32> = (0..4).map(|d| (pos * 10 + d) as f32).collect();
+            let neg: Vec<f32> = row.iter().map(|v| -v).collect();
+            cache.write(0, s, pos, &row, &neg);
+        }
+        // heads=2, head=2: plane [2, 5, 2].
+        let mut kp = vec![0.0f32; 2 * 5 * 2];
+        let mut vp = vec![0.0f32; 2 * 5 * 2];
+        cache.gather(0, s, 5, 2, 2, &mut kp, &mut vp);
+        for pos in 0..5 {
+            for h in 0..2 {
+                for d in 0..2 {
+                    let want = (pos * 10 + h * 2 + d) as f32;
+                    assert_eq!(kp[(h * 5 + pos) * 2 + d], want);
+                    assert_eq!(vp[(h * 5 + pos) * 2 + d], -want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_session_in_step_panics() {
+        let config = BertConfig::tiny();
+        let decoder = TransformerDecoder::new_random(config, 1, 15);
+        let dev = device();
+        let mut paged = PagedDecoder::new(&decoder, PagedLayout::default());
+        let memory = Tensor::randn([2, config.hidden()], 1);
+        let s = paged.open_session(&dev, &memory);
+        let flat = vec![0.0f32; 2 * config.hidden()];
+        paged.step_batch(&dev, &[s, s], &flat);
+    }
+}

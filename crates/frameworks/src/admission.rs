@@ -30,6 +30,11 @@ pub enum ShedReason {
     DeadlineExpired,
     /// The request exceeds the longest sequence the runtime accepts.
     TooLong,
+    /// The paged KV-cache pool could not hold the request's tokens — the
+    /// decode path's memory-pressure signal (`KvOom` surfaced by
+    /// `bt-varlen`'s block pool), distinct from compute overload so
+    /// operators can tell "pool too small" from "host too slow".
+    CacheOom,
 }
 
 impl ShedReason {
@@ -40,6 +45,7 @@ impl ShedReason {
             ShedReason::QueueFull => "queue_full",
             ShedReason::DeadlineExpired => "deadline_expired",
             ShedReason::TooLong => "too_long",
+            ShedReason::CacheOom => "cache_oom",
         }
     }
 }
@@ -307,5 +313,6 @@ mod tests {
         assert_eq!(ShedReason::QueueFull.label(), "queue_full");
         assert_eq!(ShedReason::DeadlineExpired.label(), "deadline_expired");
         assert_eq!(ShedReason::TooLong.label(), "too_long");
+        assert_eq!(ShedReason::CacheOom.label(), "cache_oom");
     }
 }

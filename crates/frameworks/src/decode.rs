@@ -1,0 +1,1020 @@
+//! Token-step continuous batching for autoregressive decode — the serving
+//! loop over `bt-core`'s paged decoder.
+//!
+//! [`crate::server`] batches *whole requests*: a request enters a batch
+//! once, runs, and leaves. Generation does not fit that shape — a decode
+//! session produces one token per step for hundreds of steps, and the
+//! efficient schedule re-forms the batch **every token step**, mixing new
+//! sessions' prompt ingestion (*prefill*) with all live sessions' next
+//! token (*decode*) under the same token-budget admission the encoder
+//! server uses (Orca-style continuous batching; the ROADMAP's "per token
+//! step, not per request").
+//!
+//! The loop here is the virtual-time twin of
+//! [`crate::server::run_open_loop`], with two decode-specific overload
+//! guards on top of the queue/deadline/length gates:
+//!
+//! * **token budget per step** — a step's work is `active sessions × 1`
+//!   decode tokens plus admitted prefill tokens; prompts are admitted only
+//!   while the sum fits the budget (an oversized prompt runs alone rather
+//!   than starving, exactly like [`crate::admission::CutPolicy::TokenBudget`]);
+//! * **cache pressure** — the engine reports sessions whose KV-cache
+//!   append was refused ([`bt_varlen::paged::KvOom`]); they are shed with
+//!   the distinct [`ShedReason::CacheOom`] and their blocks returned, so
+//!   "pool too small" is visible separately from "host too slow".
+//!
+//! Accounting is exact at **two** granularities, both asserted by the
+//! stress suite: per request (`served + shed == offered`) and per token
+//! step (every decoded/prefilled token in a [`StepRecord`] reconciles with
+//! the per-request outcomes — [`DecodeReport::ledger_is_exact`]).
+//!
+//! Two [`DecodeEngine`]s run under the loop: [`ModeledDecodeEngine`] (pure
+//! block-pool bookkeeping plus a linear cost model — deterministic, for
+//! stress tests and `btx decode`) and [`PagedDecodeEngine`] (real
+//! [`PagedDecoder`] forwards with modeled device time — what
+//! `bench_decode` measures).
+
+use crate::admission::ShedReason;
+use crate::serving::TimedRequest;
+use bt_core::decoder::TransformerDecoder;
+use bt_core::paged::PagedDecoder;
+use bt_device::Device;
+use bt_tensor::Tensor;
+use bt_varlen::paged::{BlockPool, PagedLayout, SessionId};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Decode requests offered to the loop (admitted or not).
+static OFFERED: bt_obs::Counter = bt_obs::Counter::new("serve.decode.offered");
+/// Decode requests served to completion.
+static SERVED: bt_obs::Counter = bt_obs::Counter::new("serve.decode.served");
+/// Decode requests shed, any reason (per-reason split lives in the report).
+static SHED: bt_obs::Counter = bt_obs::Counter::new("serve.decode.shed");
+/// Sessions shed specifically for KV-cache exhaustion.
+static SHED_CACHE_OOM: bt_obs::Counter = bt_obs::Counter::new("serve.decode.shed.cache_oom");
+/// Token steps executed.
+static STEPS: bt_obs::Counter = bt_obs::Counter::new("serve.decode.steps");
+/// Decode tokens generated across all steps.
+static DECODE_TOKENS: bt_obs::Counter = bt_obs::Counter::new("serve.decode.tokens.decode");
+/// Prompt tokens prefilled across all steps.
+static PREFILL_TOKENS: bt_obs::Counter = bt_obs::Counter::new("serve.decode.tokens.prefill");
+/// Live sessions per executed step.
+static ACTIVE_SESSIONS: bt_obs::Histogram = bt_obs::Histogram::new("serve.decode.active_sessions");
+/// KV-cache blocks in use, sampled after every step.
+static BLOCKS_IN_USE: bt_obs::Histogram = bt_obs::Histogram::new("kvcache.blocks.in_use");
+
+/// One generation request: a prompt to prefill, then `decode_tokens` steps
+/// of one token each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeRequest {
+    /// Caller-assigned id; must form a permutation of `0..n` per run.
+    pub id: usize,
+    /// Prompt length in tokens (≥ 1).
+    pub prompt_len: usize,
+    /// Tokens to generate after prefill (0 = prefill-only request).
+    pub decode_tokens: usize,
+    /// Arrival time, seconds.
+    pub arrival: f64,
+}
+
+/// Loop configuration: the per-step token budget plus the overload guards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeConfig {
+    /// Token budget per step: live sessions (one decode token each) plus
+    /// admitted prefill tokens never exceed this, except for a single
+    /// oversized prompt running alone.
+    pub budget_tokens: usize,
+    /// Bounded ingress queue capacity, in requests.
+    pub queue_capacity: usize,
+    /// Seconds from arrival by which a request's *prefill must have
+    /// started*, else it is cancelled in queue (`f64::INFINITY` disables).
+    pub deadline: f64,
+    /// Longest prompt accepted; longer requests shed [`ShedReason::TooLong`].
+    pub max_prompt_len: usize,
+    /// Most sessions allowed live at once (decode slots).
+    pub max_sessions: usize,
+}
+
+impl DecodeConfig {
+    fn validate(&self) {
+        assert!(self.budget_tokens > 0, "budget_tokens must be positive");
+        assert!(self.queue_capacity > 0, "queue_capacity must be positive");
+        assert!(self.deadline > 0.0, "deadline must be positive");
+        assert!(self.max_prompt_len > 0, "max_prompt_len must be positive");
+        assert!(self.max_sessions > 0, "max_sessions must be positive");
+    }
+}
+
+/// The work one token step asks an engine to do.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedStep<'a> {
+    /// Live sessions to advance by one token, by request id.
+    pub decode: &'a [usize],
+    /// New sessions to create and prefill: `(request id, prompt_len)`.
+    pub prefill: &'a [(usize, usize)],
+}
+
+/// What actually happened in one engine step.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Seconds the step took (modeled or measured — the loop's clock
+    /// advances by this).
+    pub duration: f64,
+    /// Prefill requests refused for cache capacity. The engine has already
+    /// released anything it allocated for them.
+    pub failed_prefill: Vec<usize>,
+    /// Decode sessions whose append was refused (no token generated). The
+    /// engine has already freed them.
+    pub failed_decode: Vec<usize>,
+    /// Cache blocks in use after the step.
+    pub blocks_in_use: usize,
+}
+
+/// Executes token steps against some decode backend. The loop owns all
+/// admission and accounting; the engine owns sessions and the cache.
+///
+/// Contract: ids in [`StepResult::failed_prefill`] /
+/// [`StepResult::failed_decode`] hold **no** cache blocks when `run_step`
+/// returns, and [`DecodeEngine::free`] is called exactly once for every
+/// session that completes normally.
+pub trait DecodeEngine {
+    /// Runs one mixed prefill+decode step.
+    fn run_step(&mut self, step: &PlannedStep<'_>) -> StepResult;
+    /// Releases a completed session's cache blocks.
+    fn free(&mut self, id: usize);
+    /// Most cache blocks ever simultaneously in use.
+    fn high_water_blocks(&self) -> usize;
+}
+
+/// Final disposition of one decode request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecodeOutcome {
+    /// Prefill ran and all requested tokens were generated.
+    Served {
+        /// Seconds queued before prefill started.
+        queue_wait: f64,
+        /// Completion of the last decode step minus arrival, seconds.
+        latency: f64,
+        /// Tokens generated (equals the request's `decode_tokens`).
+        generated: usize,
+    },
+    /// The request was rejected, cancelled, or evicted by cache pressure.
+    Shed {
+        /// Why it was shed.
+        reason: ShedReason,
+        /// Seconds from arrival to the shed decision.
+        wait: f64,
+        /// Whether prefill had completed before the shed (true only for
+        /// mid-decode [`ShedReason::CacheOom`]).
+        prefilled: bool,
+        /// Tokens generated before the shed.
+        generated: usize,
+    },
+}
+
+/// One request's identity, shape, and [`DecodeOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeRequestOutcome {
+    /// Caller-assigned request id.
+    pub id: usize,
+    /// Prompt length in tokens.
+    pub prompt_len: usize,
+    /// Tokens the request asked to generate.
+    pub decode_tokens: usize,
+    /// What happened.
+    pub outcome: DecodeOutcome,
+}
+
+impl DecodeRequestOutcome {
+    /// True when the request was served to completion.
+    pub fn served(&self) -> bool {
+        matches!(self.outcome, DecodeOutcome::Served { .. })
+    }
+
+    /// Tokens this request actually generated, served or shed.
+    pub fn generated(&self) -> usize {
+        match self.outcome {
+            DecodeOutcome::Served { generated, .. } => generated,
+            DecodeOutcome::Shed { generated, .. } => generated,
+        }
+    }
+
+    /// Whether the request's prompt was prefilled into the cache.
+    pub fn prefilled(&self) -> bool {
+        match self.outcome {
+            DecodeOutcome::Served { .. } => true,
+            DecodeOutcome::Shed { prefilled, .. } => prefilled,
+        }
+    }
+}
+
+/// Per-token-step ledger entry — the granularity at which accounting is
+/// asserted exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// Step ordinal (0-based).
+    pub step: usize,
+    /// Virtual-time start of the step, seconds.
+    pub start: f64,
+    /// Step duration, seconds.
+    pub duration: f64,
+    /// Sessions that successfully decoded one token.
+    pub decode_sessions: usize,
+    /// Prompts successfully prefilled this step.
+    pub prefill_sessions: usize,
+    /// Prompt tokens successfully prefilled this step.
+    pub prefill_tokens: usize,
+    /// Sessions shed with [`ShedReason::CacheOom`] during the step.
+    pub oom_sheds: usize,
+    /// Cache blocks in use after the step.
+    pub blocks_in_use: usize,
+}
+
+/// Everything one decode-serving run observed.
+#[derive(Debug, Clone)]
+pub struct DecodeReport {
+    /// Per-request outcomes, indexed by request id.
+    pub outcomes: Vec<DecodeRequestOutcome>,
+    /// The per-step ledger.
+    pub steps: Vec<StepRecord>,
+    /// Completion time of the last step, seconds.
+    pub makespan: f64,
+    /// Most cache blocks ever simultaneously in use.
+    pub high_water_blocks: usize,
+    /// Most sessions ever live in one step (decode + prefilled-this-step).
+    pub max_concurrent_sessions: usize,
+}
+
+impl DecodeReport {
+    /// Aggregates the run.
+    pub fn summary(&self) -> DecodeSummary {
+        let mut s = DecodeSummary {
+            offered: self.outcomes.len(),
+            served: 0,
+            shed_queue_full: 0,
+            shed_deadline: 0,
+            shed_too_long: 0,
+            shed_cache_oom: 0,
+            steps: self.steps.len(),
+            decode_tokens: 0,
+            prefill_tokens: 0,
+            makespan: self.makespan,
+            high_water_blocks: self.high_water_blocks,
+            max_concurrent_sessions: self.max_concurrent_sessions,
+        };
+        for r in &self.outcomes {
+            match r.outcome {
+                DecodeOutcome::Served { generated, .. } => {
+                    s.served += 1;
+                    s.decode_tokens += generated;
+                    s.prefill_tokens += r.prompt_len;
+                }
+                DecodeOutcome::Shed {
+                    reason,
+                    generated,
+                    prefilled,
+                    ..
+                } => {
+                    match reason {
+                        ShedReason::QueueFull => s.shed_queue_full += 1,
+                        ShedReason::DeadlineExpired => s.shed_deadline += 1,
+                        ShedReason::TooLong => s.shed_too_long += 1,
+                        ShedReason::CacheOom => s.shed_cache_oom += 1,
+                    }
+                    s.decode_tokens += generated;
+                    if prefilled {
+                        s.prefill_tokens += r.prompt_len;
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// The per-step reconciliation: every token the step ledger claims was
+    /// decoded or prefilled appears in exactly one request outcome, and
+    /// vice versa.
+    pub fn ledger_is_exact(&self) -> bool {
+        let step_decode: usize = self.steps.iter().map(|s| s.decode_sessions).sum();
+        let step_prefill: usize = self.steps.iter().map(|s| s.prefill_tokens).sum();
+        let outcome_decode: usize = self.outcomes.iter().map(|o| o.generated()).sum();
+        let outcome_prefill: usize = self
+            .outcomes
+            .iter()
+            .filter(|o| o.prefilled())
+            .map(|o| o.prompt_len)
+            .sum();
+        step_decode == outcome_decode && step_prefill == outcome_prefill
+    }
+}
+
+/// Aggregate view of a decode run (see [`DecodeReport::summary`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeSummary {
+    /// Requests offered (served + shed).
+    pub offered: usize,
+    /// Requests that generated every requested token.
+    pub served: usize,
+    /// Shed at the ingress gate (queue full).
+    pub shed_queue_full: usize,
+    /// Cancelled in queue after deadline expiry.
+    pub shed_deadline: usize,
+    /// Rejected for an over-long prompt.
+    pub shed_too_long: usize,
+    /// Shed for KV-cache exhaustion (at prefill or mid-decode).
+    pub shed_cache_oom: usize,
+    /// Token steps executed.
+    pub steps: usize,
+    /// Decode tokens generated across all requests (incl. partial sheds).
+    pub decode_tokens: usize,
+    /// Prompt tokens prefilled across all requests that reached the cache.
+    pub prefill_tokens: usize,
+    /// Completion time of the last step, seconds.
+    pub makespan: f64,
+    /// Most cache blocks ever simultaneously in use.
+    pub high_water_blocks: usize,
+    /// Most sessions ever live in one step.
+    pub max_concurrent_sessions: usize,
+}
+
+impl DecodeSummary {
+    /// Total shed requests across all reasons.
+    pub fn shed(&self) -> usize {
+        self.shed_queue_full + self.shed_deadline + self.shed_too_long + self.shed_cache_oom
+    }
+
+    /// Request-level invariant: every offered request has exactly one
+    /// outcome.
+    pub fn accounting_is_exact(&self) -> bool {
+        self.served + self.shed() == self.offered
+    }
+
+    /// Decode tokens per second of makespan.
+    pub fn decode_tokens_per_sec(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.decode_tokens as f64 / self.makespan
+    }
+
+    /// Token steps per second of makespan.
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.steps as f64 / self.makespan
+    }
+}
+
+struct ActiveSession {
+    id: usize,
+    prompt_len: usize,
+    decode_tokens: usize,
+    arrival: f64,
+    queue_wait: f64,
+    generated: usize,
+}
+
+struct QueuedRequest {
+    req: DecodeRequest,
+    deadline: f64,
+}
+
+/// Runs the token-step continuous-batching loop in virtual time over a
+/// pre-generated arrival trace. Deterministic for a fixed trace and engine:
+/// the clock advances only by engine-reported step durations and arrival
+/// times.
+///
+/// # Panics
+/// Panics if request ids are not a permutation of `0..requests.len()`, any
+/// `prompt_len` is zero, the engine reports a non-finite/negative duration
+/// or an id it was never given, or on an invalid [`DecodeConfig`].
+pub fn run_decode_loop(
+    requests: &[DecodeRequest],
+    config: &DecodeConfig,
+    engine: &mut dyn DecodeEngine,
+) -> DecodeReport {
+    config.validate();
+    let mut order: Vec<DecodeRequest> = requests.to_vec();
+    order.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
+    let n = order.len();
+    for r in &order {
+        assert!(r.prompt_len > 0, "request {} has an empty prompt", r.id);
+    }
+    let mut outcomes: Vec<Option<DecodeRequestOutcome>> = (0..n).map(|_| None).collect();
+    let record = |outcomes: &mut Vec<Option<DecodeRequestOutcome>>, o: DecodeRequestOutcome| {
+        let slot = outcomes
+            .get_mut(o.id)
+            .expect("request ids must be a permutation of 0..n");
+        assert!(slot.is_none(), "request id {} resolved twice", o.id);
+        if o.served() {
+            SERVED.incr();
+        } else {
+            SHED.incr();
+            if matches!(
+                o.outcome,
+                DecodeOutcome::Shed {
+                    reason: ShedReason::CacheOom,
+                    ..
+                }
+            ) {
+                SHED_CACHE_OOM.incr();
+            }
+        }
+        *slot = Some(o);
+    };
+
+    let mut queue: VecDeque<QueuedRequest> = VecDeque::new();
+    let mut active: Vec<ActiveSession> = Vec::new();
+    let mut clock = 0.0f64;
+    let mut next = 0usize;
+    let mut steps: Vec<StepRecord> = Vec::new();
+    let mut makespan = 0.0f64;
+    let mut max_concurrent = 0usize;
+
+    while next < n || !queue.is_empty() || !active.is_empty() {
+        // Idle with nothing live: jump to the next arrival.
+        if queue.is_empty() && active.is_empty() {
+            clock = clock.max(order[next].arrival);
+        }
+        // 1. Admit arrivals up to the clock.
+        while next < n && order[next].arrival <= clock {
+            let r = order[next];
+            next += 1;
+            OFFERED.incr();
+            if r.prompt_len > config.max_prompt_len {
+                record(
+                    &mut outcomes,
+                    DecodeRequestOutcome {
+                        id: r.id,
+                        prompt_len: r.prompt_len,
+                        decode_tokens: r.decode_tokens,
+                        outcome: DecodeOutcome::Shed {
+                            reason: ShedReason::TooLong,
+                            wait: 0.0,
+                            prefilled: false,
+                            generated: 0,
+                        },
+                    },
+                );
+            } else if queue.len() >= config.queue_capacity {
+                record(
+                    &mut outcomes,
+                    DecodeRequestOutcome {
+                        id: r.id,
+                        prompt_len: r.prompt_len,
+                        decode_tokens: r.decode_tokens,
+                        outcome: DecodeOutcome::Shed {
+                            reason: ShedReason::QueueFull,
+                            wait: 0.0,
+                            prefilled: false,
+                            generated: 0,
+                        },
+                    },
+                );
+            } else {
+                queue.push_back(QueuedRequest {
+                    req: r,
+                    deadline: r.arrival + config.deadline,
+                });
+            }
+        }
+        // 2. Cancel queued requests whose prefill cannot start in time.
+        let mut expired: Vec<DecodeRequestOutcome> = Vec::new();
+        queue.retain(|q| {
+            if q.deadline < clock {
+                expired.push(DecodeRequestOutcome {
+                    id: q.req.id,
+                    prompt_len: q.req.prompt_len,
+                    decode_tokens: q.req.decode_tokens,
+                    outcome: DecodeOutcome::Shed {
+                        reason: ShedReason::DeadlineExpired,
+                        wait: clock - q.req.arrival,
+                        prefilled: false,
+                        generated: 0,
+                    },
+                });
+                false
+            } else {
+                true
+            }
+        });
+        for o in expired {
+            record(&mut outcomes, o);
+        }
+
+        // 3. Plan the step: every live session decodes one token; admit
+        //    prefills while the token budget and session slots allow.
+        let mut budget_used = active.len(); // one decode token per session
+        let mut prefill: Vec<(usize, usize)> = Vec::new();
+        let mut prefill_meta: Vec<(DecodeRequest, f64)> = Vec::new();
+        while let Some(front) = queue.front() {
+            let slots = active.len() + prefill.len();
+            if slots >= config.max_sessions {
+                break;
+            }
+            let cost = front.req.prompt_len;
+            let oversized_alone = budget_used == 0 && prefill.is_empty();
+            if budget_used + cost > config.budget_tokens && !oversized_alone {
+                break;
+            }
+            let q = queue.pop_front().expect("front exists");
+            budget_used += cost;
+            prefill.push((q.req.id, q.req.prompt_len));
+            prefill_meta.push((q.req, clock - q.req.arrival));
+        }
+        let decode_ids: Vec<usize> = active.iter().map(|s| s.id).collect();
+        if decode_ids.is_empty() && prefill.is_empty() {
+            continue;
+        }
+        max_concurrent = max_concurrent.max(active.len() + prefill.len());
+
+        // 4. Run the engine.
+        let result = engine.run_step(&PlannedStep {
+            decode: &decode_ids,
+            prefill: &prefill,
+        });
+        assert!(
+            result.duration.is_finite() && result.duration >= 0.0,
+            "engine must return a finite non-negative duration, got {}",
+            result.duration
+        );
+        let start = clock;
+        let done = start + result.duration;
+        STEPS.incr();
+        ACTIVE_SESSIONS.record((decode_ids.len() + prefill.len()) as u64);
+        BLOCKS_IN_USE.record(result.blocks_in_use as u64);
+
+        // 5. Resolve prefills.
+        let mut prefill_ok = 0usize;
+        let mut prefill_tokens_ok = 0usize;
+        let mut oom_sheds = 0usize;
+        for (req, queue_wait) in prefill_meta {
+            if result.failed_prefill.contains(&req.id) {
+                oom_sheds += 1;
+                record(
+                    &mut outcomes,
+                    DecodeRequestOutcome {
+                        id: req.id,
+                        prompt_len: req.prompt_len,
+                        decode_tokens: req.decode_tokens,
+                        outcome: DecodeOutcome::Shed {
+                            reason: ShedReason::CacheOom,
+                            wait: done - req.arrival,
+                            prefilled: false,
+                            generated: 0,
+                        },
+                    },
+                );
+            } else {
+                prefill_ok += 1;
+                prefill_tokens_ok += req.prompt_len;
+                PREFILL_TOKENS.add(req.prompt_len as u64);
+                if req.decode_tokens == 0 {
+                    // Prefill-only request: served the moment ingestion ends.
+                    engine.free(req.id);
+                    record(
+                        &mut outcomes,
+                        DecodeRequestOutcome {
+                            id: req.id,
+                            prompt_len: req.prompt_len,
+                            decode_tokens: 0,
+                            outcome: DecodeOutcome::Served {
+                                queue_wait,
+                                latency: done - req.arrival,
+                                generated: 0,
+                            },
+                        },
+                    );
+                } else {
+                    active.push(ActiveSession {
+                        id: req.id,
+                        prompt_len: req.prompt_len,
+                        decode_tokens: req.decode_tokens,
+                        arrival: req.arrival,
+                        queue_wait,
+                        generated: 0,
+                    });
+                }
+            }
+        }
+
+        // 6. Resolve decodes: failures shed, completions free their session.
+        let mut decoded = 0usize;
+        let mut finished: Vec<DecodeRequestOutcome> = Vec::new();
+        active.retain_mut(|s| {
+            if !decode_ids.contains(&s.id) {
+                return true; // prefilled this very step; decodes next step
+            }
+            if result.failed_decode.contains(&s.id) {
+                oom_sheds += 1;
+                finished.push(DecodeRequestOutcome {
+                    id: s.id,
+                    prompt_len: s.prompt_len,
+                    decode_tokens: s.decode_tokens,
+                    outcome: DecodeOutcome::Shed {
+                        reason: ShedReason::CacheOom,
+                        wait: done - s.arrival,
+                        prefilled: true,
+                        generated: s.generated,
+                    },
+                });
+                return false; // engine already freed it
+            }
+            s.generated += 1;
+            decoded += 1;
+            DECODE_TOKENS.incr();
+            if s.generated == s.decode_tokens {
+                finished.push(DecodeRequestOutcome {
+                    id: s.id,
+                    prompt_len: s.prompt_len,
+                    decode_tokens: s.decode_tokens,
+                    outcome: DecodeOutcome::Served {
+                        queue_wait: s.queue_wait,
+                        latency: done - s.arrival,
+                        generated: s.generated,
+                    },
+                });
+                return false;
+            }
+            true
+        });
+        for o in &finished {
+            if o.served() {
+                engine.free(o.id);
+            }
+        }
+        for o in finished {
+            record(&mut outcomes, o);
+        }
+
+        steps.push(StepRecord {
+            step: steps.len(),
+            start,
+            duration: result.duration,
+            decode_sessions: decoded,
+            prefill_sessions: prefill_ok,
+            prefill_tokens: prefill_tokens_ok,
+            oom_sheds,
+            blocks_in_use: result.blocks_in_use,
+        });
+        clock = done;
+        makespan = makespan.max(done);
+    }
+
+    let outcomes: Vec<DecodeRequestOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every offered request has exactly one outcome"))
+        .collect();
+    DecodeReport {
+        outcomes,
+        steps,
+        makespan,
+        high_water_blocks: engine.high_water_blocks(),
+        max_concurrent_sessions: max_concurrent,
+    }
+}
+
+/// Builds a decode workload from an encoder arrival trace: prompt lengths
+/// and arrivals come from the trace, decode lengths from a splitmix64 draw
+/// in `1..=max_decode` — fully determined by the trace and `seed`.
+pub fn decode_workload(trace: &[TimedRequest], max_decode: usize, seed: u64) -> Vec<DecodeRequest> {
+    assert!(max_decode >= 1, "max_decode must be at least 1");
+    trace
+        .iter()
+        .map(|r| DecodeRequest {
+            id: r.id,
+            prompt_len: r.len.max(1),
+            decode_tokens: 1
+                + (splitmix64(seed ^ (r.id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) as usize) % max_decode,
+            arrival: r.arrival,
+        })
+        .collect()
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Pure-bookkeeping engine: a real [`BlockPool`] for capacity decisions and
+/// a linear cost model for durations. Deterministic, cheap, and OOM-exact —
+/// the engine the seeded stress suite and `btx decode` run against.
+pub struct ModeledDecodeEngine {
+    pool: BlockPool,
+    sessions: HashMap<usize, SessionId>,
+    /// Fixed per-step overhead, seconds (batch formation + launch).
+    step_overhead: f64,
+    /// Marginal seconds per processed token (prefill or decode).
+    per_token: f64,
+}
+
+impl ModeledDecodeEngine {
+    /// Builds the engine over a pool of the given geometry with a linear
+    /// `overhead + tokens × per_token` step-cost model.
+    pub fn new(layout: PagedLayout, step_overhead: f64, per_token: f64) -> Self {
+        assert!(step_overhead >= 0.0 && per_token >= 0.0, "costs must be non-negative");
+        Self {
+            pool: BlockPool::new(layout),
+            sessions: HashMap::new(),
+            step_overhead,
+            per_token,
+        }
+    }
+
+    /// The underlying pool (occupancy assertions in tests).
+    pub fn pool(&self) -> &BlockPool {
+        &self.pool
+    }
+}
+
+impl DecodeEngine for ModeledDecodeEngine {
+    fn run_step(&mut self, step: &PlannedStep<'_>) -> StepResult {
+        let mut tokens = 0usize;
+        let mut failed_prefill = Vec::new();
+        let mut failed_decode = Vec::new();
+        for &(id, prompt_len) in step.prefill {
+            let sid = self.pool.create();
+            match self.pool.append(sid, prompt_len) {
+                Ok(()) => {
+                    tokens += prompt_len;
+                    assert!(self.sessions.insert(id, sid).is_none(), "request {id} prefilled twice");
+                }
+                Err(_) => {
+                    self.pool.free(sid);
+                    failed_prefill.push(id);
+                }
+            }
+        }
+        for &id in step.decode {
+            let sid = *self.sessions.get(&id).expect("decode of unknown session");
+            match self.pool.append(sid, 1) {
+                Ok(()) => tokens += 1,
+                Err(_) => {
+                    self.pool.free(sid);
+                    self.sessions.remove(&id);
+                    failed_decode.push(id);
+                }
+            }
+        }
+        StepResult {
+            duration: self.step_overhead + tokens as f64 * self.per_token,
+            failed_prefill,
+            failed_decode,
+            blocks_in_use: self.pool.blocks_in_use(),
+        }
+    }
+
+    fn free(&mut self, id: usize) {
+        let sid = self.sessions.remove(&id).expect("free of unknown session");
+        self.pool.free(sid);
+    }
+
+    fn high_water_blocks(&self) -> usize {
+        self.pool.high_water_blocks()
+    }
+}
+
+/// Real-forward engine: sessions live in a [`PagedDecoder`], prompts and
+/// memories are seeded random tensors, decode inputs feed each step's
+/// output back in, and durations are the device's modeled seconds — still
+/// fully deterministic for a fixed seed.
+pub struct PagedDecodeEngine<'a> {
+    decoder: PagedDecoder<'a>,
+    device: Device,
+    mem_len: usize,
+    seed: u64,
+    sessions: HashMap<usize, (SessionId, Vec<f32>)>,
+}
+
+impl<'a> PagedDecodeEngine<'a> {
+    /// Builds the engine: paged cache of `layout` over `decoder`, cross
+    /// memories of `mem_len` rows, request tensors derived from `seed`.
+    pub fn new(
+        decoder: &'a TransformerDecoder,
+        device: Device,
+        layout: PagedLayout,
+        mem_len: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(mem_len >= 1, "mem_len must be at least 1");
+        Self {
+            decoder: PagedDecoder::new(decoder, layout),
+            device,
+            mem_len,
+            seed,
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// The device accumulating modeled time across steps.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+}
+
+impl DecodeEngine for PagedDecodeEngine<'_> {
+    fn run_step(&mut self, step: &PlannedStep<'_>) -> StepResult {
+        let before = self.device.modeled_total();
+        let mut failed_prefill = Vec::new();
+        let mut failed_decode = Vec::new();
+
+        for &(id, prompt_len) in step.prefill {
+            let memory = Tensor::randn(
+                [self.mem_len, self.hidden()],
+                self.seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let sid = self.decoder.open_session(&self.device, &memory);
+            let prompt = Tensor::randn(
+                [prompt_len, self.hidden()],
+                self.seed ^ (id as u64).wrapping_mul(0xd1b5_4a32_d192_ed03),
+            );
+            match self.decoder.prefill(&self.device, sid, &prompt) {
+                Ok(outs) => {
+                    let last = outs.last().expect("prompt_len >= 1").clone();
+                    assert!(
+                        self.sessions.insert(id, (sid, last)).is_none(),
+                        "request {id} prefilled twice"
+                    );
+                }
+                Err(_) => {
+                    self.decoder.free_session(sid);
+                    failed_prefill.push(id);
+                }
+            }
+        }
+
+        if !step.decode.is_empty() {
+            let hidden = self.hidden();
+            let mut sids = Vec::with_capacity(step.decode.len());
+            let mut inputs = Vec::with_capacity(step.decode.len() * hidden);
+            for &id in step.decode {
+                let (sid, last) = self.sessions.get(&id).expect("decode of unknown session");
+                sids.push(*sid);
+                inputs.extend_from_slice(last);
+            }
+            let out = self.decoder.step_batch(&self.device, &sids, &inputs);
+            for (i, &id) in step.decode.iter().enumerate() {
+                match &out.outputs[i] {
+                    Some(next) => self.sessions.get_mut(&id).expect("known session").1 = next.clone(),
+                    None => {
+                        let (sid, _) = self.sessions.remove(&id).expect("known session");
+                        self.decoder.free_session(sid);
+                        failed_decode.push(id);
+                    }
+                }
+            }
+        }
+
+        StepResult {
+            duration: self.device.modeled_total() - before,
+            failed_prefill,
+            failed_decode,
+            blocks_in_use: self.decoder.cache().pool().blocks_in_use(),
+        }
+    }
+
+    fn free(&mut self, id: usize) {
+        let (sid, _) = self.sessions.remove(&id).expect("free of unknown session");
+        self.decoder.free_session(sid);
+    }
+
+    fn high_water_blocks(&self) -> usize {
+        self.decoder.cache().pool().high_water_blocks()
+    }
+}
+
+impl PagedDecodeEngine<'_> {
+    fn hidden(&self) -> usize {
+        self.decoder.decoder().config.hidden()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serving::poisson_arrivals;
+    use bt_varlen::workload::LengthDistribution;
+
+    fn config() -> DecodeConfig {
+        DecodeConfig {
+            budget_tokens: 64,
+            queue_capacity: 32,
+            deadline: f64::INFINITY,
+            max_prompt_len: 32,
+            max_sessions: 16,
+        }
+    }
+
+    fn workload(n: usize, rate: f64, seed: u64) -> Vec<DecodeRequest> {
+        let trace = poisson_arrivals(n, rate, LengthDistribution::PaperUniform { alpha: 0.6 }, 32, seed);
+        decode_workload(&trace, 8, seed)
+    }
+
+    #[test]
+    fn modeled_loop_accounts_exactly() {
+        let requests = workload(60, 400.0, 11);
+        let mut engine = ModeledDecodeEngine::new(PagedLayout::new(8, 256), 20e-6, 1e-6);
+        let report = run_decode_loop(&requests, &config(), &mut engine);
+        let s = report.summary();
+        assert!(s.accounting_is_exact(), "{s:?}");
+        assert!(report.ledger_is_exact());
+        assert_eq!(s.offered, 60);
+        assert!(s.served > 0);
+        assert_eq!(engine.pool().blocks_in_use(), 0, "all sessions freed at drain");
+    }
+
+    #[test]
+    fn decode_loop_is_deterministic() {
+        let requests = workload(80, 600.0, 7);
+        let run = || {
+            let mut engine = ModeledDecodeEngine::new(PagedLayout::new(4, 64), 20e-6, 1e-6);
+            run_decode_loop(&requests, &config(), &mut engine)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn tiny_pool_sheds_cache_oom_with_distinct_reason() {
+        let requests = workload(50, 2000.0, 13);
+        // 4 blocks × 4 tokens: almost nothing fits.
+        let mut engine = ModeledDecodeEngine::new(PagedLayout::new(4, 4), 20e-6, 1e-6);
+        let report = run_decode_loop(&requests, &config(), &mut engine);
+        let s = report.summary();
+        assert!(s.accounting_is_exact(), "{s:?}");
+        assert!(report.ledger_is_exact());
+        assert!(s.shed_cache_oom > 0, "tiny pool must shed for cache pressure: {s:?}");
+        let step_ooms: usize = report.steps.iter().map(|r| r.oom_sheds).sum();
+        assert_eq!(step_ooms, s.shed_cache_oom, "every OOM shed is step-attributed");
+    }
+
+    #[test]
+    fn budget_bounds_step_work() {
+        let requests = workload(40, 5000.0, 3);
+        let cfg = DecodeConfig {
+            budget_tokens: 24,
+            ..config()
+        };
+        let mut engine = ModeledDecodeEngine::new(PagedLayout::new(8, 512), 20e-6, 1e-6);
+        let report = run_decode_loop(&requests, &cfg, &mut engine);
+        for r in &report.steps {
+            let work = r.decode_sessions + r.prefill_tokens;
+            assert!(
+                work <= 24 || (r.decode_sessions == 0 && r.prefill_sessions == 1),
+                "step {} exceeded budget: {work} tokens",
+                r.step
+            );
+        }
+        assert!(report.summary().accounting_is_exact());
+    }
+
+    #[test]
+    fn real_paged_engine_serves_under_the_loop() {
+        let config = bt_core::config::BertConfig::tiny();
+        let decoder = TransformerDecoder::new_random(config, 1, 17);
+        let device = Device::with_model(bt_device::CostModel::unit());
+        let mut engine = PagedDecodeEngine::new(&decoder, device, PagedLayout::new(4, 128), 3, 23);
+        let requests = workload(10, 300.0, 19);
+        let report = run_decode_loop(
+            &requests,
+            &DecodeConfig {
+                budget_tokens: 48,
+                queue_capacity: 16,
+                deadline: f64::INFINITY,
+                max_prompt_len: 32,
+                max_sessions: 8,
+            },
+            &mut engine,
+        );
+        let s = report.summary();
+        assert!(s.accounting_is_exact(), "{s:?}");
+        assert!(report.ledger_is_exact());
+        assert_eq!(s.shed_cache_oom, 0, "pool sized to fit this workload");
+        assert!(s.served > 0);
+        assert!(engine.device().modeled_total() > 0.0, "real forwards ran");
+        assert_eq!(engine.decoder.cache().pool().blocks_in_use(), 0, "drained clean");
+    }
+
+    #[test]
+    fn deadline_sheds_requests_that_cannot_start() {
+        let requests = workload(30, 10_000.0, 5);
+        let cfg = DecodeConfig {
+            deadline: 1e-5,
+            ..config()
+        };
+        let mut engine = ModeledDecodeEngine::new(PagedLayout::new(8, 512), 1e-3, 1e-5);
+        let report = run_decode_loop(&requests, &cfg, &mut engine);
+        let s = report.summary();
+        assert!(s.accounting_is_exact());
+        assert!(
+            s.shed_deadline > 0,
+            "slow steps + tight deadline must expire queued work: {s:?}"
+        );
+    }
+}

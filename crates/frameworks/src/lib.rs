@@ -36,6 +36,7 @@
 
 pub mod admission;
 pub mod calibration;
+pub mod decode;
 mod framework;
 pub mod grouping;
 pub mod pipeline;
@@ -45,5 +46,9 @@ pub mod serving;
 
 pub use admission::{CutPolicy, ShedReason};
 pub use calibration::feature_matrix;
+pub use decode::{
+    run_decode_loop, DecodeConfig, DecodeEngine, DecodeReport, DecodeRequest, DecodeSummary, ModeledDecodeEngine,
+    PagedDecodeEngine,
+};
 pub use framework::{FrameworkKind, SimFramework};
 pub use server::{run_open_loop, ServeConfig, ServeReport, ServeSummary, Server};

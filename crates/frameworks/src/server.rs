@@ -78,6 +78,8 @@ static SHED_QUEUE_FULL: bt_obs::Counter = bt_obs::Counter::new("serve.shed.queue
 static SHED_DEADLINE: bt_obs::Counter = bt_obs::Counter::new("serve.shed.deadline_expired");
 /// Requests rejected for exceeding the runtime's maximum length.
 static SHED_TOO_LONG: bt_obs::Counter = bt_obs::Counter::new("serve.shed.too_long");
+/// Requests shed because the paged KV-cache pool was exhausted.
+static SHED_CACHE_OOM: bt_obs::Counter = bt_obs::Counter::new("serve.shed.cache_oom");
 /// Batches executed.
 static BATCHES: bt_obs::Counter = bt_obs::Counter::new("serve.batches");
 /// Queue depth sampled after every admission decision.
@@ -172,6 +174,7 @@ impl ServeReport {
             shed_queue_full: 0,
             shed_deadline: 0,
             shed_too_long: 0,
+            shed_cache_oom: 0,
             batches: self.batches,
             served_tokens: 0,
             makespan: self.makespan,
@@ -189,6 +192,7 @@ impl ServeReport {
                     ShedReason::QueueFull => s.shed_queue_full += 1,
                     ShedReason::DeadlineExpired => s.shed_deadline += 1,
                     ShedReason::TooLong => s.shed_too_long += 1,
+                    ShedReason::CacheOom => s.shed_cache_oom += 1,
                 },
             }
         }
@@ -210,6 +214,9 @@ pub struct ServeSummary {
     pub shed_deadline: usize,
     /// Rejected as longer than the runtime supports.
     pub shed_too_long: usize,
+    /// Shed because the paged KV-cache pool could not hold the request
+    /// (decode path only; always zero for encoder-only runs).
+    pub shed_cache_oom: usize,
     /// Batches executed.
     pub batches: usize,
     /// Valid tokens across served requests.
@@ -223,7 +230,7 @@ pub struct ServeSummary {
 impl ServeSummary {
     /// Total shed requests across all reasons.
     pub fn shed(&self) -> usize {
-        self.shed_queue_full + self.shed_deadline + self.shed_too_long
+        self.shed_queue_full + self.shed_deadline + self.shed_too_long + self.shed_cache_oom
     }
 
     /// The invariant the stress suite enforces: every offered request has
@@ -288,6 +295,7 @@ fn record_shed(outcomes: &mut [Option<RequestOutcome>], id: usize, len: usize, r
         ShedReason::QueueFull => SHED_QUEUE_FULL.incr(),
         ShedReason::DeadlineExpired => SHED_DEADLINE.incr(),
         ShedReason::TooLong => SHED_TOO_LONG.incr(),
+        ShedReason::CacheOom => SHED_CACHE_OOM.incr(),
     }
     let slot = outcomes.get_mut(id).expect("request ids must be a permutation of 0..n");
     assert!(slot.is_none(), "request id {id} offered twice");
@@ -495,6 +503,7 @@ impl Server {
                     ShedReason::QueueFull => SHED_QUEUE_FULL.incr(),
                     ShedReason::DeadlineExpired => SHED_DEADLINE.incr(),
                     ShedReason::TooLong => SHED_TOO_LONG.incr(),
+                    ShedReason::CacheOom => SHED_CACHE_OOM.incr(),
                 }
                 let _ = result_tx.send(RequestOutcome {
                     id: p.id,

@@ -28,8 +28,10 @@
 
 mod mask;
 mod packing;
+pub mod paged;
 pub mod scan;
 pub mod workload;
 
 pub use mask::{BatchMask, VarlenError};
 pub use packing::PackingIndex;
+pub use paged::{BlockPool, KvOom, PagedLayout, SessionId, Slot};

@@ -39,6 +39,21 @@ for prec in f32 f16 bf16 int8; do
   done
 done
 
+# Decode matrix: the paged KV-cache path must hold its differential
+# guarantees (vs contiguous cache and teacher forcing) and its allocator
+# invariants with dispatch pinned to scalar and with auto-detection.
+for isa in scalar auto; do
+  echo "==> differential_decode + paged_properties (BYTE_GEMM_ISA=$isa)"
+  BYTE_GEMM_ISA="$isa" cargo test -p bytetransformer --test differential_decode --quiet
+  BYTE_GEMM_ISA="$isa" cargo test -p bt-varlen --test paged_properties --quiet
+done
+
+echo "==> decode serving artifact (BENCH_decode.json)"
+# The bench asserts >= 8 concurrent decode sessions with exact per-step
+# accounting, then emits the artifact; a missing emission fails the gate.
+BT_BENCH_FAST=1 cargo bench -p bt-bench --bench bench_decode --quiet
+test -s BENCH_decode.json || { echo "BENCH_decode.json was not emitted"; exit 1; }
+
 echo "==> cargo test --workspace (obs-off)"
 # Telemetry compiled out: the no-op layer must keep the whole workspace
 # building and passing (every bt-obs call site is exercised as dead code).

@@ -10,6 +10,9 @@
 //! btx serve      [--policy fifo|sorted|budget] [--load 1.0] [--requests 512]
 //!                [--deadline-ms 0(auto)] [--queue 64] [--budget 0(auto)]
 //!                [--burst] [--trace] [--seed 42]
+//! btx decode     [--sessions 8] [--tokens 24] [--prompt 16] [--requests 0(auto)]
+//!                [--block 0(env)] [--blocks 0(env)] [--budget 0(auto)]
+//!                [--deadline-ms 0(off)] [--queue 0(auto)] [--trace] [--seed 42]
 //! ```
 //!
 //! All subcommands use the standard BERT configuration (12 heads × 64) and
@@ -40,6 +43,11 @@ struct Args {
     burst: bool,
     trace: bool,
     seed: u64,
+    sessions: usize,
+    tokens: usize,
+    prompt: usize,
+    block: usize,
+    blocks: usize,
 }
 
 fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
@@ -55,13 +63,19 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
         format: "tree".to_string(),
         policy: "budget".to_string(),
         load: 1.0,
-        requests: 512,
+        // 0 = per-command default: 512 for `serve`, 6 × sessions for `decode`.
+        requests: 0,
         deadline_ms: 0.0,
         queue: 64,
         budget: 0,
         burst: false,
         trace: false,
         seed: 42,
+        sessions: 8,
+        tokens: 24,
+        prompt: 16,
+        block: 0,
+        blocks: 0,
     };
     let rest: Vec<String> = raw.collect();
     let mut i = 0;
@@ -97,6 +111,11 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
             "--layers" => args.layers = take("--layers").parse().expect("numeric --layers"),
             "--load" => args.load = take("--load").parse().expect("numeric --load"),
             "--requests" => args.requests = take("--requests").parse().expect("numeric --requests"),
+            "--sessions" => args.sessions = take("--sessions").parse().expect("numeric --sessions"),
+            "--tokens" => args.tokens = take("--tokens").parse().expect("numeric --tokens"),
+            "--prompt" => args.prompt = take("--prompt").parse().expect("numeric --prompt"),
+            "--block" => args.block = take("--block").parse().expect("numeric --block"),
+            "--blocks" => args.blocks = take("--blocks").parse().expect("numeric --blocks"),
             "--deadline-ms" => args.deadline_ms = take("--deadline-ms").parse().expect("numeric --deadline-ms"),
             "--queue" => args.queue = take("--queue").parse().expect("numeric --queue"),
             "--budget" => args.budget = take("--budget").parse().expect("numeric --budget"),
@@ -174,15 +193,113 @@ fn main() {
         "attention" => cmd_attention(&args),
         "profile" => cmd_profile(&args),
         "serve" => cmd_serve(&args),
+        "decode" => cmd_decode(&args),
         _ => {
             eprintln!(
-                "usage: btx <features|flops|breakdown|compare|attention|profile|serve> \
+                "usage: btx <features|flops|breakdown|compare|attention|profile|serve|decode> \
                  [--batch N] [--seq N] [--alpha F] [--opt L] [--heads N] [--head-size N] [--layers N] \
                  [--format tree|chrome|prom|json] [--policy fifo|sorted|budget] [--load F] [--requests N] \
-                 [--deadline-ms F] [--queue N] [--budget N] [--burst] [--trace] [--seed N]"
+                 [--deadline-ms F] [--queue N] [--budget N] [--burst] [--trace] [--seed N] \
+                 [--sessions N] [--tokens N] [--prompt N] [--block N] [--blocks N]"
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn cmd_decode(a: &Args) {
+    use bytetransformer::frameworks::decode::{decode_workload, run_decode_loop, DecodeConfig, PagedDecodeEngine};
+    use bytetransformer::frameworks::serving::poisson_arrivals;
+    use bytetransformer::obs;
+    use bytetransformer::varlen::paged::PagedLayout;
+
+    let config = config_of(a);
+    let decoder = bytetransformer::core::decoder::TransformerDecoder::new_random(config, a.layers, a.seed);
+
+    // Pool geometry: env knobs (BYTE_KV_BLOCK / BYTE_KV_BLOCKS) unless the
+    // flags override them.
+    let env = PagedLayout::from_env();
+    let layout = PagedLayout::new(
+        if a.block > 0 { a.block } else { env.block_tokens },
+        if a.blocks > 0 { a.blocks } else { env.pool_blocks },
+    );
+    // Budget: every live session decodes one token per step; leave room to
+    // weave in about two max-length prefills alongside.
+    let budget = if a.budget > 0 {
+        a.budget
+    } else {
+        a.sessions + 2 * a.prompt
+    };
+    let requests = if a.requests > 0 { a.requests } else { 6 * a.sessions };
+    let queue = if a.queue > 0 { a.queue } else { requests };
+    let deadline = if a.deadline_ms > 0.0 {
+        a.deadline_ms * 1e-3
+    } else {
+        f64::INFINITY
+    };
+
+    // A saturating burst: everything arrives up front, so the loop holds
+    // the session ceiling until the queue drains.
+    let trace = poisson_arrivals(
+        requests,
+        1e6,
+        LengthDistribution::PaperUniform { alpha: a.alpha },
+        a.prompt,
+        a.seed,
+    );
+    let workload = decode_workload(&trace, a.tokens.max(1), a.seed);
+    let decode_config = DecodeConfig {
+        budget_tokens: budget,
+        queue_capacity: queue,
+        deadline,
+        max_prompt_len: a.prompt,
+        max_sessions: a.sessions,
+    };
+    if a.trace {
+        obs::set_enabled(true);
+        let _ = obs::drain();
+    }
+    let device = Device::with_model(CostModel::a100());
+    let mut engine = PagedDecodeEngine::new(&decoder, device, layout, 4, a.seed);
+    let report = run_decode_loop(&workload, &decode_config, &mut engine);
+    let s = report.summary();
+    println!(
+        "pool {} blocks x {} tokens ({} token capacity) — budget {} tokens/step, {} decode slots",
+        layout.pool_blocks,
+        layout.block_tokens,
+        layout.capacity_tokens(),
+        budget,
+        a.sessions
+    );
+    println!(
+        "offered {} requests (prompt <= {}, decode <= {}, α = {:.3}, seed {})\n",
+        s.offered, a.prompt, a.tokens, a.alpha, a.seed
+    );
+    println!(
+        "served {} | shed {} (queue_full {}, deadline {}, too_long {}, cache_oom {})",
+        s.served,
+        s.shed(),
+        s.shed_queue_full,
+        s.shed_deadline,
+        s.shed_too_long,
+        s.shed_cache_oom
+    );
+    assert!(s.accounting_is_exact(), "served + shed must equal offered");
+    assert!(report.ledger_is_exact(), "per-step token ledger must reconcile");
+    println!(
+        "{} token steps, sustained {} concurrent sessions; cache high water {} of {} blocks",
+        s.steps, s.max_concurrent_sessions, s.high_water_blocks, layout.pool_blocks
+    );
+    println!(
+        "modeled A100: {:.0} steps/s, {:.0} decode tokens/s, {:.0} prefill tokens/s over {:.2} ms makespan",
+        s.steps_per_sec(),
+        s.decode_tokens_per_sec(),
+        s.prefill_tokens as f64 / s.makespan.max(1e-12),
+        s.makespan * 1e3
+    );
+    if a.trace {
+        println!();
+        print!("{}", obs::drain().render_tree());
     }
 }
 
@@ -223,10 +340,11 @@ fn cmd_serve(a: &Args) {
     };
     let rate = capacity.request_rate(mean_tokens, a.load);
     let dist = LengthDistribution::PaperUniform { alpha: a.alpha };
+    let requests = if a.requests > 0 { a.requests } else { 512 };
     let arrivals = if a.burst {
-        bursty_arrivals(a.requests, rate * 0.5, rate * 2.0, 25.0 * interval, dist, a.seq, a.seed)
+        bursty_arrivals(requests, rate * 0.5, rate * 2.0, 25.0 * interval, dist, a.seq, a.seed)
     } else {
-        poisson_arrivals(a.requests, rate, dist, a.seq, a.seed)
+        poisson_arrivals(requests, rate, dist, a.seq, a.seed)
     };
     let serve_config = ServeConfig {
         policy,

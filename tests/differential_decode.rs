@@ -1,0 +1,290 @@
+//! Cross-ISA differential harness for the paged decode path.
+//!
+//! The block-paged KV cache and batched decode step (`bt_core::paged`) must
+//! agree with the two independently implemented references on **every**
+//! `BYTE_GEMM_ISA` tier:
+//!
+//! 1. **Teacher-forcing forward** — [`TransformerDecoder::forward`] over the
+//!    whole target at once, the path PR 3 proved against the padded
+//!    baseline.
+//! 2. **Contiguous incremental cache** — [`DecoderSession`], one private
+//!    contiguous cache per sequence.
+//! 3. **Paged batched decode** — [`PagedDecoder::step_batch`], many
+//!    sessions through one grouped-GEMM pipeline over block-table-indexed
+//!    storage.
+//!
+//! All three run the same weights, so any disagreement beyond the
+//! documented contraction-order tolerance (`5e-3`, same bound the
+//! incremental-vs-teacher-forcing test documents) is a bug in the cache
+//! indirection, the gather, or the grouped problem construction — exactly
+//! the layers this PR adds. On top of the per-tier three-way check, each
+//! tier's paged output is compared against the scalar tier's: **bitwise**
+//! when the tiers share a contraction mode ([`MicroKernel::fused_fma`] —
+//! paging adds no ISA-dependent code outside the GEMMs), tolerance
+//! otherwise. Block-size invariance is asserted bitwise *per tier*
+//! unconditionally: paging is memory layout, never math.
+//!
+//! Tiers the host lacks are skipped with a logged reason (stderr), never
+//! silently: the log always accounts for all tiers.
+//!
+//! [`MicroKernel::fused_fma`]: bt_gemm::micro::MicroKernel::fused_fma
+//! [`DecoderSession`]: bt_core::incremental::DecoderSession
+//! [`PagedDecoder::step_batch`]: bt_core::paged::PagedDecoder::step_batch
+
+use bt_core::incremental::DecoderSession;
+use bt_core::paged::PagedDecoder;
+use bt_gemm::isa::{self, Isa};
+use bt_gemm::{active_precision, set_active_precision, Precision};
+use bt_tensor::Tensor;
+use bt_varlen::paged::{PagedLayout, SessionId};
+use bt_varlen::BatchMask;
+use bytetransformer::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the tier-flipping harness: the active tier is process-wide.
+static ISA_LOCK: Mutex<()> = Mutex::new(());
+
+/// Documented tolerance of the paged/incremental paths vs teacher forcing:
+/// the grouped microkernel and the attention loops contract in different
+/// orders (same bound `bt_core::incremental` documents).
+const TOL: f32 = 5e-3;
+
+fn device() -> Device {
+    Device::with_model(CostModel::unit())
+}
+
+/// Runs `case` once per available tier, scalar first as the reference, and
+/// logs (never silently drops) unavailable tiers. Pins f32 precision so a
+/// `BYTE_GEMM_PREC` selection doesn't reroute through the low-precision
+/// kernels. Cross-tier outputs are compared bitwise when the tiers share a
+/// contraction mode, within [`TOL`] otherwise.
+fn decode_differential(label: &str, case: impl Fn() -> Vec<f32>) {
+    let _g = ISA_LOCK.lock().unwrap();
+    let prev = isa::active_isa();
+    let prev_prec = active_precision();
+    set_active_precision(Precision::F32);
+    let available = isa::available_isas();
+    for tier in Isa::ALL {
+        if !available.contains(&tier) {
+            eprintln!("differential_decode: {label}: skipping {tier} — not supported on this host");
+        }
+    }
+    isa::set_active_isa(Isa::Scalar).unwrap();
+    let reference = case();
+    let scalar_fused = isa::kernel_for(Isa::Scalar).unwrap().fused_fma;
+    for &tier in available.iter().filter(|&&t| t != Isa::Scalar) {
+        isa::set_active_isa(tier).unwrap();
+        let got = case();
+        assert_eq!(reference.len(), got.len(), "{label} [{tier}]: output lengths differ");
+        let same = isa::kernel_for(tier).unwrap().fused_fma == scalar_fused;
+        for (i, (r, g)) in reference.iter().zip(&got).enumerate() {
+            if same {
+                assert!(
+                    r.to_bits() == g.to_bits(),
+                    "{label} [{tier}][{i}]: scalar {r:?} != {tier} {g:?} (bitwise)"
+                );
+            } else {
+                assert!(
+                    (r - g).abs() < TOL,
+                    "{label} [{tier}][{i}]: scalar {r} vs {tier} {g} exceeds decode tolerance"
+                );
+            }
+        }
+    }
+    isa::set_active_isa(prev).unwrap();
+    set_active_precision(prev_prec);
+}
+
+/// Per-tier three-way check: batched paged decode vs contiguous
+/// [`DecoderSession`] vs teacher-forcing [`TransformerDecoder::forward`],
+/// per token, on every available tier. The paged outputs are also the
+/// harness's cross-tier payload, so tier-to-tier drift is bounded too.
+#[test]
+fn paged_tracks_contiguous_and_teacher_forcing_on_every_tier() {
+    let config = BertConfig::tiny();
+    let decoder = TransformerDecoder::new_random(config, 2, 7);
+    let hidden = config.hidden();
+    let steps = 4;
+    let mem_lens = [4usize, 3];
+    let memories: Vec<Tensor> = mem_lens
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| Tensor::randn([l, hidden], 20 + i as u64))
+        .collect();
+    let inputs: Vec<Tensor> = (0..memories.len())
+        .map(|i| Tensor::randn([steps, hidden], 40 + i as u64))
+        .collect();
+
+    decode_differential("three_way_decode", || {
+        let dev = device();
+
+        // Reference 1: teacher-forcing forward per sequence (batch of one).
+        let full: Vec<Tensor> = memories
+            .iter()
+            .zip(&inputs)
+            .zip(&mem_lens)
+            .map(|((mem, inp), &ml)| {
+                let tgt_mask = BatchMask::from_lens(vec![steps], steps).unwrap();
+                let mem_mask = BatchMask::from_lens(vec![ml], ml).unwrap();
+                let tgt = inp.clone().reshape([1, steps, hidden]).unwrap();
+                let memory = mem.clone().reshape([1, ml, hidden]).unwrap();
+                decoder.forward(&dev, &tgt, &tgt_mask, &memory, &mem_mask).unwrap()
+            })
+            .collect();
+
+        // Reference 2: contiguous incremental sessions.
+        let mut contiguous: Vec<DecoderSession<'_>> = memories
+            .iter()
+            .map(|m| DecoderSession::new(&decoder, &dev, m))
+            .collect();
+
+        // Subject: batched paged decode, all sessions in one step.
+        let mut paged = PagedDecoder::new(&decoder, PagedLayout::new(3, 32));
+        let ids: Vec<SessionId> = memories.iter().map(|m| paged.open_session(&dev, m)).collect();
+
+        let mut payload = Vec::new();
+        for t in 0..steps {
+            let mut flat = Vec::with_capacity(ids.len() * hidden);
+            for inp in &inputs {
+                flat.extend_from_slice(&inp.as_slice()[t * hidden..(t + 1) * hidden]);
+            }
+            let out = paged.step_batch(&dev, &ids, &flat);
+            assert!(out.oom.is_empty(), "pool sized to fit");
+            for (s, session) in contiguous.iter_mut().enumerate() {
+                let want = session.step(&dev, &inputs[s].as_slice()[t * hidden..(t + 1) * hidden]);
+                let got = out.outputs[s].as_ref().expect("no shed");
+                for d in 0..hidden {
+                    let teacher = full[s].at(&[0, t, d]).unwrap();
+                    assert!(
+                        (got[d] - want[d]).abs() < TOL,
+                        "step {t}, seq {s}, dim {d}: paged {} vs contiguous {}",
+                        got[d],
+                        want[d]
+                    );
+                    assert!(
+                        (got[d] - teacher).abs() < TOL,
+                        "step {t}, seq {s}, dim {d}: paged {} vs teacher-forcing {teacher}",
+                        got[d]
+                    );
+                }
+                payload.extend_from_slice(got);
+            }
+        }
+        payload
+    });
+}
+
+/// Prefill and token-by-token stepping are the same pipeline at different
+/// row counts; they must agree tightly on every tier (the only difference
+/// is batch composition inside identical grouped launches).
+#[test]
+fn prefill_equals_stepping_on_every_tier() {
+    let config = BertConfig::tiny();
+    let decoder = TransformerDecoder::new_random(config, 2, 9);
+    let hidden = config.hidden();
+    let memory = Tensor::randn([4, hidden], 5);
+    let prompt_len = 5;
+    let prompt = Tensor::randn([prompt_len, hidden], 6);
+
+    decode_differential("prefill_vs_steps", || {
+        let dev = device();
+        let mut a = PagedDecoder::new(&decoder, PagedLayout::new(2, 16));
+        let sa = a.open_session(&dev, &memory);
+        let prefilled = a.prefill(&dev, sa, &prompt).unwrap();
+
+        let mut b = PagedDecoder::new(&decoder, PagedLayout::new(2, 16));
+        let sb = b.open_session(&dev, &memory);
+        for (i, row) in prompt.as_slice().chunks(hidden).enumerate() {
+            let out = b.step_batch(&dev, &[sb], row);
+            let got = out.outputs[0].as_ref().unwrap();
+            for (d, (&p, &s)) in prefilled[i].iter().zip(got).enumerate() {
+                assert!((p - s).abs() < 1e-5, "token {i}, dim {d}: prefill {p} vs step {s}");
+            }
+        }
+        prefilled.into_iter().flatten().collect()
+    });
+}
+
+/// Block size is memory layout, never math: outputs must be **bitwise**
+/// identical across block geometries on every single tier — no tolerance,
+/// because within one tier the arithmetic sequence is literally the same.
+#[test]
+fn block_size_invariance_holds_on_every_tier() {
+    let config = BertConfig::tiny();
+    let decoder = TransformerDecoder::new_random(config, 2, 11);
+    let hidden = config.hidden();
+    let memory = Tensor::randn([3, hidden], 8);
+    let prompt = Tensor::randn([7, hidden], 9);
+
+    decode_differential("block_size_invariance", || {
+        let dev = device();
+        let mut outs: Vec<Vec<f32>> = Vec::new();
+        for block_tokens in [1usize, 3, 16] {
+            let mut d = PagedDecoder::new(&decoder, PagedLayout::new(block_tokens, 64));
+            let sid = d.open_session(&dev, &memory);
+            let rows = d.prefill(&dev, sid, &prompt).unwrap();
+            outs.push(rows.into_iter().flatten().collect());
+        }
+        for (i, alt) in outs[1..].iter().enumerate() {
+            let bits_match = outs[0].iter().zip(alt).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(
+                bits_match,
+                "block geometry {i} changed the math on {}",
+                isa::active_isa()
+            );
+        }
+        outs.swap_remove(0)
+    });
+}
+
+/// OOM→shed behavior is structural, not numeric, but it must be structural
+/// on every tier: a refused append sheds exactly the starved session and
+/// leaves survivors' outputs untouched relative to a roomy pool.
+#[test]
+fn oom_shedding_is_tier_invariant() {
+    let config = BertConfig::tiny();
+    let decoder = TransformerDecoder::new_random(config, 1, 13);
+    let hidden = config.hidden();
+    let memory = Tensor::randn([2, hidden], 3);
+    let prompt_a = Tensor::randn([3, hidden], 5);
+    let prompt_b = Tensor::randn([2, hidden], 6);
+    let step_input = Tensor::randn([2, hidden], 7);
+
+    decode_differential("oom_shed", || {
+        let dev = device();
+        // 3 blocks × 2 tokens: a takes 2 blocks (one slot spare), b takes 1.
+        let mut tight = PagedDecoder::new(&decoder, PagedLayout::new(2, 3));
+        let a = tight.open_session(&dev, &memory);
+        let b = tight.open_session(&dev, &memory);
+        tight.prefill(&dev, a, &prompt_a).unwrap();
+        tight.prefill(&dev, b, &prompt_b).unwrap();
+        let out = tight.step_batch(&dev, &[a, b], step_input.as_slice());
+        assert!(out.outputs[0].is_some(), "session with tail-block room proceeds");
+        assert!(
+            out.outputs[1].is_none(),
+            "starved session sheds on {}",
+            isa::active_isa()
+        );
+        assert_eq!(out.oom.len(), 1);
+
+        // Same step with a roomy pool: the survivor's token is bitwise the
+        // same — shedding a neighbor must not perturb the batch's math.
+        let mut roomy = PagedDecoder::new(&decoder, PagedLayout::new(2, 16));
+        let ra = roomy.open_session(&dev, &memory);
+        let rb = roomy.open_session(&dev, &memory);
+        roomy.prefill(&dev, ra, &prompt_a).unwrap();
+        roomy.prefill(&dev, rb, &prompt_b).unwrap();
+        let full = roomy.step_batch(&dev, &[ra, rb], step_input.as_slice());
+        let starved_out = out.outputs[0].as_ref().unwrap();
+        let roomy_out = full.outputs[0].as_ref().unwrap();
+        // Grouped launches see different problem sets (1 vs 2 sessions), so
+        // scheduling differs but each problem's chain is identical.
+        for (d, (s, r)) in starved_out.iter().zip(roomy_out).enumerate() {
+            assert!(
+                s.to_bits() == r.to_bits(),
+                "dim {d}: shed neighbor perturbed survivor ({s} vs {r})"
+            );
+        }
+        starved_out.clone()
+    });
+}

@@ -9,13 +9,23 @@
 //! * runs are bit-deterministic for a fixed seed;
 //! * the threaded front-end preserves the same accounting under real
 //!   multi-producer contention.
+//!
+//! The second half stresses the token-step decode loop the same way: mixed
+//! prefill+decode batches under overload must keep **two** exact ledgers
+//! (per request and per token step), replay deterministically for a fixed
+//! seed, and shed KV-cache exhaustion with the distinct
+//! [`ShedReason::CacheOom`] — never folded into compute overload.
 
 use bytetransformer::frameworks::admission::{CutPolicy, ShedReason};
 use bytetransformer::frameworks::calibration::calibrate_capacity;
+use bytetransformer::frameworks::decode::{
+    decode_workload, run_decode_loop, DecodeConfig, DecodeOutcome, DecodeRequest, ModeledDecodeEngine,
+};
 use bytetransformer::frameworks::server::{modeled_forward_executor, run_open_loop, Outcome, ServeConfig, Server};
 use bytetransformer::frameworks::serving::{poisson_arrivals, TimedRequest};
 use bytetransformer::frameworks::{FrameworkKind, SimFramework};
 use bytetransformer::prelude::*;
+use bytetransformer::varlen::paged::PagedLayout;
 
 /// Synthetic batch cost: a fixed launch overhead plus linear token cost at
 /// `TOKENS_PER_SEC`. Deterministic and fast, so the stress runs thousands
@@ -251,4 +261,172 @@ fn threaded_server_under_producer_contention_accounts_exactly() {
     ids.sort_unstable();
     ids.dedup();
     assert_eq!(ids.len(), outcomes.len(), "no duplicate outcomes");
+}
+
+// --- token-step decode loop -------------------------------------------------
+
+/// A decode workload at a target token load: prompt lengths/arrivals from
+/// the encoder trace generator, decode lengths a seeded splitmix64 draw.
+fn decode_arrivals(n: usize, rate: f64, seq: usize, max_decode: usize, seed: u64) -> Vec<DecodeRequest> {
+    let trace = poisson_arrivals(n, rate, LengthDistribution::PaperUniform { alpha: 0.6 }, seq, seed);
+    decode_workload(&trace, max_decode, seed)
+}
+
+fn decode_config() -> DecodeConfig {
+    DecodeConfig {
+        budget_tokens: 64,
+        queue_capacity: 48,
+        deadline: 0.05,
+        max_prompt_len: 32,
+        max_sessions: 16,
+    }
+}
+
+/// The decode twin of the headline serve test: under an overloaded mixed
+/// prefill+decode workload, accounting is exact at **both** granularities —
+/// per request (`served + shed == offered`) and per token step (every
+/// generated/prefilled token in the step ledger reconciles with exactly one
+/// request outcome).
+#[test]
+fn decode_accounting_is_exact_per_request_and_per_step() {
+    for seed in [3u64, 271, 0xfeed_f00d] {
+        let requests = decode_arrivals(400, 3000.0, 32, 12, seed);
+        // ~19k serviceable tokens/s against ~48k offered: ≈2.5× overload, so
+        // the queue backs up and the deadline gate has to work.
+        let mut engine = ModeledDecodeEngine::new(PagedLayout::new(4, 96), 200e-6, 50e-6);
+        let report = run_decode_loop(&requests, &decode_config(), &mut engine);
+        let s = report.summary();
+
+        assert!(
+            s.accounting_is_exact(),
+            "seed {seed}: served {} + shed {} != offered {}",
+            s.served,
+            s.shed(),
+            s.offered
+        );
+        assert_eq!(s.offered, 400);
+        assert!(report.ledger_is_exact(), "seed {seed}: step ledger does not reconcile");
+
+        // Every request resolves exactly once.
+        let mut ids: Vec<usize> = report.outcomes.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..400).collect::<Vec<_>>());
+
+        // Per-step budget bound: live decode tokens + admitted prefill
+        // tokens fit the budget, except one oversized prompt running alone.
+        for r in &report.steps {
+            let work = r.decode_sessions + r.prefill_tokens;
+            assert!(
+                work <= decode_config().budget_tokens || (r.decode_sessions == 0 && r.prefill_sessions == 1),
+                "seed {seed}, step {}: {work} tokens over budget",
+                r.step
+            );
+        }
+
+        // Overload must both serve and shed — the interesting regime.
+        assert!(s.served > 0, "seed {seed}: overload still serves admitted work");
+        assert!(
+            s.shed() > 0,
+            "seed {seed}: 3k req/s against a 64-token budget must shed"
+        );
+        assert_eq!(
+            engine.pool().blocks_in_use(),
+            0,
+            "seed {seed}: drained runs free every block"
+        );
+    }
+}
+
+/// Fixed seed ⇒ bit-identical replay: outcomes, the step ledger, and the
+/// virtual clock. The loop has no hidden entropy source.
+#[test]
+fn decode_runs_replay_bit_identically_for_a_fixed_seed() {
+    let requests = decode_arrivals(300, 2500.0, 32, 10, 77);
+    let run = || {
+        let mut engine = ModeledDecodeEngine::new(PagedLayout::new(4, 96), 20e-6, 1e-6);
+        run_decode_loop(&requests, &decode_config(), &mut engine)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(a.high_water_blocks, b.high_water_blocks);
+}
+
+/// A starved block pool sheds with the **distinct** [`ShedReason::CacheOom`]
+/// — operators can tell "pool too small" from "host too slow". Mid-decode
+/// evictions report `prefilled: true` with their partial token count, and
+/// every OOM shed is attributed to the step that caused it.
+#[test]
+fn decode_cache_oom_sheds_with_distinct_reason() {
+    let requests = decode_arrivals(200, 4000.0, 32, 12, 41);
+    // 8 blocks × 4 tokens = 32 token slots for a 64-token budget: the cache,
+    // not the compute budget, is the binding constraint.
+    let mut engine = ModeledDecodeEngine::new(PagedLayout::new(4, 8), 20e-6, 1e-6);
+    let report = run_decode_loop(&requests, &decode_config(), &mut engine);
+    let s = report.summary();
+    assert!(s.accounting_is_exact(), "{s:?}");
+    assert!(report.ledger_is_exact());
+    assert!(s.shed_cache_oom > 0, "a starved pool must shed CacheOom: {s:?}");
+
+    // OOM sheds are step-attributed, exactly.
+    let step_ooms: usize = report.steps.iter().map(|r| r.oom_sheds).sum();
+    assert_eq!(step_ooms, s.shed_cache_oom, "every CacheOom shed belongs to one step");
+
+    // The reason is distinct in kind and in label.
+    assert_eq!(ShedReason::CacheOom.label(), "cache_oom");
+    for o in &report.outcomes {
+        if let DecodeOutcome::Shed {
+            reason: ShedReason::CacheOom,
+            prefilled,
+            generated,
+            ..
+        } = o.outcome
+        {
+            if prefilled {
+                // Mid-decode eviction: the prompt went in, some tokens may
+                // have come out, but never the full request.
+                assert!(generated < o.decode_tokens);
+            } else {
+                assert_eq!(generated, 0, "a refused prefill generated nothing");
+            }
+        }
+    }
+    // The pool never exceeded its capacity and drained clean.
+    assert!(report.high_water_blocks <= 8);
+    assert_eq!(engine.pool().blocks_in_use(), 0);
+}
+
+/// Deadline expiry in the decode queue is about prefill *start*, and a
+/// tight deadline against slow steps must cancel queued work while keeping
+/// both ledgers exact.
+#[test]
+fn decode_deadline_expires_queued_prefills_exactly() {
+    let requests = decode_arrivals(150, 8000.0, 32, 8, 59);
+    let cfg = DecodeConfig {
+        deadline: 5e-5,
+        ..decode_config()
+    };
+    let mut engine = ModeledDecodeEngine::new(PagedLayout::new(4, 256), 5e-4, 2e-6);
+    let report = run_decode_loop(&requests, &cfg, &mut engine);
+    let s = report.summary();
+    assert!(s.accounting_is_exact(), "{s:?}");
+    assert!(report.ledger_is_exact());
+    assert!(
+        s.shed_deadline > 0,
+        "tight deadline vs slow steps must expire work: {s:?}"
+    );
+    for o in &report.outcomes {
+        if let DecodeOutcome::Shed {
+            reason: ShedReason::DeadlineExpired,
+            wait,
+            prefilled,
+            generated,
+        } = o.outcome
+        {
+            assert!(wait >= cfg.deadline, "expired after {wait:.6}s < deadline");
+            assert!(!prefilled && generated == 0, "deadline sheds never touched the cache");
+        }
+    }
 }
