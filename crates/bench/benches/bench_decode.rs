@@ -85,6 +85,7 @@ fn main() {
             deadline: f64::INFINITY,
             max_prompt_len: PROMPT_SEQ,
             max_sessions: sessions,
+            chunk_tokens: 0,
         };
         let device = Device::with_model(CostModel::a100());
         let mut engine = PagedDecodeEngine::new(&decoder, device, layout, MEM_LEN, SEED);

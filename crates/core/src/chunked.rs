@@ -1,0 +1,613 @@
+//! Stateful chunked-transform stages — the streaming form of the
+//! pack→forward→unpack pipeline.
+//!
+//! The paper's pipeline is whole-request-in/whole-batch-out: a request's
+//! every token enters one batch, runs, and leaves. Serving wants the
+//! incremental form — a long prompt ingested in fixed token-budget chunks
+//! that interleave with other work — without changing a single output bit.
+//! The packed math makes that free: every row of a packed GEMM, the
+//! grouped attention (one `m = 1` problem per row at its true key length)
+//! and the per-row LayerNorm/FFN epilogues are computed independently of
+//! which other rows share the launch, so splitting a stage's input across
+//! launches is purely a *scheduling* decision. `tests/differential_streaming.rs`
+//! proves it: chunked output is bitwise identical to whole-input output on
+//! every `BYTE_GEMM_ISA` tier, invariant across chunk sizes.
+//!
+//! [`ChunkedStage`] is the contract: feed chunks with [`transform`]
+//! (`last` marks the final chunk), snapshot progress with [`state`], and
+//! resume a fresh stage from a snapshot with [`with_state`] — an explicit
+//! save/restore in the `ByteTransform` idiom, so a serving loop can park a
+//! half-ingested request (or migrate it) and continue later. Stages
+//! compose as tuples: `(A, B)` is itself a stage when `B` consumes `A`'s
+//! output, with paired state.
+//!
+//! Three stages cover the model front-to-back:
+//!
+//! * [`ChunkedEmbeddings`] — chunks **along a sequence**: each chunk of
+//!   token ids embeds at an explicit position offset carried in the state.
+//! * [`ChunkedEncoder`] — chunks **across sequences**: encoder attention
+//!   is bidirectional over a whole sequence, so the streaming unit is a
+//!   group of complete sequences, not a sequence prefix.
+//! * [`ChunkedPrefill`] — chunks **along time**: causal prefix attention
+//!   lets a prompt prefill in pieces against the paged KV cache
+//!   ([`crate::paged::PagedDecoder`] resumes at the cached length).
+//!
+//! [`transform`]: ChunkedStage::transform
+//! [`state`]: ChunkedStage::state
+//! [`with_state`]: ChunkedStage::with_state
+
+use crate::decoder::TransformerDecoder;
+use crate::embeddings::{embed_row, EmbeddingWeights};
+use crate::encoder::{BertModel, OptLevel};
+use crate::paged::PagedDecoder;
+use bt_device::{Device, KernelSpec};
+use bt_tensor::Tensor;
+use bt_varlen::paged::{PagedLayout, SessionId};
+use bt_varlen::BatchMask;
+
+/// A pipeline stage that consumes its input in chunks, carrying explicit
+/// state between chunks.
+///
+/// The contract every implementation (and the differential suite) holds:
+/// feeding an input as *n* chunks produces bitwise the same outputs, in
+/// order, as feeding it whole, and `stage.with_state(&stage.state())`
+/// behaves bitwise like `stage` itself from that point on.
+pub trait ChunkedStage {
+    /// Everything needed to resume the stage at its current progress.
+    type State: Clone + std::fmt::Debug;
+    /// One unit of streamed input.
+    type Chunk;
+    /// What the stage produces per chunk.
+    type Output;
+
+    /// Consumes one chunk and returns its output. `last` marks the final
+    /// chunk of the stream; the stages here buffer nothing, so it is
+    /// advisory, but composed stages forward it so a flushing stage can be
+    /// slotted in.
+    fn transform(&mut self, chunk: Self::Chunk, last: bool) -> Self::Output;
+
+    /// Snapshots the stage's progress.
+    fn state(&self) -> Self::State;
+
+    /// Builds a fresh stage resumed at `state`, sharing `self`'s
+    /// configuration and weights.
+    fn with_state(&self, state: &Self::State) -> Self
+    where
+        Self: Sized;
+}
+
+/// Two stages in sequence are a stage: `A`'s chunk output feeds `B`, state
+/// is the pair of states, and `last` propagates through both.
+impl<A: ChunkedStage, B: ChunkedStage<Chunk = A::Output>> ChunkedStage for (A, B) {
+    type State = (A::State, B::State);
+    type Chunk = A::Chunk;
+    type Output = B::Output;
+
+    fn transform(&mut self, chunk: Self::Chunk, last: bool) -> Self::Output {
+        let mid = self.0.transform(chunk, last);
+        self.1.transform(mid, last)
+    }
+
+    fn state(&self) -> Self::State {
+        (self.0.state(), self.1.state())
+    }
+
+    fn with_state(&self, state: &Self::State) -> Self {
+        (self.0.with_state(&state.0), self.1.with_state(&state.1))
+    }
+}
+
+/// Streaming embeddings for one sequence: each chunk of token ids embeds
+/// at the position where the previous chunk stopped.
+///
+/// [`crate::embeddings::embed_packed`] derives each token's position from
+/// its padded slot; a streamed sequence has no padded layout, so the
+/// position offset is the stage's [`ChunkedStage::State`]. Row for row the
+/// arithmetic is identical, which makes chunked output bitwise equal to
+/// the packed front-end's.
+pub struct ChunkedEmbeddings<'a> {
+    device: &'a Device,
+    weights: &'a EmbeddingWeights,
+    next_pos: usize,
+}
+
+impl<'a> ChunkedEmbeddings<'a> {
+    /// A stage at position zero of a fresh sequence.
+    pub fn new(device: &'a Device, weights: &'a EmbeddingWeights) -> Self {
+        Self {
+            device,
+            weights,
+            next_pos: 0,
+        }
+    }
+
+    /// Tokens embedded so far (the next chunk's starting position).
+    pub fn position(&self) -> usize {
+        self.next_pos
+    }
+}
+
+impl ChunkedStage for ChunkedEmbeddings<'_> {
+    /// The next token's position index.
+    type State = usize;
+    /// `(token ids, segment ids)`, one entry per token, equal lengths.
+    type Chunk = (Vec<u32>, Vec<u32>);
+    /// Packed `[chunk_len, hidden]` embedded rows.
+    type Output = Tensor;
+
+    /// # Panics
+    /// Panics on an empty or length-mismatched chunk, an id outside the
+    /// tables, or a chunk that would run past the position table.
+    fn transform(&mut self, (ids, segments): Self::Chunk, _last: bool) -> Self::Output {
+        assert!(!ids.is_empty(), "chunk must hold at least one token");
+        assert_eq!(ids.len(), segments.len(), "ids and segments must pair up");
+        let w = self.weights;
+        let len = ids.len();
+        let hidden = w.token.dims()[1];
+        let n_seg = w.segment.dims()[0] as u32;
+        assert!(
+            self.next_pos + len <= w.max_position(),
+            "chunk ends at position {} but the table holds {}",
+            self.next_pos + len,
+            w.max_position()
+        );
+        for (i, (&t, &s)) in ids.iter().zip(&segments).enumerate() {
+            assert!((t as usize) < w.vocab(), "token id {t} out of vocab at chunk row {i}");
+            assert!(s < n_seg, "segment id {s} out of range at chunk row {i}");
+        }
+        let moved = (len * hidden * 4) as u64;
+        let data = self.device.launch(
+            KernelSpec::new("embedding.chunked")
+                .flops((len * hidden * 10) as u64)
+                .reads(3 * moved + len as u64 * 12)
+                .writes(moved),
+            || {
+                let mut data = vec![0.0f32; len * hidden];
+                for (i, row) in data.chunks_mut(hidden).enumerate() {
+                    embed_row(row, w, ids[i] as usize, self.next_pos + i, segments[i] as usize);
+                }
+                data
+            },
+        );
+        self.next_pos += len;
+        Tensor::from_vec(data, [len, hidden]).expect("shape consistent")
+    }
+
+    fn state(&self) -> Self::State {
+        self.next_pos
+    }
+
+    fn with_state(&self, state: &Self::State) -> Self {
+        Self {
+            device: self.device,
+            weights: self.weights,
+            next_pos: *state,
+        }
+    }
+}
+
+/// Streaming encoder: each chunk is a group of *complete* sequences run
+/// through the full stack.
+///
+/// Encoder attention is bidirectional — every token attends over its whole
+/// sequence — so a sequence cannot be split mid-stream the way a causal
+/// prompt can. The streaming unit is therefore a sub-batch of whole
+/// sequences; because the packed pipeline's rows never mix across
+/// sequences, forwarding sequences in chunks is bitwise identical to
+/// forwarding them in one batch.
+pub struct ChunkedEncoder<'a> {
+    device: &'a Device,
+    model: &'a BertModel,
+    opt: OptLevel,
+    seqs_done: usize,
+}
+
+impl<'a> ChunkedEncoder<'a> {
+    /// A stage over `model` at the given optimization level.
+    pub fn new(device: &'a Device, model: &'a BertModel, opt: OptLevel) -> Self {
+        Self {
+            device,
+            model,
+            opt,
+            seqs_done: 0,
+        }
+    }
+
+    /// Sequences forwarded so far.
+    pub fn sequences_done(&self) -> usize {
+        self.seqs_done
+    }
+}
+
+impl ChunkedStage for ChunkedEncoder<'_> {
+    /// Count of sequences already forwarded.
+    type State = usize;
+    /// A padded `[batch, seq, hidden]` sub-batch with its mask.
+    type Chunk = (Tensor, BatchMask);
+    /// The forwarded sub-batch, same shape as the input.
+    type Output = Tensor;
+
+    /// # Panics
+    /// Panics if the input shape does not match the mask and model (the
+    /// same condition [`BertModel::forward`] reports as an error).
+    fn transform(&mut self, (input, mask): Self::Chunk, _last: bool) -> Self::Output {
+        let out = self
+            .model
+            .forward(self.device, &input, &mask, self.opt)
+            .expect("chunk shape must match its mask");
+        self.seqs_done += mask.batch();
+        out
+    }
+
+    fn state(&self) -> Self::State {
+        self.seqs_done
+    }
+
+    fn with_state(&self, state: &Self::State) -> Self {
+        Self {
+            device: self.device,
+            model: self.model,
+            opt: self.opt,
+            seqs_done: *state,
+        }
+    }
+}
+
+/// Resumable snapshot of a [`ChunkedPrefill`]: the prompt prefix consumed
+/// so far, flattened `[rows × hidden]`.
+///
+/// The causal-prefill state *is* the consumed prefix — the KV cache is a
+/// deterministic function of it — so restore replays the prefix into a
+/// fresh session. The repo's differential suite proves prefill is bitwise
+/// deterministic and chunking-invariant, which makes replay an exact
+/// restore, at the cost of re-running the prefix (a memory/compute trade:
+/// the snapshot is `O(prompt)` floats instead of a cache image).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkedPrefillState {
+    /// Consumed prompt rows, `[rows × hidden]` flattened.
+    pub consumed: Vec<f32>,
+}
+
+/// Streaming prompt ingestion against the paged KV cache: each chunk of
+/// prompt rows prefills where the previous chunk stopped.
+///
+/// Causal attention makes time the natural chunk axis — a prompt row
+/// attends only over rows at or before it, so rows ingested earlier are
+/// final the moment they are written. [`PagedDecoder::prefill`] already
+/// resumes at the session's cached length; this stage adds the explicit
+/// state contract on top.
+pub struct ChunkedPrefill<'a> {
+    device: &'a Device,
+    decoder: &'a TransformerDecoder,
+    layout: PagedLayout,
+    memory: Tensor,
+    paged: PagedDecoder<'a>,
+    sid: SessionId,
+    consumed: Vec<f32>,
+}
+
+impl<'a> ChunkedPrefill<'a> {
+    /// Opens a fresh session over `decoder` with its own paged cache of
+    /// `layout` geometry and the given cross-attention `memory`
+    /// (`[mem_len, hidden]`, packed).
+    pub fn new(device: &'a Device, decoder: &'a TransformerDecoder, layout: PagedLayout, memory: Tensor) -> Self {
+        let mut paged = PagedDecoder::new(decoder, layout);
+        let sid = paged.open_session(device, &memory);
+        Self {
+            device,
+            decoder,
+            layout,
+            memory,
+            paged,
+            sid,
+            consumed: Vec::new(),
+        }
+    }
+
+    /// Prompt tokens ingested so far.
+    pub fn tokens_ingested(&self) -> usize {
+        self.paged.session_len(self.sid)
+    }
+
+    /// The underlying paged decoder (e.g. to run decode steps after the
+    /// last prefill chunk) with its live session id.
+    pub fn into_parts(self) -> (PagedDecoder<'a>, SessionId) {
+        (self.paged, self.sid)
+    }
+}
+
+impl ChunkedStage for ChunkedPrefill<'_> {
+    type State = ChunkedPrefillState;
+    /// `[chunk_len, hidden]` prompt rows.
+    type Chunk = Tensor;
+    /// One output hidden state per ingested row, in order.
+    type Output = Vec<Vec<f32>>;
+
+    /// # Panics
+    /// Panics if the chunk is not `[len ≥ 1, hidden]` or the session's
+    /// dedicated pool cannot hold it ([`bt_varlen::paged::KvOom`] — size
+    /// the layout to the prompt; the serving loop's shared-pool shedding
+    /// lives in `bt-frameworks`, not here).
+    fn transform(&mut self, chunk: Self::Chunk, _last: bool) -> Self::Output {
+        let out = self
+            .paged
+            .prefill(self.device, self.sid, &chunk)
+            .expect("prefill chunk must fit the stage's paged pool");
+        self.consumed.extend_from_slice(chunk.as_slice());
+        out
+    }
+
+    fn state(&self) -> Self::State {
+        ChunkedPrefillState {
+            consumed: self.consumed.clone(),
+        }
+    }
+
+    fn with_state(&self, state: &Self::State) -> Self {
+        let mut fresh = Self::new(self.device, self.decoder, self.layout, self.memory.clone());
+        if !state.consumed.is_empty() {
+            let hidden = self.decoder.config.hidden();
+            assert_eq!(state.consumed.len() % hidden, 0, "state rows must be [rows, hidden]");
+            let rows = state.consumed.len() / hidden;
+            let prefix = Tensor::from_vec(state.consumed.clone(), [rows, hidden]).expect("shape consistent");
+            fresh
+                .paged
+                .prefill(fresh.device, fresh.sid, &prefix)
+                .expect("restored prefix must fit a fresh pool");
+            fresh.consumed = state.consumed.clone();
+        }
+        fresh
+    }
+}
+
+/// Splits `total` into chunks of `chunk_tokens` (last one ragged).
+/// `chunk_tokens == 0` means "whole": one chunk of everything.
+/// Returns an empty vec for `total == 0`.
+pub fn chunk_spans(total: usize, chunk_tokens: usize) -> Vec<(usize, usize)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    if chunk_tokens == 0 {
+        return vec![(0, total)];
+    }
+    let mut spans = Vec::with_capacity(total.div_ceil(chunk_tokens));
+    let mut start = 0;
+    while start < total {
+        let len = chunk_tokens.min(total - start);
+        spans.push((start, len));
+        start += len;
+    }
+    spans
+}
+
+/// A tiny convenience used by tests and callers streaming a whole tensor:
+/// rows `[start, start + len)` of a packed `[rows, hidden]` tensor.
+pub fn row_chunk(t: &Tensor, start: usize, len: usize) -> Tensor {
+    let hidden = t.dims()[1];
+    let rows = t.as_slice()[start * hidden..(start + len) * hidden].to_vec();
+    Tensor::from_vec(rows, [len, hidden]).expect("shape consistent")
+}
+
+#[allow(missing_docs)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BertConfig;
+    use bt_device::CostModel;
+    use bt_tensor::rng::Xoshiro256StarStar;
+
+    fn device() -> Device {
+        Device::with_model(CostModel::unit())
+    }
+
+    fn bits(rows: &[Vec<f32>]) -> Vec<u32> {
+        rows.iter().flatten().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn chunk_spans_cover_exactly() {
+        assert_eq!(chunk_spans(7, 3), vec![(0, 3), (3, 3), (6, 1)]);
+        assert_eq!(chunk_spans(7, 0), vec![(0, 7)]);
+        assert_eq!(chunk_spans(7, 64), vec![(0, 7)]);
+        assert_eq!(chunk_spans(0, 3), Vec::new());
+        assert_eq!(chunk_spans(4, 1).len(), 4);
+    }
+
+    #[test]
+    fn chunked_prefill_is_bitwise_equal_to_whole() {
+        let config = BertConfig::tiny();
+        let decoder = TransformerDecoder::new_random(config, 2, 17);
+        let dev = device();
+        let memory = Tensor::randn([3, config.hidden()], 5);
+        let prompt = Tensor::randn([7, config.hidden()], 9);
+        let layout = PagedLayout::new(4, 64);
+
+        let mut whole = PagedDecoder::new(&decoder, layout);
+        let sid = whole.open_session(&dev, &memory);
+        let reference = whole.prefill(&dev, sid, &prompt).unwrap();
+
+        for chunk_tokens in [1usize, 3, 64] {
+            let mut stage = ChunkedPrefill::new(&dev, &decoder, layout, memory.clone());
+            let spans = chunk_spans(prompt.dims()[0], chunk_tokens);
+            let mut outs: Vec<Vec<f32>> = Vec::new();
+            for (i, &(start, len)) in spans.iter().enumerate() {
+                outs.extend(stage.transform(row_chunk(&prompt, start, len), i + 1 == spans.len()));
+            }
+            assert_eq!(stage.tokens_ingested(), 7);
+            assert_eq!(
+                bits(&outs),
+                bits(&reference),
+                "chunk_tokens={chunk_tokens} diverged from whole prefill"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_embeddings_match_packed_bitwise() {
+        let config = BertConfig::tiny();
+        let w = EmbeddingWeights::new_random(&config, 50, 16, 3);
+        let dev = device();
+        let len = 7usize;
+        let mut rng = Xoshiro256StarStar::seed_from_u64(11);
+        let ids: Vec<u32> = (0..len).map(|_| rng.below(50) as u32).collect();
+        let segments: Vec<u32> = (0..len).map(|_| rng.below(2) as u32).collect();
+
+        let mask = BatchMask::from_lens(vec![len], len).unwrap();
+        let idx = bt_varlen::PackingIndex::from_mask(&mask);
+        let reference = crate::embeddings::embed_packed(&dev, &ids, &segments, &idx, &w).unwrap();
+
+        for chunk_tokens in [1usize, 3, 64] {
+            let mut stage = ChunkedEmbeddings::new(&dev, &w);
+            let mut out: Vec<f32> = Vec::new();
+            let spans = chunk_spans(len, chunk_tokens);
+            for (i, &(start, n)) in spans.iter().enumerate() {
+                let t = stage.transform(
+                    (ids[start..start + n].to_vec(), segments[start..start + n].to_vec()),
+                    i + 1 == spans.len(),
+                );
+                out.extend_from_slice(t.as_slice());
+            }
+            assert_eq!(stage.position(), len);
+            let a: Vec<u32> = out.iter().map(|x| x.to_bits()).collect();
+            let b: Vec<u32> = reference.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(a, b, "chunk_tokens={chunk_tokens} diverged from embed_packed");
+        }
+    }
+
+    #[test]
+    fn chunked_encoder_matches_whole_forward_bitwise() {
+        let config = BertConfig::tiny();
+        let model = BertModel::new_random(config, 2, 42);
+        let dev = device();
+        let lens = [5usize, 2, 7];
+        let max = 8usize;
+        let mask = BatchMask::from_lens(lens.to_vec(), max).unwrap();
+        let mut input = Tensor::randn([3, max, config.hidden()], 13);
+        for (b, &l) in lens.iter().enumerate() {
+            for s in l..max {
+                for h in 0..config.hidden() {
+                    input.set(&[b, s, h], 0.0).unwrap();
+                }
+            }
+        }
+        let whole = model.forward(&dev, &input, &mask, OptLevel::FusedMha).unwrap();
+
+        // Stream the same sequences as two sub-batches: [5] then [2, 7].
+        let mut stage = ChunkedEncoder::new(&dev, &model, OptLevel::FusedMha);
+        let sub = |seqs: std::ops::Range<usize>| {
+            let sub_lens: Vec<usize> = lens[seqs.clone()].to_vec();
+            let sub_max = sub_lens.iter().copied().max().unwrap();
+            let sub_mask = BatchMask::from_lens(sub_lens.clone(), sub_max).unwrap();
+            let hidden = config.hidden();
+            let mut data = vec![0.0f32; sub_lens.len() * sub_max * hidden];
+            for (bi, b) in seqs.clone().enumerate() {
+                for s in 0..lens[b] {
+                    let src = (b * max + s) * hidden;
+                    let dst = (bi * sub_max + s) * hidden;
+                    data[dst..dst + hidden].copy_from_slice(&input.as_slice()[src..src + hidden]);
+                }
+            }
+            (
+                Tensor::from_vec(data, [sub_lens.len(), sub_max, hidden]).unwrap(),
+                sub_mask,
+            )
+        };
+        let out_a = stage.transform(sub(0..1), false);
+        let out_b = stage.transform(sub(1..3), true);
+        assert_eq!(stage.sequences_done(), 3);
+
+        let hidden = config.hidden();
+        let valid =
+            |t: &Tensor, sub_lens: &[usize], sub_max: usize, first_seq: usize| -> Vec<(usize, usize, Vec<u32>)> {
+                let mut rows = Vec::new();
+                for (bi, &l) in sub_lens.iter().enumerate() {
+                    for s in 0..l {
+                        let o = (bi * sub_max + s) * hidden;
+                        rows.push((
+                            first_seq + bi,
+                            s,
+                            t.as_slice()[o..o + hidden].iter().map(|x| x.to_bits()).collect(),
+                        ));
+                    }
+                }
+                rows
+            };
+        let mut streamed = valid(&out_a, &lens[0..1], 5, 0);
+        streamed.extend(valid(&out_b, &lens[1..3], 7, 1));
+        let reference = valid(&whole, &lens, max, 0);
+        assert_eq!(streamed, reference, "chunked sub-batches diverged from the whole batch");
+    }
+
+    #[test]
+    fn prefill_state_roundtrip_is_bitwise() {
+        let config = BertConfig::tiny();
+        let decoder = TransformerDecoder::new_random(config, 1, 23);
+        let dev = device();
+        let memory = Tensor::randn([2, config.hidden()], 7);
+        let prompt = Tensor::randn([6, config.hidden()], 31);
+        let layout = PagedLayout::new(4, 64);
+
+        // Uninterrupted: two chunks of 3.
+        let mut base = ChunkedPrefill::new(&dev, &decoder, layout, memory.clone());
+        let mut base_out = base.transform(row_chunk(&prompt, 0, 3), false);
+        base_out.extend(base.transform(row_chunk(&prompt, 3, 3), true));
+
+        // Interrupted: chunk, snapshot, resume a fresh stage, finish there.
+        let mut first = ChunkedPrefill::new(&dev, &decoder, layout, memory.clone());
+        let mut out = first.transform(row_chunk(&prompt, 0, 3), false);
+        let snap = first.state();
+        drop(first);
+        let probe = ChunkedPrefill::new(&dev, &decoder, layout, memory.clone());
+        let mut resumed = probe.with_state(&snap);
+        assert_eq!(resumed.tokens_ingested(), 3);
+        out.extend(resumed.transform(row_chunk(&prompt, 3, 3), true));
+
+        assert_eq!(bits(&out), bits(&base_out), "restore must not perturb a single bit");
+        assert_eq!(resumed.state(), base.state());
+    }
+
+    #[test]
+    fn tuple_composition_threads_chunks_and_state() {
+        let config = BertConfig::tiny();
+        let w = EmbeddingWeights::new_random(&config, 50, 16, 3);
+        let decoder = TransformerDecoder::new_random(config, 1, 19);
+        let dev = device();
+        let memory = Tensor::randn([2, config.hidden()], 3);
+        let layout = PagedLayout::new(4, 64);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(29);
+        let ids: Vec<u32> = (0..6).map(|_| rng.below(50) as u32).collect();
+        let segs: Vec<u32> = vec![0; 6];
+
+        // Embed → prefill as one composed stage, fed in chunks of 2.
+        let mut pipe = (
+            ChunkedEmbeddings::new(&dev, &w),
+            ChunkedPrefill::new(&dev, &decoder, layout, memory.clone()),
+        );
+        let mut outs: Vec<Vec<f32>> = Vec::new();
+        for (i, &(start, len)) in chunk_spans(6, 2).iter().enumerate() {
+            outs.extend(pipe.transform(
+                (ids[start..start + len].to_vec(), segs[start..start + len].to_vec()),
+                i == 2,
+            ));
+        }
+        let (embed_pos, prefill_state) = pipe.state();
+        assert_eq!(embed_pos, 6);
+        assert_eq!(prefill_state.consumed.len(), 6 * config.hidden());
+
+        // Whole-input reference through fresh stages.
+        let mut embed = ChunkedEmbeddings::new(&dev, &w);
+        let rows = embed.transform((ids.clone(), segs.clone()), true);
+        let mut prefill = ChunkedPrefill::new(&dev, &decoder, layout, memory.clone());
+        let reference = prefill.transform(rows, true);
+        assert_eq!(bits(&outs), bits(&reference));
+
+        // Tuple restore resumes both halves.
+        let probe = (
+            ChunkedEmbeddings::new(&dev, &w),
+            ChunkedPrefill::new(&dev, &decoder, layout, memory),
+        );
+        let resumed = probe.with_state(&pipe.state());
+        assert_eq!(resumed.0.position(), 6);
+        assert_eq!(resumed.1.tokens_ingested(), 6);
+    }
+}

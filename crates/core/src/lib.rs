@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod attention;
+pub mod chunked;
 pub mod config;
 pub mod decoder;
 pub mod embeddings;

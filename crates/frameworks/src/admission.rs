@@ -35,6 +35,13 @@ pub enum ShedReason {
     /// `bt-varlen`'s block pool), distinct from compute overload so
     /// operators can tell "pool too small" from "host too slow".
     CacheOom,
+    /// A per-chunk deadline check cancelled the request *between chunks*,
+    /// after some of its work had already run — the chunked-prefill /
+    /// streaming-batch signal, distinct from [`ShedReason::DeadlineExpired`]
+    /// (which cancels a request still waiting in the queue, before any work
+    /// started). Partial work is accounted in the outcome's ingested-token
+    /// counts.
+    CancelledMidRequest,
 }
 
 impl ShedReason {
@@ -46,6 +53,7 @@ impl ShedReason {
             ShedReason::DeadlineExpired => "deadline_expired",
             ShedReason::TooLong => "too_long",
             ShedReason::CacheOom => "cache_oom",
+            ShedReason::CancelledMidRequest => "cancelled_mid_request",
         }
     }
 }
@@ -314,5 +322,6 @@ mod tests {
         assert_eq!(ShedReason::DeadlineExpired.label(), "deadline_expired");
         assert_eq!(ShedReason::TooLong.label(), "too_long");
         assert_eq!(ShedReason::CacheOom.label(), "cache_oom");
+        assert_eq!(ShedReason::CancelledMidRequest.label(), "cancelled_mid_request");
     }
 }

@@ -23,6 +23,16 @@
 //!   the distinct [`ShedReason::CacheOom`] and their blocks returned, so
 //!   "pool too small" is visible separately from "host too slow".
 //!
+//! With [`DecodeConfig::chunk_tokens`] set (the `BYTE_CHUNK_TOKENS` knob),
+//! prompts prefill in **fixed token-budget chunks** that interleave with
+//! in-flight decode steps instead of monopolising whole steps — the
+//! streaming schedule of `bt_core::chunked`, whose differential suite
+//! proves chunking never changes an output bit. Chunking adds a third
+//! guard: the deadline is re-checked at **every chunk boundary**, and a
+//! half-ingested prompt that runs out of time is cancelled with the
+//! distinct [`ShedReason::CancelledMidRequest`] (its ingested tokens stay
+//! in the ledger via [`DecodeOutcome::Shed::prefilled_tokens`]).
+//!
 //! Accounting is exact at **two** granularities, both asserted by the
 //! stress suite: per request (`served + shed == offered`) and per token
 //! step (every decoded/prefilled token in a [`StepRecord`] reconciles with
@@ -52,6 +62,10 @@ static SERVED: bt_obs::Counter = bt_obs::Counter::new("serve.decode.served");
 static SHED: bt_obs::Counter = bt_obs::Counter::new("serve.decode.shed");
 /// Sessions shed specifically for KV-cache exhaustion.
 static SHED_CACHE_OOM: bt_obs::Counter = bt_obs::Counter::new("serve.decode.shed.cache_oom");
+/// Half-prefilled sessions cancelled at a chunk boundary.
+static SHED_CANCELLED: bt_obs::Counter = bt_obs::Counter::new("serve.decode.shed.cancelled_mid_request");
+/// Prefill chunks ingested (equals prompts served when chunking is off).
+static PREFILL_CHUNKS: bt_obs::Counter = bt_obs::Counter::new("serve.decode.prefill.chunks");
 /// Token steps executed.
 static STEPS: bt_obs::Counter = bt_obs::Counter::new("serve.decode.steps");
 /// Decode tokens generated across all steps.
@@ -88,11 +102,21 @@ pub struct DecodeConfig {
     pub queue_capacity: usize,
     /// Seconds from arrival by which a request's *prefill must have
     /// started*, else it is cancelled in queue (`f64::INFINITY` disables).
+    /// With chunking on ([`DecodeConfig::chunk_tokens`]) the deadline is
+    /// also re-checked at every chunk boundary and cancels half-ingested
+    /// prompts ([`ShedReason::CancelledMidRequest`]).
     pub deadline: f64,
     /// Longest prompt accepted; longer requests shed [`ShedReason::TooLong`].
     pub max_prompt_len: usize,
     /// Most sessions allowed live at once (decode slots).
     pub max_sessions: usize,
+    /// Prompt tokens ingested per prefill chunk; `0` disables chunking and
+    /// prompts prefill whole (the `BYTE_CHUNK_TOKENS` knob —
+    /// [`bt_varlen::chunk_tokens_from_env`]). With chunking on, the
+    /// deadline is re-checked at every chunk boundary and an expired
+    /// half-ingested prompt is cancelled with
+    /// [`ShedReason::CancelledMidRequest`].
+    pub chunk_tokens: usize,
 }
 
 impl DecodeConfig {
@@ -105,13 +129,29 @@ impl DecodeConfig {
     }
 }
 
+/// One prompt chunk an engine must ingest this step. With chunking off
+/// every chunk is a whole prompt (`done == 0`, `chunk == prompt_len`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefillChunk {
+    /// Request id owning the session.
+    pub id: usize,
+    /// The request's full prompt length, in tokens.
+    pub prompt_len: usize,
+    /// Prompt tokens already ingested by earlier chunks (`0` means the
+    /// engine must create the session first).
+    pub done: usize,
+    /// Prompt tokens to ingest this step (`done + chunk ≤ prompt_len`).
+    pub chunk: usize,
+}
+
 /// The work one token step asks an engine to do.
 #[derive(Debug, Clone, Copy)]
 pub struct PlannedStep<'a> {
     /// Live sessions to advance by one token, by request id.
     pub decode: &'a [usize],
-    /// New sessions to create and prefill: `(request id, prompt_len)`.
-    pub prefill: &'a [(usize, usize)],
+    /// Prompt chunks to ingest — new sessions (`done == 0`) and
+    /// continuations of half-ingested prompts.
+    pub prefill: &'a [PrefillChunk],
 }
 
 /// What actually happened in one engine step.
@@ -120,8 +160,9 @@ pub struct StepResult {
     /// Seconds the step took (modeled or measured — the loop's clock
     /// advances by this).
     pub duration: f64,
-    /// Prefill requests refused for cache capacity. The engine has already
-    /// released anything it allocated for them.
+    /// Prefill requests whose chunk was refused for cache capacity. The
+    /// engine has already released everything the session held — including
+    /// blocks claimed by earlier chunks.
     pub failed_prefill: Vec<usize>,
     /// Decode sessions whose append was refused (no token generated). The
     /// engine has already freed them.
@@ -164,9 +205,12 @@ pub enum DecodeOutcome {
         reason: ShedReason,
         /// Seconds from arrival to the shed decision.
         wait: f64,
-        /// Whether prefill had completed before the shed (true only for
-        /// mid-decode [`ShedReason::CacheOom`]).
-        prefilled: bool,
+        /// Prompt tokens ingested into the cache before the shed: `0` for
+        /// pre-admission sheds, the full `prompt_len` for mid-decode
+        /// [`ShedReason::CacheOom`], and anything in between for chunked
+        /// prefill cut short ([`ShedReason::CancelledMidRequest`] or a
+        /// mid-prefill OOM) — the term that keeps the step ledger exact.
+        prefilled_tokens: usize,
         /// Tokens generated before the shed.
         generated: usize,
     },
@@ -199,12 +243,17 @@ impl DecodeRequestOutcome {
         }
     }
 
-    /// Whether the request's prompt was prefilled into the cache.
-    pub fn prefilled(&self) -> bool {
+    /// Prompt tokens this request actually ingested into the cache.
+    pub fn prefilled_tokens(&self) -> usize {
         match self.outcome {
-            DecodeOutcome::Served { .. } => true,
-            DecodeOutcome::Shed { prefilled, .. } => prefilled,
+            DecodeOutcome::Served { .. } => self.prompt_len,
+            DecodeOutcome::Shed { prefilled_tokens, .. } => prefilled_tokens,
         }
+    }
+
+    /// Whether the request's prompt was *fully* prefilled into the cache.
+    pub fn prefilled(&self) -> bool {
+        self.prefilled_tokens() == self.prompt_len
     }
 }
 
@@ -220,7 +269,8 @@ pub struct StepRecord {
     pub duration: f64,
     /// Sessions that successfully decoded one token.
     pub decode_sessions: usize,
-    /// Prompts successfully prefilled this step.
+    /// Sessions that successfully ingested a prefill chunk this step
+    /// (equals prompts completed when chunking is off).
     pub prefill_sessions: usize,
     /// Prompt tokens successfully prefilled this step.
     pub prefill_tokens: usize,
@@ -255,6 +305,7 @@ impl DecodeReport {
             shed_deadline: 0,
             shed_too_long: 0,
             shed_cache_oom: 0,
+            shed_cancelled: 0,
             steps: self.steps.len(),
             decode_tokens: 0,
             prefill_tokens: 0,
@@ -272,7 +323,7 @@ impl DecodeReport {
                 DecodeOutcome::Shed {
                     reason,
                     generated,
-                    prefilled,
+                    prefilled_tokens,
                     ..
                 } => {
                     match reason {
@@ -280,11 +331,10 @@ impl DecodeReport {
                         ShedReason::DeadlineExpired => s.shed_deadline += 1,
                         ShedReason::TooLong => s.shed_too_long += 1,
                         ShedReason::CacheOom => s.shed_cache_oom += 1,
+                        ShedReason::CancelledMidRequest => s.shed_cancelled += 1,
                     }
                     s.decode_tokens += generated;
-                    if prefilled {
-                        s.prefill_tokens += r.prompt_len;
-                    }
+                    s.prefill_tokens += prefilled_tokens;
                 }
             }
         }
@@ -298,12 +348,7 @@ impl DecodeReport {
         let step_decode: usize = self.steps.iter().map(|s| s.decode_sessions).sum();
         let step_prefill: usize = self.steps.iter().map(|s| s.prefill_tokens).sum();
         let outcome_decode: usize = self.outcomes.iter().map(|o| o.generated()).sum();
-        let outcome_prefill: usize = self
-            .outcomes
-            .iter()
-            .filter(|o| o.prefilled())
-            .map(|o| o.prompt_len)
-            .sum();
+        let outcome_prefill: usize = self.outcomes.iter().map(|o| o.prefilled_tokens()).sum();
         step_decode == outcome_decode && step_prefill == outcome_prefill
     }
 }
@@ -323,6 +368,9 @@ pub struct DecodeSummary {
     pub shed_too_long: usize,
     /// Shed for KV-cache exhaustion (at prefill or mid-decode).
     pub shed_cache_oom: usize,
+    /// Cancelled at a chunk boundary after prefill had started (chunked
+    /// prefill only; always zero with chunking off).
+    pub shed_cancelled: usize,
     /// Token steps executed.
     pub steps: usize,
     /// Decode tokens generated across all requests (incl. partial sheds).
@@ -340,7 +388,7 @@ pub struct DecodeSummary {
 impl DecodeSummary {
     /// Total shed requests across all reasons.
     pub fn shed(&self) -> usize {
-        self.shed_queue_full + self.shed_deadline + self.shed_too_long + self.shed_cache_oom
+        self.shed_queue_full + self.shed_deadline + self.shed_too_long + self.shed_cache_oom + self.shed_cancelled
     }
 
     /// Request-level invariant: every offered request has exactly one
@@ -380,6 +428,15 @@ struct QueuedRequest {
     deadline: f64,
 }
 
+/// A session whose prompt is partway through chunked prefill: it holds
+/// cache blocks but does not decode yet.
+struct PrefillingSession {
+    req: DecodeRequest,
+    deadline: f64,
+    queue_wait: f64,
+    ingested: usize,
+}
+
 /// Runs the token-step continuous-batching loop in virtual time over a
 /// pre-generated arrival trace. Deterministic for a fixed trace and engine:
 /// the clock advances only by engine-reported step durations and arrival
@@ -411,14 +468,16 @@ pub fn run_decode_loop(
             SERVED.incr();
         } else {
             SHED.incr();
-            if matches!(
-                o.outcome,
+            match o.outcome {
                 DecodeOutcome::Shed {
                     reason: ShedReason::CacheOom,
                     ..
-                }
-            ) {
-                SHED_CACHE_OOM.incr();
+                } => SHED_CACHE_OOM.incr(),
+                DecodeOutcome::Shed {
+                    reason: ShedReason::CancelledMidRequest,
+                    ..
+                } => SHED_CANCELLED.incr(),
+                _ => {}
             }
         }
         *slot = Some(o);
@@ -426,15 +485,16 @@ pub fn run_decode_loop(
 
     let mut queue: VecDeque<QueuedRequest> = VecDeque::new();
     let mut active: Vec<ActiveSession> = Vec::new();
+    let mut prefilling: Vec<PrefillingSession> = Vec::new();
     let mut clock = 0.0f64;
     let mut next = 0usize;
     let mut steps: Vec<StepRecord> = Vec::new();
     let mut makespan = 0.0f64;
     let mut max_concurrent = 0usize;
 
-    while next < n || !queue.is_empty() || !active.is_empty() {
+    while next < n || !queue.is_empty() || !active.is_empty() || !prefilling.is_empty() {
         // Idle with nothing live: jump to the next arrival.
-        if queue.is_empty() && active.is_empty() {
+        if queue.is_empty() && active.is_empty() && prefilling.is_empty() {
             clock = clock.max(order[next].arrival);
         }
         // 1. Admit arrivals up to the clock.
@@ -452,7 +512,7 @@ pub fn run_decode_loop(
                         outcome: DecodeOutcome::Shed {
                             reason: ShedReason::TooLong,
                             wait: 0.0,
-                            prefilled: false,
+                            prefilled_tokens: 0,
                             generated: 0,
                         },
                     },
@@ -467,7 +527,7 @@ pub fn run_decode_loop(
                         outcome: DecodeOutcome::Shed {
                             reason: ShedReason::QueueFull,
                             wait: 0.0,
-                            prefilled: false,
+                            prefilled_tokens: 0,
                             generated: 0,
                         },
                     },
@@ -490,7 +550,7 @@ pub fn run_decode_loop(
                     outcome: DecodeOutcome::Shed {
                         reason: ShedReason::DeadlineExpired,
                         wait: clock - q.req.arrival,
-                        prefilled: false,
+                        prefilled_tokens: 0,
                         generated: 0,
                     },
                 });
@@ -502,32 +562,94 @@ pub fn run_decode_loop(
         for o in expired {
             record(&mut outcomes, o);
         }
+        // 2b. Per-chunk deadline check: a half-ingested prompt whose
+        //     deadline passed is cancelled *between* chunks with the
+        //     distinct mid-request reason (its blocks go back to the pool,
+        //     its ingested tokens stay in the ledger).
+        let mut cancelled: Vec<DecodeRequestOutcome> = Vec::new();
+        prefilling.retain(|p| {
+            if p.deadline < clock {
+                engine.free(p.req.id);
+                cancelled.push(DecodeRequestOutcome {
+                    id: p.req.id,
+                    prompt_len: p.req.prompt_len,
+                    decode_tokens: p.req.decode_tokens,
+                    outcome: DecodeOutcome::Shed {
+                        reason: ShedReason::CancelledMidRequest,
+                        wait: clock - p.req.arrival,
+                        prefilled_tokens: p.ingested,
+                        generated: 0,
+                    },
+                });
+                false
+            } else {
+                true
+            }
+        });
+        for o in cancelled {
+            record(&mut outcomes, o);
+        }
 
-        // 3. Plan the step: every live session decodes one token; admit
-        //    prefills while the token budget and session slots allow.
+        // 3. Plan the step: every live session decodes one token; in-flight
+        //    prefills continue first (they already hold cache blocks), then
+        //    new prompts are admitted — whole, or by first chunk when
+        //    chunking is on — while the token budget and session slots
+        //    allow.
         let mut budget_used = active.len(); // one decode token per session
-        let mut prefill: Vec<(usize, usize)> = Vec::new();
-        let mut prefill_meta: Vec<(DecodeRequest, f64)> = Vec::new();
+        let mut prefill: Vec<PrefillChunk> = Vec::new();
+        for p in &prefilling {
+            let remaining = p.req.prompt_len - p.ingested;
+            let want = if config.chunk_tokens == 0 {
+                remaining
+            } else {
+                config.chunk_tokens.min(remaining)
+            };
+            let oversized_alone = budget_used == 0 && prefill.is_empty();
+            if budget_used + want > config.budget_tokens && !oversized_alone {
+                continue; // this session waits a step
+            }
+            budget_used += want;
+            prefill.push(PrefillChunk {
+                id: p.req.id,
+                prompt_len: p.req.prompt_len,
+                done: p.ingested,
+                chunk: want,
+            });
+        }
         while let Some(front) = queue.front() {
-            let slots = active.len() + prefill.len();
+            let slots = active.len() + prefilling.len();
             if slots >= config.max_sessions {
                 break;
             }
-            let cost = front.req.prompt_len;
+            let first = if config.chunk_tokens == 0 {
+                front.req.prompt_len
+            } else {
+                config.chunk_tokens.min(front.req.prompt_len)
+            };
             let oversized_alone = budget_used == 0 && prefill.is_empty();
-            if budget_used + cost > config.budget_tokens && !oversized_alone {
+            if budget_used + first > config.budget_tokens && !oversized_alone {
                 break;
             }
             let q = queue.pop_front().expect("front exists");
-            budget_used += cost;
-            prefill.push((q.req.id, q.req.prompt_len));
-            prefill_meta.push((q.req, clock - q.req.arrival));
+            budget_used += first;
+            prefill.push(PrefillChunk {
+                id: q.req.id,
+                prompt_len: q.req.prompt_len,
+                done: 0,
+                chunk: first,
+            });
+            prefilling.push(PrefillingSession {
+                req: q.req,
+                deadline: q.deadline,
+                queue_wait: clock - q.req.arrival,
+                ingested: 0,
+            });
         }
         let decode_ids: Vec<usize> = active.iter().map(|s| s.id).collect();
         if decode_ids.is_empty() && prefill.is_empty() {
             continue;
         }
-        max_concurrent = max_concurrent.max(active.len() + prefill.len());
+        max_concurrent = max_concurrent.max(active.len() + prefilling.len());
 
         // 4. Run the engine.
         let result = engine.run_step(&PlannedStep {
@@ -545,57 +667,75 @@ pub fn run_decode_loop(
         ACTIVE_SESSIONS.record((decode_ids.len() + prefill.len()) as u64);
         BLOCKS_IN_USE.record(result.blocks_in_use as u64);
 
-        // 5. Resolve prefills.
+        // 5. Resolve prefill chunks: a failed chunk sheds the session with
+        //    everything it had ingested; a successful chunk advances it,
+        //    and a *completed* prompt transitions to decode (or is served
+        //    outright for prefill-only requests).
         let mut prefill_ok = 0usize;
         let mut prefill_tokens_ok = 0usize;
         let mut oom_sheds = 0usize;
-        for (req, queue_wait) in prefill_meta {
-            if result.failed_prefill.contains(&req.id) {
+        for c in &prefill {
+            let at = prefilling
+                .iter()
+                .position(|p| p.req.id == c.id)
+                .expect("chunk belongs to a prefilling session");
+            if result.failed_prefill.contains(&c.id) {
                 oom_sheds += 1;
+                let p = prefilling.remove(at);
                 record(
                     &mut outcomes,
                     DecodeRequestOutcome {
-                        id: req.id,
-                        prompt_len: req.prompt_len,
-                        decode_tokens: req.decode_tokens,
+                        id: p.req.id,
+                        prompt_len: p.req.prompt_len,
+                        decode_tokens: p.req.decode_tokens,
                         outcome: DecodeOutcome::Shed {
                             reason: ShedReason::CacheOom,
-                            wait: done - req.arrival,
-                            prefilled: false,
+                            wait: done - p.req.arrival,
+                            prefilled_tokens: p.ingested,
                             generated: 0,
                         },
                     },
                 );
             } else {
                 prefill_ok += 1;
-                prefill_tokens_ok += req.prompt_len;
-                PREFILL_TOKENS.add(req.prompt_len as u64);
-                if req.decode_tokens == 0 {
-                    // Prefill-only request: served the moment ingestion ends.
-                    engine.free(req.id);
-                    record(
-                        &mut outcomes,
-                        DecodeRequestOutcome {
-                            id: req.id,
-                            prompt_len: req.prompt_len,
-                            decode_tokens: 0,
-                            outcome: DecodeOutcome::Served {
-                                queue_wait,
-                                latency: done - req.arrival,
-                                generated: 0,
-                            },
+                prefill_tokens_ok += c.chunk;
+                PREFILL_TOKENS.add(c.chunk as u64);
+                PREFILL_CHUNKS.incr();
+                prefilling[at].ingested += c.chunk;
+            }
+        }
+        let mut i = 0;
+        while i < prefilling.len() {
+            if prefilling[i].ingested < prefilling[i].req.prompt_len {
+                i += 1;
+                continue;
+            }
+            let p = prefilling.remove(i);
+            if p.req.decode_tokens == 0 {
+                // Prefill-only request: served the moment ingestion ends.
+                engine.free(p.req.id);
+                record(
+                    &mut outcomes,
+                    DecodeRequestOutcome {
+                        id: p.req.id,
+                        prompt_len: p.req.prompt_len,
+                        decode_tokens: 0,
+                        outcome: DecodeOutcome::Served {
+                            queue_wait: p.queue_wait,
+                            latency: done - p.req.arrival,
+                            generated: 0,
                         },
-                    );
-                } else {
-                    active.push(ActiveSession {
-                        id: req.id,
-                        prompt_len: req.prompt_len,
-                        decode_tokens: req.decode_tokens,
-                        arrival: req.arrival,
-                        queue_wait,
-                        generated: 0,
-                    });
-                }
+                    },
+                );
+            } else {
+                active.push(ActiveSession {
+                    id: p.req.id,
+                    prompt_len: p.req.prompt_len,
+                    decode_tokens: p.req.decode_tokens,
+                    arrival: p.req.arrival,
+                    queue_wait: p.queue_wait,
+                    generated: 0,
+                });
             }
         }
 
@@ -615,7 +755,7 @@ pub fn run_decode_loop(
                     outcome: DecodeOutcome::Shed {
                         reason: ShedReason::CacheOom,
                         wait: done - s.arrival,
-                        prefilled: true,
+                        prefilled_tokens: s.prompt_len,
                         generated: s.generated,
                     },
                 });
@@ -736,16 +876,24 @@ impl DecodeEngine for ModeledDecodeEngine {
         let mut tokens = 0usize;
         let mut failed_prefill = Vec::new();
         let mut failed_decode = Vec::new();
-        for &(id, prompt_len) in step.prefill {
-            let sid = self.pool.create();
-            match self.pool.append(sid, prompt_len) {
-                Ok(()) => {
-                    tokens += prompt_len;
-                    assert!(self.sessions.insert(id, sid).is_none(), "request {id} prefilled twice");
-                }
+        for c in step.prefill {
+            let sid = if c.done == 0 {
+                let sid = self.pool.create();
+                assert!(
+                    self.sessions.insert(c.id, sid).is_none(),
+                    "request {} prefilled twice",
+                    c.id
+                );
+                sid
+            } else {
+                *self.sessions.get(&c.id).expect("continuation of unknown session")
+            };
+            match self.pool.append(sid, c.chunk) {
+                Ok(()) => tokens += c.chunk,
                 Err(_) => {
                     self.pool.free(sid);
-                    failed_prefill.push(id);
+                    self.sessions.remove(&c.id);
+                    failed_prefill.push(c.id);
                 }
             }
         }
@@ -778,6 +926,15 @@ impl DecodeEngine for ModeledDecodeEngine {
     }
 }
 
+/// One live request inside the [`PagedDecodeEngine`]: its cache session,
+/// the full deterministic prompt (kept so later chunks slice the *same*
+/// rows a whole-prompt prefill would feed), and the last output row.
+struct PagedEngineSession {
+    sid: SessionId,
+    prompt: Tensor,
+    last: Vec<f32>,
+}
+
 /// Real-forward engine: sessions live in a [`PagedDecoder`], prompts and
 /// memories are seeded random tensors, decode inputs feed each step's
 /// output back in, and durations are the device's modeled seconds — still
@@ -787,7 +944,7 @@ pub struct PagedDecodeEngine<'a> {
     device: Device,
     mem_len: usize,
     seed: u64,
-    sessions: HashMap<usize, (SessionId, Vec<f32>)>,
+    sessions: HashMap<usize, PagedEngineSession>,
 }
 
 impl<'a> PagedDecodeEngine<'a> {
@@ -822,27 +979,46 @@ impl DecodeEngine for PagedDecodeEngine<'_> {
         let mut failed_prefill = Vec::new();
         let mut failed_decode = Vec::new();
 
-        for &(id, prompt_len) in step.prefill {
-            let memory = Tensor::randn(
-                [self.mem_len, self.hidden()],
-                self.seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        for &c in step.prefill {
+            if c.done == 0 {
+                // First chunk: open the session and materialise the FULL
+                // prompt once. Later chunks slice rows out of the same
+                // tensor, so a chunked run feeds the decoder bit-identical
+                // rows to a whole-prompt run.
+                let memory = Tensor::randn(
+                    [self.mem_len, self.hidden()],
+                    self.seed ^ (c.id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                let sid = self.decoder.open_session(&self.device, &memory);
+                let prompt = Tensor::randn(
+                    [c.prompt_len, self.hidden()],
+                    self.seed ^ (c.id as u64).wrapping_mul(0xd1b5_4a32_d192_ed03),
+                );
+                let fresh = PagedEngineSession {
+                    sid,
+                    prompt,
+                    last: Vec::new(),
+                };
+                assert!(
+                    self.sessions.insert(c.id, fresh).is_none(),
+                    "request {} opened twice",
+                    c.id
+                );
+            }
+            let s = self.sessions.get_mut(&c.id).expect("chunk for unknown session");
+            debug_assert_eq!(
+                self.decoder.session_len(s.sid),
+                c.done,
+                "chunk continuation out of order for request {}",
+                c.id
             );
-            let sid = self.decoder.open_session(&self.device, &memory);
-            let prompt = Tensor::randn(
-                [prompt_len, self.hidden()],
-                self.seed ^ (id as u64).wrapping_mul(0xd1b5_4a32_d192_ed03),
-            );
-            match self.decoder.prefill(&self.device, sid, &prompt) {
-                Ok(outs) => {
-                    let last = outs.last().expect("prompt_len >= 1").clone();
-                    assert!(
-                        self.sessions.insert(id, (sid, last)).is_none(),
-                        "request {id} prefilled twice"
-                    );
-                }
+            let rows = bt_core::chunked::row_chunk(&s.prompt, c.done, c.chunk);
+            match self.decoder.prefill(&self.device, s.sid, &rows) {
+                Ok(outs) => s.last = outs.last().expect("chunk >= 1 row").clone(),
                 Err(_) => {
-                    self.decoder.free_session(sid);
-                    failed_prefill.push(id);
+                    let s = self.sessions.remove(&c.id).expect("just looked up");
+                    self.decoder.free_session(s.sid);
+                    failed_prefill.push(c.id);
                 }
             }
         }
@@ -852,17 +1028,17 @@ impl DecodeEngine for PagedDecodeEngine<'_> {
             let mut sids = Vec::with_capacity(step.decode.len());
             let mut inputs = Vec::with_capacity(step.decode.len() * hidden);
             for &id in step.decode {
-                let (sid, last) = self.sessions.get(&id).expect("decode of unknown session");
-                sids.push(*sid);
-                inputs.extend_from_slice(last);
+                let s = self.sessions.get(&id).expect("decode of unknown session");
+                sids.push(s.sid);
+                inputs.extend_from_slice(&s.last);
             }
             let out = self.decoder.step_batch(&self.device, &sids, &inputs);
             for (i, &id) in step.decode.iter().enumerate() {
                 match &out.outputs[i] {
-                    Some(next) => self.sessions.get_mut(&id).expect("known session").1 = next.clone(),
+                    Some(next) => self.sessions.get_mut(&id).expect("known session").last = next.clone(),
                     None => {
-                        let (sid, _) = self.sessions.remove(&id).expect("known session");
-                        self.decoder.free_session(sid);
+                        let s = self.sessions.remove(&id).expect("known session");
+                        self.decoder.free_session(s.sid);
                         failed_decode.push(id);
                     }
                 }
@@ -878,8 +1054,8 @@ impl DecodeEngine for PagedDecodeEngine<'_> {
     }
 
     fn free(&mut self, id: usize) {
-        let (sid, _) = self.sessions.remove(&id).expect("free of unknown session");
-        self.decoder.free_session(sid);
+        let s = self.sessions.remove(&id).expect("free of unknown session");
+        self.decoder.free_session(s.sid);
     }
 
     fn high_water_blocks(&self) -> usize {
@@ -906,6 +1082,7 @@ mod tests {
             deadline: f64::INFINITY,
             max_prompt_len: 32,
             max_sessions: 16,
+            chunk_tokens: 0,
         }
     }
 
@@ -989,6 +1166,7 @@ mod tests {
                 deadline: f64::INFINITY,
                 max_prompt_len: 32,
                 max_sessions: 8,
+                chunk_tokens: 0,
             },
             &mut engine,
         );
@@ -999,6 +1177,160 @@ mod tests {
         assert!(s.served > 0);
         assert!(engine.device().modeled_total() > 0.0, "real forwards ran");
         assert_eq!(engine.decoder.cache().pool().blocks_in_use(), 0, "drained clean");
+    }
+
+    #[test]
+    fn chunked_prefill_accounts_exactly_and_interleaves() {
+        let requests = workload(60, 400.0, 11);
+        let cfg = DecodeConfig {
+            chunk_tokens: 4,
+            ..config()
+        };
+        let mut engine = ModeledDecodeEngine::new(PagedLayout::new(8, 256), 20e-6, 1e-6);
+        let report = run_decode_loop(&requests, &cfg, &mut engine);
+        let s = report.summary();
+        assert!(s.accounting_is_exact(), "{s:?}");
+        assert!(report.ledger_is_exact());
+        assert_eq!(s.offered, 60);
+        assert!(s.served > 0);
+        assert_eq!(engine.pool().blocks_in_use(), 0, "all sessions freed at drain");
+        // Prompts longer than one chunk take several steps, so some step
+        // must carry decode work and prefill work at the same time — the
+        // interleaving the chunked pipeline exists to provide.
+        assert!(
+            report
+                .steps
+                .iter()
+                .any(|r| r.decode_sessions > 0 && r.prefill_sessions > 0),
+            "chunked prefill should interleave with in-flight decode"
+        );
+        // And the chunk cap is respected for every multi-session step.
+        for r in &report.steps {
+            assert!(
+                r.prefill_tokens <= 4 * r.prefill_sessions.max(1),
+                "step {}: {} prefill tokens over {} sessions breaks the 4-token chunk cap",
+                r.step,
+                r.prefill_tokens,
+                r.prefill_sessions
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_and_whole_prefill_serve_identical_outcomes_without_pressure() {
+        // With an infinite deadline, a huge budget and a pool that fits
+        // everything, chunking only changes WHEN prefill work happens, not
+        // which requests succeed or how many tokens each one is served.
+        let requests = workload(30, 100.0, 23);
+        let run = |chunk| {
+            let cfg = DecodeConfig {
+                chunk_tokens: chunk,
+                budget_tokens: 256,
+                ..config()
+            };
+            let mut engine = ModeledDecodeEngine::new(PagedLayout::new(8, 512), 20e-6, 1e-6);
+            run_decode_loop(&requests, &cfg, &mut engine)
+        };
+        let whole = run(0);
+        let chunked = run(3);
+        let digest = |r: &DecodeReport| {
+            let mut d: Vec<_> = r
+                .outcomes
+                .iter()
+                .map(|o| {
+                    (
+                        o.id,
+                        o.prefilled_tokens(),
+                        matches!(o.outcome, DecodeOutcome::Served { .. }),
+                    )
+                })
+                .collect();
+            d.sort_unstable();
+            d
+        };
+        assert_eq!(digest(&whole), digest(&chunked));
+        assert_eq!(whole.summary().served, chunked.summary().served);
+    }
+
+    #[test]
+    fn per_chunk_deadline_cancels_mid_request_with_distinct_reason() {
+        // Slow steps + tiny chunks: long prompts start prefilling before
+        // their deadline but cannot finish, so the per-chunk sweep cancels
+        // them mid-request — a different ledger row than queue expiry.
+        let requests = workload(40, 5000.0, 31);
+        let cfg = DecodeConfig {
+            deadline: 6e-4,
+            chunk_tokens: 2,
+            budget_tokens: 8,
+            ..config()
+        };
+        let mut engine = ModeledDecodeEngine::new(PagedLayout::new(8, 512), 2e-4, 1e-6);
+        let report = run_decode_loop(&requests, &cfg, &mut engine);
+        let s = report.summary();
+        assert!(s.accounting_is_exact(), "{s:?}");
+        assert!(report.ledger_is_exact(), "partial prefill must be ledger-exact");
+        assert!(
+            s.shed_cancelled > 0,
+            "tight deadline + tiny chunks must cancel mid-request: {s:?}"
+        );
+        // A mid-request cancellation records the tokens it DID ingest.
+        let cancelled_with_progress = report.outcomes.iter().any(|o| {
+            matches!(
+                o.outcome,
+                DecodeOutcome::Shed { reason: ShedReason::CancelledMidRequest, prefilled_tokens, .. }
+                    if prefilled_tokens > 0
+            )
+        });
+        assert!(
+            cancelled_with_progress,
+            "some cancellation happened after real chunk work"
+        );
+        assert_eq!(
+            engine.pool().blocks_in_use(),
+            0,
+            "cancelled sessions release their blocks"
+        );
+    }
+
+    #[test]
+    fn real_paged_engine_serves_chunked_prefill() {
+        let config = bt_core::config::BertConfig::tiny();
+        let decoder = TransformerDecoder::new_random(config, 1, 17);
+        let run = |chunk| {
+            let device = Device::with_model(bt_device::CostModel::unit());
+            let mut engine = PagedDecodeEngine::new(&decoder, device, PagedLayout::new(4, 128), 3, 23);
+            let requests = workload(8, 300.0, 19);
+            let report = run_decode_loop(
+                &requests,
+                &DecodeConfig {
+                    budget_tokens: 48,
+                    queue_capacity: 16,
+                    deadline: f64::INFINITY,
+                    max_prompt_len: 32,
+                    max_sessions: 8,
+                    chunk_tokens: chunk,
+                },
+                &mut engine,
+            );
+            assert_eq!(engine.decoder.cache().pool().blocks_in_use(), 0, "drained clean");
+            report
+        };
+        let whole = run(0);
+        let chunked = run(5);
+        for r in [&whole, &chunked] {
+            let s = r.summary();
+            assert!(s.accounting_is_exact(), "{s:?}");
+            assert!(r.ledger_is_exact());
+            assert_eq!(s.served, 8, "pool sized to serve everything");
+        }
+        // The real engine feeds identical prompt rows either way, so the
+        // served outcomes must agree request-for-request.
+        let digest = |r: &DecodeReport| {
+            let mut d: Vec<_> = r.outcomes.iter().map(|o| (o.id, o.generated())).collect();
+            d.sort_unstable();
+            d
+        };
+        assert_eq!(digest(&whole), digest(&chunked));
     }
 
     #[test]

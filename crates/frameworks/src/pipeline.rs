@@ -4,7 +4,8 @@
 //! with switches for the MHA implementation, LayerNorm fusion, and GELU
 //! placement. [`packed_layer_ft`] is FasterTransformer's layer: packed
 //! non-MHA path (FT pioneered the "effective transformer" packing) with a
-//! TensorRT-style fixed-shape fused MHA up to 512, unfused batched fallback
+//! TensorRT-style fixed-shape fused MHA up to
+//! [`crate::calibration::FT_FUSED_MHA_MAX_SEQ`], unfused batched fallback
 //! above. ByteTransformer itself uses `bt_core::encoder` directly.
 
 use bt_core::attention::{batched_attention, flash_attention, naive_attention};
@@ -52,7 +53,9 @@ pub struct LayerStrategy {
 }
 
 /// Launches one pipeline GEMM (`a: rows×k` times `weight: k×n`), optionally
-/// with a fused epilogue.
+/// with a fused epilogue. The launch is costed by
+/// [`gemm_kernel_spec_active`], so the modeled time follows the active
+/// `BYTE_GEMM_PREC` tier; the epilogue adds its flops on top.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn launch_gemm(
     device: &Device,

@@ -17,6 +17,16 @@
 //!   `deadline` seconds after arrival; expired requests are cancelled
 //!   *while queued* ([`ShedReason::DeadlineExpired`]) instead of being
 //!   served uselessly late.
+//! * **Chunked execution** — with [`ServeConfig::chunk_tokens`] set, each
+//!   cut batch runs as a sequence of shortest-first rounds of at most that
+//!   many valid tokens, so short requests stop queueing behind the longest
+//!   member of their batch; deadlines are re-checked **between rounds** and
+//!   expired requests are cancelled mid-request with the distinct
+//!   [`ShedReason::CancelledMidRequest`]. Instrumented as `serve.chunk.*`.
+//! * **Streaming egress** — [`IngressHandle::try_submit_stream`] hands the
+//!   caller a bounded per-request output channel the server pushes
+//!   [`StreamEvent`]s into, token-at-a-time, as the request's round
+//!   completes.
 //! * **Exact accounting** — every offered request gets exactly one
 //!   [`Outcome`]; `served + shed == offered` always
 //!   ([`ServeSummary::accounting_is_exact`], asserted by the seeded stress
@@ -53,6 +63,7 @@
 //!     queue_capacity: 16,
 //!     deadline: 0.05,
 //!     max_len: 64,
+//!     chunk_tokens: 0,
 //! };
 //! // Executor returns the modeled batch duration; here a toy linear cost.
 //! let report = run_open_loop(&requests, &config, |mask| mask.valid_words() as f64 * 1e-5);
@@ -80,8 +91,17 @@ static SHED_DEADLINE: bt_obs::Counter = bt_obs::Counter::new("serve.shed.deadlin
 static SHED_TOO_LONG: bt_obs::Counter = bt_obs::Counter::new("serve.shed.too_long");
 /// Requests shed because the paged KV-cache pool was exhausted.
 static SHED_CACHE_OOM: bt_obs::Counter = bt_obs::Counter::new("serve.shed.cache_oom");
+/// Requests cancelled between chunk rounds by a per-chunk deadline check.
+static SHED_CANCELLED: bt_obs::Counter = bt_obs::Counter::new("serve.shed.cancelled_mid_request");
 /// Batches executed.
 static BATCHES: bt_obs::Counter = bt_obs::Counter::new("serve.batches");
+/// Chunk rounds planned for cut batches (chunked mode only).
+static CHUNK_ROUNDS: bt_obs::Counter = bt_obs::Counter::new("serve.chunk.rounds");
+/// Requests cancelled between chunk rounds (same events as
+/// `serve.shed.cancelled_mid_request`, namespaced with the chunk metrics).
+static CHUNK_CANCELLED: bt_obs::Counter = bt_obs::Counter::new("serve.chunk.cancelled");
+/// Valid tokens per executed chunk round (chunked mode only).
+static CHUNK_TOKENS: bt_obs::Histogram = bt_obs::Histogram::new("serve.chunk.tokens");
 /// Queue depth sampled after every admission decision.
 static QUEUE_DEPTH: bt_obs::Histogram = bt_obs::Histogram::new("serve.queue.depth");
 /// Requests per executed batch.
@@ -105,6 +125,13 @@ pub struct ServeConfig {
     /// Longest sequence the runtime accepts; longer requests are shed with
     /// [`ShedReason::TooLong`] instead of being admitted.
     pub max_len: usize,
+    /// Chunked execution: split each cut batch into rounds of at most this
+    /// many valid tokens, shortest request first, re-checking deadlines
+    /// between rounds ([`ShedReason::CancelledMidRequest`]). `0` executes
+    /// the whole batch in one round (the pre-chunking behavior). Deployments
+    /// read this from `BYTE_CHUNK_TOKENS` via
+    /// [`bt_varlen::chunk_tokens_from_env`].
+    pub chunk_tokens: usize,
 }
 
 impl ServeConfig {
@@ -175,6 +202,7 @@ impl ServeReport {
             shed_deadline: 0,
             shed_too_long: 0,
             shed_cache_oom: 0,
+            shed_cancelled: 0,
             batches: self.batches,
             served_tokens: 0,
             makespan: self.makespan,
@@ -193,6 +221,7 @@ impl ServeReport {
                     ShedReason::DeadlineExpired => s.shed_deadline += 1,
                     ShedReason::TooLong => s.shed_too_long += 1,
                     ShedReason::CacheOom => s.shed_cache_oom += 1,
+                    ShedReason::CancelledMidRequest => s.shed_cancelled += 1,
                 },
             }
         }
@@ -217,6 +246,9 @@ pub struct ServeSummary {
     /// Shed because the paged KV-cache pool could not hold the request
     /// (decode path only; always zero for encoder-only runs).
     pub shed_cache_oom: usize,
+    /// Cancelled mid-request by a per-chunk deadline check (chunked mode
+    /// only; always zero when `chunk_tokens == 0`).
+    pub shed_cancelled: usize,
     /// Batches executed.
     pub batches: usize,
     /// Valid tokens across served requests.
@@ -230,7 +262,7 @@ pub struct ServeSummary {
 impl ServeSummary {
     /// Total shed requests across all reasons.
     pub fn shed(&self) -> usize {
-        self.shed_queue_full + self.shed_deadline + self.shed_too_long + self.shed_cache_oom
+        self.shed_queue_full + self.shed_deadline + self.shed_too_long + self.shed_cache_oom + self.shed_cancelled
     }
 
     /// The invariant the stress suite enforces: every offered request has
@@ -296,6 +328,7 @@ fn record_shed(outcomes: &mut [Option<RequestOutcome>], id: usize, len: usize, r
         ShedReason::DeadlineExpired => SHED_DEADLINE.incr(),
         ShedReason::TooLong => SHED_TOO_LONG.incr(),
         ShedReason::CacheOom => SHED_CACHE_OOM.incr(),
+        ShedReason::CancelledMidRequest => SHED_CANCELLED.incr(),
     }
     let slot = outcomes.get_mut(id).expect("request ids must be a permutation of 0..n");
     assert!(slot.is_none(), "request id {id} offered twice");
@@ -304,6 +337,33 @@ fn record_shed(outcomes: &mut [Option<RequestOutcome>], id: usize, len: usize, r
         len,
         outcome: Outcome::Shed { reason, wait },
     });
+}
+
+/// Splits a cut batch into execution rounds of at most `chunk_tokens`
+/// valid tokens each, **shortest request first** (`0` keeps the whole
+/// batch as a single round). Short requests therefore finish in early
+/// rounds instead of waiting on the longest member of the cut — the
+/// head-of-line-blocking fix the chunked pipeline exists for. A request
+/// longer than `chunk_tokens` still runs, alone in its own round.
+fn plan_rounds(mut batch: Vec<Pending>, chunk_tokens: usize) -> Vec<Vec<Pending>> {
+    if chunk_tokens == 0 || batch.len() <= 1 {
+        return vec![batch];
+    }
+    batch.sort_by(|a, b| a.len.cmp(&b.len).then(a.id.cmp(&b.id)));
+    let mut rounds: Vec<Vec<Pending>> = Vec::new();
+    let mut round: Vec<Pending> = Vec::new();
+    let mut tokens = 0usize;
+    for p in batch {
+        let cost = p.len.max(1);
+        if !round.is_empty() && tokens + cost > chunk_tokens {
+            rounds.push(std::mem::take(&mut round));
+            tokens = 0;
+        }
+        tokens += cost;
+        round.push(p);
+    }
+    rounds.push(round);
+    rounds
 }
 
 /// Runs the continuous-batching server over a pre-generated open-loop
@@ -317,8 +377,11 @@ fn record_shed(outcomes: &mut [Option<RequestOutcome>], id: usize, len: usize, r
 ///    once the bounded queue is full, `QueueFull`);
 /// 2. cancel queued requests whose deadline passed (a request whose
 ///    deadline equals the batch start still runs);
-/// 3. cut the next batch with the configured policy and execute it;
-/// 4. advance the clock by the batch duration and repeat. An idle server
+/// 3. cut the next batch with the configured policy and execute it — as a
+///    single forward, or as shortest-first chunk rounds when
+///    [`ServeConfig::chunk_tokens`] is set, cancelling requests whose
+///    deadline passes between rounds;
+/// 4. advance the clock by each round's duration and repeat. An idle server
 ///    jumps straight to the next arrival.
 ///
 /// # Panics
@@ -380,42 +443,84 @@ pub fn run_open_loop(
             continue;
         }
         let _batch_span = bt_obs::span!("serve.batch");
-        let batch = config.policy.cut_next_batch(&mut queue);
-        let mask = batch_mask(&batch).expect("per-batch mask invariants hold");
-        BATCHES.incr();
-        OCCUPANCY.record(batch.len() as u64);
-        BATCH_TOKENS.record(mask.valid_words() as u64);
-        let start = clock;
-        for p in &batch {
-            TIME_IN_QUEUE_US.record(((start - p.arrival) * 1e6) as u64);
+        let cut = config.policy.cut_next_batch(&mut queue);
+        let rounds = plan_rounds(cut, config.chunk_tokens);
+        if config.chunk_tokens != 0 {
+            CHUNK_ROUNDS.add(rounds.len() as u64);
         }
-        let duration = {
-            let _span = bt_obs::span!("serve.batch.forward");
-            exec(&mask)
-        };
-        assert!(
-            duration.is_finite() && duration >= 0.0,
-            "executor must return a finite non-negative duration, got {duration}"
-        );
-        let done = start + duration;
-        for p in &batch {
-            SERVED.incr();
-            let slot = outcomes
-                .get_mut(p.id)
-                .expect("request ids must be a permutation of 0..n");
-            assert!(slot.is_none(), "request id {} offered twice", p.id);
-            *slot = Some(RequestOutcome {
-                id: p.id,
-                len: p.len,
-                outcome: Outcome::Served {
-                    queue_wait: start - p.arrival,
-                    latency: done - p.arrival,
-                },
-            });
+        for (round_no, round) in rounds.into_iter().enumerate() {
+            // Per-chunk deadline check: a request scheduled into a later
+            // round may have expired while the earlier rounds ran. Its
+            // batch was cut but its own forward never started — cancel it
+            // with the mid-request reason, distinct from queue expiry.
+            // (Round 0 starts at the same clock the queue sweep used, so
+            // it needs no re-check: with `chunk_tokens == 0` this loop is
+            // exactly the single-round pre-chunking path.)
+            let round: Vec<Pending> = if round_no == 0 {
+                round
+            } else {
+                round
+                    .into_iter()
+                    .filter(|p| {
+                        if p.deadline < clock {
+                            CHUNK_CANCELLED.incr();
+                            record_shed(
+                                &mut outcomes,
+                                p.id,
+                                p.len,
+                                ShedReason::CancelledMidRequest,
+                                clock - p.arrival,
+                            );
+                            false
+                        } else {
+                            true
+                        }
+                    })
+                    .collect()
+            };
+            if round.is_empty() {
+                continue;
+            }
+            let _chunk_span = bt_obs::span!("serve.chunk");
+            let mask = batch_mask(&round).expect("per-batch mask invariants hold");
+            BATCHES.incr();
+            OCCUPANCY.record(round.len() as u64);
+            BATCH_TOKENS.record(mask.valid_words() as u64);
+            if config.chunk_tokens != 0 {
+                CHUNK_TOKENS.record(mask.valid_words() as u64);
+            }
+            let start = clock;
+            for p in &round {
+                TIME_IN_QUEUE_US.record(((start - p.arrival) * 1e6) as u64);
+            }
+            let duration = {
+                let _span = bt_obs::span!("serve.batch.forward");
+                exec(&mask)
+            };
+            assert!(
+                duration.is_finite() && duration >= 0.0,
+                "executor must return a finite non-negative duration, got {duration}"
+            );
+            let done = start + duration;
+            for p in &round {
+                SERVED.incr();
+                let slot = outcomes
+                    .get_mut(p.id)
+                    .expect("request ids must be a permutation of 0..n");
+                assert!(slot.is_none(), "request id {} offered twice", p.id);
+                *slot = Some(RequestOutcome {
+                    id: p.id,
+                    len: p.len,
+                    outcome: Outcome::Served {
+                        queue_wait: start - p.arrival,
+                        latency: done - p.arrival,
+                    },
+                });
+            }
+            batches += 1;
+            clock = done;
+            makespan = makespan.max(done);
         }
-        batches += 1;
-        clock = done;
-        makespan = makespan.max(done);
     }
     let outcomes: Vec<RequestOutcome> = outcomes
         .into_iter()
@@ -428,12 +533,29 @@ pub fn run_open_loop(
     }
 }
 
+/// One event on a streaming request's bounded per-request output channel
+/// (see [`IngressHandle::try_submit_stream`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamEvent {
+    /// One valid token of the request completed, emitted token-at-a-time
+    /// in order once the request's chunk round finishes.
+    Token {
+        /// Zero-based token index within the request.
+        index: usize,
+    },
+    /// Terminal event: the request's final disposition. No further events
+    /// follow; the channel hangs up after it.
+    Done(Outcome),
+}
+
 /// A submission into the threaded server's bounded MPSC ingress.
 #[derive(Debug)]
 struct Submission {
     id: usize,
     len: usize,
     submitted: Instant,
+    /// Bounded per-request output channel for streaming submissions.
+    stream: Option<SyncSender<StreamEvent>>,
 }
 
 /// A cloneable producer handle onto the server's bounded ingress queue.
@@ -460,8 +582,43 @@ impl IngressHandle {
             id,
             len,
             submitted: Instant::now(),
+            stream: None,
         }) {
             Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(Some(ShedReason::QueueFull)),
+            Err(TrySendError::Disconnected(_)) => Err(None),
+        }
+    }
+
+    /// Like [`IngressHandle::try_submit`], but returns a **bounded
+    /// per-request output channel** the server streams the request's
+    /// progress into: one [`StreamEvent::Token`] per valid token (in
+    /// order, token-at-a-time, emitted as the request's chunk round
+    /// completes) followed by a terminal [`StreamEvent::Done`], after
+    /// which the channel hangs up.
+    ///
+    /// Delivery is best-effort so a stalled consumer can never block the
+    /// server thread: events past the channel's `capacity` that the
+    /// consumer has not drained are dropped. The authoritative outcome is
+    /// always available from [`Server::finish`] regardless.
+    ///
+    /// # Errors
+    /// `Err(Some(QueueFull))` on backpressure, `Err(None)` if the server
+    /// is gone.
+    pub fn try_submit_stream(
+        &self,
+        id: usize,
+        len: usize,
+        capacity: usize,
+    ) -> Result<Receiver<StreamEvent>, Option<ShedReason>> {
+        let (stream_tx, stream_rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+        match self.tx.try_send(Submission {
+            id,
+            len,
+            submitted: Instant::now(),
+            stream: Some(stream_tx),
+        }) {
+            Ok(()) => Ok(stream_rx),
             Err(TrySendError::Full(_)) => Err(Some(ShedReason::QueueFull)),
             Err(TrySendError::Disconnected(_)) => Err(None),
         }
@@ -497,57 +654,81 @@ impl Server {
         let worker = std::thread::spawn(move || {
             let epoch = Instant::now();
             let mut queue: VecDeque<Pending> = VecDeque::new();
+            // Bounded per-request output channels, keyed by request id.
+            // Removed (hanging up the channel) when the outcome is final.
+            let mut streams: std::collections::HashMap<usize, SyncSender<StreamEvent>> =
+                std::collections::HashMap::new();
             let mut batches = 0usize;
-            let shed = |result_tx: &std::sync::mpsc::Sender<RequestOutcome>, p: &Pending, reason, wait| {
+            let shed = |result_tx: &std::sync::mpsc::Sender<RequestOutcome>,
+                        streams: &mut std::collections::HashMap<usize, SyncSender<StreamEvent>>,
+                        p: &Pending,
+                        reason,
+                        wait| {
                 match reason {
                     ShedReason::QueueFull => SHED_QUEUE_FULL.incr(),
                     ShedReason::DeadlineExpired => SHED_DEADLINE.incr(),
                     ShedReason::TooLong => SHED_TOO_LONG.incr(),
                     ShedReason::CacheOom => SHED_CACHE_OOM.incr(),
+                    ShedReason::CancelledMidRequest => SHED_CANCELLED.incr(),
+                }
+                let outcome = Outcome::Shed { reason, wait };
+                if let Some(s) = streams.remove(&p.id) {
+                    let _ = s.try_send(StreamEvent::Done(outcome));
                 }
                 let _ = result_tx.send(RequestOutcome {
                     id: p.id,
                     len: p.len,
-                    outcome: Outcome::Shed { reason, wait },
+                    outcome,
                 });
             };
-            let admit =
-                |queue: &mut VecDeque<Pending>, result_tx: &std::sync::mpsc::Sender<RequestOutcome>, s: Submission| {
-                    OFFERED.incr();
-                    let arrival = s.submitted.saturating_duration_since(epoch).as_secs_f64();
-                    let p = Pending {
-                        id: s.id,
-                        len: s.len,
-                        arrival,
-                        deadline: arrival + config.deadline,
-                    };
-                    if p.len > config.max_len {
-                        shed(result_tx, &p, ShedReason::TooLong, 0.0);
-                    } else if queue.len() >= config.queue_capacity {
-                        // The channel bound already pushed back on producers;
-                        // this second gate keeps the *internal* queue within the
-                        // configured bound even after a drain.
-                        shed(result_tx, &p, ShedReason::QueueFull, 0.0);
-                    } else {
-                        queue.push_back(p);
-                    }
-                    QUEUE_DEPTH.record(queue.len() as u64);
+            let admit = |queue: &mut VecDeque<Pending>,
+                         streams: &mut std::collections::HashMap<usize, SyncSender<StreamEvent>>,
+                         result_tx: &std::sync::mpsc::Sender<RequestOutcome>,
+                         s: Submission| {
+                OFFERED.incr();
+                let arrival = s.submitted.saturating_duration_since(epoch).as_secs_f64();
+                let p = Pending {
+                    id: s.id,
+                    len: s.len,
+                    arrival,
+                    deadline: arrival + config.deadline,
                 };
+                if let Some(stream) = s.stream {
+                    streams.insert(s.id, stream);
+                }
+                if p.len > config.max_len {
+                    shed(result_tx, streams, &p, ShedReason::TooLong, 0.0);
+                } else if queue.len() >= config.queue_capacity {
+                    // The channel bound already pushed back on producers;
+                    // this second gate keeps the *internal* queue within the
+                    // configured bound even after a drain.
+                    shed(result_tx, streams, &p, ShedReason::QueueFull, 0.0);
+                } else {
+                    queue.push_back(p);
+                }
+                QUEUE_DEPTH.record(queue.len() as u64);
+            };
             loop {
                 if queue.is_empty() {
                     // Idle: block until work arrives or every producer hung up.
                     match rx.recv() {
-                        Ok(s) => admit(&mut queue, &result_tx, s),
+                        Ok(s) => admit(&mut queue, &mut streams, &result_tx, s),
                         Err(_) => break,
                     }
                 }
                 while let Ok(s) = rx.try_recv() {
-                    admit(&mut queue, &result_tx, s);
+                    admit(&mut queue, &mut streams, &result_tx, s);
                 }
                 let now = epoch.elapsed().as_secs_f64();
                 queue.retain(|p| {
                     if p.deadline < now {
-                        shed(&result_tx, p, ShedReason::DeadlineExpired, now - p.arrival);
+                        shed(
+                            &result_tx,
+                            &mut streams,
+                            p,
+                            ShedReason::DeadlineExpired,
+                            now - p.arrival,
+                        );
                         false
                     } else {
                         true
@@ -557,32 +738,84 @@ impl Server {
                     continue;
                 }
                 let _batch_span = bt_obs::span!("serve.batch");
-                let batch = config.policy.cut_next_batch(&mut queue);
-                let mask = batch_mask(&batch).expect("per-batch mask invariants hold");
-                BATCHES.incr();
-                OCCUPANCY.record(batch.len() as u64);
-                BATCH_TOKENS.record(mask.valid_words() as u64);
-                let start = epoch.elapsed().as_secs_f64();
-                for p in &batch {
-                    TIME_IN_QUEUE_US.record(((start - p.arrival) * 1e6) as u64);
+                let cut = config.policy.cut_next_batch(&mut queue);
+                let rounds = plan_rounds(cut, config.chunk_tokens);
+                if config.chunk_tokens != 0 {
+                    CHUNK_ROUNDS.add(rounds.len() as u64);
                 }
-                {
-                    let _span = bt_obs::span!("serve.batch.forward");
-                    exec(&mask);
-                }
-                let done = epoch.elapsed().as_secs_f64();
-                for p in &batch {
-                    SERVED.incr();
-                    let _ = result_tx.send(RequestOutcome {
-                        id: p.id,
-                        len: p.len,
-                        outcome: Outcome::Served {
+                for (round_no, round) in rounds.into_iter().enumerate() {
+                    // Per-chunk deadline check (same semantics as
+                    // `run_open_loop`): later rounds re-check expiry so a
+                    // request overtaken by earlier rounds is cancelled
+                    // mid-request rather than served uselessly late.
+                    let now = epoch.elapsed().as_secs_f64();
+                    let round: Vec<Pending> = if round_no == 0 {
+                        round
+                    } else {
+                        round
+                            .into_iter()
+                            .filter(|p| {
+                                if p.deadline < now {
+                                    CHUNK_CANCELLED.incr();
+                                    shed(
+                                        &result_tx,
+                                        &mut streams,
+                                        p,
+                                        ShedReason::CancelledMidRequest,
+                                        now - p.arrival,
+                                    );
+                                    false
+                                } else {
+                                    true
+                                }
+                            })
+                            .collect()
+                    };
+                    if round.is_empty() {
+                        continue;
+                    }
+                    let _chunk_span = bt_obs::span!("serve.chunk");
+                    let mask = batch_mask(&round).expect("per-batch mask invariants hold");
+                    BATCHES.incr();
+                    OCCUPANCY.record(round.len() as u64);
+                    BATCH_TOKENS.record(mask.valid_words() as u64);
+                    if config.chunk_tokens != 0 {
+                        CHUNK_TOKENS.record(mask.valid_words() as u64);
+                    }
+                    let start = epoch.elapsed().as_secs_f64();
+                    for p in &round {
+                        TIME_IN_QUEUE_US.record(((start - p.arrival) * 1e6) as u64);
+                    }
+                    {
+                        let _span = bt_obs::span!("serve.batch.forward");
+                        exec(&mask);
+                    }
+                    let done = epoch.elapsed().as_secs_f64();
+                    for p in &round {
+                        SERVED.incr();
+                        let outcome = Outcome::Served {
                             queue_wait: start - p.arrival,
                             latency: done - p.arrival,
-                        },
-                    });
+                        };
+                        if let Some(s) = streams.remove(&p.id) {
+                            // Token-at-a-time, best-effort: a full bounded
+                            // channel drops events rather than blocking the
+                            // server thread on a stalled consumer.
+                            for index in 0..p.len {
+                                if s.try_send(StreamEvent::Token { index }).is_err() {
+                                    break;
+                                }
+                            }
+                            let _ = s.try_send(StreamEvent::Done(outcome));
+                        }
+                        let _ = result_tx.send(RequestOutcome {
+                            id: p.id,
+                            len: p.len,
+                            outcome,
+                        });
+                    }
+                    batches += 1;
                 }
-                batches += 1;
             }
             batches
         });
@@ -643,6 +876,7 @@ mod tests {
             queue_capacity: 64,
             deadline: f64::INFINITY,
             max_len: 1024,
+            chunk_tokens: 0,
         }
     }
 
@@ -734,6 +968,7 @@ mod tests {
             queue_capacity: 8,
             deadline: 0.02,
             max_len: 128,
+            chunk_tokens: 0,
         };
         let exec = |mask: &BatchMask| mask.valid_words() as f64 * 2e-5 + 1e-5;
         let a = run_open_loop(&reqs, &config, exec);
@@ -762,6 +997,7 @@ mod tests {
             queue_capacity: 4,
             deadline: 10.0,
             max_len: 256,
+            chunk_tokens: 0,
         };
         let server = Server::spawn(config, |mask| {
             // A tiny busy-wait stands in for the forward; length-dependent
@@ -812,12 +1048,145 @@ mod tests {
     }
 
     #[test]
+    fn chunked_rounds_bound_tokens_and_put_short_requests_first() {
+        // One cut of four requests; chunk budget 8 forces rounds. Shortest
+        // first: the len-2 and len-4 requests complete before the len-16.
+        let reqs = arrivals(&[(16, 0.0), (2, 0.0), (4, 0.0), (8, 0.0)]);
+        let mut config = ample();
+        config.chunk_tokens = 8;
+        let report = run_open_loop(&reqs, &config, |mask| {
+            assert!(
+                mask.valid_words() <= 8 || mask.batch() == 1,
+                "round of {} tokens exceeds the chunk budget",
+                mask.valid_words()
+            );
+            mask.valid_words() as f64 * 0.1
+        });
+        let s = report.summary();
+        assert!(s.accounting_is_exact());
+        assert_eq!(s.served, 4);
+        // Rounds: [2,4] then [8] then [16] — three forwards for one cut.
+        assert_eq!(report.batches, 3);
+        let latency = |id: usize| match report.outcomes[id].outcome {
+            Outcome::Served { latency, .. } => latency,
+            other => panic!("expected served, got {other:?}"),
+        };
+        assert!(
+            latency(1) < latency(3) && latency(3) < latency(0),
+            "shortest-first ordering"
+        );
+    }
+
+    #[test]
+    fn chunking_preserves_outcomes_without_deadline_pressure() {
+        let reqs = poisson_arrivals(128, 3_000.0, LengthDistribution::PaperUniform { alpha: 0.6 }, 64, 17);
+        let run = |chunk| {
+            let config = ServeConfig {
+                policy: CutPolicy::TokenBudget { budget_tokens: 256 },
+                queue_capacity: 32,
+                deadline: f64::INFINITY,
+                max_len: 64,
+                chunk_tokens: chunk,
+            };
+            run_open_loop(&reqs, &config, |mask| mask.valid_words() as f64 * 1e-5)
+        };
+        let whole = run(0).summary();
+        let chunked = run(16).summary();
+        // With no deadline nothing can be cancelled: both modes serve
+        // every admitted request; only latency shape differs.
+        assert_eq!(whole.served, chunked.served);
+        assert_eq!(whole.shed(), chunked.shed());
+        assert_eq!(chunked.shed_cancelled, 0);
+    }
+
+    #[test]
+    fn per_chunk_deadline_cancels_mid_request_with_distinct_reason() {
+        // Two requests cut into one batch. The long one lands in round 2;
+        // round 1 takes long enough that its deadline expires mid-request.
+        let reqs = arrivals(&[(4, 0.0), (12, 0.0)]);
+        let mut config = ample();
+        config.policy = CutPolicy::Fifo { max_batch: 4 };
+        config.chunk_tokens = 4;
+        config.deadline = 1.0;
+        let report = run_open_loop(&reqs, &config, |_| 2.0);
+        let s = report.summary();
+        assert!(s.accounting_is_exact());
+        assert_eq!(s.served, 1);
+        assert_eq!(s.shed_cancelled, 1, "mid-request cancellation is its own ledger row");
+        assert_eq!(s.shed_deadline, 0, "this is NOT queue expiry");
+        match report.outcomes[1].outcome {
+            Outcome::Shed { reason, wait } => {
+                assert_eq!(reason, ShedReason::CancelledMidRequest);
+                assert!((wait - 2.0).abs() < 1e-9, "cancelled when round 1 finished at t=2.0");
+            }
+            other => panic!("expected mid-request cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn streaming_submission_receives_tokens_then_done() {
+        let config = ServeConfig {
+            policy: CutPolicy::Fifo { max_batch: 4 },
+            queue_capacity: 8,
+            deadline: 10.0,
+            max_len: 64,
+            chunk_tokens: 4,
+        };
+        let server = Server::spawn(config, |_| {});
+        let handle = server.handle();
+        let stream = handle.try_submit_stream(0, 5, 16).expect("channel has room");
+        drop(handle);
+        let events: Vec<StreamEvent> = stream.iter().collect();
+        let (outcomes, _) = server.finish();
+        assert_eq!(
+            events,
+            vec![
+                StreamEvent::Token { index: 0 },
+                StreamEvent::Token { index: 1 },
+                StreamEvent::Token { index: 2 },
+                StreamEvent::Token { index: 3 },
+                StreamEvent::Token { index: 4 },
+                StreamEvent::Done(outcomes[0].outcome),
+            ],
+            "token-at-a-time in order, then the terminal outcome"
+        );
+        assert!(outcomes[0].served());
+    }
+
+    #[test]
+    fn streaming_shed_request_gets_a_terminal_event() {
+        let config = ServeConfig {
+            policy: CutPolicy::Fifo { max_batch: 4 },
+            queue_capacity: 8,
+            deadline: 10.0,
+            max_len: 16,
+            chunk_tokens: 0,
+        };
+        let server = Server::spawn(config, |_| {});
+        let handle = server.handle();
+        let stream = handle.try_submit_stream(0, 1000, 4).expect("channel has room");
+        drop(handle);
+        let events: Vec<StreamEvent> = stream.iter().collect();
+        let (outcomes, _) = server.finish();
+        assert_eq!(
+            events,
+            vec![StreamEvent::Done(Outcome::Shed {
+                reason: ShedReason::TooLong,
+                wait: 0.0
+            })],
+            "no tokens, just the terminal shed"
+        );
+        assert_eq!(outcomes.len(), 1);
+    }
+
+    #[test]
     fn threaded_server_sheds_too_long_requests() {
         let config = ServeConfig {
             policy: CutPolicy::Fifo { max_batch: 4 },
             queue_capacity: 8,
             deadline: 10.0,
             max_len: 16,
+            chunk_tokens: 0,
         };
         let server = Server::spawn(config, |_| {});
         let handle = server.handle();

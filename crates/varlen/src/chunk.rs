@@ -1,0 +1,56 @@
+//! The `BYTE_CHUNK_TOKENS` knob: how many prompt tokens a streaming stage
+//! ingests per chunk.
+//!
+//! Chunked prefill (the serving loops in `bt-frameworks` and the
+//! [`ChunkedStage`] pipeline in `bt-core`) splits a long prompt into
+//! fixed token-budget chunks so it interleaves with in-flight decode steps
+//! instead of monopolising whole token steps. The chunk size is a pure
+//! scheduling knob — the packed math is row-independent, so results are
+//! bitwise identical for every chunk size (proven by
+//! `tests/differential_streaming.rs`).
+//!
+//! [`ChunkedStage`]: https://docs.rs/bt-core
+
+/// Environment variable naming the chunk size.
+pub const ENV_CHUNK_TOKENS: &str = "BYTE_CHUNK_TOKENS";
+
+/// Reads `BYTE_CHUNK_TOKENS` from the environment.
+///
+/// * unset → `None` (caller picks its default),
+/// * `"whole"` or `"0"` → `Some(0)` — chunking disabled, prompts prefill
+///   in one piece,
+/// * a positive integer → `Some(n)` tokens per chunk.
+///
+/// # Panics
+/// Panics on any other value, naming the variable and the accepted forms —
+/// same contract as `BYTE_GEMM_ISA` and `BYTE_KV_BLOCK`: a typo'd knob
+/// must not silently fall back.
+pub fn chunk_tokens_from_env() -> Option<usize> {
+    let raw = std::env::var(ENV_CHUNK_TOKENS).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.eq_ignore_ascii_case("whole") {
+        return Some(0);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{ENV_CHUNK_TOKENS}={raw:?} is not \"whole\" or a non-negative integer"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env mutation is process-global; one test owns every case so no lock
+    // is needed.
+    #[test]
+    fn parses_every_accepted_form() {
+        std::env::remove_var(ENV_CHUNK_TOKENS);
+        assert_eq!(chunk_tokens_from_env(), None);
+        for (raw, want) in [("whole", 0), ("WHOLE", 0), ("0", 0), ("1", 1), (" 64 ", 64)] {
+            std::env::set_var(ENV_CHUNK_TOKENS, raw);
+            assert_eq!(chunk_tokens_from_env(), Some(want), "raw={raw:?}");
+        }
+        std::env::remove_var(ENV_CHUNK_TOKENS);
+    }
+}

@@ -9,10 +9,11 @@
 //! btx profile    [--batch 4] [--seq 256] [--format tree|chrome|prom|json]
 //! btx serve      [--policy fifo|sorted|budget] [--load 1.0] [--requests 512]
 //!                [--deadline-ms 0(auto)] [--queue 64] [--budget 0(auto)]
-//!                [--burst] [--trace] [--seed 42]
+//!                [--chunk 0(env)] [--burst] [--trace] [--seed 42]
 //! btx decode     [--sessions 8] [--tokens 24] [--prompt 16] [--requests 0(auto)]
 //!                [--block 0(env)] [--blocks 0(env)] [--budget 0(auto)]
-//!                [--deadline-ms 0(off)] [--queue 0(auto)] [--trace] [--seed 42]
+//!                [--deadline-ms 0(off)] [--queue 0(auto)] [--chunk 0(env)]
+//!                [--trace] [--seed 42]
 //! ```
 //!
 //! All subcommands use the standard BERT configuration (12 heads × 64) and
@@ -48,6 +49,7 @@ struct Args {
     prompt: usize,
     block: usize,
     blocks: usize,
+    chunk: Option<usize>,
 }
 
 fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
@@ -76,6 +78,8 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
         prompt: 16,
         block: 0,
         blocks: 0,
+        // None = fall back to BYTE_CHUNK_TOKENS (whole-batch when unset).
+        chunk: None,
     };
     let rest: Vec<String> = raw.collect();
     let mut i = 0;
@@ -116,6 +120,7 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
             "--prompt" => args.prompt = take("--prompt").parse().expect("numeric --prompt"),
             "--block" => args.block = take("--block").parse().expect("numeric --block"),
             "--blocks" => args.blocks = take("--blocks").parse().expect("numeric --blocks"),
+            "--chunk" => args.chunk = Some(take("--chunk").parse().expect("numeric --chunk")),
             "--deadline-ms" => args.deadline_ms = take("--deadline-ms").parse().expect("numeric --deadline-ms"),
             "--queue" => args.queue = take("--queue").parse().expect("numeric --queue"),
             "--budget" => args.budget = take("--budget").parse().expect("numeric --budget"),
@@ -199,7 +204,7 @@ fn main() {
                 "usage: btx <features|flops|breakdown|compare|attention|profile|serve|decode> \
                  [--batch N] [--seq N] [--alpha F] [--opt L] [--heads N] [--head-size N] [--layers N] \
                  [--format tree|chrome|prom|json] [--policy fifo|sorted|budget] [--load F] [--requests N] \
-                 [--deadline-ms F] [--queue N] [--budget N] [--burst] [--trace] [--seed N] \
+                 [--deadline-ms F] [--queue N] [--budget N] [--chunk N] [--burst] [--trace] [--seed N] \
                  [--sessions N] [--tokens N] [--prompt N] [--block N] [--blocks N]"
             );
             std::process::exit(2);
@@ -248,12 +253,18 @@ fn cmd_decode(a: &Args) {
         a.seed,
     );
     let workload = decode_workload(&trace, a.tokens.max(1), a.seed);
+    // --chunk wins over BYTE_CHUNK_TOKENS; both default to whole prompts.
+    let chunk = a
+        .chunk
+        .or_else(bytetransformer::varlen::chunk_tokens_from_env)
+        .unwrap_or(0);
     let decode_config = DecodeConfig {
         budget_tokens: budget,
         queue_capacity: queue,
         deadline,
         max_prompt_len: a.prompt,
         max_sessions: a.sessions,
+        chunk_tokens: chunk,
     };
     if a.trace {
         obs::set_enabled(true);
@@ -264,25 +275,31 @@ fn cmd_decode(a: &Args) {
     let report = run_decode_loop(&workload, &decode_config, &mut engine);
     let s = report.summary();
     println!(
-        "pool {} blocks x {} tokens ({} token capacity) — budget {} tokens/step, {} decode slots",
+        "pool {} blocks x {} tokens ({} token capacity) — budget {} tokens/step, {} decode slots, {}",
         layout.pool_blocks,
         layout.block_tokens,
         layout.capacity_tokens(),
         budget,
-        a.sessions
+        a.sessions,
+        if chunk > 0 {
+            format!("prefill chunks of {chunk} tokens")
+        } else {
+            "whole-prompt prefill".to_string()
+        }
     );
     println!(
         "offered {} requests (prompt <= {}, decode <= {}, α = {:.3}, seed {})\n",
         s.offered, a.prompt, a.tokens, a.alpha, a.seed
     );
     println!(
-        "served {} | shed {} (queue_full {}, deadline {}, too_long {}, cache_oom {})",
+        "served {} | shed {} (queue_full {}, deadline {}, too_long {}, cache_oom {}, cancelled {})",
         s.served,
         s.shed(),
         s.shed_queue_full,
         s.shed_deadline,
         s.shed_too_long,
-        s.shed_cache_oom
+        s.shed_cache_oom,
+        s.shed_cancelled
     );
     assert!(s.accounting_is_exact(), "served + shed must equal offered");
     assert!(report.ledger_is_exact(), "per-step token ledger must reconcile");
@@ -346,11 +363,17 @@ fn cmd_serve(a: &Args) {
     } else {
         poisson_arrivals(requests, rate, dist, a.seq, a.seed)
     };
+    // --chunk wins over BYTE_CHUNK_TOKENS; both default to whole batches.
+    let chunk = a
+        .chunk
+        .or_else(bytetransformer::varlen::chunk_tokens_from_env)
+        .unwrap_or(0);
     let serve_config = ServeConfig {
         policy,
         queue_capacity: a.queue,
         deadline,
         max_len: a.seq,
+        chunk_tokens: chunk,
     };
     if a.trace {
         obs::set_enabled(true);
@@ -363,11 +386,16 @@ fn cmd_serve(a: &Args) {
     );
     let s = report.summary();
     println!(
-        "calibrated capacity: {:.0} tokens/s — budget {} tokens/batch, deadline {:.2} ms, queue {}",
+        "calibrated capacity: {:.0} tokens/s — budget {} tokens/batch, deadline {:.2} ms, queue {}, {}",
         capacity.tokens_per_sec,
         budget,
         deadline * 1e3,
-        a.queue
+        a.queue,
+        if chunk > 0 {
+            format!("chunk rounds of {chunk} tokens")
+        } else {
+            "whole-batch rounds".to_string()
+        }
     );
     println!(
         "offered {} requests ({} arrivals, α = {:.3}) at load {:.2}× ({:.0} req/s), policy {}\n",
@@ -379,12 +407,13 @@ fn cmd_serve(a: &Args) {
         serve_config.policy.label()
     );
     println!(
-        "served {} | shed {} (queue_full {}, deadline {}, too_long {}) | {} batches",
+        "served {} | shed {} (queue_full {}, deadline {}, too_long {}, cancelled {}) | {} batches",
         s.served,
         s.shed(),
         s.shed_queue_full,
         s.shed_deadline,
         s.shed_too_long,
+        s.shed_cancelled,
         s.batches
     );
     assert!(s.accounting_is_exact(), "served + shed must equal offered");

@@ -49,6 +49,7 @@ fn stress_setup(seq: usize, alpha: f64) -> (ServeConfig, f64, f64) {
         queue_capacity: 64,
         deadline: 2.0 * interval,
         max_len: seq,
+        chunk_tokens: 0,
     };
     (config, mean_tokens, interval)
 }
@@ -200,6 +201,7 @@ fn real_forward_serving_overload_smoke() {
         queue_capacity: 32,
         deadline: 2.0 * interval,
         max_len: 64,
+        chunk_tokens: 0,
     };
     let rate = capacity.request_rate(mean_tokens, 2.0);
     let reqs = poisson_arrivals(48, rate, LengthDistribution::PaperUniform { alpha: 0.6 }, 64, 13);
@@ -222,6 +224,7 @@ fn threaded_server_under_producer_contention_accounts_exactly() {
         queue_capacity: 8,
         deadline: 30.0,
         max_len: 128,
+        chunk_tokens: 0,
     };
     let server = Server::spawn(config, |mask| {
         std::hint::black_box(mask.valid_words());
@@ -279,6 +282,7 @@ fn decode_config() -> DecodeConfig {
         deadline: 0.05,
         max_prompt_len: 32,
         max_sessions: 16,
+        chunk_tokens: 0,
     }
 }
 
@@ -356,8 +360,9 @@ fn decode_runs_replay_bit_identically_for_a_fixed_seed() {
 
 /// A starved block pool sheds with the **distinct** [`ShedReason::CacheOom`]
 /// — operators can tell "pool too small" from "host too slow". Mid-decode
-/// evictions report `prefilled: true` with their partial token count, and
-/// every OOM shed is attributed to the step that caused it.
+/// evictions report the whole prompt as `prefilled_tokens` with their
+/// partial generation count, and every OOM shed is attributed to the step
+/// that caused it.
 #[test]
 fn decode_cache_oom_sheds_with_distinct_reason() {
     let requests = decode_arrivals(200, 4000.0, 32, 12, 41);
@@ -379,23 +384,87 @@ fn decode_cache_oom_sheds_with_distinct_reason() {
     for o in &report.outcomes {
         if let DecodeOutcome::Shed {
             reason: ShedReason::CacheOom,
-            prefilled,
+            prefilled_tokens,
             generated,
             ..
         } = o.outcome
         {
-            if prefilled {
+            if prefilled_tokens == o.prompt_len {
                 // Mid-decode eviction: the prompt went in, some tokens may
                 // have come out, but never the full request.
                 assert!(generated < o.decode_tokens);
             } else {
                 assert_eq!(generated, 0, "a refused prefill generated nothing");
+                assert_eq!(prefilled_tokens, 0, "whole-mode prefill is all-or-nothing");
             }
         }
     }
     // The pool never exceeded its capacity and drained clean.
     assert!(report.high_water_blocks <= 8);
     assert_eq!(engine.pool().blocks_in_use(), 0);
+}
+
+/// The chunked-prefill acceptance test: under ≈2× overload with chunked
+/// prefill enabled, `served + shed + cancelled == offered` holds exactly —
+/// with every shed reason broken out, including mid-request cancellations,
+/// which are partial work and the reason the token-step ledger must track
+/// prefilled tokens per request rather than a boolean.
+#[test]
+fn chunked_prefill_overload_accounts_exactly_with_cancellations() {
+    for seed in [3u64, 271, 0xfeed_f00d] {
+        let requests = decode_arrivals(400, 3000.0, 32, 12, seed);
+        let cfg = DecodeConfig {
+            chunk_tokens: 4,
+            ..decode_config()
+        };
+        let mut engine = ModeledDecodeEngine::new(PagedLayout::new(4, 96), 200e-6, 50e-6);
+        let report = run_decode_loop(&requests, &cfg, &mut engine);
+        let s = report.summary();
+
+        // The headline identity, written out reason by reason so a new shed
+        // class can never silently leak out of the ledger.
+        assert_eq!(
+            s.served + s.shed_queue_full + s.shed_deadline + s.shed_too_long + s.shed_cache_oom + s.shed_cancelled,
+            s.offered,
+            "seed {seed}: {s:?}"
+        );
+        assert!(s.accounting_is_exact(), "seed {seed}: {s:?}");
+        assert_eq!(s.offered, 400);
+        assert!(
+            report.ledger_is_exact(),
+            "seed {seed}: partial prefills must reconcile token-for-token"
+        );
+
+        // 2× overload with slow steps and 4-token chunks: some request that
+        // started prefilling must get cancelled between chunks.
+        assert!(
+            s.shed_cancelled > 0,
+            "seed {seed}: chunked overload must cancel mid-request: {s:?}"
+        );
+        assert!(s.served > 0, "seed {seed}: overload still serves admitted work");
+
+        // Cancellations carry their partial prefill into the ledger.
+        for o in &report.outcomes {
+            if let DecodeOutcome::Shed {
+                reason: ShedReason::CancelledMidRequest,
+                prefilled_tokens,
+                generated,
+                ..
+            } = o.outcome
+            {
+                assert!(
+                    prefilled_tokens < o.prompt_len,
+                    "a finished prefill cannot be cancelled mid-request"
+                );
+                assert_eq!(generated, 0, "cancellation happens before decode starts");
+            }
+        }
+        assert_eq!(
+            engine.pool().blocks_in_use(),
+            0,
+            "seed {seed}: cancelled sessions must release their blocks"
+        );
+    }
 }
 
 /// Deadline expiry in the decode queue is about prefill *start*, and a
@@ -421,12 +490,15 @@ fn decode_deadline_expires_queued_prefills_exactly() {
         if let DecodeOutcome::Shed {
             reason: ShedReason::DeadlineExpired,
             wait,
-            prefilled,
+            prefilled_tokens,
             generated,
         } = o.outcome
         {
             assert!(wait >= cfg.deadline, "expired after {wait:.6}s < deadline");
-            assert!(!prefilled && generated == 0, "deadline sheds never touched the cache");
+            assert!(
+                prefilled_tokens == 0 && generated == 0,
+                "deadline sheds never touched the cache"
+            );
         }
     }
 }

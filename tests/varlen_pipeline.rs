@@ -178,6 +178,28 @@ fn error_paths_are_typed_not_panics() {
     assert!(BatchMask::from_mask_matrix(&[1, 0, 1, 1], 1, 4).is_err());
 }
 
+/// Pinned from `tests/varlen_pipeline.proptest-regressions` (shrinker
+/// minimum `lens = [0], seed = 0`): a batch holding nothing but one empty
+/// sequence. Promoted to a named deterministic test so the case runs on
+/// every `cargo test` without the proptest shrinker in the loop — the
+/// regressions file stays as the generator-side pin.
+#[test]
+fn regression_batch_of_one_empty_sequence() {
+    let m = model();
+    // Exactly the prop body's shape derivation: max(lens) clamped to >= 1.
+    let mask = BatchMask::from_lens(vec![0], 1).unwrap();
+    let input = zeroed_input(&mask, m.config.hidden(), 0);
+    let dev = Device::new();
+    let base = m.forward(&dev, &input, &mask, OptLevel::Baseline).unwrap();
+    let fused = m.forward(&dev, &input, &mask, OptLevel::FusedMha).unwrap();
+    assert!(valid_diff(&base, &fused, &mask) < 5e-3);
+    // An all-padding batch must come out all zeros on the packed path:
+    // there are no valid rows to scatter back.
+    for h in 0..m.config.hidden() {
+        assert_eq!(fused.at(&[0, 0, h]).unwrap(), 0.0);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
