@@ -40,13 +40,13 @@ use bt_tensor::Tensor;
 use bt_varlen::paged::{BlockPool, KvOom, PagedLayout, SessionId};
 
 /// Sessions ever opened on a [`PagedDecoder`].
-static SESSIONS_OPENED: bt_obs::Counter = bt_obs::Counter::new("kvcache.sessions.opened");
+static SESSIONS_OPENED: bt_obs::Counter = bt_obs::Counter::new(bt_obs::names::KV_SESSIONS_OPENED);
 /// Sessions freed (blocks returned to the pool).
-static SESSIONS_FREED: bt_obs::Counter = bt_obs::Counter::new("kvcache.sessions.freed");
+static SESSIONS_FREED: bt_obs::Counter = bt_obs::Counter::new(bt_obs::names::KV_SESSIONS_FREED);
 /// Appends refused with [`KvOom`] — each one is a shed candidate upstream.
-static KV_OOM: bt_obs::Counter = bt_obs::Counter::new("kvcache.oom");
+static KV_OOM: bt_obs::Counter = bt_obs::Counter::new(bt_obs::names::KV_OOM);
 /// Token slots appended across all sessions (prefill + decode).
-static KV_TOKENS: bt_obs::Counter = bt_obs::Counter::new("kvcache.tokens.appended");
+static KV_TOKENS: bt_obs::Counter = bt_obs::Counter::new(bt_obs::names::KV_TOKENS_APPENDED);
 /// Rows pushed through the batched decode pipeline.
 static DECODE_ROWS: bt_obs::Counter = bt_obs::Counter::new("core.paged.rows");
 

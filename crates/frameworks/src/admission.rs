@@ -56,6 +56,24 @@ impl ShedReason {
             ShedReason::CancelledMidRequest => "cancelled_mid_request",
         }
     }
+
+    /// The interned terminal trace mark for this reason
+    /// (`req.shed.<label>`, from [`bt_obs::names`]), for tagging a shed
+    /// request's timeline via [`bt_obs::trace_mark_at`].
+    pub fn trace_label(&self) -> &'static bt_obs::LabelId {
+        static QUEUE_FULL: bt_obs::LabelId = bt_obs::LabelId::new(bt_obs::names::REQ_SHED_QUEUE_FULL);
+        static DEADLINE: bt_obs::LabelId = bt_obs::LabelId::new(bt_obs::names::REQ_SHED_DEADLINE);
+        static TOO_LONG: bt_obs::LabelId = bt_obs::LabelId::new(bt_obs::names::REQ_SHED_TOO_LONG);
+        static CACHE_OOM: bt_obs::LabelId = bt_obs::LabelId::new(bt_obs::names::REQ_SHED_CACHE_OOM);
+        static CANCELLED: bt_obs::LabelId = bt_obs::LabelId::new(bt_obs::names::REQ_SHED_CANCELLED);
+        match self {
+            ShedReason::QueueFull => &QUEUE_FULL,
+            ShedReason::DeadlineExpired => &DEADLINE,
+            ShedReason::TooLong => &TOO_LONG,
+            ShedReason::CacheOom => &CACHE_OOM,
+            ShedReason::CancelledMidRequest => &CANCELLED,
+        }
+    }
 }
 
 /// Admission weight of a request: its valid-token count, clamped to at

@@ -43,39 +43,48 @@
 //! stress tests and `btx decode`) and [`PagedDecodeEngine`] (real
 //! [`PagedDecoder`] forwards with modeled device time — what
 //! `bench_decode` measures).
+//!
+//! Like the encoder loop, every request's lifecycle is tagged with a
+//! [`bt_obs::TraceId`] at the simulated clock (`req.enqueue` → `req.admit`
+//! → `req.prefill.start` → `req.prefill.chunk`* → `req.decode.step`* →
+//! `req.done` / `req.shed.<reason>`), so drained profiles reconstruct into
+//! per-request timelines whose phase sums reconcile exactly with this
+//! ledger.
 
 use crate::admission::ShedReason;
+use crate::server::vns;
 use crate::serving::TimedRequest;
 use bt_core::decoder::TransformerDecoder;
 use bt_core::paged::PagedDecoder;
 use bt_device::Device;
+use bt_obs::{names, TraceId};
 use bt_tensor::Tensor;
 use bt_varlen::paged::{BlockPool, PagedLayout, SessionId};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Decode requests offered to the loop (admitted or not).
-static OFFERED: bt_obs::Counter = bt_obs::Counter::new("serve.decode.offered");
+static OFFERED: bt_obs::Counter = bt_obs::Counter::new(names::DECODE_OFFERED);
 /// Decode requests served to completion.
-static SERVED: bt_obs::Counter = bt_obs::Counter::new("serve.decode.served");
+static SERVED: bt_obs::Counter = bt_obs::Counter::new(names::DECODE_SERVED);
 /// Decode requests shed, any reason (per-reason split lives in the report).
-static SHED: bt_obs::Counter = bt_obs::Counter::new("serve.decode.shed");
+static SHED: bt_obs::Counter = bt_obs::Counter::new(names::DECODE_SHED);
 /// Sessions shed specifically for KV-cache exhaustion.
-static SHED_CACHE_OOM: bt_obs::Counter = bt_obs::Counter::new("serve.decode.shed.cache_oom");
+static SHED_CACHE_OOM: bt_obs::Counter = bt_obs::Counter::new(names::DECODE_SHED_CACHE_OOM);
 /// Half-prefilled sessions cancelled at a chunk boundary.
-static SHED_CANCELLED: bt_obs::Counter = bt_obs::Counter::new("serve.decode.shed.cancelled_mid_request");
+static SHED_CANCELLED: bt_obs::Counter = bt_obs::Counter::new(names::DECODE_SHED_CANCELLED);
 /// Prefill chunks ingested (equals prompts served when chunking is off).
-static PREFILL_CHUNKS: bt_obs::Counter = bt_obs::Counter::new("serve.decode.prefill.chunks");
+static PREFILL_CHUNKS: bt_obs::Counter = bt_obs::Counter::new(names::DECODE_PREFILL_CHUNKS);
 /// Token steps executed.
-static STEPS: bt_obs::Counter = bt_obs::Counter::new("serve.decode.steps");
+static STEPS: bt_obs::Counter = bt_obs::Counter::new(names::DECODE_STEPS);
 /// Decode tokens generated across all steps.
-static DECODE_TOKENS: bt_obs::Counter = bt_obs::Counter::new("serve.decode.tokens.decode");
+static DECODE_TOKENS: bt_obs::Counter = bt_obs::Counter::new(names::DECODE_TOKENS_DECODE);
 /// Prompt tokens prefilled across all steps.
-static PREFILL_TOKENS: bt_obs::Counter = bt_obs::Counter::new("serve.decode.tokens.prefill");
+static PREFILL_TOKENS: bt_obs::Counter = bt_obs::Counter::new(names::DECODE_TOKENS_PREFILL);
 /// Live sessions per executed step.
-static ACTIVE_SESSIONS: bt_obs::Histogram = bt_obs::Histogram::new("serve.decode.active_sessions");
+static ACTIVE_SESSIONS: bt_obs::Histogram = bt_obs::Histogram::new(names::DECODE_ACTIVE_SESSIONS);
 /// KV-cache blocks in use, sampled after every step.
-static BLOCKS_IN_USE: bt_obs::Histogram = bt_obs::Histogram::new("kvcache.blocks.in_use");
+static BLOCKS_IN_USE: bt_obs::Histogram = bt_obs::Histogram::new(names::KV_BLOCKS_IN_USE);
 
 /// One generation request: a prompt to prefill, then `decode_tokens` steps
 /// of one token each.
@@ -459,25 +468,29 @@ pub fn run_decode_loop(
         assert!(r.prompt_len > 0, "request {} has an empty prompt", r.id);
     }
     let mut outcomes: Vec<Option<DecodeRequestOutcome>> = (0..n).map(|_| None).collect();
-    let record = |outcomes: &mut Vec<Option<DecodeRequestOutcome>>, o: DecodeRequestOutcome| {
+    // Resolves one request: terminal trace mark at the simulated instant
+    // `t_ns`, counters, and the ledger slot.
+    let record = |outcomes: &mut Vec<Option<DecodeRequestOutcome>>, o: DecodeRequestOutcome, t_ns: u64| {
         let slot = outcomes
             .get_mut(o.id)
             .expect("request ids must be a permutation of 0..n");
         assert!(slot.is_none(), "request id {} resolved twice", o.id);
+        let tid = TraceId::from_request(o.id);
         if o.served() {
             SERVED.incr();
+            bt_obs::trace_mark!(tid, names::REQ_DONE, t_ns);
         } else {
             SHED.incr();
             match o.outcome {
-                DecodeOutcome::Shed {
-                    reason: ShedReason::CacheOom,
-                    ..
-                } => SHED_CACHE_OOM.incr(),
-                DecodeOutcome::Shed {
-                    reason: ShedReason::CancelledMidRequest,
-                    ..
-                } => SHED_CANCELLED.incr(),
-                _ => {}
+                DecodeOutcome::Shed { reason, .. } => {
+                    match reason {
+                        ShedReason::CacheOom => SHED_CACHE_OOM.incr(),
+                        ShedReason::CancelledMidRequest => SHED_CANCELLED.incr(),
+                        _ => {}
+                    }
+                    bt_obs::trace_mark_at(tid, reason.trace_label(), t_ns);
+                }
+                DecodeOutcome::Served { .. } => unreachable!("served handled above"),
             }
         }
         *slot = Some(o);
@@ -502,6 +515,8 @@ pub fn run_decode_loop(
             let r = order[next];
             next += 1;
             OFFERED.incr();
+            let tid = TraceId::from_request(r.id);
+            bt_obs::trace_mark!(tid, names::REQ_ENQUEUE, vns(r.arrival));
             if r.prompt_len > config.max_prompt_len {
                 record(
                     &mut outcomes,
@@ -516,6 +531,7 @@ pub fn run_decode_loop(
                             generated: 0,
                         },
                     },
+                    vns(r.arrival),
                 );
             } else if queue.len() >= config.queue_capacity {
                 record(
@@ -531,8 +547,10 @@ pub fn run_decode_loop(
                             generated: 0,
                         },
                     },
+                    vns(r.arrival),
                 );
             } else {
+                bt_obs::trace_mark!(tid, names::REQ_ADMIT, vns(r.arrival));
                 queue.push_back(QueuedRequest {
                     req: r,
                     deadline: r.arrival + config.deadline,
@@ -560,7 +578,7 @@ pub fn run_decode_loop(
             }
         });
         for o in expired {
-            record(&mut outcomes, o);
+            record(&mut outcomes, o, vns(clock));
         }
         // 2b. Per-chunk deadline check: a half-ingested prompt whose
         //     deadline passed is cancelled *between* chunks with the
@@ -587,7 +605,7 @@ pub fn run_decode_loop(
             }
         });
         for o in cancelled {
-            record(&mut outcomes, o);
+            record(&mut outcomes, o, vns(clock));
         }
 
         // 3. Plan the step: every live session decodes one token; in-flight
@@ -631,6 +649,7 @@ pub fn run_decode_loop(
                 break;
             }
             let q = queue.pop_front().expect("front exists");
+            bt_obs::trace_mark!(TraceId::from_request(q.req.id), names::REQ_PREFILL_START, vns(clock));
             budget_used += first;
             prefill.push(PrefillChunk {
                 id: q.req.id,
@@ -695,12 +714,14 @@ pub fn run_decode_loop(
                             generated: 0,
                         },
                     },
+                    vns(done),
                 );
             } else {
                 prefill_ok += 1;
                 prefill_tokens_ok += c.chunk;
                 PREFILL_TOKENS.add(c.chunk as u64);
                 PREFILL_CHUNKS.incr();
+                bt_obs::trace_mark!(TraceId::from_request(c.id), names::REQ_PREFILL_CHUNK, vns(done));
                 prefilling[at].ingested += c.chunk;
             }
         }
@@ -726,6 +747,7 @@ pub fn run_decode_loop(
                             generated: 0,
                         },
                     },
+                    vns(done),
                 );
             } else {
                 active.push(ActiveSession {
@@ -764,6 +786,7 @@ pub fn run_decode_loop(
             s.generated += 1;
             decoded += 1;
             DECODE_TOKENS.incr();
+            bt_obs::trace_mark!(TraceId::from_request(s.id), names::REQ_DECODE_STEP, vns(done));
             if s.generated == s.decode_tokens {
                 finished.push(DecodeRequestOutcome {
                     id: s.id,
@@ -785,7 +808,7 @@ pub fn run_decode_loop(
             }
         }
         for o in finished {
-            record(&mut outcomes, o);
+            record(&mut outcomes, o, vns(done));
         }
 
         steps.push(StepRecord {

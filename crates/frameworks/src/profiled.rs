@@ -1,16 +1,29 @@
-//! Instrumented serving loop: the discrete-event server of
-//! [`crate::serving::simulate_server`], but driving **real** framework
-//! forwards and reporting every stage to `bt-obs`.
+//! Instrumented **fixed-window** serving loop: the discrete-event batcher
+//! of [`crate::serving::simulate_server`] driving real framework forwards,
+//! with every stage reported to `bt-obs` under the `serving.*` names from
+//! the canonical [`bt_obs::names`] table.
 //!
-//! Per batch it records a `serving.batch` span wrapping three child spans —
-//! `serving.batch.pack` (host-side batch assembly + padding),
-//! `serving.batch.forward` (the framework forward), `serving.batch.unpack`
-//! (per-request extraction from the padded output) — plus the batch
-//! occupancy and per-request queue-wait histograms. Failed forwards no
-//! longer drop request timing on the floor: they record a terminal
-//! `serving.request.error` span and an error counter, and the affected
-//! requests still carry queue-wait and time-to-failure latency in the
-//! report.
+//! This is the simplest of the three serving drivers and deliberately stays
+//! that way — no admission gates, no deadlines, no chunking. It predates
+//! and complements the richer loops:
+//!
+//! * [`crate::server::run_open_loop`] / [`crate::server::Server`] —
+//!   continuous batching with token-budget admission, overload shedding,
+//!   **chunked shortest-first rounds** (`serve.*`, `serve.chunk.*`), and
+//!   per-request `req.*` trace marks;
+//! * [`crate::decode::run_decode_loop`] — token-step batching over the
+//!   paged KV cache with chunked prefill (`serve.decode.*`, `kvcache.*`).
+//!
+//! Keep using this loop when you want a *whole-pipeline* profile of the
+//! pack → forward → unpack cost structure without serving-policy effects in
+//! the way. Per batch it records a `serving.batch` span wrapping three
+//! child spans — `serving.batch.pack` (host-side batch assembly +
+//! padding), `serving.batch.forward` (the framework forward),
+//! `serving.batch.unpack` (per-request extraction from the padded output)
+//! — plus the batch occupancy and per-request queue-wait histograms.
+//! Failed forwards record a terminal `serving.request.error` span and an
+//! error counter, and the affected requests still carry queue-wait and
+//! time-to-failure latency in the report.
 //!
 //! Simulation semantics match `simulate_server`: the clock advances by the
 //! device's *modeled* time delta of the batch forward (single-GPU
@@ -20,19 +33,20 @@
 use crate::framework::SimFramework;
 use crate::serving::TimedRequest;
 use bt_device::Device;
+use bt_obs::names;
 use bt_tensor::Tensor;
 use bt_varlen::BatchMask;
 
 /// Occupancy (requests per formed batch) — exact percentiles up to 255.
-static OCCUPANCY: bt_obs::Histogram = bt_obs::Histogram::new("serving.batch.occupancy");
+static OCCUPANCY: bt_obs::Histogram = bt_obs::Histogram::new(names::SERVING_BATCH_OCCUPANCY);
 /// Per-request queue wait in simulated microseconds.
-static QUEUE_WAIT_US: bt_obs::Histogram = bt_obs::Histogram::new("serving.queue_wait_us");
+static QUEUE_WAIT_US: bt_obs::Histogram = bt_obs::Histogram::new(names::SERVING_QUEUE_WAIT_US);
 /// Requests admitted to batches.
-static REQUESTS: bt_obs::Counter = bt_obs::Counter::new("serving.requests");
+static REQUESTS: bt_obs::Counter = bt_obs::Counter::new(names::SERVING_REQUESTS);
 /// Batches formed.
-static BATCHES: bt_obs::Counter = bt_obs::Counter::new("serving.batches");
+static BATCHES: bt_obs::Counter = bt_obs::Counter::new(names::SERVING_BATCHES);
 /// Requests whose batch forward failed.
-static ERRORS: bt_obs::Counter = bt_obs::Counter::new("serving.request.errors");
+static ERRORS: bt_obs::Counter = bt_obs::Counter::new(names::SERVING_REQUEST_ERRORS);
 
 /// Outcome of one served request.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -49,7 +49,15 @@
 //!
 //! Everything is instrumented with `bt-obs`: queue-depth, batch-occupancy,
 //! batch-token and time-in-queue histograms, per-reason shed counters, and
-//! `serve.batch` / `serve.batch.forward` spans.
+//! `serve.batch` / `serve.batch.forward` spans — all named from the
+//! canonical [`bt_obs::names`] table. Both drivers additionally tag every
+//! request's lifecycle (`req.enqueue` → `req.admit` → `req.round` →
+//! `req.exec.done` → `req.done` / `req.shed.<reason>`) with a
+//! [`bt_obs::TraceId`], so a drained profile reconstructs per-request
+//! causal timelines via `bt_obs::trace::reconstruct`. The virtual-time
+//! engine stamps marks with its *simulated* clock, making trace phase
+//! breakdowns reconcile exactly with the [`ServeReport`] ledger; the
+//! threaded server stamps wall time.
 //!
 //! ```
 //! use bt_frameworks::server::{run_open_loop, ServeConfig};
@@ -74,42 +82,50 @@
 
 use crate::admission::{batch_mask, CutPolicy, Pending, ShedReason};
 use crate::serving::{latency_stats, LatencyStats, TimedRequest};
+use bt_obs::{names, TraceId};
 use bt_varlen::BatchMask;
 use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::time::Instant;
 
 /// Requests offered to the server (admitted or not).
-static OFFERED: bt_obs::Counter = bt_obs::Counter::new("serve.offered");
+static OFFERED: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_OFFERED);
 /// Requests served to completion.
-static SERVED: bt_obs::Counter = bt_obs::Counter::new("serve.served");
+static SERVED: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_SERVED);
 /// Requests shed at the ingress gate (bounded queue full).
-static SHED_QUEUE_FULL: bt_obs::Counter = bt_obs::Counter::new("serve.shed.queue_full");
+static SHED_QUEUE_FULL: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_SHED_QUEUE_FULL);
 /// Requests cancelled in the queue after their deadline expired.
-static SHED_DEADLINE: bt_obs::Counter = bt_obs::Counter::new("serve.shed.deadline_expired");
+static SHED_DEADLINE: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_SHED_DEADLINE);
 /// Requests rejected for exceeding the runtime's maximum length.
-static SHED_TOO_LONG: bt_obs::Counter = bt_obs::Counter::new("serve.shed.too_long");
+static SHED_TOO_LONG: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_SHED_TOO_LONG);
 /// Requests shed because the paged KV-cache pool was exhausted.
-static SHED_CACHE_OOM: bt_obs::Counter = bt_obs::Counter::new("serve.shed.cache_oom");
+static SHED_CACHE_OOM: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_SHED_CACHE_OOM);
 /// Requests cancelled between chunk rounds by a per-chunk deadline check.
-static SHED_CANCELLED: bt_obs::Counter = bt_obs::Counter::new("serve.shed.cancelled_mid_request");
+static SHED_CANCELLED: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_SHED_CANCELLED);
 /// Batches executed.
-static BATCHES: bt_obs::Counter = bt_obs::Counter::new("serve.batches");
+static BATCHES: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_BATCHES);
 /// Chunk rounds planned for cut batches (chunked mode only).
-static CHUNK_ROUNDS: bt_obs::Counter = bt_obs::Counter::new("serve.chunk.rounds");
+static CHUNK_ROUNDS: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_CHUNK_ROUNDS);
 /// Requests cancelled between chunk rounds (same events as
 /// `serve.shed.cancelled_mid_request`, namespaced with the chunk metrics).
-static CHUNK_CANCELLED: bt_obs::Counter = bt_obs::Counter::new("serve.chunk.cancelled");
+static CHUNK_CANCELLED: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_CHUNK_CANCELLED);
 /// Valid tokens per executed chunk round (chunked mode only).
-static CHUNK_TOKENS: bt_obs::Histogram = bt_obs::Histogram::new("serve.chunk.tokens");
+static CHUNK_TOKENS: bt_obs::Histogram = bt_obs::Histogram::new(names::SERVE_CHUNK_TOKENS);
 /// Queue depth sampled after every admission decision.
-static QUEUE_DEPTH: bt_obs::Histogram = bt_obs::Histogram::new("serve.queue.depth");
+static QUEUE_DEPTH: bt_obs::Histogram = bt_obs::Histogram::new(names::SERVE_QUEUE_DEPTH);
 /// Requests per executed batch.
-static OCCUPANCY: bt_obs::Histogram = bt_obs::Histogram::new("serve.batch.occupancy");
+static OCCUPANCY: bt_obs::Histogram = bt_obs::Histogram::new(names::SERVE_BATCH_OCCUPANCY);
 /// Valid tokens per executed batch (what a token budget meters).
-static BATCH_TOKENS: bt_obs::Histogram = bt_obs::Histogram::new("serve.batch.tokens");
+static BATCH_TOKENS: bt_obs::Histogram = bt_obs::Histogram::new(names::SERVE_BATCH_TOKENS);
 /// Time spent queued before the batch started, in microseconds.
-static TIME_IN_QUEUE_US: bt_obs::Histogram = bt_obs::Histogram::new("serve.queue_wait_us");
+static TIME_IN_QUEUE_US: bt_obs::Histogram = bt_obs::Histogram::new(names::SERVE_QUEUE_WAIT_US);
+
+/// Virtual-clock seconds → trace-mark nanoseconds. Rounding (not
+/// truncating) keeps phase sums reconciled with the ledger's `f64`
+/// arithmetic to within a nanosecond.
+pub(crate) fn vns(t: f64) -> u64 {
+    (t * 1e9).round() as u64
+}
 
 /// Server configuration: cutting policy plus the three overload guards.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -322,7 +338,17 @@ pub fn modeled_forward_executor(
     }
 }
 
-fn record_shed(outcomes: &mut [Option<RequestOutcome>], id: usize, len: usize, reason: ShedReason, wait: f64) {
+/// Records a shed outcome in the virtual-time engine: bumps the per-reason
+/// counter, stamps the request's terminal `req.shed.<reason>` trace mark at
+/// the simulated instant `t_ns`, and writes the ledger slot.
+fn record_shed(
+    outcomes: &mut [Option<RequestOutcome>],
+    id: usize,
+    len: usize,
+    reason: ShedReason,
+    wait: f64,
+    t_ns: u64,
+) {
     match reason {
         ShedReason::QueueFull => SHED_QUEUE_FULL.incr(),
         ShedReason::DeadlineExpired => SHED_DEADLINE.incr(),
@@ -330,6 +356,7 @@ fn record_shed(outcomes: &mut [Option<RequestOutcome>], id: usize, len: usize, r
         ShedReason::CacheOom => SHED_CACHE_OOM.incr(),
         ShedReason::CancelledMidRequest => SHED_CANCELLED.incr(),
     }
+    bt_obs::trace_mark_at(TraceId::from_request(id), reason.trace_label(), t_ns);
     let slot = outcomes.get_mut(id).expect("request ids must be a permutation of 0..n");
     assert!(slot.is_none(), "request id {id} offered twice");
     *slot = Some(RequestOutcome {
@@ -411,11 +438,14 @@ pub fn run_open_loop(
             let r = order[next];
             next += 1;
             OFFERED.incr();
+            let tid = TraceId::from_request(r.id);
+            bt_obs::trace_mark!(tid, names::REQ_ENQUEUE, vns(r.arrival));
             if r.len > config.max_len {
-                record_shed(&mut outcomes, r.id, r.len, ShedReason::TooLong, 0.0);
+                record_shed(&mut outcomes, r.id, r.len, ShedReason::TooLong, 0.0, vns(r.arrival));
             } else if queue.len() >= config.queue_capacity {
-                record_shed(&mut outcomes, r.id, r.len, ShedReason::QueueFull, 0.0);
+                record_shed(&mut outcomes, r.id, r.len, ShedReason::QueueFull, 0.0, vns(r.arrival));
             } else {
+                bt_obs::trace_mark!(tid, names::REQ_ADMIT, vns(r.arrival));
                 queue.push_back(Pending {
                     id: r.id,
                     len: r.len,
@@ -433,6 +463,7 @@ pub fn run_open_loop(
                     p.len,
                     ShedReason::DeadlineExpired,
                     clock - p.arrival,
+                    vns(clock),
                 );
                 false
             } else {
@@ -470,6 +501,7 @@ pub fn run_open_loop(
                                 p.len,
                                 ShedReason::CancelledMidRequest,
                                 clock - p.arrival,
+                                vns(clock),
                             );
                             false
                         } else {
@@ -492,6 +524,7 @@ pub fn run_open_loop(
             let start = clock;
             for p in &round {
                 TIME_IN_QUEUE_US.record(((start - p.arrival) * 1e6) as u64);
+                bt_obs::trace_mark!(TraceId::from_request(p.id), names::REQ_ROUND, vns(start));
             }
             let duration = {
                 let _span = bt_obs::span!("serve.batch.forward");
@@ -504,6 +537,9 @@ pub fn run_open_loop(
             let done = start + duration;
             for p in &round {
                 SERVED.incr();
+                let tid = TraceId::from_request(p.id);
+                bt_obs::trace_mark!(tid, names::REQ_EXEC_DONE, vns(done));
+                bt_obs::trace_mark!(tid, names::REQ_DONE, vns(done));
                 let slot = outcomes
                     .get_mut(p.id)
                     .expect("request ids must be a permutation of 0..n");
@@ -578,6 +614,8 @@ impl IngressHandle {
     /// `Err(Some(QueueFull))` on backpressure, `Err(None)` if the server is
     /// gone.
     pub fn try_submit(&self, id: usize, len: usize) -> Result<(), Option<ShedReason>> {
+        let tid = TraceId::from_request(id);
+        bt_obs::trace_mark!(tid, names::REQ_ENQUEUE);
         match self.tx.try_send(Submission {
             id,
             len,
@@ -585,7 +623,10 @@ impl IngressHandle {
             stream: None,
         }) {
             Ok(()) => Ok(()),
-            Err(TrySendError::Full(_)) => Err(Some(ShedReason::QueueFull)),
+            Err(TrySendError::Full(_)) => {
+                bt_obs::trace_mark(tid, ShedReason::QueueFull.trace_label());
+                Err(Some(ShedReason::QueueFull))
+            }
             Err(TrySendError::Disconnected(_)) => Err(None),
         }
     }
@@ -612,6 +653,8 @@ impl IngressHandle {
         capacity: usize,
     ) -> Result<Receiver<StreamEvent>, Option<ShedReason>> {
         let (stream_tx, stream_rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+        let tid = TraceId::from_request(id);
+        bt_obs::trace_mark!(tid, names::REQ_ENQUEUE);
         match self.tx.try_send(Submission {
             id,
             len,
@@ -619,7 +662,10 @@ impl IngressHandle {
             stream: Some(stream_tx),
         }) {
             Ok(()) => Ok(stream_rx),
-            Err(TrySendError::Full(_)) => Err(Some(ShedReason::QueueFull)),
+            Err(TrySendError::Full(_)) => {
+                bt_obs::trace_mark(tid, ShedReason::QueueFull.trace_label());
+                Err(Some(ShedReason::QueueFull))
+            }
             Err(TrySendError::Disconnected(_)) => Err(None),
         }
     }
@@ -671,6 +717,7 @@ impl Server {
                     ShedReason::CacheOom => SHED_CACHE_OOM.incr(),
                     ShedReason::CancelledMidRequest => SHED_CANCELLED.incr(),
                 }
+                bt_obs::trace_mark(TraceId::from_request(p.id), reason.trace_label());
                 let outcome = Outcome::Shed { reason, wait };
                 if let Some(s) = streams.remove(&p.id) {
                     let _ = s.try_send(StreamEvent::Done(outcome));
@@ -704,6 +751,7 @@ impl Server {
                     // configured bound even after a drain.
                     shed(result_tx, streams, &p, ShedReason::QueueFull, 0.0);
                 } else {
+                    bt_obs::trace_mark!(TraceId::from_request(p.id), names::REQ_ADMIT);
                     queue.push_back(p);
                 }
                 QUEUE_DEPTH.record(queue.len() as u64);
@@ -785,6 +833,7 @@ impl Server {
                     let start = epoch.elapsed().as_secs_f64();
                     for p in &round {
                         TIME_IN_QUEUE_US.record(((start - p.arrival) * 1e6) as u64);
+                        bt_obs::trace_mark!(TraceId::from_request(p.id), names::REQ_ROUND);
                     }
                     {
                         let _span = bt_obs::span!("serve.batch.forward");
@@ -793,6 +842,8 @@ impl Server {
                     let done = epoch.elapsed().as_secs_f64();
                     for p in &round {
                         SERVED.incr();
+                        let tid = TraceId::from_request(p.id);
+                        bt_obs::trace_mark!(tid, names::REQ_EXEC_DONE);
                         let outcome = Outcome::Served {
                             queue_wait: start - p.arrival,
                             latency: done - p.arrival,
@@ -805,9 +856,11 @@ impl Server {
                                 if s.try_send(StreamEvent::Token { index }).is_err() {
                                     break;
                                 }
+                                bt_obs::trace_mark!(tid, names::REQ_STREAM_TOKEN);
                             }
                             let _ = s.try_send(StreamEvent::Done(outcome));
                         }
+                        bt_obs::trace_mark!(tid, names::REQ_DONE);
                         let _ = result_tx.send(RequestOutcome {
                             id: p.id,
                             len: p.len,

@@ -127,6 +127,17 @@ fn store_row(
     }
 }
 
+/// Records the per-dispatch-path rate inputs `gemm.calls.<isa>.<prec>` and
+/// `gemm.flops.<isa>.<prec>` (2·m·n·k flops per launch); the windowed
+/// snapshot divides the flops delta by the window to report GFLOP/s per
+/// dispatch path.
+fn record_dispatch(isa: &str, prec: &str, m: usize, n: usize, k: usize) {
+    if bt_obs::enabled() {
+        bt_obs::counter(&format!("{}{isa}.{prec}", bt_obs::names::GEMM_CALLS_PREFIX)).incr();
+        bt_obs::counter(&format!("{}{isa}.{prec}", bt_obs::names::GEMM_FLOPS_PREFIX)).add(2 * (m * n * k) as u64);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn sgemm_inner(
     spec: GemmSpec,
@@ -165,12 +176,14 @@ fn sgemm_inner(
     // the original family below.
     let prec = crate::prec::active_precision();
     if let Some(lk) = crate::lowp::resolve_lowp_kernel(prec, crate::isa::active_isa()) {
+        record_dispatch(lk.isa.name(), lk.prec.name(), m, n, k);
         return sgemm_lowp(lk, spec, m, n, k, a, b, c, epilogue);
     }
 
     // One kernel per launch: the geometry below must stay consistent even
     // if the process-wide selection changes mid-flight.
     let kern = active_kernel();
+    record_dispatch(kern.isa.name(), "f32", m, n, k);
     if bt_obs::enabled() {
         bt_obs::counter(&format!("gemm.blocked.launches.{}", kern.isa.name())).incr();
     }

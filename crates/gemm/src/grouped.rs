@@ -277,6 +277,15 @@ fn run_grouped(
             Some(lk) => bt_obs::counter(&format!("gemm.grouped.tiles.{}.{}", lk.isa.name(), lk.prec.name())).add(total),
             None => bt_obs::counter(&format!("gemm.grouped.tiles.{}", kern.isa.name())).add(total),
         }
+        // Per-dispatch-path rate inputs: the windowed snapshot divides the
+        // flops delta by the window to report GFLOP/s per `<isa>.<prec>`.
+        let (isa, prec) = match lowp {
+            Some(lk) => (lk.isa.name(), lk.prec.name()),
+            None => (kern.isa.name(), "f32"),
+        };
+        let flops: u64 = problems.iter().map(|p| 2 * (p.m * p.n * p.k) as u64).sum();
+        bt_obs::counter(&format!("{}{isa}.{prec}", bt_obs::names::GEMM_CALLS_PREFIX)).incr();
+        bt_obs::counter(&format!("{}{isa}.{prec}", bt_obs::names::GEMM_FLOPS_PREFIX)).add(flops);
     }
     let batch_width = match config.scheduler {
         Scheduler::PerTile => 1,

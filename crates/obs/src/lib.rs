@@ -17,6 +17,20 @@
 //! [`profile::Profile`] which renders as a hierarchical span tree,
 //! `chrome://tracing` JSON, or a flat Prometheus-style text dump.
 //!
+//! Two layers sit on top of the rings:
+//!
+//! * **Request traces** — serving loops tag lifecycle point events with a
+//!   [`trace::TraceId`] (`trace_mark!` / `trace_span!`);
+//!   [`trace::reconstruct`] groups a drained profile into per-request
+//!   causal timelines with exact queue-wait / compute / egress phase
+//!   breakdowns. Names live in the documented [`names`] table.
+//! * **Windowed snapshots** — [`snapshot::Aggregator`] diffs successive
+//!   registry reads into per-window [`snapshot::MetricsSnapshot`]s (delta
+//!   counters, windowed percentiles from raw bucket deltas, GEMM rates,
+//!   shed breakdown) that merge across shards and export as JSON or
+//!   Prometheus text; [`snapshot::SnapshotLoop`] runs the periodic loop at
+//!   the `BYTE_OBS_WINDOW_MS` cadence.
+//!
 //! Recording is gated at runtime by the `BYTE_OBS` environment variable
 //! (`BYTE_OBS=off` disables it; [`set_enabled`] overrides programmatically)
 //! and at compile time by the `obs-off` cargo feature, which swaps the
@@ -27,20 +41,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod names;
 pub mod profile;
+pub mod snapshot;
+pub mod trace;
 mod warn;
 
+pub use trace::TraceId;
 pub use warn::{reset_warnings, warn_once, warnings};
 
 #[cfg(not(feature = "obs-off"))]
 mod record;
 #[cfg(not(feature = "obs-off"))]
-pub use record::{counter, drain, enabled, set_enabled, span_dyn, timed, Counter, Histogram, LabelId, SpanGuard};
+pub use record::{
+    assert_unique_registrations, counter, counter_values, drain, duplicate_registrations, enabled, histogram_windows,
+    now_ns, set_enabled, span_dyn, timed, trace_mark, trace_mark_at, trace_span, Counter, Histogram, LabelId,
+    SpanGuard,
+};
 
 #[cfg(feature = "obs-off")]
 mod noop;
 #[cfg(feature = "obs-off")]
-pub use noop::{counter, drain, enabled, set_enabled, span_dyn, timed, Counter, Histogram, LabelId, SpanGuard};
+pub use noop::{
+    assert_unique_registrations, counter, counter_values, drain, duplicate_registrations, enabled, histogram_windows,
+    now_ns, set_enabled, span_dyn, timed, trace_mark, trace_mark_at, trace_span, Counter, Histogram, LabelId,
+    SpanGuard,
+};
 
 /// True when the recording layer is compiled in (i.e. the `obs-off` feature
 /// is *not* active). Tests that assert on recorded telemetry early-return
@@ -58,5 +84,31 @@ macro_rules! span {
     ($name:expr) => {{
         static __BT_OBS_LABEL: $crate::LabelId = $crate::LabelId::new($name);
         $crate::SpanGuard::enter(&__BT_OBS_LABEL)
+    }};
+}
+
+/// Records a request-tagged point event. Two-argument form stamps the
+/// telemetry wall clock; the three-argument form takes an explicit
+/// nanosecond timestamp (virtual-time serving loops pass their simulated
+/// clock so trace phase sums reconcile exactly with their ledgers).
+#[macro_export]
+macro_rules! trace_mark {
+    ($id:expr, $name:expr) => {{
+        static __BT_OBS_LABEL: $crate::LabelId = $crate::LabelId::new($name);
+        $crate::trace_mark($id, &__BT_OBS_LABEL)
+    }};
+    ($id:expr, $name:expr, $t_ns:expr) => {{
+        static __BT_OBS_LABEL: $crate::LabelId = $crate::LabelId::new($name);
+        $crate::trace_mark_at($id, &__BT_OBS_LABEL, $t_ns)
+    }};
+}
+
+/// Opens a span whose enter and exit events carry a request tag, so the
+/// span shows up in that request's reconstructed timeline.
+#[macro_export]
+macro_rules! trace_span {
+    ($id:expr, $name:expr) => {{
+        static __BT_OBS_LABEL: $crate::LabelId = $crate::LabelId::new($name);
+        $crate::trace_span($id, &__BT_OBS_LABEL)
     }};
 }

@@ -1,0 +1,248 @@
+//! The canonical telemetry name table.
+//!
+//! Every counter, histogram, and trace-mark name used by the serving stack
+//! is declared here once, so `serve.*` / `serve.decode.*` instruments stop
+//! accumulating ad-hoc spellings across modules and a single test can
+//! assert the namespace is collision-free. Layers register instruments
+//! against these constants; [`crate::assert_unique_registrations`] then
+//! guarantees no two `static`s share a name at runtime.
+//!
+//! Naming scheme:
+//!
+//! | prefix | layer | examples |
+//! |---|---|---|
+//! | `serve.` | encoder open-loop batcher (`run_open_loop`) | `serve.offered`, `serve.chunk.rounds` |
+//! | `serve.decode.` | paged decode loop (`run_decode_loop`) | `serve.decode.steps` |
+//! | `serving.` | threaded profiled server (`serve_profiled`) | `serving.batches` |
+//! | `kvcache.` | paged KV cache + block pool | `kvcache.pool.high_water_blocks` |
+//! | `gemm.` | GEMM drivers (per-ISA/per-precision rates) | `gemm.flops.avx512.f32` |
+//! | `req.` | request-lifecycle trace marks (tagged point events) | `req.admit`, `req.shed.queue_full` |
+//!
+//! High-water counters (`record_max` semantics) contain `high_water` in the
+//! name; the snapshot merger relies on that to merge them by max instead of
+//! sum.
+
+// --- serve.* — encoder open-loop batcher ----------------------------------
+
+/// Requests offered to the admission gate.
+pub const SERVE_OFFERED: &str = "serve.offered";
+/// Requests served to completion.
+pub const SERVE_SERVED: &str = "serve.served";
+/// Requests shed: bounded queue was full at arrival.
+pub const SERVE_SHED_QUEUE_FULL: &str = "serve.shed.queue_full";
+/// Requests shed: deadline expired while queued.
+pub const SERVE_SHED_DEADLINE: &str = "serve.shed.deadline_expired";
+/// Requests shed: longer than the configured max length.
+pub const SERVE_SHED_TOO_LONG: &str = "serve.shed.too_long";
+/// Requests shed: KV-cache allocation failed.
+pub const SERVE_SHED_CACHE_OOM: &str = "serve.shed.cache_oom";
+/// Requests shed: cancelled between chunk rounds after admission.
+pub const SERVE_SHED_CANCELLED: &str = "serve.shed.cancelled_mid_request";
+/// Batches cut from the queue.
+pub const SERVE_BATCHES: &str = "serve.batches";
+/// Chunk rounds executed (a whole-batch cut counts one round).
+pub const SERVE_CHUNK_ROUNDS: &str = "serve.chunk.rounds";
+/// Requests cancelled between rounds (same events as
+/// [`SERVE_SHED_CANCELLED`], kept for the chunk-level view).
+pub const SERVE_CHUNK_CANCELLED: &str = "serve.chunk.cancelled";
+/// Histogram: valid tokens per chunk round.
+pub const SERVE_CHUNK_TOKENS: &str = "serve.chunk.tokens";
+/// Histogram: queue depth sampled at each batch cut.
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+/// Histogram: requests per cut batch.
+pub const SERVE_BATCH_OCCUPANCY: &str = "serve.batch.occupancy";
+/// Histogram: valid tokens per cut batch.
+pub const SERVE_BATCH_TOKENS: &str = "serve.batch.tokens";
+/// Histogram: per-request queue wait in microseconds.
+pub const SERVE_QUEUE_WAIT_US: &str = "serve.queue_wait_us";
+
+// --- serve.decode.* — paged decode loop -----------------------------------
+
+/// Generation requests offered to the decode loop.
+pub const DECODE_OFFERED: &str = "serve.decode.offered";
+/// Generation requests served to completion.
+pub const DECODE_SERVED: &str = "serve.decode.served";
+/// Generation requests shed (all reasons).
+pub const DECODE_SHED: &str = "serve.decode.shed";
+/// Generation requests shed on KV-pool exhaustion.
+pub const DECODE_SHED_CACHE_OOM: &str = "serve.decode.shed.cache_oom";
+/// Generation requests cancelled mid-flight on deadline.
+pub const DECODE_SHED_CANCELLED: &str = "serve.decode.shed.cancelled_mid_request";
+/// Prefill chunks ingested.
+pub const DECODE_PREFILL_CHUNKS: &str = "serve.decode.prefill.chunks";
+/// Token steps executed.
+pub const DECODE_STEPS: &str = "serve.decode.steps";
+/// Decode tokens generated.
+pub const DECODE_TOKENS_DECODE: &str = "serve.decode.tokens.decode";
+/// Prompt tokens ingested.
+pub const DECODE_TOKENS_PREFILL: &str = "serve.decode.tokens.prefill";
+/// Histogram: active decode sessions per step.
+pub const DECODE_ACTIVE_SESSIONS: &str = "serve.decode.active_sessions";
+
+// --- serving.* — threaded profiled server ---------------------------------
+
+/// Histogram: requests per forwarded batch.
+pub const SERVING_BATCH_OCCUPANCY: &str = "serving.batch.occupancy";
+/// Histogram: per-request queue wait in microseconds.
+pub const SERVING_QUEUE_WAIT_US: &str = "serving.queue_wait_us";
+/// Requests accepted by the profiled server.
+pub const SERVING_REQUESTS: &str = "serving.requests";
+/// Batches forwarded by the profiled server.
+pub const SERVING_BATCHES: &str = "serving.batches";
+/// Requests that returned an error outcome.
+pub const SERVING_REQUEST_ERRORS: &str = "serving.request.errors";
+
+// --- kvcache.* — paged KV cache and block pool ----------------------------
+
+/// Decode sessions opened against the paged cache.
+pub const KV_SESSIONS_OPENED: &str = "kvcache.sessions.opened";
+/// Decode sessions freed.
+pub const KV_SESSIONS_FREED: &str = "kvcache.sessions.freed";
+/// Allocation refusals at the cache layer.
+pub const KV_OOM: &str = "kvcache.oom";
+/// K/V token rows appended.
+pub const KV_TOKENS_APPENDED: &str = "kvcache.tokens.appended";
+/// Histogram: blocks in use sampled per decode step.
+pub const KV_BLOCKS_IN_USE: &str = "kvcache.blocks.in_use";
+/// High-water mark of blocks ever in use (block-pool layer; merges by max).
+pub const KV_POOL_HIGH_WATER: &str = "kvcache.pool.high_water_blocks";
+/// Block-pool allocation refusals.
+pub const KV_POOL_OOM_EVENTS: &str = "kvcache.pool.oom_events";
+
+// --- gemm.* — per-ISA / per-precision dispatch rates ----------------------
+
+/// Prefix for per-dispatch-path call counters: `gemm.calls.<isa>.<prec>`.
+pub const GEMM_CALLS_PREFIX: &str = "gemm.calls.";
+/// Prefix for per-dispatch-path FLOP counters: `gemm.flops.<isa>.<prec>`.
+/// The windowed snapshot divides the delta by the window to report GFLOP/s
+/// per dispatch path.
+pub const GEMM_FLOPS_PREFIX: &str = "gemm.flops.";
+
+// --- req.* — request-lifecycle trace marks --------------------------------
+//
+// These are tagged point events, not counters: each carries a `TraceId` and
+// a timestamp, and `crate::trace::reconstruct` groups them into
+// per-request timelines. The phase boundaries are defined so the three
+// phase durations telescope exactly to end-to-end latency:
+// queue-wait = first work mark − enqueue; compute = last work mark − first
+// work mark; egress = terminal − last work mark.
+
+/// Request entered the system (arrival at the admission gate).
+pub const REQ_ENQUEUE: &str = "req.enqueue";
+/// Request admitted into the bounded queue.
+pub const REQ_ADMIT: &str = "req.admit";
+/// Request's chunk round began executing (first one ends queue-wait).
+pub const REQ_ROUND: &str = "req.round";
+/// Request's forward work finished (last one starts stream egress).
+pub const REQ_EXEC_DONE: &str = "req.exec.done";
+/// Request left the decode queue into prefilling (ends queue-wait).
+pub const REQ_PREFILL_START: &str = "req.prefill.start";
+/// One prompt chunk ingested into the paged cache.
+pub const REQ_PREFILL_CHUNK: &str = "req.prefill.chunk";
+/// One decode token generated.
+pub const REQ_DECODE_STEP: &str = "req.decode.step";
+/// One token pushed to the client stream.
+pub const REQ_STREAM_TOKEN: &str = "req.stream.token";
+/// Terminal mark: request served to completion.
+pub const REQ_DONE: &str = "req.done";
+/// Prefix shared by all terminal shed marks; the suffix is the
+/// `ShedReason` label.
+pub const REQ_SHED_PREFIX: &str = "req.shed.";
+/// Terminal mark: shed, queue full.
+pub const REQ_SHED_QUEUE_FULL: &str = "req.shed.queue_full";
+/// Terminal mark: shed, deadline expired in queue.
+pub const REQ_SHED_DEADLINE: &str = "req.shed.deadline_expired";
+/// Terminal mark: shed, over the max length.
+pub const REQ_SHED_TOO_LONG: &str = "req.shed.too_long";
+/// Terminal mark: shed, KV-cache exhaustion.
+pub const REQ_SHED_CACHE_OOM: &str = "req.shed.cache_oom";
+/// Terminal mark: shed, cancelled after admission.
+pub const REQ_SHED_CANCELLED: &str = "req.shed.cancelled_mid_request";
+
+/// Every fixed name in the table (prefixes excluded), for the uniqueness
+/// test and documentation tooling.
+pub const ALL: &[&str] = &[
+    SERVE_OFFERED,
+    SERVE_SERVED,
+    SERVE_SHED_QUEUE_FULL,
+    SERVE_SHED_DEADLINE,
+    SERVE_SHED_TOO_LONG,
+    SERVE_SHED_CACHE_OOM,
+    SERVE_SHED_CANCELLED,
+    SERVE_BATCHES,
+    SERVE_CHUNK_ROUNDS,
+    SERVE_CHUNK_CANCELLED,
+    SERVE_CHUNK_TOKENS,
+    SERVE_QUEUE_DEPTH,
+    SERVE_BATCH_OCCUPANCY,
+    SERVE_BATCH_TOKENS,
+    SERVE_QUEUE_WAIT_US,
+    DECODE_OFFERED,
+    DECODE_SERVED,
+    DECODE_SHED,
+    DECODE_SHED_CACHE_OOM,
+    DECODE_SHED_CANCELLED,
+    DECODE_PREFILL_CHUNKS,
+    DECODE_STEPS,
+    DECODE_TOKENS_DECODE,
+    DECODE_TOKENS_PREFILL,
+    DECODE_ACTIVE_SESSIONS,
+    SERVING_BATCH_OCCUPANCY,
+    SERVING_QUEUE_WAIT_US,
+    SERVING_REQUESTS,
+    SERVING_BATCHES,
+    SERVING_REQUEST_ERRORS,
+    KV_SESSIONS_OPENED,
+    KV_SESSIONS_FREED,
+    KV_OOM,
+    KV_TOKENS_APPENDED,
+    KV_BLOCKS_IN_USE,
+    KV_POOL_HIGH_WATER,
+    KV_POOL_OOM_EVENTS,
+    REQ_ENQUEUE,
+    REQ_ADMIT,
+    REQ_ROUND,
+    REQ_EXEC_DONE,
+    REQ_PREFILL_START,
+    REQ_PREFILL_CHUNK,
+    REQ_DECODE_STEP,
+    REQ_STREAM_TOKEN,
+    REQ_DONE,
+    REQ_SHED_QUEUE_FULL,
+    REQ_SHED_DEADLINE,
+    REQ_SHED_TOO_LONG,
+    REQ_SHED_CACHE_OOM,
+    REQ_SHED_CANCELLED,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table_has_no_duplicate_names() {
+        let mut seen = HashSet::new();
+        for name in ALL {
+            assert!(seen.insert(name), "duplicate name in obs::names::ALL: {name}");
+        }
+    }
+
+    #[test]
+    fn shed_marks_follow_the_prefix() {
+        for name in [
+            REQ_SHED_QUEUE_FULL,
+            REQ_SHED_DEADLINE,
+            REQ_SHED_TOO_LONG,
+            REQ_SHED_CACHE_OOM,
+            REQ_SHED_CANCELLED,
+        ] {
+            assert!(name.starts_with(REQ_SHED_PREFIX));
+        }
+    }
+
+    #[test]
+    fn high_water_names_merge_by_max() {
+        assert!(KV_POOL_HIGH_WATER.contains("high_water"));
+    }
+}

@@ -3,6 +3,8 @@
 //! dependents compile unchanged; everything inlines to nothing.
 
 use crate::profile::{HistogramSnapshot, Profile};
+use crate::snapshot::HistogramWindow;
+use crate::trace::TraceId;
 
 /// A per-call-site span label (no-op build: carries nothing).
 pub struct LabelId {
@@ -38,6 +40,26 @@ impl SpanGuard {
 /// Opens nothing (dynamic-name variant).
 #[inline(always)]
 pub fn span_dyn(_name: &str) -> SpanGuard {
+    SpanGuard { _priv: () }
+}
+
+/// Always zero in the no-op build (the telemetry clock does not exist).
+#[inline(always)]
+pub fn now_ns() -> u64 {
+    0
+}
+
+/// Records nothing.
+#[inline(always)]
+pub fn trace_mark(_id: TraceId, _label: &'static LabelId) {}
+
+/// Records nothing.
+#[inline(always)]
+pub fn trace_mark_at(_id: TraceId, _label: &'static LabelId, _t_ns: u64) {}
+
+/// Opens nothing.
+#[inline(always)]
+pub fn trace_span(_id: TraceId, _label: &'static LabelId) -> SpanGuard {
     SpanGuard { _priv: () }
 }
 
@@ -120,6 +142,24 @@ pub fn drain() -> Profile {
     Profile::default()
 }
 
+/// Always empty in the no-op build.
+pub fn counter_values() -> Vec<(String, u64)> {
+    Vec::new()
+}
+
+/// Always empty in the no-op build.
+pub fn histogram_windows() -> Vec<HistogramWindow> {
+    Vec::new()
+}
+
+/// Always empty in the no-op build (nothing registers).
+pub fn duplicate_registrations() -> Vec<String> {
+    Vec::new()
+}
+
+/// Trivially passes in the no-op build.
+pub fn assert_unique_registrations() {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +168,15 @@ mod tests {
     fn noop_api_accepts_all_calls() {
         let _g = crate::span!("noop.span");
         let _d = span_dyn("noop.dyn");
+        let id = TraceId::from_request(3);
+        crate::trace_mark!(id, "noop.mark");
+        crate::trace_mark!(id, "noop.mark.at", 123);
+        let _t = crate::trace_span!(id, "noop.trace.span");
+        assert_eq!(now_ns(), 0);
+        assert!(counter_values().is_empty());
+        assert!(histogram_windows().is_empty());
+        assert!(duplicate_registrations().is_empty());
+        assert_unique_registrations();
         static C: Counter = Counter::new("noop.counter");
         C.add(7);
         C.incr();

@@ -13,13 +13,15 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Whether a [`SpanEvent`] opens or closes a span.
+/// Whether a [`SpanEvent`] opens a span, closes one, or marks an instant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventKind {
     /// Span opened.
     Enter,
     /// Span closed.
     Exit,
+    /// Instantaneous point event (request-lifecycle trace mark).
+    Point,
 }
 
 /// One ring-buffer event, with the label resolved to its name.
@@ -27,14 +29,18 @@ pub enum EventKind {
 pub struct SpanEvent {
     /// Resolved span name (e.g. `gemm.grouped.cta`).
     pub name: String,
-    /// Enter or exit.
+    /// Enter, exit, or point.
     pub kind: EventKind,
-    /// Nanoseconds since the process-wide telemetry epoch.
+    /// Nanoseconds since the process-wide telemetry epoch — or, for trace
+    /// marks stamped by a virtual-time serving loop, the loop's simulated
+    /// clock in nanoseconds.
     pub t_ns: u64,
     /// Global monotonic sequence number (total order tie-breaker).
     pub seq: u64,
     /// Index into [`Profile::threads`].
     pub thread: usize,
+    /// Raw request tag ([`crate::trace::TraceId`]); 0 = untagged.
+    pub trace: u64,
 }
 
 /// Snapshot of one histogram at drain time.
@@ -112,6 +118,9 @@ impl Profile {
                     }
                     // Mismatched exit: its enter predates this drain window.
                 }
+                // Point events have no duration; they belong to the trace
+                // view (`crate::trace`), not the span tree.
+                EventKind::Point => {}
             }
         }
         let mut root = SpanNode {
@@ -160,6 +169,7 @@ impl Profile {
                         e.1 += ev.t_ns.saturating_sub(t0);
                     }
                 }
+                EventKind::Point => {}
             }
         }
         totals
@@ -244,10 +254,21 @@ impl Profile {
             let ph = match ev.kind {
                 EventKind::Enter => "B",
                 EventKind::Exit => "E",
+                EventKind::Point => "i",
+            };
+            let args = if ev.trace != 0 {
+                format!(",\"args\":{{\"trace\":{}}}", ev.trace)
+            } else {
+                String::new()
+            };
+            let scope = if ev.kind == EventKind::Point {
+                ",\"s\":\"t\""
+            } else {
+                ""
             };
             let _ = write!(
                 out,
-                "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{:.3},\"pid\":1,\"tid\":{}}}",
+                "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{:.3},\"pid\":1,\"tid\":{}{scope}{args}}}",
                 json_escape(&ev.name),
                 ev.t_ns as f64 / 1e3,
                 ev.thread
@@ -323,6 +344,7 @@ mod tests {
             t_ns,
             seq,
             thread,
+            trace: 0,
         }
     }
 
@@ -422,6 +444,20 @@ mod tests {
         assert!(text.contains("outer"));
         assert!(text.contains("pool.launches"));
         assert!(text.contains("occupancy"));
+    }
+
+    #[test]
+    fn point_events_skip_span_views_but_export_as_instants() {
+        let mut p = sample();
+        let mut mark = ev("req.enqueue", EventKind::Point, 7, 8, 0);
+        mark.trace = 42;
+        p.events.push(mark);
+        let totals = p.span_totals();
+        assert!(!totals.contains_key("req.enqueue"));
+        assert_eq!(p.span_tree().children.len(), 2, "tree unchanged by points");
+        let json = p.chrome_trace();
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"args\":{\"trace\":42}"));
     }
 
     #[test]

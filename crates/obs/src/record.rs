@@ -9,17 +9,22 @@
 //! ring drops new events (counted) rather than blocking or overwriting.
 
 use crate::profile::{EventKind, HistogramSnapshot, Profile, SpanEvent};
+use crate::snapshot::{bucket_of, HistogramWindow, HIST_BUCKETS};
+use crate::trace::TraceId;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{LazyLock, Mutex, OnceLock};
 use std::time::Instant;
 
-/// Slots per thread-local ring (power of two; ~1.5 MiB per thread).
+/// Slots per thread-local ring (power of two; ~2 MiB per thread).
 const RING_CAP: usize = 1 << 14;
 
+// Event kind lives in the low two bits of `Slot::packed`.
 const KIND_ENTER: u64 = 0;
 const KIND_EXIT: u64 = 1;
+const KIND_POINT: u64 = 2;
+const KIND_MASK: u64 = 3;
 
 // ---------------------------------------------------------------------------
 // enable switch
@@ -71,8 +76,11 @@ fn epoch() -> &'static Instant {
     EPOCH.get_or_init(Instant::now)
 }
 
+/// Nanoseconds since the process-wide telemetry epoch. Exposed so callers
+/// that mix wall-clock spans with explicit-timestamp trace marks (see
+/// [`trace_mark_at`]) can stamp both from the same clock.
 #[inline]
-fn now_ns() -> u64 {
+pub fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
@@ -137,10 +145,12 @@ impl LabelId {
 // ---------------------------------------------------------------------------
 
 struct Slot {
-    /// `label_id << 1 | kind`.
+    /// `label_id << 2 | kind`.
     packed: AtomicU64,
     t_ns: AtomicU64,
     seq: AtomicU64,
+    /// Request tag (raw [`TraceId`]); 0 = untagged process-wide event.
+    tag: AtomicU64,
 }
 
 struct Ring {
@@ -155,7 +165,7 @@ struct Ring {
 }
 
 impl Ring {
-    fn push(&self, kind: u64, label: u32) {
+    fn push(&self, kind: u64, label: u32, tag: u64, t_ns: u64) {
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Relaxed);
         if head - tail >= RING_CAP {
@@ -163,9 +173,10 @@ impl Ring {
             return;
         }
         let slot = &self.slots[head & (RING_CAP - 1)];
-        slot.packed.store((label as u64) << 1 | kind, Ordering::Relaxed);
-        slot.t_ns.store(now_ns(), Ordering::Relaxed);
+        slot.packed.store((label as u64) << 2 | kind, Ordering::Relaxed);
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
         slot.seq.store(SEQ.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        slot.tag.store(tag, Ordering::Relaxed);
         self.head.store(head + 1, Ordering::Release);
     }
 }
@@ -190,6 +201,7 @@ fn make_ring() -> &'static Ring {
                 packed: AtomicU64::new(0),
                 t_ns: AtomicU64::new(0),
                 seq: AtomicU64::new(0),
+                tag: AtomicU64::new(0),
             })
             .collect(),
         head: AtomicUsize::new(0),
@@ -203,7 +215,7 @@ fn make_ring() -> &'static Ring {
 }
 
 #[inline]
-fn push_event(kind: u64, label: u32) {
+fn push_tagged(kind: u64, label: u32, tag: u64, t_ns: u64) {
     MY_RING.with(|cell| {
         let ring = match cell.get() {
             Some(r) => r,
@@ -213,8 +225,13 @@ fn push_event(kind: u64, label: u32) {
                 r
             }
         };
-        ring.push(kind, label);
+        ring.push(kind, label, tag, t_ns);
     });
+}
+
+#[inline]
+fn push_event(kind: u64, label: u32) {
+    push_tagged(kind, label, 0, now_ns());
 }
 
 // ---------------------------------------------------------------------------
@@ -226,6 +243,8 @@ fn push_event(kind: u64, label: u32) {
 pub struct SpanGuard {
     /// Interned label, or 0 when the span is inactive (recording disabled).
     id: u32,
+    /// Request tag carried onto both events (0 = untagged).
+    tag: u64,
 }
 
 impl SpanGuard {
@@ -233,17 +252,17 @@ impl SpanGuard {
     #[inline]
     pub fn enter(label: &'static LabelId) -> SpanGuard {
         if !enabled() {
-            return SpanGuard { id: 0 };
+            return SpanGuard { id: 0, tag: 0 };
         }
         let id = label.resolve();
         push_event(KIND_ENTER, id);
-        SpanGuard { id }
+        SpanGuard { id, tag: 0 }
     }
 
     /// An inactive guard, for conditional instrumentation.
     #[inline]
     pub fn none() -> SpanGuard {
-        SpanGuard { id: 0 }
+        SpanGuard { id: 0, tag: 0 }
     }
 }
 
@@ -251,7 +270,7 @@ impl Drop for SpanGuard {
     #[inline]
     fn drop(&mut self) {
         if self.id != 0 {
-            push_event(KIND_EXIT, self.id);
+            push_tagged(KIND_EXIT, self.id, self.tag, now_ns());
         }
     }
 }
@@ -260,11 +279,52 @@ impl Drop for SpanGuard {
 /// costlier than `span!`, intended for per-kernel names on traced devices).
 pub fn span_dyn(name: &str) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { id: 0 };
+        return SpanGuard { id: 0, tag: 0 };
     }
     let id = intern(name);
     push_event(KIND_ENTER, id);
-    SpanGuard { id }
+    SpanGuard { id, tag: 0 }
+}
+
+// ---------------------------------------------------------------------------
+// request-scoped trace events
+// ---------------------------------------------------------------------------
+
+/// Records a point event tagged with `id` at the current wall clock. Point
+/// events mark request-lifecycle transitions (enqueue, admit, shed, round,
+/// token, done); [`crate::trace::reconstruct`] groups them back into
+/// per-request timelines after [`drain`].
+#[inline]
+pub fn trace_mark(id: TraceId, label: &'static LabelId) {
+    if enabled() {
+        push_tagged(KIND_POINT, label.resolve(), id.raw(), now_ns());
+    }
+}
+
+/// Records a point event tagged with `id` at an explicit timestamp.
+///
+/// Virtual-time serving loops (`run_open_loop`, `run_decode_loop`) pass
+/// their simulated clock (in nanoseconds) here so that per-phase durations
+/// reconstructed from the trace match the loop's own ledger *exactly*;
+/// mixing these with wall-clock events in one profile is fine because trace
+/// reconstruction only compares timestamps within a single request.
+#[inline]
+pub fn trace_mark_at(id: TraceId, label: &'static LabelId, t_ns: u64) {
+    if enabled() {
+        push_tagged(KIND_POINT, label.resolve(), id.raw(), t_ns);
+    }
+}
+
+/// Opens a span whose enter/exit events both carry the request tag `id`.
+#[inline]
+pub fn trace_span(id: TraceId, label: &'static LabelId) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { id: 0, tag: 0 };
+    }
+    let lid = label.resolve();
+    let tag = id.raw();
+    push_tagged(KIND_ENTER, lid, tag, now_ns());
+    SpanGuard { id: lid, tag }
 }
 
 // ---------------------------------------------------------------------------
@@ -368,14 +428,10 @@ pub fn timed<R>(c: &'static Counter, f: impl FnOnce() -> R) -> R {
 // histograms
 // ---------------------------------------------------------------------------
 
-/// Linear buckets (exact) below this value; log2 buckets above.
-const HIST_LINEAR: usize = 256;
-/// 256 linear + one bucket per power of two from 2^8 through 2^63.
-const HIST_BUCKETS: usize = HIST_LINEAR + 56;
-
 /// A fixed-bucket atomic histogram: values below 256 are recorded exactly,
 /// larger values land in per-power-of-two buckets (percentiles then report
-/// the bucket's upper bound).
+/// the bucket's upper bound). Bucket geometry lives in [`crate::snapshot`]
+/// so windowed aggregation reproduces the exact same percentile math.
 pub struct Histogram {
     name: &'static str,
     buckets: [AtomicU64; HIST_BUCKETS],
@@ -400,28 +456,6 @@ impl Histogram {
         }
     }
 
-    fn bucket_of(v: u64) -> usize {
-        if v < HIST_LINEAR as u64 {
-            v as usize
-        } else {
-            HIST_LINEAR + (63 - v.leading_zeros() as usize) - 8
-        }
-    }
-
-    /// Upper bound of bucket `i` (exact for linear buckets).
-    fn bucket_upper(i: usize) -> u64 {
-        if i < HIST_LINEAR {
-            i as u64
-        } else {
-            let e = i - HIST_LINEAR + 9;
-            if e >= 64 {
-                u64::MAX
-            } else {
-                (1u64 << e) - 1
-            }
-        }
-    }
-
     /// Records one observation (no-op while recording is disabled).
     #[inline]
     pub fn record(&'static self, v: u64) {
@@ -429,38 +463,24 @@ impl Histogram {
             if !self.registered.swap(true, Ordering::Relaxed) {
                 HISTOGRAMS.lock().expect("histogram registry poisoned").push(self);
             }
-            self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
             self.count.fetch_add(1, Ordering::Relaxed);
             self.sum.fetch_add(v, Ordering::Relaxed);
         }
     }
 
+    /// The raw cumulative bucket state, for windowed aggregation.
+    pub fn window(&self) -> HistogramWindow {
+        HistogramWindow {
+            name: self.name.to_string(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
     /// A point-in-time snapshot with p50/p95/p99.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        let pct = |q: f64| -> u64 {
-            if total == 0 {
-                return 0;
-            }
-            let rank = (q * total as f64).ceil().max(1.0) as u64;
-            let mut seen = 0u64;
-            for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    return Self::bucket_upper(i);
-                }
-            }
-            Self::bucket_upper(HIST_BUCKETS - 1)
-        };
-        HistogramSnapshot {
-            name: self.name.to_string(),
-            count: total,
-            sum: self.sum.load(Ordering::Relaxed),
-            p50: pct(0.50),
-            p95: pct(0.95),
-            p99: pct(0.99),
-        }
+        self.window().snapshot()
     }
 }
 
@@ -488,21 +508,22 @@ pub fn drain() -> Profile {
         for i in tail..head {
             let slot = &ring.slots[i & (RING_CAP - 1)];
             let packed = slot.packed.load(Ordering::Relaxed);
-            let label = (packed >> 1) as usize;
+            let label = (packed >> 2) as usize;
             let name = names
                 .get(label.wrapping_sub(1))
                 .map(|n| n.to_string())
                 .unwrap_or_else(|| format!("label-{label}"));
             events.push(SpanEvent {
                 name,
-                kind: if packed & 1 == KIND_ENTER {
-                    EventKind::Enter
-                } else {
-                    EventKind::Exit
+                kind: match packed & KIND_MASK {
+                    KIND_ENTER => EventKind::Enter,
+                    KIND_EXIT => EventKind::Exit,
+                    _ => EventKind::Point,
                 },
                 t_ns: slot.t_ns.load(Ordering::Relaxed),
                 seq: slot.seq.load(Ordering::Relaxed),
                 thread: ring.thread,
+                trace: slot.tag.load(Ordering::Relaxed),
             });
         }
         ring.tail.store(head, Ordering::Relaxed);
@@ -510,12 +531,7 @@ pub fn drain() -> Profile {
     }
     events.sort_by_key(|e| (e.t_ns, e.seq));
 
-    let counters: Vec<(String, u64)> = {
-        let regs = COUNTERS.lock().expect("counter registry poisoned");
-        let mut v: Vec<(String, u64)> = regs.iter().map(|c| (c.name.to_string(), c.get())).collect();
-        v.sort();
-        v
-    };
+    let counters = counter_values();
     let histograms: Vec<HistogramSnapshot> = {
         let regs = HISTOGRAMS.lock().expect("histogram registry poisoned");
         let mut v: Vec<HistogramSnapshot> = regs.iter().map(|h| h.snapshot()).collect();
@@ -532,9 +548,58 @@ pub fn drain() -> Profile {
     }
 }
 
+// ---------------------------------------------------------------------------
+// registry access for windowed aggregation
+// ---------------------------------------------------------------------------
+
+/// Current `(name, cumulative value)` of every registered counter, sorted by
+/// name. Unlike [`drain`] this consumes nothing; the windowed
+/// [`crate::snapshot::Aggregator`] diffs successive reads.
+pub fn counter_values() -> Vec<(String, u64)> {
+    let regs = COUNTERS.lock().expect("counter registry poisoned");
+    let mut v: Vec<(String, u64)> = regs.iter().map(|c| (c.name.to_string(), c.get())).collect();
+    v.sort();
+    v
+}
+
+/// Current cumulative bucket state of every registered histogram, sorted by
+/// name. Non-consuming, for the windowed aggregator.
+pub fn histogram_windows() -> Vec<HistogramWindow> {
+    let regs = HISTOGRAMS.lock().expect("histogram registry poisoned");
+    let mut v: Vec<HistogramWindow> = regs.iter().map(|h| h.window()).collect();
+    v.sort_by(|a, b| a.name.cmp(&b.name));
+    v
+}
+
+/// Names registered more than once across the counter and histogram
+/// registries. Two distinct `static`s sharing one name would silently split
+/// a metric across instruments; [`assert_unique_registrations`] turns that
+/// into a hard failure.
+pub fn duplicate_registrations() -> Vec<String> {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for (name, _) in counter_values() {
+        *seen.entry(name).or_insert(0) += 1;
+    }
+    for h in histogram_windows() {
+        *seen.entry(h.name).or_insert(0) += 1;
+    }
+    let mut dupes: Vec<String> = seen.into_iter().filter(|&(_, n)| n > 1).map(|(n, _)| n).collect();
+    dupes.sort();
+    dupes
+}
+
+/// Panics if any counter or histogram name is registered by more than one
+/// instrument. Called by the telemetry test suite after exercising the
+/// serving paths.
+pub fn assert_unique_registrations() {
+    let dupes = duplicate_registrations();
+    assert!(dupes.is_empty(), "duplicate telemetry registrations: {dupes:?}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::bucket_upper;
     use std::sync::MutexGuard;
 
     /// Drain-based tests share global state; serialize them.
@@ -703,12 +768,70 @@ mod tests {
     fn bucket_math_is_monotonic() {
         let mut last = 0;
         for v in [0u64, 1, 255, 256, 511, 512, 1 << 20, 1 << 40, u64::MAX] {
-            let b = Histogram::bucket_of(v);
+            let b = bucket_of(v);
             assert!(b >= last);
             assert!(b < HIST_BUCKETS);
-            assert!(Histogram::bucket_upper(b) >= v, "upper bound must cover {v}");
+            assert!(bucket_upper(b) >= v, "upper bound must cover {v}");
             last = b;
         }
-        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn trace_marks_carry_tags_and_explicit_timestamps() {
+        let _l = lock();
+        let id = TraceId::from_request(7);
+        crate::trace_mark!(id, "test.trace.enq", 1_000);
+        crate::trace_mark!(id, "test.trace.done", 5_000);
+        {
+            let _s = crate::trace_span!(id, "test.trace.span");
+        }
+        let _untagged = crate::span!("test.trace.untagged");
+        let p = drain();
+        let tagged: Vec<&SpanEvent> = p.events.iter().filter(|e| e.trace == id.raw()).collect();
+        assert_eq!(tagged.len(), 4, "two marks + span enter/exit");
+        let enq = tagged.iter().find(|e| e.name == "test.trace.enq").unwrap();
+        assert_eq!((enq.kind, enq.t_ns), (EventKind::Point, 1_000));
+        let done = tagged.iter().find(|e| e.name == "test.trace.done").unwrap();
+        assert_eq!(done.t_ns, 5_000);
+        assert!(tagged
+            .iter()
+            .any(|e| e.name == "test.trace.span" && e.kind == EventKind::Enter));
+        assert!(tagged
+            .iter()
+            .any(|e| e.name == "test.trace.span" && e.kind == EventKind::Exit));
+        let untagged = p.events.iter().find(|e| e.name == "test.trace.untagged").unwrap();
+        assert_eq!(untagged.trace, 0);
+    }
+
+    #[test]
+    fn counter_values_and_histogram_windows_are_nonconsuming() {
+        let _l = lock();
+        static C: Counter = Counter::new("test.windowed.counter");
+        static H: Histogram = Histogram::new("test.windowed.hist");
+        C.add(4);
+        H.record(10);
+        let find = || {
+            counter_values()
+                .into_iter()
+                .find(|(n, _)| n == "test.windowed.counter")
+                .map(|(_, v)| v)
+        };
+        let first = find().expect("registered");
+        assert_eq!(find(), Some(first), "reading twice must not consume");
+        let w = histogram_windows()
+            .into_iter()
+            .find(|w| w.name == "test.windowed.hist")
+            .expect("registered");
+        assert_eq!(w.buckets.len(), HIST_BUCKETS);
+        assert!(w.count() >= 1);
+    }
+
+    #[test]
+    fn no_duplicate_registrations_in_this_process() {
+        let _l = lock();
+        static A: Counter = Counter::new("test.unique.one");
+        A.incr();
+        assert_unique_registrations();
     }
 }

@@ -26,8 +26,19 @@
 //! sessions, exact free-list accounting, free returns everything) are
 //! property-tested in isolation (`tests/paged_properties.rs`). The actual
 //! K/V storage indexed by these tables lives in `bt-core`'s paged KV cache.
+//!
+//! Pool pressure is surfaced to `bt-obs`: `kvcache.pool.high_water_blocks`
+//! (a `record_max` high-water counter the windowed snapshot merges by max)
+//! and `kvcache.pool.oom_events`, so operators can see "pool too small"
+//! without waiting for a [`BlockPool::high_water_blocks`] ledger read.
 
 use std::fmt;
+
+/// High-water mark of blocks simultaneously in use, across every pool in
+/// the process (merges by max across shards).
+static POOL_HIGH_WATER: bt_obs::Counter = bt_obs::Counter::new(bt_obs::names::KV_POOL_HIGH_WATER);
+/// Appends refused with [`KvOom`] across every pool in the process.
+static POOL_OOM_EVENTS: bt_obs::Counter = bt_obs::Counter::new(bt_obs::names::KV_POOL_OOM_EVENTS);
 
 /// Default tokens per block (`BYTE_KV_BLOCK` overrides).
 pub const DEFAULT_BLOCK_TOKENS: usize = 16;
@@ -276,6 +287,7 @@ impl BlockPool {
         let grow = need_total.saturating_sub(t.blocks.len());
         if grow > self.free.len() {
             self.oom_events += 1;
+            POOL_OOM_EVENTS.incr();
             return Err(KvOom {
                 needed_blocks: grow,
                 free_blocks: self.free.len(),
@@ -287,6 +299,7 @@ impl BlockPool {
         }
         t.len += tokens;
         self.high_water_blocks = self.high_water_blocks.max(self.layout.pool_blocks - self.free.len());
+        POOL_HIGH_WATER.record_max(self.high_water_blocks as u64);
         Ok(())
     }
 

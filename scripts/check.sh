@@ -65,6 +65,17 @@ echo "==> decode serving artifact (BENCH_decode.json)"
 BT_BENCH_FAST=1 cargo bench -p bt-bench --bench bench_decode --quiet
 test -s BENCH_decode.json || { echo "BENCH_decode.json was not emitted"; exit 1; }
 
+echo "==> perf-regression gate (scripts/bench_gate.sh)"
+# Re-emits the four BENCH_*.json artifacts and diffs them against the
+# baselines committed at HEAD with per-metric tolerance bands; a throughput
+# collapse, latency blowup, or broken accounting boolean fails the gate.
+scripts/bench_gate.sh
+
+echo "==> cargo check --workspace --all-targets (obs-off)"
+# Every new obs-layer API (trace, snapshot, btx trace/top, bench_gate) must
+# still compile with telemetry swapped for the no-op layer.
+cargo check --workspace --all-targets --quiet --features bt-obs/obs-off
+
 echo "==> cargo test --workspace (obs-off)"
 # Telemetry compiled out: the no-op layer must keep the whole workspace
 # building and passing (every bt-obs call site is exercised as dead code).

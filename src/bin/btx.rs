@@ -14,7 +14,18 @@
 //!                [--block 0(env)] [--blocks 0(env)] [--budget 0(auto)]
 //!                [--deadline-ms 0(off)] [--queue 0(auto)] [--chunk 0(env)]
 //!                [--trace] [--seed 42]
+//! btx trace      [--slowest 5] [--shed-only] [--deadline-missed]
+//!                [serve flags: --policy --load --requests --seed ...]
+//! btx top        [--windows 5] [serve flags]    # live windowed snapshots
 //! ```
+//!
+//! `btx trace` runs the seeded open-loop serve workload with request
+//! tracing on, reconstructs every offered request's causal timeline from
+//! the drained profile, and prints the filtered set (slowest K by
+//! end-to-end latency, shed-only, or deadline-missed). `btx top` drives
+//! the same workload continuously on a background thread and refreshes a
+//! windowed metrics snapshot (rates, shed breakdown, queue-wait
+//! percentiles, per-path GEMM GFLOP/s) every `BYTE_OBS_WINDOW_MS`.
 //!
 //! All subcommands use the standard BERT configuration (12 heads × 64) and
 //! print modeled A100 time from the execution trace; run with `--release`
@@ -50,6 +61,10 @@ struct Args {
     block: usize,
     blocks: usize,
     chunk: Option<usize>,
+    slowest: usize,
+    shed_only: bool,
+    deadline_missed: bool,
+    windows: usize,
 }
 
 fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
@@ -80,6 +95,10 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
         blocks: 0,
         // None = fall back to BYTE_CHUNK_TOKENS (whole-batch when unset).
         chunk: None,
+        slowest: 5,
+        shed_only: false,
+        deadline_missed: false,
+        windows: 5,
     };
     let rest: Vec<String> = raw.collect();
     let mut i = 0;
@@ -94,6 +113,16 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
             }
             "--trace" => {
                 args.trace = true;
+                i += 1;
+                continue;
+            }
+            "--shed-only" => {
+                args.shed_only = true;
+                i += 1;
+                continue;
+            }
+            "--deadline-missed" => {
+                args.deadline_missed = true;
                 i += 1;
                 continue;
             }
@@ -125,6 +154,8 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
             "--queue" => args.queue = take("--queue").parse().expect("numeric --queue"),
             "--budget" => args.budget = take("--budget").parse().expect("numeric --budget"),
             "--seed" => args.seed = take("--seed").parse().expect("numeric --seed"),
+            "--slowest" => args.slowest = take("--slowest").parse().expect("numeric --slowest"),
+            "--windows" => args.windows = take("--windows").parse().expect("numeric --windows"),
             "--policy" => {
                 args.policy = take("--policy");
                 if !["fifo", "sorted", "budget"].contains(&args.policy.as_str()) {
@@ -199,13 +230,16 @@ fn main() {
         "profile" => cmd_profile(&args),
         "serve" => cmd_serve(&args),
         "decode" => cmd_decode(&args),
+        "trace" => cmd_trace(&args),
+        "top" => cmd_top(&args),
         _ => {
             eprintln!(
-                "usage: btx <features|flops|breakdown|compare|attention|profile|serve|decode> \
+                "usage: btx <features|flops|breakdown|compare|attention|profile|serve|decode|trace|top> \
                  [--batch N] [--seq N] [--alpha F] [--opt L] [--heads N] [--head-size N] [--layers N] \
                  [--format tree|chrome|prom|json] [--policy fifo|sorted|budget] [--load F] [--requests N] \
                  [--deadline-ms F] [--queue N] [--budget N] [--chunk N] [--burst] [--trace] [--seed N] \
-                 [--sessions N] [--tokens N] [--prompt N] [--block N] [--blocks N]"
+                 [--sessions N] [--tokens N] [--prompt N] [--block N] [--blocks N] \
+                 [--slowest K] [--shed-only] [--deadline-missed] [--windows N]"
             );
             std::process::exit(2);
         }
@@ -320,12 +354,23 @@ fn cmd_decode(a: &Args) {
     }
 }
 
-fn cmd_serve(a: &Args) {
+/// Calibrated open-loop serve workload shared by `serve`, `trace` and
+/// `top`: the framework, the seeded arrival trace, and the derived
+/// `ServeConfig`.
+struct ServeSetup {
+    fw: SimFramework,
+    arrivals: Vec<bytetransformer::frameworks::serving::TimedRequest>,
+    config: bytetransformer::frameworks::server::ServeConfig,
+    tokens_per_sec: f64,
+    budget: usize,
+    rate: f64,
+}
+
+fn serve_setup(a: &Args) -> ServeSetup {
     use bytetransformer::frameworks::admission::CutPolicy;
     use bytetransformer::frameworks::calibration::calibrate_capacity;
-    use bytetransformer::frameworks::server::{modeled_forward_executor, run_open_loop, ServeConfig};
+    use bytetransformer::frameworks::server::ServeConfig;
     use bytetransformer::frameworks::serving::{bursty_arrivals, poisson_arrivals};
-    use bytetransformer::obs;
 
     let config = config_of(a);
     let model = BertModel::new_random(config, a.layers, 1);
@@ -368,28 +413,44 @@ fn cmd_serve(a: &Args) {
         .chunk
         .or_else(bytetransformer::varlen::chunk_tokens_from_env)
         .unwrap_or(0);
-    let serve_config = ServeConfig {
-        policy,
-        queue_capacity: a.queue,
-        deadline,
-        max_len: a.seq,
-        chunk_tokens: chunk,
-    };
+    ServeSetup {
+        fw,
+        arrivals,
+        config: ServeConfig {
+            policy,
+            queue_capacity: a.queue,
+            deadline,
+            max_len: a.seq,
+            chunk_tokens: chunk,
+        },
+        tokens_per_sec: capacity.tokens_per_sec,
+        budget,
+        rate,
+    }
+}
+
+fn cmd_serve(a: &Args) {
+    use bytetransformer::frameworks::server::{modeled_forward_executor, run_open_loop};
+    use bytetransformer::obs;
+
+    let setup = serve_setup(a);
+    let serve_config = setup.config;
+    let chunk = serve_config.chunk_tokens;
     if a.trace {
         obs::set_enabled(true);
         let _ = obs::drain();
     }
     let report = run_open_loop(
-        &arrivals,
+        &setup.arrivals,
         &serve_config,
-        modeled_forward_executor(&fw, CostModel::a100(), a.seed),
+        modeled_forward_executor(&setup.fw, CostModel::a100(), a.seed),
     );
     let s = report.summary();
     println!(
         "calibrated capacity: {:.0} tokens/s — budget {} tokens/batch, deadline {:.2} ms, queue {}, {}",
-        capacity.tokens_per_sec,
-        budget,
-        deadline * 1e3,
+        setup.tokens_per_sec,
+        setup.budget,
+        serve_config.deadline * 1e3,
         a.queue,
         if chunk > 0 {
             format!("chunk rounds of {chunk} tokens")
@@ -403,7 +464,7 @@ fn cmd_serve(a: &Args) {
         if a.burst { "bursty" } else { "poisson" },
         a.alpha,
         a.load,
-        rate,
+        setup.rate,
         serve_config.policy.label()
     );
     println!(
@@ -433,6 +494,164 @@ fn cmd_serve(a: &Args) {
         println!();
         print!("{}", obs::drain().render_tree());
     }
+}
+
+fn cmd_trace(a: &Args) {
+    use bytetransformer::frameworks::server::{modeled_forward_executor, run_open_loop};
+    use bytetransformer::obs;
+    use bytetransformer::obs::trace::TraceOutcome;
+
+    if !obs::compiled() {
+        eprintln!("btx trace needs the recording layer; rebuild without `--features obs-off`");
+        std::process::exit(2);
+    }
+    let setup = serve_setup(a);
+    obs::set_enabled(true);
+    let _ = obs::drain();
+    let report = run_open_loop(
+        &setup.arrivals,
+        &setup.config,
+        modeled_forward_executor(&setup.fw, CostModel::a100(), a.seed),
+    );
+    let profile = obs::drain();
+    obs::set_enabled(false);
+    let mut traces = obs::trace::reconstruct(&profile);
+    let s = report.summary();
+    println!(
+        "offered {} requests at load {:.2}× (policy {}) — served {}, shed {}; reconstructed {} timelines",
+        s.offered,
+        a.load,
+        setup.config.policy.label(),
+        s.served,
+        s.shed(),
+        traces.len()
+    );
+    if a.shed_only {
+        traces.retain(|t| matches!(t.outcome(), TraceOutcome::Shed(_)));
+    }
+    if a.deadline_missed {
+        traces.retain(|t| t.deadline_missed());
+    }
+    traces.sort_by_key(|t| std::cmp::Reverse(t.total_ns().unwrap_or(0)));
+    let filter = match (a.shed_only, a.deadline_missed) {
+        (true, true) => "shed + deadline-missed",
+        (true, false) => "shed-only",
+        (false, true) => "deadline-missed",
+        (false, false) => "all",
+    };
+    if traces.is_empty() {
+        println!("no timelines match filter `{filter}`");
+        return;
+    }
+    let k = a.slowest.min(traces.len());
+    println!("slowest {k} of {} matching `{filter}`:\n", traces.len());
+    for t in traces.iter().take(k) {
+        print!("{}", t.render());
+        println!();
+    }
+}
+
+fn cmd_top(a: &Args) {
+    use bytetransformer::frameworks::server::{modeled_forward_executor, run_open_loop};
+    use bytetransformer::obs;
+    use bytetransformer::obs::names;
+    use bytetransformer::obs::snapshot::{window_ms_from_env, Aggregator, MetricsSnapshot};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    if !obs::compiled() {
+        eprintln!("btx top needs the recording layer; rebuild without `--features obs-off`");
+        std::process::exit(2);
+    }
+    let setup = serve_setup(a);
+    obs::set_enabled(true);
+    let _ = obs::drain();
+    let window_ms = window_ms_from_env();
+
+    // Drive the seeded serve workload continuously on a worker thread so
+    // each window has live traffic to aggregate; the seed is perturbed per
+    // round so rounds are not byte-identical.
+    let stop = Arc::new(AtomicBool::new(false));
+    let worker = {
+        let stop = Arc::clone(&stop);
+        let arrivals = setup.arrivals.clone();
+        let config = setup.config;
+        let fw = setup.fw;
+        let seed = a.seed;
+        std::thread::spawn(move || {
+            let mut round: u64 = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let _ = run_open_loop(
+                    &arrivals,
+                    &config,
+                    modeled_forward_executor(&fw, CostModel::a100(), seed ^ round),
+                );
+                round += 1;
+            }
+        })
+    };
+
+    let render = |w: usize, snap: &MetricsSnapshot| {
+        println!(
+            "— window {}/{} ({} ms, shard {}) —",
+            w + 1,
+            a.windows,
+            snap.window_ms,
+            snap.shard
+        );
+        println!(
+            "serve: offered {:.0}/s, served {:.0}/s, batches {:.0}/s, chunk rounds {:.0}/s",
+            snap.rate_per_sec(names::SERVE_OFFERED),
+            snap.rate_per_sec(names::SERVE_SERVED),
+            snap.rate_per_sec(names::SERVE_BATCHES),
+            snap.rate_per_sec(names::SERVE_CHUNK_ROUNDS),
+        );
+        let sheds = snap.shed_breakdown();
+        if sheds.is_empty() {
+            println!("shed: none this window");
+        } else {
+            let parts: Vec<String> = sheds.iter().map(|(n, d)| format!("{n} {d}")).collect();
+            println!("shed: {}", parts.join(", "));
+        }
+        if let Some(h) = snap.histogram(names::SERVE_QUEUE_WAIT_US) {
+            println!(
+                "queue wait: p50 {} µs, p95 {} µs, p99 {} µs ({} samples)",
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.percentile(0.99),
+                h.count()
+            );
+        }
+        let gemm = snap.gemm_rates();
+        if !gemm.is_empty() {
+            let parts: Vec<String> = gemm
+                .iter()
+                .map(|(path, gflops)| format!("{path} {gflops:.2} GFLOP/s"))
+                .collect();
+            println!("gemm: {}", parts.join(", "));
+        }
+        if let Some(hw) = snap.kv_pool_high_water() {
+            println!("kv pool high water: {hw} blocks");
+        }
+        println!();
+    };
+
+    println!(
+        "btx top — {} windows of {} ms (BYTE_OBS_WINDOW_MS), load {:.2}×, policy {}\n",
+        a.windows,
+        window_ms,
+        a.load,
+        setup.config.policy.label()
+    );
+    let mut agg = Aggregator::new("btx-top");
+    for w in 0..a.windows {
+        std::thread::sleep(std::time::Duration::from_millis(window_ms));
+        let snap = agg.snapshot();
+        render(w, &snap);
+    }
+    stop.store(true, Ordering::Relaxed);
+    worker.join().expect("workload thread exits cleanly");
+    obs::set_enabled(false);
 }
 
 fn cmd_flops(a: &Args) {
