@@ -14,6 +14,12 @@
 //! within 3× of the 0.5× p99 under the token-budget policy — is asserted
 //! here and recorded in the artifact.
 //!
+//! A second sweep drives the multi-shard router at 1/2/4/8 shards, each
+//! shard at ≈2× its calibrated capacity, and records fleet goodput and its
+//! ratio to the 1-shard row as `sharded_scaling` — asserting near-linear
+//! scale-out (≥1.7× at 2 shards, ≥3× at 4) and exact cross-shard
+//! accounting. `bench_gate` re-checks those floors on every run.
+//!
 //! Emits `BENCH_serve.json` at the repo root. Run with
 //! `cargo bench --bench bench_serve` (`BT_BENCH_FAST=1` shrinks reps).
 
@@ -25,6 +31,7 @@ use bt_frameworks::admission::CutPolicy;
 use bt_frameworks::calibration::{calibrate_capacity, flops_per_token, host_tokens_per_sec_from_bench_json};
 use bt_frameworks::server::{modeled_forward_executor, run_open_loop, Outcome, ServeConfig, ServeSummary};
 use bt_frameworks::serving::{bursty_arrivals, latency_stats, poisson_arrivals};
+use bt_frameworks::shard::{run_sharded_open_loop, shard_seed, ShardConfig};
 use bt_frameworks::{FrameworkKind, SimFramework};
 use bt_varlen::workload::LengthDistribution;
 use std::fmt::Write as _;
@@ -214,6 +221,87 @@ fn main() {
         whole_short_p99 * 1e3
     );
 
+    // --- sharded scale-out: goodput vs shard count at 2x per-shard load ---
+    //
+    // The scale-out claim: N shards behind the join-shortest-queue router,
+    // each seeing ≈2× its calibrated capacity (aggregate load = 2N), serve
+    // near-N× the goodput of one shard under the same per-shard pressure.
+    // Fleet goodput is Σ served tokens over the *slowest* shard's makespan
+    // — shards run concurrently, so the fleet finishes when the last one
+    // does. Executor seeds mix per shard via `shard_seed` (identity at
+    // shard 0, so the 1-shard row replays the unsharded engine exactly).
+    let shard_counts = [1usize, 2, 4, 8];
+    let token_serve_config = ServeConfig {
+        policy: CutPolicy::TokenBudget { budget_tokens: budget },
+        queue_capacity,
+        deadline,
+        max_len: SEQ,
+        chunk_tokens: 0,
+    };
+    struct ShardRow {
+        shards: usize,
+        summary: ServeSummary,
+        goodput: f64,
+        ratio: f64,
+        floor: f64,
+    }
+    let mut shard_rows: Vec<ShardRow> = Vec::new();
+    println!(
+        "\n{:<7} {:>8} {:>8} {:>7} {:>6} {:>14} {:>9} {:>6}",
+        "shards", "offered", "served", "shed", "batch", "goodput_tok/s", "ratio_x1", "floor"
+    );
+    for &shards in &shard_counts {
+        let rate = capacity.request_rate(mean_tokens, 2.0 * shards as f64);
+        let reqs = poisson_arrivals(
+            requests * shards,
+            rate,
+            LengthDistribution::PaperUniform { alpha: ALPHA },
+            SEQ,
+            42,
+        );
+        let cfg = ShardConfig::new(shards, token_serve_config);
+        let report = run_sharded_open_loop(&reqs, &cfg, |i| {
+            modeled_forward_executor(&fw, CostModel::a100(), shard_seed(42, i))
+        });
+        assert!(
+            report.accounting_is_exact_across_shards(),
+            "{shards} shards: offered must equal the per-shard served+shed sum"
+        );
+        let s = report.summary();
+        let goodput = s.goodput_tokens_per_sec();
+        let base = shard_rows.first().map_or(goodput, |r| r.goodput);
+        let ratio = goodput / base.max(1e-12);
+        let floor = match shards {
+            1 => 1.0,
+            2 => 1.7,
+            4 => 3.0,
+            _ => 5.0,
+        };
+        println!(
+            "{:<7} {:>8} {:>8} {:>7} {:>6} {:>14.0} {:>9.2} {:>6.1}",
+            shards,
+            s.offered,
+            s.served,
+            s.shed(),
+            s.batches,
+            goodput,
+            ratio,
+            floor
+        );
+        assert!(
+            ratio >= floor,
+            "{shards} shards: goodput ratio {ratio:.2} below the {floor} floor \
+             ({goodput:.0} vs {base:.0} tokens/s on one shard)"
+        );
+        shard_rows.push(ShardRow {
+            shards,
+            summary: s,
+            goodput,
+            ratio,
+            floor,
+        });
+    }
+
     let mut json = bt_bench::report::RunMeta::collect("serve", "tokens_per_sec").header_json();
     let _ = writeln!(
         json,
@@ -258,10 +346,33 @@ fn main() {
         json,
         "  \"chunked_vs_whole\": {{\"trace\": \"bursty_zipf\", \"chunk_tokens\": {chunk_tokens}, \
          \"short_len_max\": {short_len}, \"short_p99_ms_whole\": {:.4}, \
-         \"short_p99_ms_chunked\": {:.4}, \"improvement_pct\": {improvement:.2}}}\n}}",
+         \"short_p99_ms_chunked\": {:.4}, \"improvement_pct\": {improvement:.2}}},",
         whole_short_p99 * 1e3,
         chunked_short_p99 * 1e3
     );
+    json.push_str("  \"sharded_scaling\": [\n");
+    for (i, r) in shard_rows.iter().enumerate() {
+        let s = &r.summary;
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {}, \"route\": \"jsq\", \"load_per_shard\": 2.0, \"offered\": {}, \
+             \"served\": {}, \"shed\": {}, \"batches\": {}, \"makespan_ms\": {:.4}, \
+             \"goodput_tokens_per_sec\": {:.1}, \"goodput_ratio_vs_1\": {:.4}, \
+             \"ratio_floor\": {:.2}, \"accounting_exact\": {}}}{}",
+            r.shards,
+            s.offered,
+            s.served,
+            s.shed(),
+            s.batches,
+            s.makespan * 1e3,
+            r.goodput,
+            r.ratio,
+            r.floor,
+            s.accounting_is_exact(),
+            if i + 1 == shard_rows.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, &json).expect("write BENCH_serve.json");
     println!("wrote {path}");

@@ -3,12 +3,15 @@
 //!
 //! Usage: `bench_gate <baseline_dir> <current_dir>`
 //!
-//! Each artifact is a flat report: a top-level object with a `results`
-//! array of rows. Rows are joined across the two directories on a
+//! Each artifact is a flat report: a top-level object with one or more row
+//! arrays (`results` for the headline sweep; `BENCH_serve.json` also has
+//! `sharded_scaling`). Rows are joined across the two directories on a
 //! per-bench identity key that includes the workload shape (so a FAST-mode
 //! run, which shrinks GEMM shapes, simply produces zero key overlap with a
 //! full-mode baseline instead of nonsense ratios — the gate reports that
-//! as a mode mismatch). Per-metric tolerance bands, overridable via env:
+//! as a mode mismatch). A baseline that predates a newer section skips that
+//! section with a warning instead of failing — the next committed artifact
+//! picks it up. Per-metric tolerance bands, overridable via env:
 //!
 //! * `BT_GATE_MIN_RATE_RATIO` (default `0.5`) — throughput-like metrics
 //!   (GFLOP/s, goodput, decode tokens/s) must stay at or above this
@@ -243,10 +246,20 @@ enum Band {
     CountMin,
     /// A baseline `true` must stay `true`.
     BoolExact,
+    /// Self-describing floor: the *current* row must satisfy
+    /// `current[metric] >= current[floor_field]` — the row carries its own
+    /// acceptance bound (e.g. `goodput_ratio_vs_1 >= ratio_floor`), so the
+    /// check does not drift with the baseline.
+    SelfFloor {
+        /// Field on the same row holding the floor value.
+        floor_field: &'static str,
+    },
 }
 
 struct Spec {
     file: &'static str,
+    /// Top-level array holding this spec's rows.
+    section: &'static str,
     key_fields: &'static [&'static str],
     metrics: &'static [(&'static str, Band)],
 }
@@ -254,16 +267,19 @@ struct Spec {
 const SPECS: &[Spec] = &[
     Spec {
         file: "BENCH_gemm.json",
+        section: "results",
         key_fields: &["name", "tier", "prec", "m", "n", "k"],
         metrics: &[("gflops", Band::RateMin)],
     },
     Spec {
         file: "BENCH_pool.json",
+        section: "results",
         key_fields: &["kernel", "batch", "seq"],
         metrics: &[("pool_us", Band::LatencyMax)],
     },
     Spec {
         file: "BENCH_serve.json",
+        section: "results",
         key_fields: &["policy", "load", "offered"],
         metrics: &[
             ("goodput_tokens_per_sec", Band::RateMin),
@@ -272,7 +288,23 @@ const SPECS: &[Spec] = &[
         ],
     },
     Spec {
+        file: "BENCH_serve.json",
+        section: "sharded_scaling",
+        key_fields: &["shards"],
+        metrics: &[
+            ("goodput_tokens_per_sec", Band::RateMin),
+            (
+                "goodput_ratio_vs_1",
+                Band::SelfFloor {
+                    floor_field: "ratio_floor",
+                },
+            ),
+            ("accounting_exact", Band::BoolExact),
+        ],
+    },
+    Spec {
         file: "BENCH_decode.json",
+        section: "results",
         key_fields: &["max_sessions", "offered"],
         metrics: &[
             ("decode_tokens_per_sec", Band::RateMin),
@@ -293,13 +325,12 @@ fn env_ratio(name: &str, default: f64) -> f64 {
     }
 }
 
-fn rows(doc: &Json, file: &str) -> Vec<Json> {
-    match doc.get("results") {
-        Some(Json::Arr(items)) => items.clone(),
-        _ => {
-            eprintln!("bench_gate: {file} has no `results` array");
-            exit(2);
-        }
+/// The spec's row array, or `None` when the document predates the section
+/// (the caller decides whether that skips or fails).
+fn rows(doc: &Json, section: &str) -> Option<Vec<Json>> {
+    match doc.get(section) {
+        Some(Json::Arr(items)) => Some(items.clone()),
+        _ => None,
     }
 }
 
@@ -349,8 +380,28 @@ fn main() {
             failures += 1;
             continue;
         };
-        let base_rows = rows(&base_doc, spec.file);
-        let cur_rows = rows(&cur_doc, spec.file);
+        let Some(base_rows) = rows(&base_doc, spec.section) else {
+            // A freshly introduced section has no committed baseline yet —
+            // that is expected exactly once, when the section ships.
+            println!(
+                "--  {} [{}]: baseline predates this section, skipping",
+                spec.file, spec.section
+            );
+            warnings += 1;
+            continue;
+        };
+        let Some(cur_rows) = rows(&cur_doc, spec.section) else {
+            if spec.section == "results" {
+                eprintln!("bench_gate: {} has no `results` array", spec.file);
+                exit(2);
+            }
+            println!(
+                "FAIL {} [{}]: section missing from current run (bench stopped emitting it)",
+                spec.file, spec.section
+            );
+            failures += 1;
+            continue;
+        };
         let mut compared = 0usize;
         let mut file_failures = 0usize;
         for brow in &base_rows {
@@ -367,6 +418,26 @@ fn main() {
                     Band::BoolExact => {
                         if bv == Some(&Json::Bool(true)) && cv != Some(&Json::Bool(true)) {
                             println!("FAIL {}: {key} {metric} regressed from true", spec.file);
+                            file_failures += 1;
+                        }
+                    }
+                    Band::SelfFloor { floor_field } => {
+                        let (Some(c), Some(floor)) = (
+                            crow.get(metric).and_then(Json::as_f64),
+                            crow.get(floor_field).and_then(Json::as_f64),
+                        ) else {
+                            println!(
+                                "warn {}: {key} {metric}/{floor_field} not numeric in current run",
+                                spec.file
+                            );
+                            warnings += 1;
+                            continue;
+                        };
+                        if c < floor {
+                            println!(
+                                "FAIL {}: {key} {metric} = {c:.3} below its own floor {floor:.3}",
+                                spec.file
+                            );
                             file_failures += 1;
                         }
                     }
@@ -408,7 +479,10 @@ fn main() {
             );
             failures += 1;
         } else if file_failures == 0 {
-            println!("ok   {}: {compared} rows within tolerance", spec.file);
+            println!(
+                "ok   {} [{}]: {compared} rows within tolerance",
+                spec.file, spec.section
+            );
         }
         failures += file_failures;
     }

@@ -1,6 +1,7 @@
 //! Admission control and batch-cutting policies shared by the offline
-//! batcher ([`crate::serving::form_batches`]) and the continuous-batching
-//! server ([`crate::server`]).
+//! batcher ([`crate::serving::form_batches`]), the continuous-batching
+//! server ([`crate::server`]), and the multi-shard router
+//! ([`crate::shard`]).
 //!
 //! The central idea is **token-weighted admission**: a request's cost is its
 //! valid-token count, not its slot in a fixed-size batch. Under a
@@ -42,6 +43,14 @@ pub enum ShedReason {
     /// started). Partial work is accounted in the outcome's ingested-token
     /// counts.
     CancelledMidRequest,
+    /// The shard router refused to place the request because the selected
+    /// shard's outstanding valid tokens already exceed the configured
+    /// hot-shard threshold (`crate::shard::ShardConfig::hot_shard_tokens`).
+    /// This is a *routing-time* decision — the request never reached any
+    /// shard's ingress queue — distinct from [`ShedReason::QueueFull`],
+    /// which is a per-shard gate on queue *occupancy* rather than queued
+    /// *work*.
+    HotShard,
 }
 
 impl ShedReason {
@@ -54,6 +63,7 @@ impl ShedReason {
             ShedReason::TooLong => "too_long",
             ShedReason::CacheOom => "cache_oom",
             ShedReason::CancelledMidRequest => "cancelled_mid_request",
+            ShedReason::HotShard => "hot_shard",
         }
     }
 
@@ -66,12 +76,14 @@ impl ShedReason {
         static TOO_LONG: bt_obs::LabelId = bt_obs::LabelId::new(bt_obs::names::REQ_SHED_TOO_LONG);
         static CACHE_OOM: bt_obs::LabelId = bt_obs::LabelId::new(bt_obs::names::REQ_SHED_CACHE_OOM);
         static CANCELLED: bt_obs::LabelId = bt_obs::LabelId::new(bt_obs::names::REQ_SHED_CANCELLED);
+        static HOT_SHARD: bt_obs::LabelId = bt_obs::LabelId::new(bt_obs::names::REQ_SHED_HOT_SHARD);
         match self {
             ShedReason::QueueFull => &QUEUE_FULL,
             ShedReason::DeadlineExpired => &DEADLINE,
             ShedReason::TooLong => &TOO_LONG,
             ShedReason::CacheOom => &CACHE_OOM,
             ShedReason::CancelledMidRequest => &CANCELLED,
+            ShedReason::HotShard => &HOT_SHARD,
         }
     }
 }
@@ -341,5 +353,6 @@ mod tests {
         assert_eq!(ShedReason::TooLong.label(), "too_long");
         assert_eq!(ShedReason::CacheOom.label(), "cache_oom");
         assert_eq!(ShedReason::CancelledMidRequest.label(), "cancelled_mid_request");
+        assert_eq!(ShedReason::HotShard.label(), "hot_shard");
     }
 }

@@ -26,6 +26,10 @@
 //! * [`server`] — `bt-serve`: the continuous-batching server with bounded
 //!   ingress, deadlines and load shedding (virtual-time engine + threaded
 //!   front-end).
+//! * [`shard`] — multi-shard scale-out: a deterministic router spreading an
+//!   open-loop trace across N server instances (round-robin, join-shortest-
+//!   queue, power-of-two-choices) with per-shard KV budgets, a hot-shard
+//!   work-shedding gate, and mergeable per-shard telemetry snapshots.
 //! * [`calibration`] — per-runtime constants, the paper's Table I, and
 //!   serving-capacity calibration from the roofline model / recorded GEMM
 //!   benchmarks.
@@ -43,6 +47,7 @@ pub mod pipeline;
 pub mod profiled;
 pub mod server;
 pub mod serving;
+pub mod shard;
 
 pub use admission::{CutPolicy, ShedReason};
 pub use calibration::feature_matrix;
@@ -52,3 +57,4 @@ pub use decode::{
 };
 pub use framework::{FrameworkKind, SimFramework};
 pub use server::{run_open_loop, ServeConfig, ServeReport, ServeSummary, Server};
+pub use shard::{run_sharded_open_loop, shard_seed, RoutePolicy, ShardConfig, ShardRouter, ShardedReport};

@@ -32,7 +32,7 @@
 //!   ([`ServeSummary::accounting_is_exact`], asserted by the seeded stress
 //!   suite).
 //!
-//! Two drivers share the same admission and cutting code
+//! Three drivers share the same admission and cutting code
 //! ([`crate::admission`]):
 //!
 //! * [`run_open_loop`] — a deterministic virtual-time engine: arrivals come
@@ -41,6 +41,11 @@
 //!   executor's *modeled* batch time, so shed/served accounting and latency
 //!   percentiles are bit-identical across runs. This drives the stress
 //!   test, `BENCH_serve.json`, and `btx serve`.
+//! * [`crate::shard::run_sharded_open_loop`] — the same virtual-time engine
+//!   multiplied by N: a shard router spreads the arrival trace across N
+//!   independent `OpenLoopShard` instances (round-robin, join-shortest-
+//!   queue, or power-of-two-choices by outstanding valid tokens), with a
+//!   hot-shard work-shedding gate ([`ShedReason::HotShard`]).
 //! * [`Server`] — a real multi-threaded front-end: producers submit over a
 //!   bounded MPSC channel ([`std::sync::mpsc::sync_channel`]), a server
 //!   thread runs the same continuous-batching loop in wall time, and batch
@@ -50,8 +55,8 @@
 //! Everything is instrumented with `bt-obs`: queue-depth, batch-occupancy,
 //! batch-token and time-in-queue histograms, per-reason shed counters, and
 //! `serve.batch` / `serve.batch.forward` spans — all named from the
-//! canonical [`bt_obs::names`] table. Both drivers additionally tag every
-//! request's lifecycle (`req.enqueue` → `req.admit` → `req.round` →
+//! canonical [`bt_obs::names`] table. All three drivers additionally tag
+//! every request's lifecycle (`req.enqueue` → `req.admit` → `req.round` →
 //! `req.exec.done` → `req.done` / `req.shed.<reason>`) with a
 //! [`bt_obs::TraceId`], so a drained profile reconstructs per-request
 //! causal timelines via `bt_obs::trace::reconstruct`. The virtual-time
@@ -102,6 +107,8 @@ static SHED_TOO_LONG: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_SHED_T
 static SHED_CACHE_OOM: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_SHED_CACHE_OOM);
 /// Requests cancelled between chunk rounds by a per-chunk deadline check.
 static SHED_CANCELLED: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_SHED_CANCELLED);
+/// Requests the shard router refused to place on an overloaded shard.
+static SHED_HOT_SHARD: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_SHED_HOT_SHARD);
 /// Batches executed.
 static BATCHES: bt_obs::Counter = bt_obs::Counter::new(names::SERVE_BATCHES);
 /// Chunk rounds planned for cut batches (chunked mode only).
@@ -219,6 +226,7 @@ impl ServeReport {
             shed_too_long: 0,
             shed_cache_oom: 0,
             shed_cancelled: 0,
+            shed_hot_shard: 0,
             batches: self.batches,
             served_tokens: 0,
             makespan: self.makespan,
@@ -238,6 +246,7 @@ impl ServeReport {
                     ShedReason::TooLong => s.shed_too_long += 1,
                     ShedReason::CacheOom => s.shed_cache_oom += 1,
                     ShedReason::CancelledMidRequest => s.shed_cancelled += 1,
+                    ShedReason::HotShard => s.shed_hot_shard += 1,
                 },
             }
         }
@@ -265,6 +274,9 @@ pub struct ServeSummary {
     /// Cancelled mid-request by a per-chunk deadline check (chunked mode
     /// only; always zero when `chunk_tokens == 0`).
     pub shed_cancelled: usize,
+    /// Shed by the shard router's hot-shard gate (sharded runs only; always
+    /// zero for a single unsharded server).
+    pub shed_hot_shard: usize,
     /// Batches executed.
     pub batches: usize,
     /// Valid tokens across served requests.
@@ -278,7 +290,12 @@ pub struct ServeSummary {
 impl ServeSummary {
     /// Total shed requests across all reasons.
     pub fn shed(&self) -> usize {
-        self.shed_queue_full + self.shed_deadline + self.shed_too_long + self.shed_cache_oom + self.shed_cancelled
+        self.shed_queue_full
+            + self.shed_deadline
+            + self.shed_too_long
+            + self.shed_cache_oom
+            + self.shed_cancelled
+            + self.shed_hot_shard
     }
 
     /// The invariant the stress suite enforces: every offered request has
@@ -340,8 +357,10 @@ pub fn modeled_forward_executor(
 
 /// Records a shed outcome in the virtual-time engine: bumps the per-reason
 /// counter, stamps the request's terminal `req.shed.<reason>` trace mark at
-/// the simulated instant `t_ns`, and writes the ledger slot.
-fn record_shed(
+/// the simulated instant `t_ns`, and writes the ledger slot. Shared with
+/// the shard router, whose hot-shard gate sheds before any shard is
+/// reached.
+pub(crate) fn record_shed(
     outcomes: &mut [Option<RequestOutcome>],
     id: usize,
     len: usize,
@@ -355,6 +374,7 @@ fn record_shed(
         ShedReason::TooLong => SHED_TOO_LONG.incr(),
         ShedReason::CacheOom => SHED_CACHE_OOM.incr(),
         ShedReason::CancelledMidRequest => SHED_CANCELLED.incr(),
+        ShedReason::HotShard => SHED_HOT_SHARD.incr(),
     }
     bt_obs::trace_mark_at(TraceId::from_request(id), reason.trace_label(), t_ns);
     let slot = outcomes.get_mut(id).expect("request ids must be a permutation of 0..n");
@@ -364,6 +384,16 @@ fn record_shed(
         len,
         outcome: Outcome::Shed { reason, wait },
     });
+}
+
+/// Records a router-level shed: the request was offered to the system
+/// (counted against `serve.offered`, `req.enqueue` stamped) but the shard
+/// router refused to place it on a hot shard, so no shard's ingress ever
+/// saw it. Keeps the global ledger exact from the router's side.
+pub(crate) fn record_router_shed(outcomes: &mut [Option<RequestOutcome>], id: usize, len: usize, t: f64) {
+    OFFERED.incr();
+    bt_obs::trace_mark!(TraceId::from_request(id), names::REQ_ENQUEUE, vns(t));
+    record_shed(outcomes, id, len, ShedReason::HotShard, 0.0, vns(t));
 }
 
 /// Splits a cut batch into execution rounds of at most `chunk_tokens`
@@ -393,15 +423,256 @@ fn plan_rounds(mut batch: Vec<Pending>, chunk_tokens: usize) -> Vec<Vec<Pending>
     rounds
 }
 
+/// The incremental per-shard open-loop engine: [`run_open_loop`]'s loop
+/// body, factored out so the shard router ([`crate::shard`]) can interleave
+/// N independent instances on one global virtual clock.
+///
+/// [`OpenLoopShard::offer`] appends a routed arrival to the shard's private
+/// sub-trace; [`OpenLoopShard::advance`] runs the admit → sweep → cut →
+/// execute loop, but only **acts** at instants strictly before `horizon`.
+/// The router sets the horizon to the next *unrouted* global arrival time,
+/// which guarantees every global arrival at or before a batch cut has been
+/// routed (and offered to its shard) before that cut happens — so a single
+/// shard driven to `horizon = ∞` replays the monolithic loop instruction
+/// for instruction. That equivalence is what makes `--shards 1`
+/// bit-identical to the unsharded server, and it is pinned by
+/// `tests/shard_stress.rs`.
+pub(crate) struct OpenLoopShard {
+    config: ServeConfig,
+    /// Routed arrivals not yet admitted, in global arrival order.
+    pending: VecDeque<TimedRequest>,
+    queue: VecDeque<Pending>,
+    clock: f64,
+    /// Executed rounds still in flight at a given instant: `(done, tokens)`
+    /// entries, pruned by time in [`OpenLoopShard::outstanding_tokens`].
+    inflight: VecDeque<(f64, usize)>,
+    pub(crate) batches: usize,
+    pub(crate) makespan: f64,
+}
+
+impl OpenLoopShard {
+    pub(crate) fn new(config: ServeConfig) -> OpenLoopShard {
+        config.validate();
+        OpenLoopShard {
+            config,
+            pending: VecDeque::new(),
+            queue: VecDeque::new(),
+            clock: 0.0,
+            inflight: VecDeque::new(),
+            batches: 0,
+            makespan: 0.0,
+        }
+    }
+
+    /// Routes one arrival onto this shard. Arrivals must be offered in
+    /// non-decreasing arrival order (the router processes the global trace
+    /// sorted by arrival).
+    pub(crate) fn offer(&mut self, r: TimedRequest) {
+        self.pending.push_back(r);
+    }
+
+    /// Valid tokens this shard is responsible for at instant `now`: routed
+    /// but unadmitted arrivals, queued requests, and executed rounds whose
+    /// modeled completion lies after `now`. This is the load signal the
+    /// join-shortest-queue and power-of-two-choices policies compare.
+    pub(crate) fn outstanding_tokens(&mut self, now: f64) -> usize {
+        while let Some(&(done, _)) = self.inflight.front() {
+            if done <= now {
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+        let pending: usize = self
+            .pending
+            .iter()
+            .map(|r| crate::admission::admission_weight(r.len))
+            .sum();
+        let queued: usize = self
+            .queue
+            .iter()
+            .map(|p| crate::admission::admission_weight(p.len))
+            .sum();
+        let inflight: usize = self.inflight.iter().map(|&(_, t)| t).sum();
+        pending + queued + inflight
+    }
+
+    /// True while the shard still has unadmitted or queued work.
+    pub(crate) fn has_work(&self) -> bool {
+        !self.pending.is_empty() || !self.queue.is_empty()
+    }
+
+    /// Runs the continuous-batching loop up to (but excluding) `horizon`:
+    /// at each acting instant, admit every offered arrival up to the clock,
+    /// sweep expired deadlines, cut one batch and execute its rounds. Only
+    /// the *cut instant* is gated by the horizon — once a batch is cut its
+    /// rounds run to completion even past the horizon, exactly as the
+    /// monolithic loop never re-checks arrivals mid-batch.
+    pub(crate) fn advance(
+        &mut self,
+        horizon: f64,
+        outcomes: &mut [Option<RequestOutcome>],
+        exec: &mut impl FnMut(&BatchMask) -> f64,
+    ) {
+        let config = self.config;
+        loop {
+            // The instant this shard would act: its own clock while work is
+            // queued, else a jump to the next routed arrival.
+            let act = if self.queue.is_empty() {
+                match self.pending.front() {
+                    None => return,
+                    Some(r) => self.clock.max(r.arrival),
+                }
+            } else {
+                self.clock
+            };
+            if act >= horizon {
+                return;
+            }
+            self.clock = act;
+            let clock = self.clock;
+            while let Some(&r) = self.pending.front() {
+                if r.arrival > clock {
+                    break;
+                }
+                self.pending.pop_front();
+                OFFERED.incr();
+                let tid = TraceId::from_request(r.id);
+                bt_obs::trace_mark!(tid, names::REQ_ENQUEUE, vns(r.arrival));
+                if r.len > config.max_len {
+                    record_shed(outcomes, r.id, r.len, ShedReason::TooLong, 0.0, vns(r.arrival));
+                } else if self.queue.len() >= config.queue_capacity {
+                    record_shed(outcomes, r.id, r.len, ShedReason::QueueFull, 0.0, vns(r.arrival));
+                } else {
+                    bt_obs::trace_mark!(tid, names::REQ_ADMIT, vns(r.arrival));
+                    self.queue.push_back(Pending {
+                        id: r.id,
+                        len: r.len,
+                        arrival: r.arrival,
+                        deadline: r.arrival + config.deadline,
+                    });
+                }
+                QUEUE_DEPTH.record(self.queue.len() as u64);
+            }
+            self.queue.retain(|p| {
+                if p.deadline < clock {
+                    record_shed(
+                        outcomes,
+                        p.id,
+                        p.len,
+                        ShedReason::DeadlineExpired,
+                        clock - p.arrival,
+                        vns(clock),
+                    );
+                    false
+                } else {
+                    true
+                }
+            });
+            if self.queue.is_empty() {
+                continue;
+            }
+            let _batch_span = bt_obs::span!("serve.batch");
+            let cut = config.policy.cut_next_batch(&mut self.queue);
+            let rounds = plan_rounds(cut, config.chunk_tokens);
+            if config.chunk_tokens != 0 {
+                CHUNK_ROUNDS.add(rounds.len() as u64);
+            }
+            for (round_no, round) in rounds.into_iter().enumerate() {
+                // Per-chunk deadline check: a request scheduled into a later
+                // round may have expired while the earlier rounds ran. Its
+                // batch was cut but its own forward never started — cancel it
+                // with the mid-request reason, distinct from queue expiry.
+                // (Round 0 starts at the same clock the queue sweep used, so
+                // it needs no re-check: with `chunk_tokens == 0` this loop is
+                // exactly the single-round pre-chunking path.)
+                let round: Vec<Pending> = if round_no == 0 {
+                    round
+                } else {
+                    round
+                        .into_iter()
+                        .filter(|p| {
+                            if p.deadline < self.clock {
+                                CHUNK_CANCELLED.incr();
+                                record_shed(
+                                    outcomes,
+                                    p.id,
+                                    p.len,
+                                    ShedReason::CancelledMidRequest,
+                                    self.clock - p.arrival,
+                                    vns(self.clock),
+                                );
+                                false
+                            } else {
+                                true
+                            }
+                        })
+                        .collect()
+                };
+                if round.is_empty() {
+                    continue;
+                }
+                let _chunk_span = bt_obs::span!("serve.chunk");
+                let mask = batch_mask(&round).expect("per-batch mask invariants hold");
+                BATCHES.incr();
+                OCCUPANCY.record(round.len() as u64);
+                BATCH_TOKENS.record(mask.valid_words() as u64);
+                if config.chunk_tokens != 0 {
+                    CHUNK_TOKENS.record(mask.valid_words() as u64);
+                }
+                let start = self.clock;
+                for p in &round {
+                    TIME_IN_QUEUE_US.record(((start - p.arrival) * 1e6) as u64);
+                    bt_obs::trace_mark!(TraceId::from_request(p.id), names::REQ_ROUND, vns(start));
+                }
+                let duration = {
+                    let _span = bt_obs::span!("serve.batch.forward");
+                    exec(&mask)
+                };
+                assert!(
+                    duration.is_finite() && duration >= 0.0,
+                    "executor must return a finite non-negative duration, got {duration}"
+                );
+                let done = start + duration;
+                for p in &round {
+                    SERVED.incr();
+                    let tid = TraceId::from_request(p.id);
+                    bt_obs::trace_mark!(tid, names::REQ_EXEC_DONE, vns(done));
+                    bt_obs::trace_mark!(tid, names::REQ_DONE, vns(done));
+                    let slot = outcomes
+                        .get_mut(p.id)
+                        .expect("request ids must be a permutation of 0..n");
+                    assert!(slot.is_none(), "request id {} offered twice", p.id);
+                    *slot = Some(RequestOutcome {
+                        id: p.id,
+                        len: p.len,
+                        outcome: Outcome::Served {
+                            queue_wait: start - p.arrival,
+                            latency: done - p.arrival,
+                        },
+                    });
+                }
+                self.inflight.push_back((done, mask.valid_words()));
+                self.batches += 1;
+                self.clock = done;
+                self.makespan = self.makespan.max(done);
+            }
+        }
+    }
+}
+
 /// Runs the continuous-batching server over a pre-generated open-loop
 /// arrival trace in **virtual time**: the clock advances by the executor's
 /// returned batch duration (typically modeled device seconds), so the whole
 /// run — batches formed, requests shed, every latency — is deterministic
-/// for a fixed trace and executor.
+/// for a fixed trace and executor. Implemented as a single
+/// `OpenLoopShard` engine driven to an infinite horizon; the multi-shard
+/// router ([`crate::shard::run_sharded_open_loop`]) drives N of them.
 ///
 /// Loop semantics, identical to the threaded [`Server`]:
-/// 1. admit every arrival up to the clock (gate-shedding `TooLong` and,
-///    once the bounded queue is full, `QueueFull`);
+/// 1. admit every arrival up to the clock (gate-shedding
+///    [`ShedReason::TooLong`] and, once the bounded queue is full,
+///    [`ShedReason::QueueFull`]);
 /// 2. cancel queued requests whose deadline passed (a request whose
 ///    deadline equals the batch start still runs);
 /// 3. cut the next batch with the configured policy and execute it — as a
@@ -420,152 +691,23 @@ pub fn run_open_loop(
     config: &ServeConfig,
     mut exec: impl FnMut(&BatchMask) -> f64,
 ) -> ServeReport {
-    config.validate();
     let mut order: Vec<TimedRequest> = requests.to_vec();
     order.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
     let n = order.len();
     let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; n];
-    let mut queue: VecDeque<Pending> = VecDeque::new();
-    let mut clock = 0.0f64;
-    let mut next = 0usize;
-    let mut batches = 0usize;
-    let mut makespan = 0.0f64;
-    while next < n || !queue.is_empty() {
-        if queue.is_empty() {
-            clock = clock.max(order[next].arrival);
-        }
-        while next < n && order[next].arrival <= clock {
-            let r = order[next];
-            next += 1;
-            OFFERED.incr();
-            let tid = TraceId::from_request(r.id);
-            bt_obs::trace_mark!(tid, names::REQ_ENQUEUE, vns(r.arrival));
-            if r.len > config.max_len {
-                record_shed(&mut outcomes, r.id, r.len, ShedReason::TooLong, 0.0, vns(r.arrival));
-            } else if queue.len() >= config.queue_capacity {
-                record_shed(&mut outcomes, r.id, r.len, ShedReason::QueueFull, 0.0, vns(r.arrival));
-            } else {
-                bt_obs::trace_mark!(tid, names::REQ_ADMIT, vns(r.arrival));
-                queue.push_back(Pending {
-                    id: r.id,
-                    len: r.len,
-                    arrival: r.arrival,
-                    deadline: r.arrival + config.deadline,
-                });
-            }
-            QUEUE_DEPTH.record(queue.len() as u64);
-        }
-        queue.retain(|p| {
-            if p.deadline < clock {
-                record_shed(
-                    &mut outcomes,
-                    p.id,
-                    p.len,
-                    ShedReason::DeadlineExpired,
-                    clock - p.arrival,
-                    vns(clock),
-                );
-                false
-            } else {
-                true
-            }
-        });
-        if queue.is_empty() {
-            continue;
-        }
-        let _batch_span = bt_obs::span!("serve.batch");
-        let cut = config.policy.cut_next_batch(&mut queue);
-        let rounds = plan_rounds(cut, config.chunk_tokens);
-        if config.chunk_tokens != 0 {
-            CHUNK_ROUNDS.add(rounds.len() as u64);
-        }
-        for (round_no, round) in rounds.into_iter().enumerate() {
-            // Per-chunk deadline check: a request scheduled into a later
-            // round may have expired while the earlier rounds ran. Its
-            // batch was cut but its own forward never started — cancel it
-            // with the mid-request reason, distinct from queue expiry.
-            // (Round 0 starts at the same clock the queue sweep used, so
-            // it needs no re-check: with `chunk_tokens == 0` this loop is
-            // exactly the single-round pre-chunking path.)
-            let round: Vec<Pending> = if round_no == 0 {
-                round
-            } else {
-                round
-                    .into_iter()
-                    .filter(|p| {
-                        if p.deadline < clock {
-                            CHUNK_CANCELLED.incr();
-                            record_shed(
-                                &mut outcomes,
-                                p.id,
-                                p.len,
-                                ShedReason::CancelledMidRequest,
-                                clock - p.arrival,
-                                vns(clock),
-                            );
-                            false
-                        } else {
-                            true
-                        }
-                    })
-                    .collect()
-            };
-            if round.is_empty() {
-                continue;
-            }
-            let _chunk_span = bt_obs::span!("serve.chunk");
-            let mask = batch_mask(&round).expect("per-batch mask invariants hold");
-            BATCHES.incr();
-            OCCUPANCY.record(round.len() as u64);
-            BATCH_TOKENS.record(mask.valid_words() as u64);
-            if config.chunk_tokens != 0 {
-                CHUNK_TOKENS.record(mask.valid_words() as u64);
-            }
-            let start = clock;
-            for p in &round {
-                TIME_IN_QUEUE_US.record(((start - p.arrival) * 1e6) as u64);
-                bt_obs::trace_mark!(TraceId::from_request(p.id), names::REQ_ROUND, vns(start));
-            }
-            let duration = {
-                let _span = bt_obs::span!("serve.batch.forward");
-                exec(&mask)
-            };
-            assert!(
-                duration.is_finite() && duration >= 0.0,
-                "executor must return a finite non-negative duration, got {duration}"
-            );
-            let done = start + duration;
-            for p in &round {
-                SERVED.incr();
-                let tid = TraceId::from_request(p.id);
-                bt_obs::trace_mark!(tid, names::REQ_EXEC_DONE, vns(done));
-                bt_obs::trace_mark!(tid, names::REQ_DONE, vns(done));
-                let slot = outcomes
-                    .get_mut(p.id)
-                    .expect("request ids must be a permutation of 0..n");
-                assert!(slot.is_none(), "request id {} offered twice", p.id);
-                *slot = Some(RequestOutcome {
-                    id: p.id,
-                    len: p.len,
-                    outcome: Outcome::Served {
-                        queue_wait: start - p.arrival,
-                        latency: done - p.arrival,
-                    },
-                });
-            }
-            batches += 1;
-            clock = done;
-            makespan = makespan.max(done);
-        }
+    let mut shard = OpenLoopShard::new(*config);
+    for r in order {
+        shard.offer(r);
     }
+    shard.advance(f64::INFINITY, &mut outcomes, &mut exec);
     let outcomes: Vec<RequestOutcome> = outcomes
         .into_iter()
         .map(|o| o.expect("every offered request has exactly one outcome"))
         .collect();
     ServeReport {
         outcomes,
-        batches,
-        makespan,
+        batches: shard.batches,
+        makespan: shard.makespan,
     }
 }
 
@@ -716,6 +858,7 @@ impl Server {
                     ShedReason::TooLong => SHED_TOO_LONG.incr(),
                     ShedReason::CacheOom => SHED_CACHE_OOM.incr(),
                     ShedReason::CancelledMidRequest => SHED_CANCELLED.incr(),
+                    ShedReason::HotShard => SHED_HOT_SHARD.incr(),
                 }
                 bt_obs::trace_mark(TraceId::from_request(p.id), reason.trace_label());
                 let outcome = Outcome::Shed { reason, wait };

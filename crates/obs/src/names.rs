@@ -12,6 +12,7 @@
 //! | prefix | layer | examples |
 //! |---|---|---|
 //! | `serve.` | encoder open-loop batcher (`run_open_loop`) | `serve.offered`, `serve.chunk.rounds` |
+//! | `serve.shard.` | multi-shard router (`run_sharded_open_loop`) | `serve.shard.routed` |
 //! | `serve.decode.` | paged decode loop (`run_decode_loop`) | `serve.decode.steps` |
 //! | `serving.` | threaded profiled server (`serve_profiled`) | `serving.batches` |
 //! | `kvcache.` | paged KV cache + block pool | `kvcache.pool.high_water_blocks` |
@@ -38,6 +39,8 @@ pub const SERVE_SHED_TOO_LONG: &str = "serve.shed.too_long";
 pub const SERVE_SHED_CACHE_OOM: &str = "serve.shed.cache_oom";
 /// Requests shed: cancelled between chunk rounds after admission.
 pub const SERVE_SHED_CANCELLED: &str = "serve.shed.cancelled_mid_request";
+/// Requests shed: the shard router refused to route onto a hot shard.
+pub const SERVE_SHED_HOT_SHARD: &str = "serve.shed.hot_shard";
 /// Batches cut from the queue.
 pub const SERVE_BATCHES: &str = "serve.batches";
 /// Chunk rounds executed (a whole-batch cut counts one round).
@@ -55,6 +58,19 @@ pub const SERVE_BATCH_OCCUPANCY: &str = "serve.batch.occupancy";
 pub const SERVE_BATCH_TOKENS: &str = "serve.batch.tokens";
 /// Histogram: per-request queue wait in microseconds.
 pub const SERVE_QUEUE_WAIT_US: &str = "serve.queue_wait_us";
+/// Histogram: per-request end-to-end served latency in microseconds.
+pub const SERVE_LATENCY_US: &str = "serve.latency_us";
+
+// --- serve.shard.* — multi-shard router ------------------------------------
+
+/// Requests the shard router dispatched onto a shard.
+pub const SERVE_SHARD_ROUTED: &str = "serve.shard.routed";
+/// Requests the router shed instead of routing onto a hot shard (same
+/// events as [`SERVE_SHED_HOT_SHARD`], kept for the shard-level view).
+pub const SERVE_SHARD_SHED_HOT: &str = "serve.shard.shed.hot_shard";
+/// Histogram: outstanding valid tokens on the chosen shard, sampled at
+/// every routing decision.
+pub const SERVE_SHARD_OUTSTANDING: &str = "serve.shard.outstanding_tokens";
 
 // --- serve.decode.* — paged decode loop -----------------------------------
 
@@ -158,6 +174,8 @@ pub const REQ_SHED_TOO_LONG: &str = "req.shed.too_long";
 pub const REQ_SHED_CACHE_OOM: &str = "req.shed.cache_oom";
 /// Terminal mark: shed, cancelled after admission.
 pub const REQ_SHED_CANCELLED: &str = "req.shed.cancelled_mid_request";
+/// Terminal mark: shed, router refused a hot shard.
+pub const REQ_SHED_HOT_SHARD: &str = "req.shed.hot_shard";
 
 /// Every fixed name in the table (prefixes excluded), for the uniqueness
 /// test and documentation tooling.
@@ -169,6 +187,7 @@ pub const ALL: &[&str] = &[
     SERVE_SHED_TOO_LONG,
     SERVE_SHED_CACHE_OOM,
     SERVE_SHED_CANCELLED,
+    SERVE_SHED_HOT_SHARD,
     SERVE_BATCHES,
     SERVE_CHUNK_ROUNDS,
     SERVE_CHUNK_CANCELLED,
@@ -177,6 +196,10 @@ pub const ALL: &[&str] = &[
     SERVE_BATCH_OCCUPANCY,
     SERVE_BATCH_TOKENS,
     SERVE_QUEUE_WAIT_US,
+    SERVE_LATENCY_US,
+    SERVE_SHARD_ROUTED,
+    SERVE_SHARD_SHED_HOT,
+    SERVE_SHARD_OUTSTANDING,
     DECODE_OFFERED,
     DECODE_SERVED,
     DECODE_SHED,
@@ -213,6 +236,7 @@ pub const ALL: &[&str] = &[
     REQ_SHED_TOO_LONG,
     REQ_SHED_CACHE_OOM,
     REQ_SHED_CANCELLED,
+    REQ_SHED_HOT_SHARD,
 ];
 
 #[cfg(test)]
@@ -236,6 +260,7 @@ mod tests {
             REQ_SHED_TOO_LONG,
             REQ_SHED_CACHE_OOM,
             REQ_SHED_CANCELLED,
+            REQ_SHED_HOT_SHARD,
         ] {
             assert!(name.starts_with(REQ_SHED_PREFIX));
         }

@@ -81,6 +81,16 @@ impl HistogramWindow {
 
     /// The value at quantile `q` (same rank-scan as the live layer:
     /// exact below 256, bucket upper bound above).
+    ///
+    /// # Resolution
+    /// The report is the upper bound of the bucket holding the rank-`q`
+    /// observation `v`, so the error is bounded by the bucket geometry:
+    /// **exact** for `v <` [`HIST_LINEAR`] (linear buckets record each
+    /// value in its own bucket), and within one power of two above —
+    /// `v ≤ reported < 2·v` — since log2 buckets span `[2^e, 2^{e+1})` and
+    /// report `2^{e+1} − 1`. Merging shards preserves these bounds exactly
+    /// (buckets are summed, never re-binned); the property suite
+    /// (`snapshot_merge_properties.rs`) pins both.
     pub fn percentile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -362,6 +372,16 @@ pub fn merge(shards: &[MetricsSnapshot]) -> MetricsSnapshot {
         window_ms: shards.iter().map(|s| s.window_ms).max().unwrap_or(0),
         counters,
         histograms,
+    }
+}
+
+impl MetricsSnapshot {
+    /// Associated-function spelling of the free [`merge`]: rolls N shard
+    /// snapshots into one fleet view. The operation is associative and
+    /// commutative up to the synthesized `shard` label (pinned by the
+    /// property suite), so shards can be folded in any order or grouping.
+    pub fn merge(shards: &[MetricsSnapshot]) -> MetricsSnapshot {
+        merge(shards)
     }
 }
 

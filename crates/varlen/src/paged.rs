@@ -101,6 +101,31 @@ impl PagedLayout {
     pub fn capacity_tokens(&self) -> usize {
         self.block_tokens * self.pool_blocks
     }
+
+    /// Splits one shared block budget into `shards` per-shard layouts: the
+    /// block size is preserved (bitwise block-size invariance holds per
+    /// shard) and `pool_blocks` is divided as evenly as possible, with the
+    /// first `pool_blocks % shards` shards taking one extra block. The
+    /// shard router sizes each shard's private [`BlockPool`] from these, so
+    /// N shards never hold more cache memory than the single-instance
+    /// budget they replaced.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or exceeds `pool_blocks` (a shard with an
+    /// empty pool could never admit a decode request).
+    pub fn per_shard(&self, shards: usize) -> Vec<PagedLayout> {
+        assert!(shards > 0, "shards must be positive");
+        assert!(
+            shards <= self.pool_blocks,
+            "cannot split {} blocks across {shards} shards: every shard needs at least one block",
+            self.pool_blocks
+        );
+        let base = self.pool_blocks / shards;
+        let extra = self.pool_blocks % shards;
+        (0..shards)
+            .map(|i| PagedLayout::new(self.block_tokens, base + usize::from(i < extra)))
+            .collect()
+    }
 }
 
 impl Default for PagedLayout {
@@ -393,6 +418,32 @@ impl BlockPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn per_shard_split_conserves_the_block_budget() {
+        let layout = PagedLayout::new(16, 511);
+        for shards in [1usize, 2, 3, 4, 8] {
+            let split = layout.per_shard(shards);
+            assert_eq!(split.len(), shards);
+            assert_eq!(
+                split.iter().map(|l| l.pool_blocks).sum::<usize>(),
+                layout.pool_blocks,
+                "split must conserve the shared budget exactly"
+            );
+            for l in &split {
+                assert_eq!(l.block_tokens, layout.block_tokens);
+                assert!(l.pool_blocks >= layout.pool_blocks / shards);
+            }
+            // Remainder blocks go to the lowest-indexed shards.
+            assert!(split.windows(2).all(|w| w[0].pool_blocks >= w[1].pool_blocks));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "every shard needs at least one block")]
+    fn per_shard_refuses_empty_shard_pools() {
+        let _ = PagedLayout::new(16, 2).per_shard(3);
+    }
 
     #[test]
     fn append_grows_by_whole_blocks() {

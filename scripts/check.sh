@@ -65,6 +65,20 @@ echo "==> decode serving artifact (BENCH_decode.json)"
 BT_BENCH_FAST=1 cargo bench -p bt-bench --bench bench_decode --quiet
 test -s BENCH_decode.json || { echo "BENCH_decode.json was not emitted"; exit 1; }
 
+echo "==> shard matrix (btx serve --shards)"
+# Two acceptance checks from the sharded-router contract: (1) --shards 1
+# replays the unsharded server byte-for-byte on a fixed seed (the horizon
+# rule makes one routed shard the monolithic loop); (2) a 4-shard run keeps
+# exact cross-shard accounting — the btx binary asserts the ledger balances
+# and exits nonzero otherwise.
+shard_tmp="$(mktemp -d)"
+./target/release/btx serve --requests 256 --seed 42 > "$shard_tmp/unsharded.txt"
+./target/release/btx serve --requests 256 --seed 42 --shards 1 > "$shard_tmp/shard1.txt"
+diff "$shard_tmp/unsharded.txt" "$shard_tmp/shard1.txt" \
+  || { echo "btx serve --shards 1 diverged from the unsharded server"; exit 1; }
+./target/release/btx serve --seed 42 --shards 4 --route jsq --load 2.0 > /dev/null
+rm -rf "$shard_tmp"
+
 echo "==> perf-regression gate (scripts/bench_gate.sh)"
 # Re-emits the four BENCH_*.json artifacts and diffs them against the
 # baselines committed at HEAD with per-metric tolerance bands; a throughput

@@ -10,6 +10,8 @@
 //! btx serve      [--policy fifo|sorted|budget] [--load 1.0] [--requests 512]
 //!                [--deadline-ms 0(auto)] [--queue 64] [--budget 0(auto)]
 //!                [--chunk 0(env)] [--burst] [--trace] [--seed 42]
+//!                [--shards 0(unsharded)] [--route rr|jsq|p2c]
+//!                [--hot-tokens 0(gate off)]
 //! btx decode     [--sessions 8] [--tokens 24] [--prompt 16] [--requests 0(auto)]
 //!                [--block 0(env)] [--blocks 0(env)] [--budget 0(auto)]
 //!                [--deadline-ms 0(off)] [--queue 0(auto)] [--chunk 0(env)]
@@ -26,6 +28,13 @@
 //! the same workload continuously on a background thread and refreshes a
 //! windowed metrics snapshot (rates, shed breakdown, queue-wait
 //! percentiles, per-path GEMM GFLOP/s) every `BYTE_OBS_WINDOW_MS`.
+//!
+//! `btx serve --shards N` routes the same calibrated open-loop trace
+//! through the multi-shard router instead of one server: `--load` is the
+//! *per-shard* load (the router scales the aggregate arrival rate by N),
+//! `--route` picks the routing policy, and `--hot-tokens` arms the
+//! hot-shard shedding gate. `--shards 1` prints byte-identical output to
+//! the unsharded path on the same seed — `scripts/check.sh` diffs the two.
 //!
 //! All subcommands use the standard BERT configuration (12 heads × 64) and
 //! print modeled A100 time from the execution trace; run with `--release`
@@ -65,6 +74,9 @@ struct Args {
     shed_only: bool,
     deadline_missed: bool,
     windows: usize,
+    shards: usize,
+    route: String,
+    hot_tokens: usize,
 }
 
 fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
@@ -99,6 +111,11 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
         shed_only: false,
         deadline_missed: false,
         windows: 5,
+        // 0 = the monolithic unsharded server; N >= 1 routes through the
+        // shard layer (`--shards 1` replays the unsharded run bit-for-bit).
+        shards: 0,
+        route: "jsq".to_string(),
+        hot_tokens: 0,
     };
     let rest: Vec<String> = raw.collect();
     let mut i = 0;
@@ -156,6 +173,15 @@ fn parse_args(mut raw: impl Iterator<Item = String>) -> (String, Args) {
             "--seed" => args.seed = take("--seed").parse().expect("numeric --seed"),
             "--slowest" => args.slowest = take("--slowest").parse().expect("numeric --slowest"),
             "--windows" => args.windows = take("--windows").parse().expect("numeric --windows"),
+            "--shards" => args.shards = take("--shards").parse().expect("numeric --shards"),
+            "--hot-tokens" => args.hot_tokens = take("--hot-tokens").parse().expect("numeric --hot-tokens"),
+            "--route" => {
+                args.route = take("--route");
+                if !["rr", "round_robin", "jsq", "p2c", "power_of_two"].contains(&args.route.as_str()) {
+                    eprintln!("unknown --route {} (rr|jsq|p2c)", args.route);
+                    std::process::exit(2);
+                }
+            }
             "--policy" => {
                 args.policy = take("--policy");
                 if !["fifo", "sorted", "budget"].contains(&args.policy.as_str()) {
@@ -238,6 +264,7 @@ fn main() {
                  [--batch N] [--seq N] [--alpha F] [--opt L] [--heads N] [--head-size N] [--layers N] \
                  [--format tree|chrome|prom|json] [--policy fifo|sorted|budget] [--load F] [--requests N] \
                  [--deadline-ms F] [--queue N] [--budget N] [--chunk N] [--burst] [--trace] [--seed N] \
+                 [--shards N] [--route rr|jsq|p2c] [--hot-tokens N] \
                  [--sessions N] [--tokens N] [--prompt N] [--block N] [--blocks N] \
                  [--slowest K] [--shed-only] [--deadline-missed] [--windows N]"
             );
@@ -400,9 +427,13 @@ fn serve_setup(a: &Args) -> ServeSetup {
     } else {
         2.0 * interval
     };
-    let rate = capacity.request_rate(mean_tokens, a.load);
+    // --load is per shard: a fleet of N shards faces N× the aggregate
+    // arrivals (and N× the default trace length, so per-shard statistics
+    // stay comparable). Unsharded runs have fleet == 1.
+    let fleet = a.shards.max(1);
+    let rate = capacity.request_rate(mean_tokens, a.load) * fleet as f64;
     let dist = LengthDistribution::PaperUniform { alpha: a.alpha };
-    let requests = if a.requests > 0 { a.requests } else { 512 };
+    let requests = if a.requests > 0 { a.requests } else { 512 * fleet };
     let arrivals = if a.burst {
         bursty_arrivals(requests, rate * 0.5, rate * 2.0, 25.0 * interval, dist, a.seq, a.seed)
     } else {
@@ -430,8 +461,11 @@ fn serve_setup(a: &Args) -> ServeSetup {
 }
 
 fn cmd_serve(a: &Args) {
-    use bytetransformer::frameworks::server::{modeled_forward_executor, run_open_loop};
+    use bytetransformer::frameworks::server::{modeled_forward_executor, run_open_loop, ServeSummary};
+    use bytetransformer::frameworks::shard::{run_sharded_open_loop, shard_seed, RoutePolicy, ShardConfig};
     use bytetransformer::obs;
+    use bytetransformer::obs::names;
+    use bytetransformer::varlen::paged::PagedLayout;
 
     let setup = serve_setup(a);
     let serve_config = setup.config;
@@ -440,56 +474,134 @@ fn cmd_serve(a: &Args) {
         obs::set_enabled(true);
         let _ = obs::drain();
     }
-    let report = run_open_loop(
-        &setup.arrivals,
-        &serve_config,
-        modeled_forward_executor(&setup.fw, CostModel::a100(), a.seed),
-    );
-    let s = report.summary();
-    println!(
-        "calibrated capacity: {:.0} tokens/s — budget {} tokens/batch, deadline {:.2} ms, queue {}, {}",
-        setup.tokens_per_sec,
-        setup.budget,
-        serve_config.deadline * 1e3,
-        a.queue,
-        if chunk > 0 {
-            format!("chunk rounds of {chunk} tokens")
+
+    // Both paths print these exact global lines, so on a fixed seed
+    // `btx serve --shards 1` is byte-identical to `btx serve` — the shard
+    // matrix in scripts/check.sh diffs the two outputs.
+    let print_summary = |s: &ServeSummary| {
+        println!(
+            "calibrated capacity: {:.0} tokens/s — budget {} tokens/batch, deadline {:.2} ms, queue {}, {}",
+            setup.tokens_per_sec,
+            setup.budget,
+            serve_config.deadline * 1e3,
+            a.queue,
+            if chunk > 0 {
+                format!("chunk rounds of {chunk} tokens")
+            } else {
+                "whole-batch rounds".to_string()
+            }
+        );
+        println!(
+            "offered {} requests ({} arrivals, α = {:.3}) at load {:.2}× ({:.0} req/s), policy {}\n",
+            s.offered,
+            if a.burst { "bursty" } else { "poisson" },
+            a.alpha,
+            a.load,
+            setup.rate,
+            serve_config.policy.label()
+        );
+        // The unsharded server never sheds HotShard, so the extra term only
+        // ever appears for sharded runs with the gate armed.
+        let hot = if s.shed_hot_shard > 0 {
+            format!(", hot_shard {}", s.shed_hot_shard)
         } else {
-            "whole-batch rounds".to_string()
+            String::new()
+        };
+        println!(
+            "served {} | shed {} (queue_full {}, deadline {}, too_long {}, cancelled {}{}) | {} batches",
+            s.served,
+            s.shed(),
+            s.shed_queue_full,
+            s.shed_deadline,
+            s.shed_too_long,
+            s.shed_cancelled,
+            hot,
+            s.batches
+        );
+        assert!(s.accounting_is_exact(), "served + shed must equal offered");
+        println!(
+            "served latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+            s.served_latency.p50 * 1e3,
+            s.served_latency.p95 * 1e3,
+            s.served_latency.p99 * 1e3,
+            s.served_latency.max * 1e3
+        );
+        println!(
+            "goodput: {:.0} served tokens/s over {:.2} ms makespan",
+            s.goodput_tokens_per_sec(),
+            s.makespan * 1e3
+        );
+    };
+
+    if a.shards == 0 {
+        let report = run_open_loop(
+            &setup.arrivals,
+            &serve_config,
+            modeled_forward_executor(&setup.fw, CostModel::a100(), a.seed),
+        );
+        print_summary(&report.summary());
+    } else {
+        let route = RoutePolicy::parse(&a.route, a.seed).expect("spelling checked in parse_args");
+        let cfg = ShardConfig {
+            shards: a.shards,
+            route,
+            serve: serve_config,
+            hot_shard_tokens: a.hot_tokens,
+            kv_layout: PagedLayout::from_env(),
+        };
+        let report = run_sharded_open_loop(&setup.arrivals, &cfg, |i| {
+            modeled_forward_executor(&setup.fw, CostModel::a100(), shard_seed(a.seed, i))
+        });
+        print_summary(&report.summary());
+        assert!(
+            report.accounting_is_exact_across_shards(),
+            "per-shard ledgers must partition the offered trace"
+        );
+        // The per-shard view is extra output: only for N > 1, so a 1-shard
+        // run stays line-identical to the unsharded path.
+        if a.shards > 1 {
+            println!(
+                "\nsharded: {} shards, route {}, hot-shard gate {}",
+                a.shards,
+                report.route,
+                if a.hot_tokens > 0 {
+                    format!("{} tokens", a.hot_tokens)
+                } else {
+                    "off".to_string()
+                }
+            );
+            println!(
+                "{:>5} {:>8} {:>7} {:>6} {:>8} {:>12} {:>14} {:>10}",
+                "shard", "offered", "served", "shed", "batches", "makespan_ms", "goodput_tok/s", "kv_blocks"
+            );
+            for (i, (p, kv)) in report.shard_summaries().iter().zip(&report.shard_kv).enumerate() {
+                println!(
+                    "{:>5} {:>8} {:>7} {:>6} {:>8} {:>12.2} {:>14.0} {:>10}",
+                    i,
+                    p.offered,
+                    p.served,
+                    p.shed(),
+                    p.batches,
+                    p.makespan * 1e3,
+                    p.goodput_tokens_per_sec(),
+                    kv.pool_blocks
+                );
+            }
+            let fleet = report.fleet_snapshot();
+            let lat = fleet
+                .histogram(names::SERVE_LATENCY_US)
+                .expect("fleet latency histogram");
+            println!(
+                "fleet snapshot ({}): routed {}, served {}, latency p50 {} µs, p95 {} µs, p99 {} µs",
+                fleet.shard,
+                fleet.delta(names::SERVE_SHARD_ROUTED),
+                fleet.delta(names::SERVE_SERVED),
+                lat.percentile(0.50),
+                lat.percentile(0.95),
+                lat.percentile(0.99)
+            );
         }
-    );
-    println!(
-        "offered {} requests ({} arrivals, α = {:.3}) at load {:.2}× ({:.0} req/s), policy {}\n",
-        s.offered,
-        if a.burst { "bursty" } else { "poisson" },
-        a.alpha,
-        a.load,
-        setup.rate,
-        serve_config.policy.label()
-    );
-    println!(
-        "served {} | shed {} (queue_full {}, deadline {}, too_long {}, cancelled {}) | {} batches",
-        s.served,
-        s.shed(),
-        s.shed_queue_full,
-        s.shed_deadline,
-        s.shed_too_long,
-        s.shed_cancelled,
-        s.batches
-    );
-    assert!(s.accounting_is_exact(), "served + shed must equal offered");
-    println!(
-        "served latency: p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
-        s.served_latency.p50 * 1e3,
-        s.served_latency.p95 * 1e3,
-        s.served_latency.p99 * 1e3,
-        s.served_latency.max * 1e3
-    );
-    println!(
-        "goodput: {:.0} served tokens/s over {:.2} ms makespan",
-        s.goodput_tokens_per_sec(),
-        s.makespan * 1e3
-    );
+    }
     if a.trace {
         println!();
         print!("{}", obs::drain().render_tree());

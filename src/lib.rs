@@ -50,6 +50,12 @@
 #[doc = include_str!("../EXPERIMENTS.md")]
 pub struct ExperimentsDoctests;
 
+// Same for the operator runbook: the calibrate → size → audit flow in
+// docs/OPERATIONS.md §8 compiles and runs against the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../docs/OPERATIONS.md")]
+pub struct OperationsDoctests;
+
 pub use bt_bench as bench;
 pub use bt_core as core;
 pub use bt_device as device;
